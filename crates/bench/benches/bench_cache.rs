@@ -1,0 +1,76 @@
+//! Page-cache and data-cache microbenchmarks: lookup/insert/invalidate
+//! throughput under each eviction policy.
+
+use cacheportal_cache::{DataCache, EvictionPolicy, PageCache, PageCacheConfig};
+use cacheportal_db::QueryResult;
+use cacheportal_web::PageKey;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn page_cache_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_cache");
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::Lfu, EvictionPolicy::Fifo] {
+        group.bench_with_input(
+            BenchmarkId::new("churn", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let cache = PageCache::new(PageCacheConfig {
+                    capacity: 512,
+                    policy,
+                    ttl_micros: None,
+                });
+                let keys: Vec<PageKey> =
+                    (0..2048).map(|i| PageKey::raw(format!("k{i}"))).collect();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let k = &keys[i % keys.len()];
+                    if cache.get(k, i as u64).is_none() {
+                        cache.put(k.clone(), "body".into(), i as u64);
+                    }
+                    i += 1;
+                })
+            },
+        );
+    }
+    group.bench_function("invalidate_batch_of_64", |b| {
+        b.iter_batched(
+            || {
+                let cache = PageCache::new(PageCacheConfig::default());
+                let keys: Vec<PageKey> =
+                    (0..64).map(|i| PageKey::raw(format!("k{i}"))).collect();
+                for k in &keys {
+                    cache.put(k.clone(), "body".into(), 0);
+                }
+                (cache, keys)
+            },
+            |(cache, keys)| black_box(cache.invalidate(keys.iter())),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn data_cache_ops(c: &mut Criterion) {
+    c.bench_function("data_cache_get_put", |b| {
+        let cache = DataCache::new(256);
+        let result = QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![vec![cacheportal_db::Value::Int(1)]],
+        };
+        let mut i = 0u64;
+        b.iter(|| {
+            let sql = format!("SELECT a FROM t WHERE a = {}", i % 512);
+            if cache.get(&sql, &[]).is_none() {
+                cache.put(&sql, &[], result.clone());
+            }
+            i += 1;
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = page_cache_ops, data_cache_ops
+}
+criterion_main!(benches);

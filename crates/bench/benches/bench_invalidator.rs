@@ -1,0 +1,154 @@
+//! Invalidator throughput benchmarks: cost of one synchronization point as
+//! the number of registered query instances and the update-batch size grow
+//! (§4's "the invalidator must not be a bottleneck" claim), for each policy.
+
+use cacheportal_db::Database;
+use cacheportal_invalidator::{InvalidationPolicy, Invalidator, InvalidatorConfig, QueryTypeId};
+use cacheportal_sniffer::QiUrlMap;
+use cacheportal_web::PageKey;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn example_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    for i in 0..2000 {
+        db.insert_row(
+            "Car",
+            vec![
+                format!("maker{}", i % 40).into(),
+                format!("model{}", i % 200).into(),
+                (10_000 + (i % 100) as i64 * 500).into(),
+            ],
+        )
+        .unwrap();
+        if i < 200 {
+            db.insert_row(
+                "Mileage",
+                vec![format!("model{i}").into(), (20.0 + (i % 20) as f64).into()],
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// Register `n` join-query instances (distinct price bounds) in the map.
+fn seeded_map(n: usize) -> QiUrlMap {
+    let map = QiUrlMap::new();
+    for i in 0..n {
+        map.insert(
+            format!(
+                "SELECT Car.maker FROM Car, Mileage \
+                 WHERE Car.model = Mileage.model AND Car.price < {}",
+                10_000 + i * 97
+            ),
+            PageKey::raw(format!("page{i}")),
+            "cars".to_string(),
+        );
+    }
+    map
+}
+
+fn sync_point_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidator_sync_point");
+    for &instances in &[10usize, 100, 500] {
+        for (policy, label) in [
+            (InvalidationPolicy::Exact, "exact"),
+            (InvalidationPolicy::Conservative, "conservative"),
+            (InvalidationPolicy::TableLevel, "table_level"),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, instances),
+                &instances,
+                |b, &instances| {
+                    b.iter_batched(
+                        || {
+                            let mut db = example_db();
+                            let map = seeded_map(instances);
+                            let mut inv = Invalidator::new(InvalidatorConfig::default());
+                            inv.start_from(db.high_water());
+                            // First run registers the instances.
+                            inv.run_sync_point(&mut db, &map).unwrap();
+                            for i in 0..inv.registry().types().len() {
+                                inv.set_policy(QueryTypeId(i as u32), policy);
+                            }
+                            // One update batch to analyze.
+                            for j in 0..10 {
+                                db.execute(&format!(
+                                    "INSERT INTO Car VALUES ('m','model{}',{})",
+                                    j * 13,
+                                    12_000 + j * 100
+                                ))
+                                .unwrap();
+                            }
+                            (db, map, inv)
+                        },
+                        |(mut db, map, mut inv)| {
+                            black_box(inv.run_sync_point(&mut db, &map).unwrap())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn registration_cost(c: &mut Criterion) {
+    c.bench_function("invalidator_register_500_instances", |b| {
+        b.iter_batched(
+            || (example_db(), seeded_map(500)),
+            |(mut db, map)| {
+                let mut inv = Invalidator::new(InvalidatorConfig::default());
+                inv.start_from(db.high_water());
+                black_box(inv.run_sync_point(&mut db, &map).unwrap())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn maintained_index_benefit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidator_index_ablation");
+    for with_index in [false, true] {
+        let label = if with_index { "with_index" } else { "without_index" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut db = example_db();
+                    let map = seeded_map(200);
+                    let mut inv = Invalidator::new(InvalidatorConfig::default());
+                    inv.start_from(db.high_water());
+                    if with_index {
+                        inv.maintain_index(&db, "Mileage", "model").unwrap();
+                    }
+                    inv.run_sync_point(&mut db, &map).unwrap();
+                    for j in 0..10 {
+                        db.execute(&format!(
+                            "INSERT INTO Car VALUES ('m','nomatch{j}',11000)"
+                        ))
+                        .unwrap();
+                    }
+                    (db, map, inv)
+                },
+                |(mut db, map, mut inv)| {
+                    black_box(inv.run_sync_point(&mut db, &map).unwrap())
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sync_point_cost, registration_cost, maintained_index_benefit
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion wrappers around the Table 2 / Table 3 simulation grids and the
+//! functional end-to-end request path, so `cargo bench` alone exercises the
+//! paper's experiments (short horizons; the binaries run the full grids).
+
+use cacheportal_bench::ablation::{paper_application, register_paper_servlets};
+use cacheportal_sim::{
+    simulate, Conf2CacheAccess, Configuration, SimParams, UpdateRate, SEC,
+};
+use cacheportal::CachePortal;
+use cacheportal_web::HttpRequest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_sim");
+    group.sample_size(10);
+    for conf in Configuration::ALL {
+        for rate in [UpdateRate::NONE, UpdateRate::HIGH] {
+            let id = format!("{}_{}", conf.label().replace(". ", ""), rate.label());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(id),
+                &(conf, rate),
+                |b, &(conf, rate)| {
+                    let params = SimParams::paper_baseline()
+                        .with_duration(15 * SEC)
+                        .with_update_rate(rate);
+                    b.iter(|| black_box(simulate(conf, &params)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_sim");
+    group.sample_size(10);
+    group.bench_function("ConfII_LocalDbms_NoUpdates", |b| {
+        let params = SimParams::paper_baseline()
+            .with_duration(15 * SEC)
+            .with_conf2_access(Conf2CacheAccess::LocalDbms);
+        b.iter(|| black_box(simulate(Configuration::MiddleTierCache, &params)))
+    });
+    group.finish();
+}
+
+fn bench_functional_request_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("functional_request");
+    let portal = CachePortal::builder(paper_application(3)).build().unwrap();
+    register_paper_servlets(&portal);
+    let req = HttpRequest::get("shop", "/medium", &[("grp", "4")]);
+    // Warm the cache.
+    portal.request(&req);
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(portal.request(&req)))
+    });
+    group.bench_function("generate_medium_page", |b| {
+        let miss_req = HttpRequest::get("shop", "/medium", &[("grp", "5")]);
+        b.iter(|| {
+            portal.page_cache().invalidate([&cacheportal_web::PageKey::for_request(
+                &miss_req,
+                &cacheportal_web::ServletSpec::new("medium").with_key_get_params(&["grp"]),
+            )]);
+            black_box(portal.request(&miss_req))
+        })
+    });
+    group.bench_function("sync_point_with_updates", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            portal
+                .update(&format!("INSERT INTO small VALUES ({}, 3, 7)", 50_000 + i))
+                .unwrap();
+            i += 1;
+            black_box(portal.sync_point().unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_table2, bench_table3, bench_functional_request_path
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Fig E4**: grouping/sharing ablation. The paper's invalidator processes
+//! related query instances and related updates as groups (§4.1.2, §4.2.1);
+//! in this implementation that shows up as (a) per-sync-point deduplication
+//! of identical residual polling queries and (b) maintained join-attribute
+//! indexes answering polls without touching the DBMS.
+//!
+//! This binary scales the number of distinct cached pages (query instances)
+//! and reports how many DBMS polls a naive per-(instance, tuple) poller
+//! would have issued versus what CachePortal actually issued.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin ablation_grouping
+//! ```
+
+use cacheportal_bench::ablation::{run_workload, FreshnessMode, WorkloadConfig};
+use cacheportal_bench::{render_table, write_artifact};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct GroupingPoint {
+    requests_per_round: usize,
+    maintained_indexes: bool,
+    batch_polls: bool,
+    baseline_polls: u64,
+    actual_polls: u64,
+    saved_by_cache: u64,
+    saved_by_index: u64,
+}
+
+fn main() {
+    let mut points = Vec::new();
+    for &requests_per_round in &[10usize, 20, 40, 80] {
+        // The naive baseline: per-tuple polls, no indexes.
+        let baseline = run_workload(&WorkloadConfig {
+            rounds: 25,
+            requests_per_round,
+            updates_per_round: 10,
+            mode: FreshnessMode::Exact,
+            maintained_indexes: false,
+            batch_polls: false,
+            ..Default::default()
+        });
+        for (batch_polls, maintained_indexes) in
+            [(false, false), (true, false), (true, true)]
+        {
+            let config = WorkloadConfig {
+                rounds: 25,
+                requests_per_round,
+                updates_per_round: 10,
+                mode: FreshnessMode::Exact,
+                maintained_indexes,
+                batch_polls,
+                ..Default::default()
+            };
+            let r = run_workload(&config);
+            points.push(GroupingPoint {
+                requests_per_round,
+                maintained_indexes,
+                batch_polls,
+                baseline_polls: baseline.polls_issued,
+                actual_polls: r.polls_issued,
+                saved_by_cache: r.polls_saved_by_cache,
+                saved_by_index: r.polls_saved_by_index,
+            });
+        }
+    }
+
+    let mut rows = vec![vec![
+        "req/round".to_string(),
+        "batched".to_string(),
+        "indexes".to_string(),
+        "baseline polls".to_string(),
+        "actual polls".to_string(),
+        "dedup saved".to_string(),
+        "index saved".to_string(),
+        "reduction".to_string(),
+    ]];
+    for p in &points {
+        let reduction = if p.baseline_polls == 0 {
+            "-".to_string()
+        } else {
+            format!(
+                "{:.0}%",
+                (1.0 - p.actual_polls as f64 / p.baseline_polls as f64) * 100.0
+            )
+        };
+        rows.push(vec![
+            p.requests_per_round.to_string(),
+            if p.batch_polls { "yes" } else { "no" }.to_string(),
+            if p.maintained_indexes { "yes" } else { "no" }.to_string(),
+            p.baseline_polls.to_string(),
+            p.actual_polls.to_string(),
+            p.saved_by_cache.to_string(),
+            p.saved_by_index.to_string(),
+            reduction,
+        ]);
+    }
+    println!("Fig E4: polling-query sharing (grouping) ablation\n");
+    println!("{}", render_table(&rows));
+    println!(
+        "Expected shape: OR-batching (§4.2.1 grouping) collapses each update\n\
+         burst into one poll per live instance; maintained join-attribute\n\
+         indexes absorb most of what remains. Residual dedup only fires when\n\
+         instances share identical residual SQL (rare in this workload)."
+    );
+    match write_artifact("ablation_grouping", &points) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! **Fig E6** (paper §5.1.1, prose): expected response vs. `cache_size`,
+//! with the hit ratio *derived* from cache coverage and invalidation churn
+//! rather than fixed — the functional relationships of Table 1:
+//! `hit_ratio = f(cache_size)`, `inval_rate = f(cache_size, update_rate)`,
+//! and over-invalidation feeding back into the hit ratio.
+//!
+//! Two invalidation qualities are compared: precise (CachePortal Exact,
+//! `inval_per_update = 0.2` pages) and coarse (table-level,
+//! `inval_per_update = 2.0` pages). Coarse invalidation needs a much larger
+//! cache to reach the same response time — the paper's argument for
+//! fine-granularity invalidation, quantified.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin sweep_cache_size
+//! ```
+
+use cacheportal_bench::{render_table, write_artifact};
+use cacheportal_sim::{
+    simulate, ConfigRow, Configuration, HitRatioModel, SimParams, UpdateRate,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    cache_size: usize,
+    inval_per_update: f64,
+    effective_hit_ratio: f64,
+    exp_resp_ms: Option<f64>,
+}
+
+fn main() {
+    const WORKING_SET: usize = 1000;
+    let mut points = Vec::new();
+    for &inval_per_update in &[0.2f64, 2.0] {
+        for &cache_size in &[50usize, 125, 250, 500, 750, 1000, 1500] {
+            let model = HitRatioModel::Derived {
+                cache_size,
+                working_set: WORKING_SET,
+                max_hit: 0.9,
+                inval_per_update,
+            };
+            let params = SimParams::paper_baseline()
+                .with_update_rate(UpdateRate::MEDIUM)
+                .with_hit_ratio_model(model);
+            let r = simulate(Configuration::WebCache, &params);
+            points.push(Point {
+                cache_size,
+                inval_per_update,
+                effective_hit_ratio: params.effective_hit_ratio(),
+                exp_resp_ms: r.row.all_resp.mean_ms(),
+            });
+        }
+    }
+
+    let mut rows = vec![vec![
+        "cache_size".to_string(),
+        "inval/update".to_string(),
+        "hit ratio".to_string(),
+        "exp resp (ms)".to_string(),
+    ]];
+    for p in &points {
+        rows.push(vec![
+            p.cache_size.to_string(),
+            format!("{:.1}", p.inval_per_update),
+            format!("{:.3}", p.effective_hit_ratio),
+            ConfigRow::fmt_cell(p.exp_resp_ms),
+        ]);
+    }
+    println!(
+        "Fig E6: expected response vs. cache size (working set {WORKING_SET} pages,\n\
+         update load <5,5,5,5>, hit ratio derived from coverage and churn)\n"
+    );
+    println!("{}", render_table(&rows));
+    println!(
+        "Expected shape: response improves with cache size until coverage\n\
+         saturates; coarse invalidation (2.0 pages/update) caps at a worse\n\
+         hit ratio than precise invalidation (0.2) at every size — precision\n\
+         buys the same latency with a smaller cache."
+    );
+    match write_artifact("sweep_cache_size", &points) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

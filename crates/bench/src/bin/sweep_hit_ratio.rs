@@ -1,0 +1,26 @@
+//! **Fig E2** (paper §5.1.1, prose): expected response time vs. cache hit
+//! ratio for all three configurations. `hit_ratio` is the paper's knob that
+//! links cache size and invalidation quality to end-user latency.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin sweep_hit_ratio
+//! ```
+
+use cacheportal_bench::tables::{format_sweep, sweep_hit_ratio};
+use cacheportal_bench::write_artifact;
+use cacheportal_sim::{SimParams, UpdateRate};
+
+fn main() {
+    let params = SimParams::paper_baseline().with_update_rate(UpdateRate::MEDIUM);
+    let ratios = [0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+    let points = sweep_hit_ratio(&params, &ratios);
+    println!(
+        "Fig E2: expected response vs. hit ratio (update load <5,5,5,5>)\n\
+         Conf. I ignores the ratio (it has no cache); II and III improve with it.\n"
+    );
+    println!("{}", format_sweep(&points, "hit_ratio"));
+    match write_artifact("sweep_hit_ratio", &points) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! **Fig E1** (paper §5.1.1, prose): expected response time vs. update rate
+//! for Configurations II and III. The paper reports the II→III gap growing
+//! with the update rate, reaching ≈20% at ~50 tuple-updates/s.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin sweep_updates
+//! ```
+
+use cacheportal_bench::tables::{format_sweep, sweep_update_rate};
+use cacheportal_bench::write_artifact;
+use cacheportal_sim::SimParams;
+
+fn main() {
+    let params = SimParams::paper_baseline();
+    // Per-table per-op rates; total rate = 4×value.
+    let steps = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+    let points = sweep_update_rate(&params, &steps);
+    println!("Fig E1: expected response vs. total update rate (tuples/s)\n");
+    println!("{}", format_sweep(&points, "updates/s"));
+
+    // Gap summary.
+    println!("gap (Conf II vs Conf III expected response):");
+    for chunk in points.chunks(2) {
+        if let [ii, iii] = chunk {
+            if let (Some(a), Some(b)) = (ii.exp_resp_ms, iii.exp_resp_ms) {
+                println!(
+                    "  {:>5.0} upd/s: II={a:7.0} ms, III={b:7.0} ms, III is {:.1}% faster",
+                    ii.x,
+                    (a - b) / a * 100.0
+                );
+            }
+        }
+    }
+    match write_artifact("sweep_updates", &points) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

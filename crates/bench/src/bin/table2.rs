@@ -1,0 +1,31 @@
+//! Regenerate **Table 2** of the paper: average response times (ms) for the
+//! three configurations under three update loads, with negligible
+//! middle-tier cache access cost in Configuration II.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin table2
+//! ```
+
+use cacheportal_bench::tables::{format_table, run_table};
+use cacheportal_bench::write_artifact;
+use cacheportal_sim::{Conf2CacheAccess, SimParams};
+
+fn main() {
+    let params = SimParams::paper_baseline();
+    let table = run_table("table2", Conf2CacheAccess::Negligible, &params);
+    println!(
+        "Table 2: average response times (ms), 30 req/s (10 light / 10 medium / 10 heavy),\n\
+         70% cache hit ratio, negligible middle-tier cache access cost in Conf. II\n"
+    );
+    println!("{}", format_table(&table));
+    match write_artifact("table2", &table) {
+        Ok(path) => println!("artifact: {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+    println!(
+        "\nPaper reference (Table 2, exp. resp. ms):\n\
+         \u{2022} Conf I : 40775 / 41638 / 45443   (overloaded, tens of seconds)\n\
+         \u{2022} Conf II : 471 / 672 / 1147\n\
+         \u{2022} Conf III: 450 / 532 / 916        (\u{2248}20% below Conf II at <12,12,12,12>)"
+    );
+}

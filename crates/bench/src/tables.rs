@@ -1,0 +1,206 @@
+//! Runners for the paper's Tables 2 and 3 and the §5.1.1 parameter sweeps.
+
+use crate::render_table;
+use cacheportal_sim::{
+    simulate, Conf2CacheAccess, ConfigRow, Configuration, RunResult, SimParams, UpdateRate,
+};
+use serde::Serialize;
+
+/// The paper's three update loads, in row order.
+pub const UPDATE_LOADS: [UpdateRate; 3] = [UpdateRate::NONE, UpdateRate::MEDIUM, UpdateRate::HIGH];
+
+/// One cell group serialized for the JSON artifact.
+#[derive(Debug, Serialize)]
+pub struct CellGroup {
+    /// Mean DB segment of misses (ms).
+    pub miss_db_ms: Option<f64>,
+    /// Mean miss response (ms).
+    pub miss_resp_ms: Option<f64>,
+    /// Mean hit response (ms).
+    pub hit_resp_ms: Option<f64>,
+    /// Mean response over all requests (ms).
+    pub exp_resp_ms: Option<f64>,
+    /// Requests completed in the horizon.
+    pub completed: u64,
+    /// Requests still waiting at the horizon.
+    pub censored: u64,
+}
+
+impl From<&RunResult> for CellGroup {
+    fn from(r: &RunResult) -> Self {
+        CellGroup {
+            miss_db_ms: r.row.miss_db.mean_ms(),
+            miss_resp_ms: r.row.miss_resp.mean_ms(),
+            hit_resp_ms: r.row.hit_resp.mean_ms(),
+            exp_resp_ms: r.row.all_resp.mean_ms(),
+            completed: r.completed_requests,
+            censored: r.censored_requests,
+        }
+    }
+}
+
+/// One full table: rows = update loads, columns = configurations.
+#[derive(Debug, Serialize)]
+pub struct TableResult {
+    /// Table name (artifact id).
+    pub name: String,
+    /// Configuration II access model used.
+    pub conf2_access: String,
+    /// Rows: (update-load label, per-config cells).
+    pub rows: Vec<(String, Vec<(String, CellGroup)>)>,
+}
+
+/// Run the full grid for Table 2 (`Negligible`) or Table 3 (`LocalDbms`).
+pub fn run_table(name: &str, access: Conf2CacheAccess, base: &SimParams) -> TableResult {
+    let mut rows = Vec::new();
+    for rate in UPDATE_LOADS {
+        let mut cells = Vec::new();
+        for conf in Configuration::ALL {
+            let params = base
+                .clone()
+                .with_update_rate(rate)
+                .with_conf2_access(access);
+            let r = simulate(conf, &params);
+            cells.push((conf.label().to_string(), CellGroup::from(&r)));
+        }
+        rows.push((rate.label(), cells));
+    }
+    TableResult {
+        name: name.to_string(),
+        conf2_access: format!("{access:?}"),
+        rows,
+    }
+}
+
+/// Render a [`TableResult`] in the paper's layout.
+pub fn format_table(t: &TableResult) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut header = vec!["UpdateRate".to_string()];
+    for conf in Configuration::ALL {
+        for col in ["Miss DB", "Miss Resp", "Hit Resp", "Exp Resp"] {
+            header.push(format!("{} {}", conf.label(), col));
+        }
+    }
+    rows.push(header);
+    for (label, cells) in &t.rows {
+        let mut row = vec![label.clone()];
+        for (_, c) in cells {
+            row.push(ConfigRow::fmt_cell(c.miss_db_ms));
+            row.push(ConfigRow::fmt_cell(c.miss_resp_ms));
+            row.push(ConfigRow::fmt_cell(c.hit_resp_ms));
+            row.push(ConfigRow::fmt_cell(c.exp_resp_ms));
+        }
+        rows.push(row);
+    }
+    render_table(&rows)
+}
+
+/// One sweep point.
+#[derive(Debug, Serialize)]
+pub struct SweepPoint {
+    /// Swept parameter value.
+    pub x: f64,
+    /// Configuration label.
+    pub conf: String,
+    /// Mean response over all requests (ms).
+    pub exp_resp_ms: Option<f64>,
+    /// Mean hit response (ms).
+    pub hit_resp_ms: Option<f64>,
+    /// Mean miss response (ms).
+    pub miss_resp_ms: Option<f64>,
+}
+
+/// Fig E1: expected response vs. total update rate, Conf II vs Conf III.
+pub fn sweep_update_rate(base: &SimParams, steps: &[f64]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &per_table in steps {
+        let rate = UpdateRate {
+            ins1: per_table,
+            del1: per_table,
+            ins2: per_table,
+            del2: per_table,
+        };
+        for conf in [Configuration::MiddleTierCache, Configuration::WebCache] {
+            let params = base.clone().with_update_rate(rate);
+            let r = simulate(conf, &params);
+            out.push(SweepPoint {
+                x: rate.total_per_sec(),
+                conf: conf.label().to_string(),
+                exp_resp_ms: r.row.all_resp.mean_ms(),
+                hit_resp_ms: r.row.hit_resp.mean_ms(),
+                miss_resp_ms: r.row.miss_resp.mean_ms(),
+            });
+        }
+    }
+    out
+}
+
+/// Fig E2: expected response vs. hit ratio, all three configurations.
+pub fn sweep_hit_ratio(base: &SimParams, ratios: &[f64]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &h in ratios {
+        for conf in Configuration::ALL {
+            let params = base.clone().with_hit_ratio(h);
+            let r = simulate(conf, &params);
+            out.push(SweepPoint {
+                x: h,
+                conf: conf.label().to_string(),
+                exp_resp_ms: r.row.all_resp.mean_ms(),
+                hit_resp_ms: r.row.hit_resp.mean_ms(),
+                miss_resp_ms: r.row.miss_resp.mean_ms(),
+            });
+        }
+    }
+    out
+}
+
+/// Render sweep points as a text series table.
+pub fn format_sweep(points: &[SweepPoint], x_label: &str) -> String {
+    let mut rows = vec![vec![
+        x_label.to_string(),
+        "config".to_string(),
+        "exp (ms)".to_string(),
+        "hit (ms)".to_string(),
+        "miss (ms)".to_string(),
+    ]];
+    for p in points {
+        rows.push(vec![
+            format!("{:.2}", p.x),
+            p.conf.clone(),
+            ConfigRow::fmt_cell(p.exp_resp_ms),
+            ConfigRow::fmt_cell(p.hit_resp_ms),
+            ConfigRow::fmt_cell(p.miss_resp_ms),
+        ]);
+    }
+    render_table(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_sim::SEC;
+
+    fn quick_params() -> SimParams {
+        SimParams::paper_baseline().with_duration(10 * SEC)
+    }
+
+    #[test]
+    fn table_grid_has_full_shape() {
+        let t = run_table("t", Conf2CacheAccess::Negligible, &quick_params());
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows.iter().all(|(_, cells)| cells.len() == 3));
+        let text = format_table(&t);
+        assert!(text.contains("Conf. I"));
+        assert!(text.contains("No Updates"));
+        assert!(text.contains("N/A"), "Conf I has no hit column");
+    }
+
+    #[test]
+    fn sweeps_produce_points_for_each_config() {
+        let pts = sweep_update_rate(&quick_params(), &[0.0, 5.0]);
+        assert_eq!(pts.len(), 4);
+        let pts = sweep_hit_ratio(&quick_params(), &[0.5]);
+        assert_eq!(pts.len(), 3);
+        assert!(!format_sweep(&pts, "hit_ratio").is_empty());
+    }
+}

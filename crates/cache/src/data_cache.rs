@@ -1,0 +1,308 @@
+//! Middle-tier data cache (paper Configuration II; the Oracle 8i
+//! "middle-tier data cache" analogue).
+//!
+//! Caches query *results* at the application server, keyed by the bound SQL
+//! text. Freshness is maintained by periodic synchronization: at each sync
+//! point the cache pulls the DBMS update log and discards every cached
+//! result that touches an updated table — table-level granularity, which is
+//! what commercial middle tiers provided and why the paper's invalidator
+//! (query-instance granularity) is the interesting comparison point.
+
+use crate::stats::CacheStats;
+use cacheportal_db::sql::ast::Statement;
+use cacheportal_db::sql::parser::parse;
+use cacheportal_db::{DbResult, ExecOutcome, LogRecord, Lsn, QueryResult, Value};
+use cacheportal_web::Connection;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Key: bound SQL + rendered parameters.
+fn cache_key(sql: &str, params: &[Value]) -> String {
+    if params.is_empty() {
+        sql.to_string()
+    } else {
+        let mut k = String::with_capacity(sql.len() + params.len() * 8);
+        k.push_str(sql);
+        for p in params {
+            k.push('\u{1}');
+            k.push_str(&p.to_sql_literal());
+        }
+        k
+    }
+}
+
+struct DataEntry {
+    result: QueryResult,
+    /// Lower-cased names of tables the query reads.
+    tables: Vec<String>,
+}
+
+/// A query-result cache with table-level synchronization.
+pub struct DataCache {
+    inner: Mutex<DataInner>,
+    capacity: usize,
+}
+
+struct DataInner {
+    map: HashMap<String, DataEntry>,
+    /// Insertion order for FIFO eviction (simplest sound policy here).
+    order: Vec<String>,
+    stats: CacheStats,
+    /// Log position consumed so far.
+    synced_to: Lsn,
+}
+
+impl DataCache {
+    /// Create a cache holding up to `capacity` results / wrap a connection.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(DataCache {
+            inner: Mutex::new(DataInner {
+                map: HashMap::new(),
+                order: Vec::new(),
+                stats: CacheStats::default(),
+                synced_to: 0,
+            }),
+            capacity,
+        })
+    }
+
+    /// Cached result for a bound query, if present.
+    pub fn get(&self, sql: &str, params: &[Value]) -> Option<QueryResult> {
+        let key = cache_key(sql, params);
+        let mut inner = self.inner.lock();
+        match inner.map.get(&key) {
+            Some(e) => {
+                let r = e.result.clone();
+                inner.stats.hits += 1;
+                Some(r)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result. Queries that cannot be parsed (and therefore cannot
+    /// be synchronized safely) are not cached.
+    pub fn put(&self, sql: &str, params: &[Value], result: QueryResult) {
+        let Ok(Statement::Select(sel)) = parse(sql) else {
+            return;
+        };
+        let tables: Vec<String> = sel
+            .from
+            .iter()
+            .map(|t| t.table.to_ascii_lowercase())
+            .collect();
+        let key = cache_key(sql, params);
+        let mut inner = self.inner.lock();
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner.order.first().cloned() {
+                inner.map.remove(&victim);
+                inner.order.remove(0);
+                inner.stats.evictions += 1;
+            }
+        }
+        if inner.map.insert(key.clone(), DataEntry { result, tables }).is_none() {
+            inner.order.push(key);
+        }
+        inner.stats.insertions += 1;
+    }
+
+    /// Synchronization point: discard every entry whose FROM list touches a
+    /// table named in `records`. Returns the number of discarded entries.
+    pub fn synchronize(&self, records: &[LogRecord]) -> usize {
+        let touched: HashSet<String> = records
+            .iter()
+            .map(|r| r.table.to_ascii_lowercase())
+            .collect();
+        if touched.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let doomed: Vec<String> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.tables.iter().any(|t| touched.contains(t)))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            inner.map.remove(k);
+        }
+        inner.order.retain(|k| !doomed.contains(k));
+        inner.stats.invalidations += doomed.len() as u64;
+        if let Some(max) = records.iter().map(|r| r.lsn).max() {
+            inner.synced_to = inner.synced_to.max(max + 1);
+        }
+        doomed.len()
+    }
+
+    /// Log position this cache has consumed.
+    pub fn synced_to(&self) -> Lsn {
+        self.inner.lock().synced_to
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+/// A [`Connection`] wrapper that consults a [`DataCache`] before the real
+/// database — the deployment shape of Configuration II.
+pub struct CachingConnection<C: Connection> {
+    inner: C,
+    cache: Arc<DataCache>,
+}
+
+impl<C: Connection> CachingConnection<C> {
+    /// Create a cache holding up to `capacity` results / wrap a connection.
+    pub fn new(inner: C, cache: Arc<DataCache>) -> Self {
+        CachingConnection { inner, cache }
+    }
+}
+
+impl<C: Connection> Connection for CachingConnection<C> {
+    fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        if let Some(hit) = self.cache.get(sql, params) {
+            return Ok(hit);
+        }
+        let result = self.inner.query(sql, params)?;
+        self.cache.put(sql, params, result.clone());
+        Ok(result)
+    }
+
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        // Updates always go to the real database; the cache learns about
+        // them at the next synchronization point (that lag is Conf II's
+        // staleness window).
+        self.inner.execute(sql, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::Database;
+    use cacheportal_web::{shared, DbConnection};
+
+    fn db() -> cacheportal_web::SharedDb {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, price INT)").unwrap();
+        db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT)").unwrap();
+        db.execute("INSERT INTO Car VALUES ('Toyota', 25000)").unwrap();
+        shared(db)
+    }
+
+    #[test]
+    fn caches_and_hits() {
+        let sdb = db();
+        let cache = DataCache::new(16);
+        let mut conn = CachingConnection::new(DbConnection::new(sdb.clone()), cache.clone());
+        let a = conn.query("SELECT * FROM Car", &[]).unwrap();
+        let b = conn.query("SELECT * FROM Car", &[]).unwrap();
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn params_distinguish_entries() {
+        let sdb = db();
+        let cache = DataCache::new(16);
+        let mut conn = CachingConnection::new(DbConnection::new(sdb), cache.clone());
+        conn.query("SELECT * FROM Car WHERE price < $1", &[Value::Int(10)]).unwrap();
+        conn.query("SELECT * FROM Car WHERE price < $1", &[Value::Int(99)]).unwrap();
+        assert_eq!(cache.stats().misses, 2, "different params are different keys");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn synchronize_discards_touched_tables_only() {
+        let sdb = db();
+        let cache = DataCache::new(16);
+        let mut conn = CachingConnection::new(DbConnection::new(sdb.clone()), cache.clone());
+        conn.query("SELECT * FROM Car", &[]).unwrap();
+        conn.query("SELECT * FROM Mileage", &[]).unwrap();
+        assert_eq!(cache.len(), 2);
+
+        let hw = sdb.read().high_water();
+        sdb.write()
+            .execute("INSERT INTO Car VALUES ('Honda', 18000)")
+            .unwrap();
+        let recs: Vec<LogRecord> = sdb.read().update_log().pull_since(hw).to_vec();
+        let dropped = cache.synchronize(&recs);
+        assert_eq!(dropped, 1);
+        assert_eq!(cache.len(), 1, "Mileage entry survives");
+        assert!(cache.get("SELECT * FROM Mileage", &[]).is_some());
+        assert!(cache.get("SELECT * FROM Car", &[]).is_none());
+    }
+
+    #[test]
+    fn stale_until_synchronized() {
+        // The Conf II freshness gap: between sync points the cache returns
+        // stale results; after synchronize it reflects the update.
+        let sdb = db();
+        let cache = DataCache::new(16);
+        let mut conn = CachingConnection::new(DbConnection::new(sdb.clone()), cache.clone());
+        let before = conn.query("SELECT * FROM Car", &[]).unwrap();
+        sdb.write()
+            .execute("INSERT INTO Car VALUES ('Honda', 18000)")
+            .unwrap();
+        let stale = conn.query("SELECT * FROM Car", &[]).unwrap();
+        assert_eq!(before, stale, "still served from cache");
+        let recs: Vec<LogRecord> = sdb.read().update_log().pull_since(0).to_vec();
+        cache.synchronize(&recs);
+        let fresh = conn.query("SELECT * FROM Car", &[]).unwrap();
+        assert_eq!(fresh.rows.len(), 2);
+    }
+
+    #[test]
+    fn capacity_fifo_eviction() {
+        let cache = DataCache::new(2);
+        let r = QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![],
+        };
+        cache.put("SELECT a FROM Car WHERE a = 1", &[], r.clone());
+        cache.put("SELECT a FROM Car WHERE a = 2", &[], r.clone());
+        cache.put("SELECT a FROM Car WHERE a = 3", &[], r.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("SELECT a FROM Car WHERE a = 1", &[]).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn unparseable_sql_is_not_cached() {
+        let cache = DataCache::new(4);
+        let r = QueryResult {
+            columns: vec![],
+            rows: vec![],
+        };
+        cache.put("TOTALLY NOT SQL", &[], r);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn executes_pass_through() {
+        let sdb = db();
+        let cache = DataCache::new(4);
+        let mut conn = CachingConnection::new(DbConnection::new(sdb.clone()), cache);
+        conn.execute("INSERT INTO Car VALUES ('Ford', 30000)", &[]).unwrap();
+        assert_eq!(
+            sdb.write().query("SELECT * FROM Car").unwrap().rows.len(),
+            2
+        );
+    }
+}

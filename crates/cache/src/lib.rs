@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # cacheportal-cache
+//!
+//! Cache substrates for the CachePortal reproduction:
+//!
+//! * [`page_cache::PageCache`] — the dynamic web-page cache of
+//!   Configuration III, honouring eject-style invalidation messages, with
+//!   LRU/LFU/FIFO eviction and optional TTL (the time-based-refresh baseline).
+//! * [`data_cache::DataCache`] — the middle-tier query-result cache of
+//!   Configuration II, synchronized at table-level granularity from the
+//!   database update log.
+
+pub mod data_cache;
+pub mod page_cache;
+pub mod stats;
+
+pub use data_cache::{CachingConnection, DataCache};
+pub use page_cache::{EvictionPolicy, PageCache, PageCacheConfig};
+pub use stats::CacheStats;

@@ -1,0 +1,334 @@
+//! The dynamic web-page cache (paper Configuration III's front cache).
+//!
+//! Keys are canonical [`PageKey`]s; values are page bodies. The cache
+//! honours `Cache-Control: eject`-style invalidation messages
+//! ([`PageCache::invalidate`]) sent by the invalidator, supports optional
+//! TTL expiry (the Oracle9i time-based-refresh baseline the paper argues
+//! against), and offers LRU / LFU / FIFO eviction.
+
+use crate::stats::CacheStats;
+use cacheportal_web::clock::Micros;
+use cacheportal_web::PageKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties broken by recency).
+    Lfu,
+    /// First in, first out (insertion order, refreshed on overwrite).
+    Fifo,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone)]
+pub struct PageCacheConfig {
+    /// Maximum number of pages (the paper's `cache_size` parameter).
+    pub capacity: usize,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Optional time-to-live; entries older than this are treated as
+    /// expired on lookup. `None` disables TTL (CachePortal mode: freshness
+    /// comes from invalidation, not expiry).
+    pub ttl_micros: Option<Micros>,
+}
+
+impl Default for PageCacheConfig {
+    fn default() -> Self {
+        PageCacheConfig {
+            capacity: 1024,
+            policy: EvictionPolicy::Lru,
+            ttl_micros: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    body: String,
+    inserted_at: Micros,
+    last_used: Micros,
+    /// Logical use counter for LFU.
+    uses: u64,
+    /// Insertion sequence for FIFO and LRU tie-breaks.
+    seq: u64,
+}
+
+/// A web page cache.
+///
+/// ```
+/// use cacheportal_cache::{PageCache, PageCacheConfig};
+/// use cacheportal_web::PageKey;
+///
+/// let cache = PageCache::new(PageCacheConfig::default());
+/// let key = PageKey::raw("shop/page?g:id=7");
+/// cache.put(key.clone(), "<html>…</html>".into(), 0);
+/// assert!(cache.get(&key, 1).is_some());
+///
+/// // The invalidator's eject message:
+/// cache.invalidate([&key]);
+/// assert!(cache.get(&key, 2).is_none());
+/// ```
+pub struct PageCache {
+    inner: Mutex<Inner>,
+    config: PageCacheConfig,
+}
+
+struct Inner {
+    map: HashMap<PageKey, Entry>,
+    stats: CacheStats,
+    next_seq: u64,
+}
+
+impl PageCache {
+    /// Create a cache with the given configuration.
+    pub fn new(config: PageCacheConfig) -> Self {
+        PageCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::with_capacity(config.capacity.min(4096)),
+                stats: CacheStats::default(),
+                next_seq: 0,
+            }),
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PageCacheConfig {
+        &self.config
+    }
+
+    /// Look up a page. `now` drives TTL expiry and recency bookkeeping.
+    pub fn get(&self, key: &PageKey, now: Micros) -> Option<String> {
+        let mut inner = self.inner.lock();
+        // TTL check first (entry may exist but be expired).
+        let expired = match inner.map.get(key) {
+            Some(e) => self
+                .config
+                .ttl_micros
+                .is_some_and(|ttl| now.saturating_sub(e.inserted_at) > ttl),
+            None => {
+                inner.stats.misses += 1;
+                return None;
+            }
+        };
+        if expired {
+            inner.map.remove(key);
+            inner.stats.expirations += 1;
+            inner.stats.misses += 1;
+            return None;
+        }
+        let e = inner.map.get_mut(key).expect("checked above");
+        e.last_used = now;
+        e.uses += 1;
+        let body = e.body.clone();
+        inner.stats.hits += 1;
+        Some(body)
+    }
+
+    /// Insert (or overwrite) a page, evicting per policy if at capacity.
+    pub fn put(&self, key: PageKey, body: String, now: Micros) {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.config.capacity {
+            if let Some(victim) = self.pick_victim(&inner.map) {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                body,
+                inserted_at: now,
+                last_used: now,
+                uses: 0,
+                seq,
+            },
+        );
+        inner.stats.insertions += 1;
+    }
+
+    fn pick_victim(&self, map: &HashMap<PageKey, Entry>) -> Option<PageKey> {
+        let best = match self.config.policy {
+            EvictionPolicy::Lru => map
+                .iter()
+                .min_by_key(|(_, e)| (e.last_used, e.seq)),
+            EvictionPolicy::Lfu => map.iter().min_by_key(|(_, e)| (e.uses, e.last_used, e.seq)),
+            EvictionPolicy::Fifo => map.iter().min_by_key(|(_, e)| e.seq),
+        };
+        best.map(|(k, _)| k.clone())
+    }
+
+    /// Process an invalidation (eject) message: remove the named pages.
+    /// Returns how many were actually present.
+    pub fn invalidate<'a>(&self, keys: impl IntoIterator<Item = &'a PageKey>) -> usize {
+        let mut inner = self.inner.lock();
+        let mut removed = 0;
+        for k in keys {
+            if inner.map.remove(k).is_some() {
+                removed += 1;
+            }
+        }
+        inner.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Drop everything (used by the coarse `TableLevel` policy fallback).
+    pub fn clear(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let n = inner.map.len();
+        inner.stats.invalidations += n as u64;
+        inner.map.clear();
+        n
+    }
+
+    /// Is the page currently cached (no stats side effects, no TTL check)?
+    pub fn contains(&self, key: &PageKey) -> bool {
+        self.inner.lock().map.contains_key(key)
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All currently cached keys (freshness-oracle support).
+    pub fn keys(&self) -> Vec<PageKey> {
+        self.inner.lock().map.keys().cloned().collect()
+    }
+
+    /// Hit/miss/eviction/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> PageKey {
+        PageKey::raw(s)
+    }
+
+    fn cache(capacity: usize, policy: EvictionPolicy) -> PageCache {
+        PageCache::new(PageCacheConfig {
+            capacity,
+            policy,
+            ttl_micros: None,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = cache(4, EvictionPolicy::Lru);
+        assert_eq!(c.get(&key("a"), 0), None);
+        c.put(key("a"), "body".into(), 1);
+        assert_eq!(c.get(&key("a"), 2), Some("body".into()));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = cache(2, EvictionPolicy::Lru);
+        c.put(key("a"), "1".into(), 0);
+        c.put(key("b"), "2".into(), 1);
+        c.get(&key("a"), 2); // a now most recent
+        c.put(key("c"), "3".into(), 3); // evicts b
+        assert!(c.contains(&key("a")));
+        assert!(!c.contains(&key("b")));
+        assert!(c.contains(&key("c")));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let c = cache(2, EvictionPolicy::Lfu);
+        c.put(key("a"), "1".into(), 0);
+        c.put(key("b"), "2".into(), 1);
+        c.get(&key("a"), 2);
+        c.get(&key("a"), 3);
+        c.get(&key("b"), 4);
+        c.put(key("c"), "3".into(), 5); // evicts b (1 use < 2 uses)
+        assert!(c.contains(&key("a")));
+        assert!(!c.contains(&key("b")));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insert() {
+        let c = cache(2, EvictionPolicy::Fifo);
+        c.put(key("a"), "1".into(), 0);
+        c.put(key("b"), "2".into(), 1);
+        c.get(&key("a"), 2); // recency must not matter
+        c.put(key("c"), "3".into(), 3); // evicts a
+        assert!(!c.contains(&key("a")));
+        assert!(c.contains(&key("b")));
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let c = cache(2, EvictionPolicy::Lru);
+        c.put(key("a"), "1".into(), 0);
+        c.put(key("b"), "2".into(), 1);
+        c.put(key("a"), "1b".into(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&key("a"), 3), Some("1b".into()));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let c = PageCache::new(PageCacheConfig {
+            capacity: 4,
+            policy: EvictionPolicy::Lru,
+            ttl_micros: Some(100),
+        });
+        c.put(key("a"), "1".into(), 0);
+        assert_eq!(c.get(&key("a"), 50), Some("1".into()));
+        assert_eq!(c.get(&key("a"), 200), None, "expired");
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn invalidate_removes_exactly_named_keys() {
+        let c = cache(8, EvictionPolicy::Lru);
+        for k in ["a", "b", "c"] {
+            c.put(key(k), k.into(), 0);
+        }
+        let removed = c.invalidate([&key("a"), &key("c"), &key("zz")]);
+        assert_eq!(removed, 2);
+        assert!(!c.contains(&key("a")));
+        assert!(c.contains(&key("b")));
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn clear_counts_invalidations() {
+        let c = cache(8, EvictionPolicy::Lru);
+        c.put(key("a"), "1".into(), 0);
+        c.put(key("b"), "2".into(), 0);
+        assert_eq!(c.clear(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let c = cache(3, EvictionPolicy::Lru);
+        for i in 0..50 {
+            c.put(key(&format!("k{i}")), "x".into(), i);
+            assert!(c.len() <= 3);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Model-based property tests: the page cache under random operation
+//! sequences must agree with a naive reference model for LRU and FIFO
+//! (contents, hit/miss outcomes, and capacity).
+
+use cacheportal_cache::{EvictionPolicy, PageCache, PageCacheConfig};
+use cacheportal_web::PageKey;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u8),
+    Put(u8),
+    Invalidate(u8),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..12).prop_map(Op::Get),
+        4 => (0u8..12).prop_map(Op::Put),
+        1 => (0u8..12).prop_map(Op::Invalidate),
+        1 => Just(Op::Clear),
+    ]
+}
+
+/// Naive reference: ordered vec of (key, body, last_used_seq, inserted_seq).
+struct Model {
+    capacity: usize,
+    policy: EvictionPolicy,
+    entries: Vec<(u8, u64, u64)>, // (key, last_used_seq, inserted_seq)
+    seq: u64,
+}
+
+impl Model {
+    fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        Model {
+            capacity,
+            policy,
+            entries: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    fn get(&mut self, k: u8) -> bool {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(e) = self.entries.iter_mut().find(|(key, _, _)| *key == k) {
+            e.1 = seq;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn put(&mut self, k: u8) {
+        self.seq += 1;
+        let seq = self.seq;
+        if let Some(e) = self.entries.iter_mut().find(|(key, _, _)| *key == k) {
+            // Overwrite replaces the whole entry: recency and insertion
+            // order both refresh (mirrors `PageCache::put`).
+            e.1 = seq;
+            e.2 = seq;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict per policy.
+            let victim_idx = match self.policy {
+                EvictionPolicy::Lru => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, used, ins))| (*used, *ins))
+                    .map(|(i, _)| i)
+                    .unwrap(),
+                EvictionPolicy::Fifo => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, _, ins))| *ins)
+                    .map(|(i, _)| i)
+                    .unwrap(),
+                EvictionPolicy::Lfu => unreachable!("LFU not modelled here"),
+            };
+            self.entries.remove(victim_idx);
+        }
+        self.entries.push((k, seq, seq));
+    }
+
+    fn invalidate(&mut self, k: u8) {
+        self.entries.retain(|(key, _, _)| *key != k);
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn keys(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.entries.iter().map(|(k, _, _)| *k).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+fn key(k: u8) -> PageKey {
+    PageKey::raw(format!("k{k}"))
+}
+
+fn run_against_model(policy: EvictionPolicy, capacity: usize, ops: Vec<Op>) {
+    let cache = PageCache::new(PageCacheConfig {
+        capacity,
+        policy,
+        ttl_micros: None,
+    });
+    let mut model = Model::new(capacity, policy);
+    let mut now = 0u64;
+    for op in ops {
+        now += 1;
+        match op {
+            Op::Get(k) => {
+                let got = cache.get(&key(k), now).is_some();
+                let want = model.get(k);
+                assert_eq!(got, want, "get({k}) divergence");
+            }
+            Op::Put(k) => {
+                // Mirror the put-if-absent usage pattern of the system: the
+                // model and cache both overwrite unconditionally here.
+                cache.put(key(k), format!("body{k}"), now);
+                model.put(k);
+            }
+            Op::Invalidate(k) => {
+                cache.invalidate([&key(k)]);
+                model.invalidate(k);
+            }
+            Op::Clear => {
+                cache.clear();
+                model.clear();
+            }
+        }
+        // Same contents after every operation.
+        let mut got: Vec<u8> = cache
+            .keys()
+            .into_iter()
+            .map(|k| k.as_str()[1..].parse::<u8>().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, model.keys(), "contents diverged after an op");
+        assert!(cache.len() <= capacity);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lru_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..8,
+    ) {
+        run_against_model(EvictionPolicy::Lru, capacity, ops);
+    }
+
+    #[test]
+    fn fifo_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..8,
+    ) {
+        run_against_model(EvictionPolicy::Fifo, capacity, ops);
+    }
+
+    /// LFU has no simple reference here, but its invariants must hold:
+    /// never exceeds capacity, and get-after-put within capacity hits.
+    #[test]
+    fn lfu_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..8,
+    ) {
+        let cache = PageCache::new(PageCacheConfig {
+            capacity,
+            policy: EvictionPolicy::Lfu,
+            ttl_micros: None,
+        });
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            match op {
+                Op::Get(k) => {
+                    // A hit must return the body that was last put.
+                    if let Some(body) = cache.get(&key(k), now) {
+                        prop_assert_eq!(body, "b");
+                    }
+                }
+                Op::Put(k) => {
+                    cache.put(key(k), "b".into(), now);
+                    prop_assert!(cache.get(&key(k), now).is_some(), "just-put key present");
+                }
+                Op::Invalidate(k) => {
+                    cache.invalidate([&key(k)]);
+                    prop_assert!(cache.get(&key(k), now).is_none());
+                }
+                Op::Clear => {
+                    cache.clear();
+                    prop_assert!(cache.is_empty());
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Data-cache (Configuration II) integration cases: join queries spanning
+//! tables, synchronization cursors, and interaction with real DML through a
+//! caching connection.
+
+use cacheportal_cache::{CachingConnection, DataCache};
+use cacheportal_db::{Database, LogRecord, Value};
+use cacheportal_web::{shared, Connection, DbConnection, SharedDb};
+
+fn setup() -> (SharedDb, std::sync::Arc<DataCache>, CachingConnection<DbConnection>) {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE a (k INT, v INT, INDEX(k))").unwrap();
+    db.execute("CREATE TABLE b (k INT, w INT, INDEX(k))").unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO a VALUES ({i}, {})", i * 10)).unwrap();
+        db.execute(&format!("INSERT INTO b VALUES ({i}, {})", i * 100)).unwrap();
+    }
+    let sdb = shared(db);
+    let cache = DataCache::new(32);
+    let conn = CachingConnection::new(DbConnection::new(sdb.clone()), cache.clone());
+    (sdb, cache, conn)
+}
+
+fn drain(sdb: &SharedDb, since: u64) -> Vec<LogRecord> {
+    sdb.read().update_log().pull_since(since).to_vec()
+}
+
+#[test]
+fn join_entries_invalidate_when_either_table_changes() {
+    let (sdb, cache, mut conn) = setup();
+    conn.query("SELECT a.v, b.w FROM a, b WHERE a.k = b.k AND a.k < 3", &[])
+        .unwrap();
+    conn.query("SELECT v FROM a WHERE k = 1", &[]).unwrap();
+    conn.query("SELECT w FROM b WHERE k = 1", &[]).unwrap();
+    assert_eq!(cache.len(), 3);
+
+    // Change table b: the join entry and the b entry go; the a entry stays.
+    let hw = sdb.read().high_water();
+    sdb.write().execute("INSERT INTO b VALUES (99, 9900)").unwrap();
+    let dropped = cache.synchronize(&drain(&sdb, hw));
+    assert_eq!(dropped, 2);
+    assert!(cache.get("SELECT v FROM a WHERE k = 1", &[]).is_some());
+    assert!(cache
+        .get("SELECT a.v, b.w FROM a, b WHERE a.k = b.k AND a.k < 3", &[])
+        .is_none());
+}
+
+#[test]
+fn sync_cursor_advances_monotonically() {
+    let (sdb, cache, mut conn) = setup();
+    conn.query("SELECT v FROM a WHERE k = 2", &[]).unwrap();
+    let hw = sdb.read().high_water();
+    sdb.write().execute("INSERT INTO a VALUES (50, 500)").unwrap();
+    sdb.write().execute("INSERT INTO a VALUES (51, 510)").unwrap();
+    let recs = drain(&sdb, hw);
+    cache.synchronize(&recs);
+    let cursor = cache.synced_to();
+    assert_eq!(cursor, recs.last().unwrap().lsn + 1);
+    // Re-delivering the same batch is harmless and does not rewind.
+    cache.synchronize(&recs);
+    assert_eq!(cache.synced_to(), cursor);
+    // An empty batch leaves everything alone.
+    assert_eq!(cache.synchronize(&[]), 0);
+}
+
+#[test]
+fn stale_window_then_refresh_through_connection() {
+    let (sdb, cache, mut conn) = setup();
+    let q = "SELECT COUNT(*) FROM a";
+    let before = conn.query(q, &[]).unwrap();
+    assert_eq!(before.rows[0][0], Value::Int(10));
+
+    // Write through the same connection: the cache is NOT updated (write-
+    // around), so the next read is stale until synchronization.
+    let hw = sdb.read().high_water();
+    conn.execute("INSERT INTO a VALUES (77, 770)", &[]).unwrap();
+    assert_eq!(conn.query(q, &[]).unwrap().rows[0][0], Value::Int(10));
+    cache.synchronize(&drain(&sdb, hw));
+    assert_eq!(conn.query(q, &[]).unwrap().rows[0][0], Value::Int(11));
+}
+
+#[test]
+fn distinct_parameter_vectors_do_not_collide() {
+    let (_sdb, cache, mut conn) = setup();
+    let q = "SELECT v FROM a WHERE k = $1";
+    let r1 = conn.query(q, &[Value::Int(1)]).unwrap();
+    let r2 = conn.query(q, &[Value::Int(2)]).unwrap();
+    assert_ne!(r1, r2);
+    // Both hit now.
+    conn.query(q, &[Value::Int(1)]).unwrap();
+    conn.query(q, &[Value::Int(2)]).unwrap();
+    let s = cache.stats();
+    assert_eq!(s.hits, 2);
+    assert_eq!(s.misses, 2);
+    // A string parameter that *prints* like the int must not collide.
+    let r3 = conn.query(q, &[Value::Str("1".into())]).unwrap();
+    assert!(r3.rows.is_empty(), "string '1' does not equal int 1 in SQL");
+}

@@ -1,0 +1,775 @@
+//! The top-level [`Database`] object: parses SQL, dispatches to the
+//! executor, maintains the update log, and accumulates statistics.
+
+use crate::error::{DbError, DbResult};
+use crate::eval::{bind, BindContext};
+use crate::exec::{execute_select, ExecStats, QueryResult};
+use crate::log::{LogOp, Lsn, UpdateLog};
+use crate::schema::{ColumnDef, Schema};
+use crate::sql::ast::{Expr, Statement};
+use crate::sql::parser::parse;
+use crate::table::{Catalog, Row, Table};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// SELECT result.
+    Rows(QueryResult),
+    /// Number of rows affected by DML, or 0 for DDL.
+    Affected(usize),
+}
+
+impl ExecOutcome {
+    /// Unwrap a SELECT result.
+    pub fn rows(self) -> QueryResult {
+        match self {
+            ExecOutcome::Rows(r) => r,
+            ExecOutcome::Affected(n) => panic!("expected rows, got Affected({n})"),
+        }
+    }
+
+    /// Unwrap a DML/DDL row count.
+    pub fn affected(self) -> usize {
+        match self {
+            ExecOutcome::Affected(n) => n,
+            ExecOutcome::Rows(_) => panic!("expected affected count, got rows"),
+        }
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DbStats {
+    /// SELECT statements executed.
+    pub selects: u64,
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows deleted.
+    pub deletes: u64,
+    /// Rows updated.
+    pub updates: u64,
+    /// Accumulated executor work counters.
+    pub exec: ExecStats,
+}
+
+/// A parsed, reusable statement (see [`Database::prepare`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedStatement {
+    stmt: Statement,
+}
+
+impl PreparedStatement {
+    /// The underlying parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+}
+
+/// An in-memory relational database with an inspectable update log.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    log: UpdateLog,
+    stats: DbStats,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (transaction rollback machinery).
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The update log (the invalidator reads this).
+    pub fn update_log(&self) -> &UpdateLog {
+        &self.log
+    }
+
+    /// Mutable log access (truncation by the log owner).
+    pub fn update_log_mut(&mut self) -> &mut UpdateLog {
+        &mut self.log
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DbStats {
+        &self.stats
+    }
+
+    /// Execute one SQL statement without parameters.
+    pub fn execute(&mut self, sql: &str) -> DbResult<ExecOutcome> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Execute one SQL statement with positional parameters (`$1`… / `?`).
+    pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        let stmt = parse(sql)?;
+        self.execute_statement(&stmt, params)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(
+        &mut self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> DbResult<ExecOutcome> {
+        match stmt {
+            Statement::Select(s) => {
+                let mut stats = ExecStats::default();
+                let result = execute_select(&self.catalog, s, params, &mut stats)?;
+                self.stats.selects += 1;
+                self.stats.exec.add(&stats);
+                Ok(ExecOutcome::Rows(result))
+            }
+            Statement::Insert(ins) => {
+                let rows = self.eval_insert_rows(&ins.table, ins.columns.as_deref(), &ins.rows, params)?;
+                let n = rows.len();
+                let table = self.catalog.require_mut(&ins.table)?;
+                let table_name = table.name().to_string();
+                for row in rows {
+                    table.insert(row.clone())?;
+                    self.log.append(&table_name, LogOp::Insert(row));
+                }
+                self.stats.inserts += n as u64;
+                Ok(ExecOutcome::Affected(n))
+            }
+            Statement::Delete(del) => {
+                let table = self.catalog.require(&del.table)?;
+                let ctx = BindContext::new(vec![(
+                    del.table.clone(),
+                    table.schema().clone(),
+                )]);
+                let pred = match &del.where_clause {
+                    Some(w) => Some(bind(w, &ctx, params)?),
+                    None => None,
+                };
+                let victims: Vec<_> = table
+                    .scan()
+                    .filter(|(_, row)| {
+                        pred.as_ref()
+                            .map(|p| p.eval_predicate(&[row]))
+                            .unwrap_or(true)
+                    })
+                    .map(|(rid, row)| (rid, row.clone()))
+                    .collect();
+                self.stats.exec.rows_scanned += table.len() as u64;
+                let table_name = table.name().to_string();
+                let table = self.catalog.require_mut(&del.table)?;
+                let n = victims.len();
+                for (rid, row) in victims {
+                    table.delete(rid);
+                    self.log.append(&table_name, LogOp::Delete(row));
+                }
+                self.stats.deletes += n as u64;
+                Ok(ExecOutcome::Affected(n))
+            }
+            Statement::Update(upd) => {
+                let table = self.catalog.require(&upd.table)?;
+                let ctx = BindContext::new(vec![(
+                    upd.table.clone(),
+                    table.schema().clone(),
+                )]);
+                let pred = match &upd.where_clause {
+                    Some(w) => Some(bind(w, &ctx, params)?),
+                    None => None,
+                };
+                let assignments: Vec<(usize, crate::eval::BoundExpr)> = upd
+                    .assignments
+                    .iter()
+                    .map(|(col, e)| {
+                        Ok((table.schema().require(col)?, bind(e, &ctx, params)?))
+                    })
+                    .collect::<DbResult<_>>()?;
+                let changes: Vec<_> = table
+                    .scan()
+                    .filter(|(_, row)| {
+                        pred.as_ref()
+                            .map(|p| p.eval_predicate(&[row]))
+                            .unwrap_or(true)
+                    })
+                    .map(|(rid, row)| {
+                        let mut new_row = row.clone();
+                        for (ci, e) in &assignments {
+                            new_row[*ci] = e.eval(&[row]);
+                        }
+                        (rid, row.clone(), new_row)
+                    })
+                    .collect();
+                self.stats.exec.rows_scanned += table.len() as u64;
+                let table_name = table.name().to_string();
+                let table = self.catalog.require_mut(&upd.table)?;
+                let n = changes.len();
+                for (rid, old, new) in changes {
+                    table.replace(rid, new.clone())?;
+                    // An UPDATE is a delete + insert in the log (Δ⁻ then Δ⁺).
+                    self.log.append(&table_name, LogOp::Delete(old));
+                    self.log.append(&table_name, LogOp::Insert(new));
+                }
+                self.stats.updates += n as u64;
+                Ok(ExecOutcome::Affected(n))
+            }
+            Statement::CreateTable(ct) => {
+                let schema = Arc::new(Schema::new(
+                    ct.columns
+                        .iter()
+                        .map(|(n, t)| ColumnDef::new(n.clone(), *t))
+                        .collect(),
+                ));
+                let mut table = Table::new(ct.table.clone(), schema);
+                for idx in &ct.indexes {
+                    table.create_index(idx)?;
+                }
+                for idx in &ct.range_indexes {
+                    table.create_range_index(idx)?;
+                }
+                self.catalog.create_table(table)?;
+                Ok(ExecOutcome::Affected(0))
+            }
+            Statement::DropTable(name) => {
+                self.catalog.drop_table(name)?;
+                Ok(ExecOutcome::Affected(0))
+            }
+        }
+    }
+
+    /// Parse once, execute many times — avoids repeated parsing for the
+    /// templated servlet queries that dominate the workload.
+    pub fn prepare(&self, sql: &str) -> DbResult<PreparedStatement> {
+        Ok(PreparedStatement { stmt: parse(sql)? })
+    }
+
+    /// Execute a prepared statement with positional parameters.
+    pub fn execute_prepared(
+        &mut self,
+        prepared: &PreparedStatement,
+        params: &[Value],
+    ) -> DbResult<ExecOutcome> {
+        self.execute_statement(&prepared.stmt, params)
+    }
+
+    /// Plan description for a SELECT (no execution).
+    pub fn explain(&self, sql: &str) -> DbResult<String> {
+        match parse(sql)? {
+            Statement::Select(s) => crate::exec::explain_select(&self.catalog, &s, &[]),
+            other => Ok(format!("{other:?}")),
+        }
+    }
+
+    /// Convenience: run a SELECT and return its result.
+    pub fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
+        Ok(self.execute(sql)?.rows())
+    }
+
+    /// Convenience: run a SELECT with parameters.
+    pub fn query_with_params(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        Ok(self.execute_with_params(sql, params)?.rows())
+    }
+
+    /// Current log high-water mark (next LSN).
+    pub fn high_water(&self) -> Lsn {
+        self.log.high_water()
+    }
+
+    /// Direct row insertion bypassing SQL (bulk loading).
+    pub fn insert_row(&mut self, table: &str, row: Row) -> DbResult<()> {
+        let t = self.catalog.require_mut(table)?;
+        let name = t.name().to_string();
+        t.insert(row.clone())?;
+        self.log.append(&name, LogOp::Insert(row));
+        self.stats.inserts += 1;
+        Ok(())
+    }
+
+    /// Delete one row by value (used by workload generators); returns
+    /// whether a row was found.
+    pub fn delete_row_equal(&mut self, table: &str, row: &[Value]) -> DbResult<bool> {
+        let t = self.catalog.require_mut(table)?;
+        let name = t.name().to_string();
+        match t.find_equal(row) {
+            Some(rid) => {
+                let removed = t.delete(rid).expect("rid came from find_equal");
+                self.log.append(&name, LogOp::Delete(removed));
+                self.stats.deletes += 1;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn eval_insert_rows(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        exprs: &[Vec<Expr>],
+        params: &[Value],
+    ) -> DbResult<Vec<Row>> {
+        let t = self.catalog.require(table)?;
+        let schema = t.schema().clone();
+        // Empty context: INSERT values may not reference columns.
+        let ctx = BindContext::new(vec![]);
+        let mut out = Vec::with_capacity(exprs.len());
+        for row_exprs in exprs {
+            let values: Vec<Value> = row_exprs
+                .iter()
+                .map(|e| Ok(bind(e, &ctx, params)?.eval(&[])))
+                .collect::<DbResult<_>>()?;
+            let row = match columns {
+                None => values,
+                Some(cols) => {
+                    if cols.len() != values.len() {
+                        return Err(DbError::ArityMismatch {
+                            expected: cols.len(),
+                            got: values.len(),
+                        });
+                    }
+                    let mut row = vec![Value::Null; schema.len()];
+                    for (c, v) in cols.iter().zip(values) {
+                        row[schema.require(c)?] = v;
+                    }
+                    row
+                }
+            };
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 4.1 schema.
+    pub fn example_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+            .unwrap();
+        db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+            .unwrap();
+        db.execute(
+            "INSERT INTO Car VALUES ('Toyota','Avalon',25000), \
+             ('Mitsubishi','Eclipse',20000), ('Honda','Civic',18000)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_star() {
+        let mut db = example_db();
+        let r = db.query("SELECT * FROM Car").unwrap();
+        assert_eq!(r.columns, vec!["maker", "model", "price"]);
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn filtered_select_with_params() {
+        let mut db = example_db();
+        let r = db
+            .query_with_params(
+                "SELECT model FROM Car WHERE price <= $1",
+                &[Value::Int(20000)],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn paper_join_query() {
+        let mut db = example_db();
+        let r = db
+            .query(
+                "select Car.maker, Car.model, Car.price, Mileage.EPA \
+                 from Car, Mileage \
+                 where Car.model = Mileage.model and Car.price < 20000",
+            )
+            .unwrap();
+        // Only Civic joins and is under 20000.
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Str("Civic".into()));
+        assert_eq!(r.rows[0][3], Value::Float(36.5));
+    }
+
+    #[test]
+    fn insert_affects_join_like_example_4_1() {
+        let mut db = example_db();
+        let q = "select Car.maker, Car.model, Car.price, Mileage.EPA \
+                 from Car, Mileage \
+                 where Car.model = Mileage.model and Car.price < 20000";
+        let before = db.query(q).unwrap();
+        // (Mitsubishi, Eclipse, 20000) is not < 20000 → no impact.
+        db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)")
+            .unwrap();
+        assert_eq!(db.query(q).unwrap(), before);
+        // (Dodge, Avalon, 15000) satisfies price and joins with Mileage.
+        db.execute("INSERT INTO Car VALUES ('Dodge','Avalon',15000)")
+            .unwrap();
+        assert_eq!(db.query(q).unwrap().rows.len(), before.rows.len() + 1);
+    }
+
+    #[test]
+    fn update_logs_delete_then_insert() {
+        let mut db = example_db();
+        let hw = db.high_water();
+        db.execute("UPDATE Car SET price = 26000 WHERE model = 'Avalon'")
+            .unwrap();
+        let recs = db.update_log().pull_since(hw);
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(&recs[0].op, LogOp::Delete(r) if r[2] == Value::Int(25000)));
+        assert!(matches!(&recs[1].op, LogOp::Insert(r) if r[2] == Value::Int(26000)));
+    }
+
+    #[test]
+    fn delete_with_and_without_where() {
+        let mut db = example_db();
+        assert_eq!(
+            db.execute("DELETE FROM Car WHERE maker = 'Toyota'")
+                .unwrap()
+                .affected(),
+            1
+        );
+        assert_eq!(db.execute("DELETE FROM Car").unwrap().affected(), 2);
+        assert_eq!(db.query("SELECT * FROM Car").unwrap().rows.len(), 0);
+    }
+
+    #[test]
+    fn aggregates_group_by_order() {
+        let mut db = example_db();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Corolla',17000)")
+            .unwrap();
+        let r = db
+            .query("SELECT maker, COUNT(*), MIN(price) FROM Car GROUP BY maker ORDER BY maker")
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[2][0], Value::Str("Toyota".into()));
+        assert_eq!(r.rows[2][1], Value::Int(2));
+        assert_eq!(r.rows[2][2], Value::Int(17000));
+    }
+
+    #[test]
+    fn count_on_empty_table() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let r = db.query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0)]]);
+        let r = db.query("SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let mut db = example_db();
+        let r = db
+            .query("SELECT model, price FROM Car ORDER BY price DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Str("Avalon".into()));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut db = example_db();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Supra',45000)")
+            .unwrap();
+        let r = db.query("SELECT DISTINCT maker FROM Car").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = example_db();
+        db.execute("INSERT INTO Car (model, maker) VALUES ('Yaris','Toyota')")
+            .unwrap();
+        let r = db
+            .query("SELECT price FROM Car WHERE model = 'Yaris'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut db = example_db();
+        assert!(matches!(
+            db.query("SELECT * FROM Nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT nope FROM Car"),
+            Err(DbError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            db.execute("CREATE TABLE Car (x INT)"),
+            Err(DbError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT model FROM Car, Mileage"),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn delete_row_equal_roundtrip() {
+        let mut db = example_db();
+        assert!(db
+            .delete_row_equal("Car", &["Toyota".into(), "Avalon".into(), Value::Int(25000)])
+            .unwrap());
+        assert!(!db
+            .delete_row_equal("Car", &["Toyota".into(), "Avalon".into(), Value::Int(25000)])
+            .unwrap());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut db = example_db();
+        let s0 = db.stats().selects;
+        db.query("SELECT * FROM Car").unwrap();
+        assert_eq!(db.stats().selects, s0 + 1);
+        assert!(db.stats().exec.work() > 0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut db = example_db();
+        let a = db
+            .query("SELECT model FROM Car ORDER BY price")
+            .unwrap()
+            .fingerprint();
+        let b = db
+            .query("SELECT model FROM Car ORDER BY price DESC")
+            .unwrap()
+            .fingerprint();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_probe_used_for_equality() {
+        let mut db = example_db();
+        db.query("SELECT * FROM Car WHERE model = 'Avalon'").unwrap();
+        assert!(db.stats().exec.index_probes > 0);
+        assert_eq!(db.stats().exec.rows_scanned, 0, "no full scan needed");
+    }
+
+    fn range_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, s TEXT, RANGE INDEX(a))").unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 's{i}')")).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn range_index_used_for_inequalities() {
+        let mut db = range_db();
+        let r = db.query("SELECT a FROM t WHERE a < 10").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(db.stats().exec.rows_scanned, 0, "range scan, no seq scan");
+        assert_eq!(db.stats().exec.index_probes, 10);
+
+        let r = db.query("SELECT a FROM t WHERE a >= 95").unwrap();
+        assert_eq!(r.rows.len(), 5);
+        let r = db.query("SELECT a FROM t WHERE a BETWEEN 40 AND 49").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        let r = db.query("SELECT a FROM t WHERE a = 7").unwrap();
+        assert_eq!(r.rows.len(), 1, "equality also served by the range index");
+        assert_eq!(db.stats().exec.rows_scanned, 0);
+    }
+
+    #[test]
+    fn range_index_results_match_seq_scan() {
+        let mut with_ix = range_db();
+        let mut without = Database::new();
+        without.execute("CREATE TABLE t (a INT, s TEXT)").unwrap();
+        for i in 0..100 {
+            without
+                .execute(&format!("INSERT INTO t VALUES ({i}, 's{i}')"))
+                .unwrap();
+        }
+        for q in [
+            "SELECT * FROM t WHERE a < 17 ORDER BY a",
+            "SELECT * FROM t WHERE a > 90 ORDER BY a",
+            "SELECT * FROM t WHERE 50 <= a AND a <= 52 ORDER BY a",
+            "SELECT * FROM t WHERE a BETWEEN 98 AND 200 ORDER BY a",
+        ] {
+            assert_eq!(with_ix.query(q).unwrap(), without.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn range_index_maintained_across_dml() {
+        let mut db = range_db();
+        db.execute("DELETE FROM t WHERE a < 50").unwrap();
+        db.execute("UPDATE t SET a = 1 WHERE a = 99").unwrap();
+        let r = db.query("SELECT a FROM t WHERE a < 10").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn prepared_statements_round_trip() {
+        let mut db = example_db();
+        let stmt = db
+            .prepare("SELECT model FROM Car WHERE price <= $1")
+            .unwrap();
+        let r1 = db
+            .execute_prepared(&stmt, &[Value::Int(20000)])
+            .unwrap()
+            .rows();
+        assert_eq!(r1.rows.len(), 2);
+        let r2 = db
+            .execute_prepared(&stmt, &[Value::Int(18500)])
+            .unwrap()
+            .rows();
+        assert_eq!(r2.rows.len(), 1);
+        assert!(db.prepare("SELECT nonsense FROM").is_err());
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let mut db = example_db();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Corolla',17000)").unwrap();
+        let r = db
+            .query("SELECT maker, COUNT(*) FROM Car GROUP BY maker HAVING COUNT(*) >= 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Str("Toyota".into()));
+        // Alias form.
+        let r = db
+            .query("SELECT maker, COUNT(*) AS n FROM Car GROUP BY maker HAVING n >= 2 ORDER BY maker")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // Grouped column in HAVING.
+        let r = db
+            .query("SELECT maker, COUNT(*) FROM Car GROUP BY maker HAVING maker = 'Honda'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn having_errors_are_typed() {
+        let mut db = example_db();
+        assert!(matches!(
+            db.query("SELECT maker FROM Car HAVING maker = 'x'"),
+            Err(DbError::Unsupported(_))
+        ));
+        // Unprojected aggregate in HAVING is rejected, not silently wrong.
+        assert!(matches!(
+            db.query("SELECT maker, COUNT(*) FROM Car GROUP BY maker HAVING SUM(price) > 1"),
+            Err(DbError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn inner_join_on_is_sugar_for_comma_join() {
+        let mut db = example_db();
+        let a = db
+            .query(
+                "SELECT Car.maker, Mileage.EPA FROM Car INNER JOIN Mileage \
+                 ON Car.model = Mileage.model WHERE Car.price < 20000 ORDER BY Car.maker",
+            )
+            .unwrap();
+        let b = db
+            .query(
+                "SELECT Car.maker, Mileage.EPA FROM Car, Mileage \
+                 WHERE Car.model = Mileage.model AND Car.price < 20000 ORDER BY Car.maker",
+            )
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(!a.rows.is_empty());
+    }
+
+    #[test]
+    fn chained_joins_with_aliases() {
+        let mut db = example_db();
+        db.execute("CREATE TABLE Dealer (model TEXT, city TEXT)").unwrap();
+        db.execute("INSERT INTO Dealer VALUES ('Civic','Austin')").unwrap();
+        let r = db
+            .query(
+                "SELECT c.maker, d.city FROM Car c \
+                 JOIN Mileage m ON c.model = m.model \
+                 JOIN Dealer d ON c.model = d.model",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][1], Value::Str("Austin".into()));
+    }
+
+    #[test]
+    fn scalar_functions_evaluate() {
+        let mut db = example_db();
+        let r = db
+            .query("SELECT UPPER(maker), LENGTH(model) FROM Car WHERE model = 'Civic'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Str("HONDA".into()));
+        assert_eq!(r.rows[0][1], Value::Int(5));
+
+        let r = db
+            .query("SELECT model FROM Car WHERE LOWER(maker) = 'toyota'")
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+
+        let r = db.query("SELECT ABS(0 - price) FROM Car WHERE model = 'Civic'").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(18000));
+
+        db.execute("INSERT INTO Car (maker, model) VALUES ('X','NoPrice')").unwrap();
+        let r = db
+            .query("SELECT COALESCE(price, 0 - 1) FROM Car WHERE model = 'NoPrice'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(-1));
+
+        // NULL propagates; type mismatch yields NULL (→ false in WHERE).
+        let r = db
+            .query("SELECT model FROM Car WHERE UPPER(price) = 'X'")
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn scalar_functions_round_trip_through_display() {
+        let db = example_db();
+        let plan = db.explain("SELECT UPPER(maker) FROM Car WHERE LENGTH(model) > 4");
+        assert!(plan.is_ok());
+        use crate::sql::parser::parse;
+        let sql = "SELECT UPPER(maker) FROM Car WHERE COALESCE(price, 0) > 5";
+        let ast = parse(sql).unwrap();
+        assert_eq!(parse(&ast.to_sql()).unwrap(), ast);
+    }
+
+    #[test]
+    fn explain_reports_access_paths() {
+        let db = example_db();
+        let plan = db
+            .explain("SELECT * FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.model = 'x'")
+            .unwrap();
+        assert!(plan.contains("INDEX PROBE (model) Car"), "{plan}");
+        assert!(plan.contains("HASH JOIN"), "{plan}");
+
+        let db2 = {
+            let mut d = Database::new();
+            d.execute("CREATE TABLE t (a INT, RANGE INDEX(a))").unwrap();
+            d
+        };
+        let plan = db2
+            .explain("SELECT a, COUNT(*) FROM t WHERE a < 5 GROUP BY a ORDER BY a LIMIT 3")
+            .unwrap();
+        assert!(plan.contains("RANGE SCAN (a)"), "{plan}");
+        assert!(plan.contains("AGGREGATE"), "{plan}");
+        assert!(plan.contains("SORT"), "{plan}");
+        assert!(plan.contains("LIMIT"), "{plan}");
+
+        let plan = db.explain("SELECT * FROM Car WHERE price > 1").unwrap();
+        assert!(plan.contains("SEQ SCAN"), "{plan}");
+    }
+}

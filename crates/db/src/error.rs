@@ -1,0 +1,70 @@
+//! Error type shared by the whole engine.
+
+use crate::schema::ColType;
+use std::fmt;
+
+/// Any error the engine can produce: parse, bind, type, or execution errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Lexer/parser error with position info baked into the message.
+    Parse(String),
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column does not exist (possibly qualified).
+    UnknownColumn(String),
+    /// Column name matches more than one table in the FROM list.
+    AmbiguousColumn(String),
+    /// Table already exists on CREATE.
+    TableExists(String),
+    /// INSERT arity differs from the schema.
+    /// INSERT/parameter arity differs from what the schema requires.
+    ArityMismatch {
+        /// Values required.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// Value does not conform to the declared column type.
+    TypeMismatch {
+        /// Column whose declared type was violated.
+        column: String,
+        /// Declared column type.
+        expected: ColType,
+        /// Type name of the offending value.
+        got: &'static str,
+    },
+    /// A `$n` / `?` parameter had no binding.
+    UnboundParameter(usize),
+    /// Statement kind not supported by the executor (kept for forward compat).
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} values, got {got}")
+            }
+            DbError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column {column}: expected {expected}, got {got}"
+            ),
+            DbError::UnboundParameter(i) => write!(f, "unbound parameter ${i}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Crate-wide result alias.
+pub type DbResult<T> = Result<T, DbError>;

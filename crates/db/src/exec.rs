@@ -1,0 +1,915 @@
+//! Query planning and execution.
+//!
+//! The planner is deliberately simple but honest about access paths:
+//! single-table conjuncts are pushed down to scans, `col = literal`
+//! conjuncts use hash indexes when available, and equi-join conjuncts drive
+//! hash joins in FROM order. Everything else (residual predicates,
+//! disconnected tables) falls back to filtered nested loops — which, for the
+//! paper's select-project-join workload, is exercised only by the
+//! cartesian-product edge cases in tests.
+
+use crate::error::{DbError, DbResult};
+use crate::eval::{bind, AggState, BindContext, BoundExpr};
+use crate::sql::ast::{ColumnRef, Expr, Select, SelectItem};
+use crate::table::{Catalog, Row, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Result set of a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows, in output order.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Stable textual fingerprint of the result (used by page renderers and
+    /// the freshness oracle). Row order matters, as it does for a web page.
+    pub fn fingerprint(&self) -> String {
+        let mut s = String::with_capacity(64 + self.rows.len() * 16);
+        s.push_str(&self.columns.join(","));
+        for row in &self.rows {
+            s.push('\n');
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    s.push('|');
+                }
+                s.push_str(&v.to_string());
+            }
+        }
+        s
+    }
+}
+
+/// Work counters for one statement execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows touched by scans and index probes.
+    pub rows_scanned: u64,
+    /// Rows produced by joins before projection.
+    pub rows_joined: u64,
+    /// Rows in the final result.
+    pub rows_output: u64,
+    /// Number of index probes used instead of full scans.
+    pub index_probes: u64,
+}
+
+impl ExecStats {
+    /// Abstract work units: the simulator maps these to service time.
+    pub fn work(&self) -> u64 {
+        self.rows_scanned + self.rows_joined + self.rows_output + self.index_probes
+    }
+
+    /// Accumulate another run’s counters.
+    pub fn add(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_joined += other.rows_joined;
+        self.rows_output += other.rows_output;
+        self.index_probes += other.index_probes;
+    }
+}
+
+/// A conjunct classified by which FROM tables it references.
+struct ClassifiedConjunct {
+    bound: BoundExpr,
+    /// FROM-list table indexes referenced, sorted + deduped.
+    tables: Vec<usize>,
+}
+
+/// Execute a SELECT against the catalog.
+pub fn execute_select(
+    catalog: &Catalog,
+    select: &Select,
+    params: &[Value],
+    stats: &mut ExecStats,
+) -> DbResult<QueryResult> {
+    // Resolve FROM tables and build the binding context.
+    let mut tables: Vec<&Table> = Vec::with_capacity(select.from.len());
+    let mut ctx_tables = Vec::with_capacity(select.from.len());
+    for tref in &select.from {
+        let t = catalog.require(&tref.table)?;
+        tables.push(t);
+        ctx_tables.push((tref.binding().to_string(), t.schema().clone()));
+    }
+    // Duplicate binding names would make resolution ambiguous.
+    for i in 0..ctx_tables.len() {
+        for j in i + 1..ctx_tables.len() {
+            if ctx_tables[i].0.eq_ignore_ascii_case(&ctx_tables[j].0) {
+                return Err(DbError::Parse(format!(
+                    "duplicate table binding '{}' in FROM",
+                    ctx_tables[i].0
+                )));
+            }
+        }
+    }
+    let ctx = BindContext::new(ctx_tables);
+
+    // Classify WHERE conjuncts.
+    let mut conjuncts: Vec<ClassifiedConjunct> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        for c in w.conjuncts() {
+            let bound = bind(c, &ctx, params)?;
+            let mut refs = conjunct_tables(&bound);
+            refs.sort_unstable();
+            refs.dedup();
+            conjuncts.push(ClassifiedConjunct {
+                bound,
+                tables: refs,
+            });
+        }
+    }
+
+    // Per-table filtered row sets (local predicates pushed down).
+    let mut filtered: Vec<Vec<&Row>> = Vec::with_capacity(tables.len());
+    for (ti, table) in tables.iter().enumerate() {
+        let local: Vec<&BoundExpr> = conjuncts
+            .iter()
+            .filter(|c| c.tables.as_slice() == [ti])
+            .map(|c| &c.bound)
+            .collect();
+        filtered.push(scan_with_predicates(table, ti, &local, stats));
+    }
+
+    // Join in FROM order; apply each multi-table conjunct as soon as every
+    // table it references is available.
+    let mut joined: Vec<Vec<&Row>> = filtered[0].iter().map(|r| vec![*r]).collect();
+    #[allow(clippy::needless_range_loop)] // ti is the FROM position, not just an index
+    for ti in 1..tables.len() {
+        let ready = |c: &ClassifiedConjunct| {
+            c.tables.len() > 1
+                && c.tables.iter().all(|t| *t <= ti)
+                && c.tables.contains(&ti)
+        };
+        // Pick one equi-join conjunct to drive a hash join if possible.
+        let hash_key = conjuncts
+            .iter()
+            .filter(|c| ready(c))
+            .find_map(|c| equi_join_key(&c.bound, ti));
+
+        let mut next: Vec<Vec<&Row>> = Vec::new();
+        match hash_key {
+            Some((outer_table, outer_col, inner_col)) => {
+                // Build hash table over the new (inner) side.
+                let mut build: HashMap<&Value, Vec<&Row>> = HashMap::new();
+                for row in &filtered[ti] {
+                    build.entry(&row[inner_col]).or_default().push(row);
+                }
+                for combo in &joined {
+                    let key = &combo[outer_table][outer_col];
+                    if key.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = build.get(key) {
+                        for m in matches {
+                            let mut c = combo.clone();
+                            c.push(m);
+                            next.push(c);
+                        }
+                    }
+                }
+            }
+            None => {
+                for combo in &joined {
+                    for row in &filtered[ti] {
+                        let mut c = combo.clone();
+                        c.push(*row);
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        stats.rows_joined += next.len() as u64;
+        // Apply all now-ready conjuncts (including the hash-join one: cheap
+        // re-check, and it keeps Float/Int edge semantics identical to eval).
+        let checks: Vec<&BoundExpr> = conjuncts
+            .iter()
+            .filter(|c| ready(c))
+            .map(|c| &c.bound)
+            .collect();
+        if !checks.is_empty() {
+            next.retain(|combo| checks.iter().all(|p| p.eval_predicate(combo)));
+        }
+        joined = next;
+    }
+    // Single-table queries: count the filtered rows as joined output.
+    if tables.len() == 1 {
+        stats.rows_joined += joined.len() as u64;
+    }
+
+    // Aggregate or plain projection.
+    let is_aggregate = !select.group_by.is_empty()
+        || select.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            _ => false,
+        });
+
+    if select.having.is_some() && !is_aggregate {
+        return Err(DbError::Unsupported(
+            "HAVING requires GROUP BY or aggregates".into(),
+        ));
+    }
+    let (columns, mut rows) = if is_aggregate {
+        project_aggregate(select, &ctx, params, &joined)?
+    } else {
+        project_plain(select, &ctx, params, &tables, &joined)?
+    };
+
+    if select.distinct {
+        let mut seen = std::collections::HashSet::new();
+        rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    // ORDER BY over the *source* rows for plain queries; over output rows
+    // for aggregates (keys restricted to group-by columns).
+    if !select.order_by.is_empty() {
+        if is_aggregate {
+            let key_idxs: Vec<(usize, bool)> = select
+                .order_by
+                .iter()
+                .map(|k| match &k.expr {
+                    Expr::Column(c) => output_column_index(select, &ctx, c)
+                        .map(|i| (i, k.ascending))
+                        .ok_or_else(|| {
+                            DbError::Unsupported(
+                                "ORDER BY in aggregate query must name a grouped column".into(),
+                            )
+                        }),
+                    _ => Err(DbError::Unsupported(
+                        "ORDER BY expression in aggregate query".into(),
+                    )),
+                })
+                .collect::<DbResult<_>>()?;
+            rows.sort_by(|a, b| {
+                for (i, asc) in &key_idxs {
+                    let ord = a[*i].cmp(&b[*i]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        } else {
+            // Recompute sort keys from output rows is wrong in general (keys
+            // may not be projected), so plain queries sort before projection.
+            // project_plain already handled it; nothing to do here.
+        }
+    }
+
+    if let Some(n) = select.limit {
+        rows.truncate(n as usize);
+    }
+
+    stats.rows_output += rows.len() as u64;
+    Ok(QueryResult { columns, rows })
+}
+
+/// The access path chosen for one table scan (also powers EXPLAIN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Full sequential scan.
+    SeqScan,
+    /// Hash-index probe on the named column.
+    /// Hash-index probe on the named column.
+    /// Hash-index probe on the named column.
+    IndexProbe {
+        /// Column position the index covers.
+        column: usize,
+    },
+    /// Ordered-index range scan on the named column.
+    /// Ordered-index range scan on the named column.
+    /// Ordered-index range scan on the named column.
+    RangeScan {
+        /// Column position the index covers.
+        column: usize,
+    },
+}
+
+/// Equality-probe plan: `(column, key)`.
+type EqProbe = (usize, Value);
+/// Range-scan plan: `(column, bounds)`.
+type RangeProbe = (usize, RangeBounds);
+
+/// Pick the access path for a table given its pushed-down local predicates.
+fn choose_access_path(
+    table: &Table,
+    table_no: usize,
+    predicates: &[&BoundExpr],
+) -> (AccessPath, Option<EqProbe>, Option<RangeProbe>) {
+    for p in predicates {
+        if let Some((col, key)) = const_eq_key(p, table_no) {
+            if table.has_index(col) {
+                return (AccessPath::IndexProbe { column: col }, Some((col, key)), None);
+            }
+            if table.has_range_index(col) {
+                let b = RangeBounds {
+                    low: std::ops::Bound::Included(key.clone()),
+                    high: std::ops::Bound::Included(key),
+                };
+                return (AccessPath::RangeScan { column: col }, None, Some((col, b)));
+            }
+        }
+    }
+    for p in predicates {
+        if let Some((col, bounds)) = const_range_bounds(p, table_no) {
+            if table.has_range_index(col) {
+                return (AccessPath::RangeScan { column: col }, None, Some((col, bounds)));
+            }
+        }
+    }
+    (AccessPath::SeqScan, None, None)
+}
+
+/// Owned range bounds for an ordered-index scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeBounds {
+    /// Lower bound.
+    pub low: std::ops::Bound<Value>,
+    /// Upper bound.
+    pub high: std::ops::Bound<Value>,
+}
+
+/// Scan one table applying pushed-down local predicates; uses a hash index
+/// for `col = literal` conjuncts and an ordered index for range conjuncts
+/// (`<`, `<=`, `>`, `>=`, `BETWEEN`) when available.
+fn scan_with_predicates<'a>(
+    table: &'a Table,
+    table_no: usize,
+    predicates: &[&BoundExpr],
+    stats: &mut ExecStats,
+) -> Vec<&'a Row> {
+    let (_path, eq, range) = choose_access_path(table, table_no, predicates);
+    if let Some((col, key)) = eq {
+        let mut out = Vec::new();
+        if let Some(rids) = table.index_lookup(col, &key) {
+            for rid in rids {
+                let row = table.get(*rid).expect("index points at live row");
+                stats.index_probes += 1;
+                if predicates.iter().all(|q| pred_single(q, table_no, row)) {
+                    out.push(row);
+                }
+            }
+        }
+        return out;
+    }
+    if let Some((col, bounds)) = range {
+        let mut out = Vec::new();
+        if let Some(rids) =
+            table.range_lookup(col, bounds.low.as_ref(), bounds.high.as_ref())
+        {
+            for rid in rids {
+                let row = table.get(rid).expect("index points at live row");
+                stats.index_probes += 1;
+                if predicates.iter().all(|q| pred_single(q, table_no, row)) {
+                    out.push(row);
+                }
+            }
+        }
+        return out;
+    }
+    let mut out = Vec::new();
+    for (_, row) in table.scan() {
+        stats.rows_scanned += 1;
+        if predicates.iter().all(|q| pred_single(q, table_no, row)) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// If `p` is a range comparison `col CMP literal` (or BETWEEN) over
+/// `table_no`, return the column and the bounds it implies.
+fn const_range_bounds(p: &BoundExpr, table_no: usize) -> Option<(usize, RangeBounds)> {
+    use crate::sql::ast::CmpOp;
+    use std::ops::Bound;
+    match p {
+        BoundExpr::Cmp { left, op, right } => {
+            let (col, lit, op) = match (&**left, &**right) {
+                (BoundExpr::Column { table, column }, BoundExpr::Literal(v))
+                    if *table == table_no =>
+                {
+                    (*column, v.clone(), *op)
+                }
+                (BoundExpr::Literal(v), BoundExpr::Column { table, column })
+                    if *table == table_no =>
+                {
+                    (*column, v.clone(), op.flip())
+                }
+                _ => return None,
+            };
+            let bounds = match op {
+                CmpOp::Lt => RangeBounds {
+                    low: Bound::Unbounded,
+                    high: Bound::Excluded(lit),
+                },
+                CmpOp::LtEq => RangeBounds {
+                    low: Bound::Unbounded,
+                    high: Bound::Included(lit),
+                },
+                CmpOp::Gt => RangeBounds {
+                    low: Bound::Excluded(lit),
+                    high: Bound::Unbounded,
+                },
+                CmpOp::GtEq => RangeBounds {
+                    low: Bound::Included(lit),
+                    high: Bound::Unbounded,
+                },
+                CmpOp::Eq => RangeBounds {
+                    low: Bound::Included(lit.clone()),
+                    high: Bound::Included(lit),
+                },
+                CmpOp::NotEq => return None,
+            };
+            Some((col, bounds))
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            if let (
+                BoundExpr::Column { table, column },
+                BoundExpr::Literal(lo),
+                BoundExpr::Literal(hi),
+            ) = (&**expr, &**low, &**high)
+            {
+                if *table == table_no {
+                    return Some((
+                        *column,
+                        RangeBounds {
+                            low: std::ops::Bound::Included(lo.clone()),
+                            high: std::ops::Bound::Included(hi.clone()),
+                        },
+                    ));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate a bound predicate that references only `table_no`, against one
+/// row of that table. Builds the positional row slice expected by eval.
+fn pred_single(p: &BoundExpr, table_no: usize, row: &Row) -> bool {
+    // The predicate only indexes rows[table_no]; fill others with the same
+    // reference (never dereferenced for other tables).
+    let slots: Vec<&Row> = (0..=table_no).map(|_| row).collect();
+    p.eval_predicate(&slots)
+}
+
+/// If `p` is `col = literal` over `table_no`, return (column, key value).
+fn const_eq_key(p: &BoundExpr, table_no: usize) -> Option<(usize, Value)> {
+    if let BoundExpr::Cmp { left, op, right } = p {
+        if *op == crate::sql::ast::CmpOp::Eq {
+            match (&**left, &**right) {
+                (BoundExpr::Column { table, column }, BoundExpr::Literal(v))
+                | (BoundExpr::Literal(v), BoundExpr::Column { table, column })
+                    if *table == table_no =>
+                {
+                    return Some((*column, v.clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// If `p` is an equi-join between the new table `ti` and an earlier one,
+/// return `(outer_table, outer_col, inner_col)`.
+fn equi_join_key(p: &BoundExpr, ti: usize) -> Option<(usize, usize, usize)> {
+    if let BoundExpr::Cmp { left, op, right } = p {
+        if *op == crate::sql::ast::CmpOp::Eq {
+            if let (
+                BoundExpr::Column {
+                    table: t1,
+                    column: c1,
+                },
+                BoundExpr::Column {
+                    table: t2,
+                    column: c2,
+                },
+            ) = (&**left, &**right)
+            {
+                if *t1 == ti && *t2 < ti {
+                    return Some((*t2, *c2, *c1));
+                }
+                if *t2 == ti && *t1 < ti {
+                    return Some((*t1, *c1, *c2));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// FROM-table indexes referenced by a bound expression.
+fn conjunct_tables(e: &BoundExpr) -> Vec<usize> {
+    let mut out = Vec::new();
+    fn walk(e: &BoundExpr, out: &mut Vec<usize>) {
+        match e {
+            BoundExpr::Column { table, .. } => out.push(*table),
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Cmp { left, right, .. } | BoundExpr::Arith { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            BoundExpr::And(a, b) | BoundExpr::Or(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            BoundExpr::Not(e) => walk(e, out),
+            BoundExpr::IsNull { expr, .. } => walk(expr, out),
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                walk(expr, out);
+                for e in list {
+                    walk(e, out);
+                }
+            }
+            BoundExpr::Like { expr, pattern, .. } => {
+                walk(expr, out);
+                walk(pattern, out);
+            }
+            BoundExpr::Func { args, .. } => {
+                for a in args {
+                    walk(a, out);
+                }
+            }
+        }
+    }
+    walk(e, &mut out);
+    out
+}
+
+/// Produce a human-readable plan description without executing the query:
+/// access path per FROM table and join strategy per join step. Used by
+/// tests to pin planner decisions and by users for diagnostics.
+pub fn explain_select(
+    catalog: &Catalog,
+    select: &Select,
+    params: &[Value],
+) -> DbResult<String> {
+    let mut tables: Vec<&Table> = Vec::with_capacity(select.from.len());
+    let mut ctx_tables = Vec::with_capacity(select.from.len());
+    for tref in &select.from {
+        let t = catalog.require(&tref.table)?;
+        tables.push(t);
+        ctx_tables.push((tref.binding().to_string(), t.schema().clone()));
+    }
+    let ctx = BindContext::new(ctx_tables);
+    let mut conjuncts: Vec<ClassifiedConjunct> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        for c in w.conjuncts() {
+            let bound = bind(c, &ctx, params)?;
+            let mut refs = conjunct_tables(&bound);
+            refs.sort_unstable();
+            refs.dedup();
+            conjuncts.push(ClassifiedConjunct { bound, tables: refs });
+        }
+    }
+
+    let mut out = String::new();
+    for (ti, table) in tables.iter().enumerate() {
+        let local: Vec<&BoundExpr> = conjuncts
+            .iter()
+            .filter(|c| c.tables.as_slice() == [ti])
+            .map(|c| &c.bound)
+            .collect();
+        let (path, _, _) = choose_access_path(table, ti, &local);
+        let path_str = match path {
+            AccessPath::SeqScan => "SEQ SCAN".to_string(),
+            AccessPath::IndexProbe { column } => format!(
+                "INDEX PROBE ({})",
+                table.schema().column(column).name
+            ),
+            AccessPath::RangeScan { column } => format!(
+                "RANGE SCAN ({})",
+                table.schema().column(column).name
+            ),
+        };
+        out.push_str(&format!(
+            "{} {} [{} local predicate(s)]\n",
+            path_str,
+            select.from[ti].binding(),
+            local.len()
+        ));
+        if ti > 0 {
+            let ready = |c: &ClassifiedConjunct| {
+                c.tables.len() > 1
+                    && c.tables.iter().all(|t| *t <= ti)
+                    && c.tables.contains(&ti)
+            };
+            let strategy = if conjuncts
+                .iter()
+                .filter(|c| ready(c))
+                .any(|c| equi_join_key(&c.bound, ti).is_some())
+            {
+                "HASH JOIN"
+            } else {
+                "NESTED LOOP"
+            };
+            out.push_str(&format!("  joined via {strategy}\n"));
+        }
+    }
+    if !select.group_by.is_empty()
+        || select.items.iter().any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()))
+    {
+        out.push_str("AGGREGATE\n");
+    }
+    if !select.order_by.is_empty() {
+        out.push_str("SORT\n");
+    }
+    if select.limit.is_some() {
+        out.push_str("LIMIT\n");
+    }
+    Ok(out)
+}
+
+/// Plain (non-aggregate) projection, including ORDER BY on source rows.
+fn project_plain(
+    select: &Select,
+    ctx: &BindContext,
+    params: &[Value],
+    tables: &[&Table],
+    joined: &[Vec<&Row>],
+) -> DbResult<(Vec<String>, Vec<Row>)> {
+    // Expand items into (name, evaluator).
+    enum Proj {
+        Col(usize, usize, String),
+        Expr(BoundExpr, String),
+    }
+    let mut projs: Vec<Proj> = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Star => {
+                for (ti, t) in tables.iter().enumerate() {
+                    for (ci, col) in t.schema().columns().iter().enumerate() {
+                        projs.push(Proj::Col(ti, ci, col.name.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedStar(name) => {
+                let ti = ctx
+                    .tables
+                    .iter()
+                    .position(|(n, _)| n.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+                for (ci, col) in ctx.tables[ti].1.columns().iter().enumerate() {
+                    projs.push(Proj::Col(ti, ci, col.name.clone()));
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                projs.push(Proj::Expr(bind(expr, ctx, params)?, name));
+            }
+        }
+    }
+
+    // ORDER BY on source rows (keys need not be projected).
+    let mut combos: Vec<&Vec<&Row>> = joined.iter().collect();
+    if !select.order_by.is_empty() {
+        let keys: Vec<(BoundExpr, bool)> = select
+            .order_by
+            .iter()
+            .map(|k| Ok((bind(&k.expr, ctx, params)?, k.ascending)))
+            .collect::<DbResult<_>>()?;
+        combos.sort_by(|a, b| {
+            for (k, asc) in &keys {
+                let ka = k.eval(a);
+                let kb = k.eval(b);
+                let ord = ka.cmp(&kb);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if !ord.is_eq() {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let columns = projs
+        .iter()
+        .map(|p| match p {
+            Proj::Col(_, _, n) | Proj::Expr(_, n) => n.clone(),
+        })
+        .collect();
+    let rows = combos
+        .iter()
+        .map(|combo| {
+            projs
+                .iter()
+                .map(|p| match p {
+                    Proj::Col(ti, ci, _) => combo[*ti][*ci].clone(),
+                    Proj::Expr(e, _) => e.eval(combo),
+                })
+                .collect()
+        })
+        .collect();
+    Ok((columns, rows))
+}
+
+/// Position of a grouped column in the output row, if projected.
+fn output_column_index(select: &Select, ctx: &BindContext, target: &ColumnRef) -> Option<usize> {
+    let t = ctx.resolve(target).ok()?;
+    for (i, item) in select.items.iter().enumerate() {
+        if let SelectItem::Expr {
+            expr: Expr::Column(c),
+            ..
+        } = item
+        {
+            if ctx.resolve(c).ok() == Some(t) {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// GROUP BY / aggregate projection.
+fn project_aggregate(
+    select: &Select,
+    ctx: &BindContext,
+    params: &[Value],
+    joined: &[Vec<&Row>],
+) -> DbResult<(Vec<String>, Vec<Row>)> {
+    // Resolve group keys.
+    let group_cols: Vec<(usize, usize)> = select
+        .group_by
+        .iter()
+        .map(|c| ctx.resolve(c))
+        .collect::<DbResult<_>>()?;
+
+    // Classify items: each is either a grouped column or an aggregate.
+    enum AggItem {
+        GroupKey(usize, String), // index into group_cols
+        Agg {
+            func: crate::sql::ast::AggFunc,
+            arg: Option<BoundExpr>,
+            distinct: bool,
+            name: String,
+        },
+    }
+    let mut items = Vec::new();
+    for item in &select.items {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| expr.to_string());
+                match expr {
+                    Expr::Agg {
+                        func,
+                        arg,
+                        distinct,
+                    } => items.push(AggItem::Agg {
+                        func: *func,
+                        arg: match arg {
+                            Some(a) => Some(bind(a, ctx, params)?),
+                            None => None,
+                        },
+                        distinct: *distinct,
+                        name,
+                    }),
+                    Expr::Column(c) => {
+                        let rc = ctx.resolve(c)?;
+                        let gi = group_cols.iter().position(|g| *g == rc).ok_or_else(|| {
+                            DbError::Unsupported(format!(
+                                "column {c} must appear in GROUP BY or an aggregate"
+                            ))
+                        })?;
+                        items.push(AggItem::GroupKey(gi, name));
+                    }
+                    _ => {
+                        return Err(DbError::Unsupported(
+                            "non-column, non-aggregate select item in aggregate query".into(),
+                        ))
+                    }
+                }
+            }
+            _ => {
+                return Err(DbError::Unsupported(
+                    "* projection in aggregate query".into(),
+                ))
+            }
+        }
+    }
+
+    // Group. With no GROUP BY there is exactly one (possibly empty) group.
+    type Key = Vec<Value>;
+    let mut groups: Vec<(Key, Vec<AggState>)> = Vec::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
+
+    let make_states = || -> Vec<AggState> {
+        items
+            .iter()
+            .filter_map(|i| match i {
+                AggItem::Agg { func, distinct, .. } => Some(AggState::new(*func, *distinct)),
+                _ => None,
+            })
+            .collect()
+    };
+
+    if group_cols.is_empty() {
+        groups.push((Vec::new(), make_states()));
+        index.insert(Vec::new(), 0);
+    }
+
+    for combo in joined {
+        let key: Key = group_cols
+            .iter()
+            .map(|(t, c)| combo[*t][*c].clone())
+            .collect();
+        let gi = *index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, make_states()));
+            groups.len() - 1
+        });
+        let states = &mut groups[gi].1;
+        let mut si = 0;
+        for item in &items {
+            if let AggItem::Agg { arg, .. } = item {
+                match arg {
+                    Some(e) => {
+                        let v = e.eval(combo);
+                        states[si].update(Some(&v));
+                    }
+                    None => states[si].update(None),
+                }
+                si += 1;
+            }
+        }
+    }
+
+    let columns: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            AggItem::GroupKey(_, n) | AggItem::Agg { name: n, .. } => n.clone(),
+        })
+        .collect();
+    let mut rows: Vec<Row> = groups
+        .iter()
+        .map(|(key, states)| {
+            let mut si = 0;
+            items
+                .iter()
+                .map(|i| match i {
+                    AggItem::GroupKey(gi, _) => key[*gi].clone(),
+                    AggItem::Agg { .. } => {
+                        let v = states[si].finish();
+                        si += 1;
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // HAVING: evaluated over the projected output. Every aggregate or
+    // column term in the predicate must match a projected item (textually
+    // or by alias); matched terms become references to the output columns.
+    if let Some(having) = &select.having {
+        let rewritten = having.transform(&|node| {
+            let text = node.to_string();
+            for (i, item) in select.items.iter().enumerate() {
+                if let SelectItem::Expr { expr, alias } = item {
+                    if expr.to_string() == text
+                        || alias
+                            .as_deref()
+                            .is_some_and(|a| a.eq_ignore_ascii_case(&text))
+                    {
+                        return Some(Expr::Column(ColumnRef {
+                            table: None,
+                            column: columns[i].clone(),
+                        }));
+                    }
+                }
+            }
+            None
+        });
+        if rewritten.has_aggregate() {
+            return Err(DbError::Unsupported(
+                "HAVING terms must be projected in the SELECT list".into(),
+            ));
+        }
+        let out_schema = std::sync::Arc::new(crate::schema::Schema::new(
+            columns
+                .iter()
+                .map(|c| {
+                    crate::schema::ColumnDef::new(c.clone(), crate::schema::ColType::Float)
+                })
+                .collect(),
+        ));
+        let ctx = BindContext::new(vec![("<output>".to_string(), out_schema)]);
+        let pred = bind(&rewritten, &ctx, params)?;
+        rows.retain(|row| pred.eval_predicate(&[row]));
+    }
+    Ok((columns, rows))
+}

@@ -1,0 +1,186 @@
+//! Table schemas: column names, declared types, and lookup helpers.
+
+use crate::error::DbError;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared column type. The engine stores [`Value`]s dynamically but
+/// validates inserts against the declared type (NULL is always accepted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// 64-bit integer column.
+    Int,
+    /// 64-bit float column.
+    Float,
+    /// UTF-8 text column.
+    Str,
+}
+
+impl ColType {
+    /// Does `v` conform to this declared type? Ints are accepted where a
+    /// float is declared (widening), mirroring common SQL behaviour.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColType::Int, Value::Int(_))
+                | (ColType::Float, Value::Float(_) | Value::Int(_))
+                | (ColType::Str, Value::Str(_))
+        )
+    }
+
+    /// Keyword used by `CREATE TABLE` round-tripping.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            ColType::Int => "INT",
+            ColType::Float => "FLOAT",
+            ColType::Str => "TEXT",
+        }
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColType,
+}
+
+impl ColumnDef {
+    /// Build a schema from column definitions.
+    pub fn new(name: impl Into<String>, ty: ColType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of columns. Shared (`Arc`) between a table and every row
+/// batch produced from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from column definitions.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, ColType)]) -> SchemaRef {
+        Arc::new(Schema::new(
+            cols.iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        ))
+    }
+
+    /// Columns, in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Case-insensitive column lookup, as SQL identifiers are.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but with a typed error.
+    pub fn require(&self, name: &str) -> Result<usize, DbError> {
+        self.index_of(name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Validate a row against declared types and arity.
+    pub fn check_row(&self, row: &[Value]) -> Result<(), DbError> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if !col.ty.admits(v) {
+                return Err(DbError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got: v.type_name(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", ColType::Int),
+            ColumnDef::new("Price", ColType::Float),
+            ColumnDef::new("name", ColType::Str),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("PRICE"), Some(1));
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn check_row_accepts_widening_and_null() {
+        let s = schema();
+        s.check_row(&[Value::Int(1), Value::Int(2), Value::Null])
+            .expect("int widens to float; null ok");
+    }
+
+    #[test]
+    fn check_row_rejects_bad_type_and_arity() {
+        let s = schema();
+        assert!(matches!(
+            s.check_row(&[Value::Str("x".into()), Value::Int(2), Value::Null]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[Value::Int(1)]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+}

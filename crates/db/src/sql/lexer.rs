@@ -1,0 +1,424 @@
+//! Hand-rolled SQL lexer.
+//!
+//! Produces a flat token stream with byte offsets for error messages.
+//! Keywords are recognized case-insensitively; identifiers keep their
+//! original spelling (column lookup is case-insensitive anyway).
+
+use crate::error::{DbError, DbResult};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched by the parser via
+    /// [`Token::is_kw`], so quoted identifiers are unnecessary for our subset).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal with quotes removed and `''` unescaped.
+    Str(String),
+    /// Positional parameter: `$3` → `Param(3)`; `?` tokens are numbered
+    /// left-to-right starting at 1.
+    Param(usize),
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*` (projection star or multiplication).
+    StarTok,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// Case-insensitive keyword check against an identifier token.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A token plus the byte offset where it started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token started.
+    pub offset: usize,
+}
+
+/// Tokenize `input` into a vector of spanned tokens.
+pub fn tokenize(input: &str) -> DbResult<Vec<SpannedToken>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(input.len() / 4 + 4);
+    let mut i = 0usize;
+    let mut anon_param = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(SpannedToken {
+                    token: Token::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(SpannedToken {
+                    token: Token::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(SpannedToken {
+                    token: Token::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '.' if !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                out.push(SpannedToken {
+                    token: Token::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(SpannedToken {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '+' => {
+                out.push(SpannedToken {
+                    token: Token::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '-' => {
+                out.push(SpannedToken {
+                    token: Token::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(SpannedToken {
+                    token: Token::StarTok,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '/' => {
+                out.push(SpannedToken {
+                    token: Token::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(SpannedToken {
+                    token: Token::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse(format!("unexpected '!' at byte {start}")));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedToken {
+                        token: Token::LtEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(SpannedToken {
+                        token: Token::NotEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(SpannedToken {
+                        token: Token::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(SpannedToken {
+                        token: Token::GtEq,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(SpannedToken {
+                        token: Token::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '?' => {
+                anon_param += 1;
+                out.push(SpannedToken {
+                    token: Token::Param(anon_param),
+                    offset: start,
+                });
+                i += 1;
+            }
+            '$' => {
+                i += 1;
+                let d0 = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if d0 == i {
+                    return Err(DbError::Parse(format!(
+                        "expected digits after '$' at byte {start}"
+                    )));
+                }
+                let n: usize = input[d0..i]
+                    .parse()
+                    .map_err(|_| DbError::Parse(format!("bad parameter index at byte {start}")))?;
+                if n == 0 {
+                    return Err(DbError::Parse("parameter indexes are 1-based".into()));
+                }
+                out.push(SpannedToken {
+                    token: Token::Param(n),
+                    offset: start,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::Parse(format!(
+                            "unterminated string starting at byte {start}"
+                        )));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings are UTF-8; copy char-wise.
+                        let ch_str = &input[i..];
+                        let ch = ch_str.chars().next().unwrap();
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(SpannedToken {
+                    token: Token::Str(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len()) => {
+                let mut is_float = c == '.';
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !is_float))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // exponent
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let save = i;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    if i < bytes.len() && bytes[i].is_ascii_digit() {
+                        is_float = true;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    } else {
+                        i = save; // 'e' begins an identifier, not an exponent
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad float literal '{text}' at byte {start}"))
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        DbError::Parse(format!("bad int literal '{text}' at byte {start}"))
+                    })?)
+                };
+                out.push(SpannedToken {
+                    token,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(SpannedToken {
+                    token: Token::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(DbError::Parse(format!(
+                    "unexpected character '{other}' at byte {start}"
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT * FROM Car WHERE price >= 10.5");
+        assert_eq!(t[0], Token::Ident("SELECT".into()));
+        assert_eq!(t[1], Token::StarTok);
+        assert_eq!(t[5], Token::Ident("price".into()));
+        assert_eq!(t[6], Token::GtEq);
+        assert_eq!(t[7], Token::Float(10.5));
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        assert_eq!(toks("'O''Hara'"), vec![Token::Str("O'Hara".into())]);
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn params_dollar_and_question() {
+        assert_eq!(
+            toks("$2 ? ? $1"),
+            vec![
+                Token::Param(2),
+                Token::Param(1),
+                Token::Param(2),
+                Token::Param(1)
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_all_forms() {
+        assert_eq!(
+            toks("<> != <= >= < > ="),
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("SELECT -- everything\n1"),
+            vec![Token::Ident("SELECT".into()), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn negative_handled_by_parser_not_lexer() {
+        assert_eq!(toks("-3"), vec![Token::Minus, Token::Int(3)]);
+    }
+
+    #[test]
+    fn exponent_vs_identifier() {
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(
+            toks("1 e3"),
+            vec![Token::Int(1), Token::Ident("e3".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn qualified_name_dots() {
+        assert_eq!(
+            toks("Car.model"),
+            vec![
+                Token::Ident("Car".into()),
+                Token::Dot,
+                Token::Ident("model".into())
+            ]
+        );
+    }
+}

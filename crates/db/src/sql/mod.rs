@@ -1,0 +1,6 @@
+//! SQL front-end: lexer, parser, and AST.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;

@@ -1,0 +1,218 @@
+//! AST rewrites shared by the sniffer and the invalidator.
+//!
+//! * [`substitute_params`] — turn a query *type* plus bound values into a
+//!   query *instance* (§2.3.2: `Q(V1…Vn)` → `Qᵗ(a1…an)`).
+//! * [`parameterize`] — the inverse: extract the literals of a query
+//!   instance, yielding the canonical query type and the parameter vector
+//!   (the invalidator's query-type *discovery*, §4.1.2).
+
+use crate::error::{DbError, DbResult};
+use crate::sql::ast::{Expr, Select, SelectItem};
+use crate::value::Value;
+
+/// Replace `$n` markers in a SELECT with the given values.
+pub fn substitute_params(select: &Select, params: &[Value]) -> DbResult<Select> {
+    // Validate all param references first for a precise error.
+    let mut max_param = 0usize;
+    if let Some(w) = &select.where_clause {
+        for p in w.params() {
+            max_param = max_param.max(p);
+        }
+    }
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            for p in expr.params() {
+                max_param = max_param.max(p);
+            }
+        }
+    }
+    if max_param > params.len() {
+        return Err(DbError::UnboundParameter(max_param));
+    }
+
+    let subst = |e: &Expr| -> Option<Expr> {
+        if let Expr::Param(i) = e {
+            Some(Expr::Literal(params[*i - 1].clone()))
+        } else {
+            None
+        }
+    };
+    let mut out = select.clone();
+    out.where_clause = out.where_clause.as_ref().map(|w| w.transform(&subst));
+    out.items = out
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                expr: expr.transform(&subst),
+                alias: alias.clone(),
+            },
+            other => other.clone(),
+        })
+        .collect();
+    out.order_by = out
+        .order_by
+        .iter()
+        .map(|k| crate::sql::ast::OrderKey {
+            expr: k.expr.transform(&subst),
+            ascending: k.ascending,
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Extract every literal in the WHERE clause of a query instance, replacing
+/// each with a fresh `$n` marker (in pre-order). Returns the parameterized
+/// SELECT and the extracted values.
+///
+/// Only the WHERE clause is parameterized: projection-list literals are
+/// treated as structural (they don't interact with invalidation), and
+/// keeping them verbatim makes the canonical type string stabler.
+pub fn parameterize(select: &Select) -> (Select, Vec<Value>) {
+    let mut out = select.clone();
+    let mut params: Vec<Value> = Vec::new();
+    if let Some(w) = &select.where_clause {
+        let rewritten = parameterize_expr(w, &mut params);
+        out.where_clause = Some(rewritten);
+    }
+    (out, params)
+}
+
+fn parameterize_expr(e: &Expr, params: &mut Vec<Value>) -> Expr {
+    match e {
+        Expr::Literal(v) => {
+            params.push(v.clone());
+            Expr::Param(params.len())
+        }
+        Expr::Cmp { left, op, right } => Expr::Cmp {
+            left: Box::new(parameterize_expr(left, params)),
+            op: *op,
+            right: Box::new(parameterize_expr(right, params)),
+        },
+        Expr::Arith { left, op, right } => Expr::Arith {
+            left: Box::new(parameterize_expr(left, params)),
+            op: *op,
+            right: Box::new(parameterize_expr(right, params)),
+        },
+        Expr::And(a, b) => Expr::And(
+            Box::new(parameterize_expr(a, params)),
+            Box::new(parameterize_expr(b, params)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(parameterize_expr(a, params)),
+            Box::new(parameterize_expr(b, params)),
+        ),
+        Expr::Not(x) => Expr::Not(Box::new(parameterize_expr(x, params))),
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(parameterize_expr(expr, params)),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(parameterize_expr(expr, params)),
+            low: Box::new(parameterize_expr(low, params)),
+            high: Box::new(parameterize_expr(high, params)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(parameterize_expr(expr, params)),
+            list: list.iter().map(|x| parameterize_expr(x, params)).collect(),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(parameterize_expr(expr, params)),
+            pattern: Box::new(parameterize_expr(pattern, params)),
+            negated: *negated,
+        },
+        Expr::Func { func, args } => Expr::Func {
+            func: *func,
+            args: args.iter().map(|x| parameterize_expr(x, params)).collect(),
+        },
+        // Params in the input stay params (idempotence); columns/aggs as-is.
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_select;
+
+    #[test]
+    fn substitute_then_parameterize_round_trips() {
+        let ty = parse_select("SELECT * FROM R WHERE R.A > $1 AND R.B < $2").unwrap();
+        let inst = substitute_params(&ty, &[Value::Int(5), Value::Int(200)]).unwrap();
+        assert_eq!(
+            inst.to_string(),
+            "SELECT * FROM R WHERE R.A > 5 AND R.B < 200"
+        );
+        let (ty2, params) = parameterize(&inst);
+        assert_eq!(ty2, ty);
+        assert_eq!(params, vec![Value::Int(5), Value::Int(200)]);
+    }
+
+    #[test]
+    fn instances_of_same_type_collapse() {
+        let a = parse_select("SELECT * FROM Car WHERE price < 20000 AND maker = 'Toyota'").unwrap();
+        let b = parse_select("SELECT * FROM Car WHERE price < 99999 AND maker = 'Honda'").unwrap();
+        let (ta, pa) = parameterize(&a);
+        let (tb, pb) = parameterize(&b);
+        assert_eq!(ta, tb, "same template");
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn join_conditions_have_no_literals() {
+        let q = parse_select(
+            "SELECT Car.maker FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < 20000",
+        )
+        .unwrap();
+        let (ty, params) = parameterize(&q);
+        assert_eq!(params, vec![Value::Int(20000)]);
+        assert_eq!(
+            ty.to_string(),
+            "SELECT Car.maker FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < $1"
+        );
+    }
+
+    #[test]
+    fn unbound_param_is_error() {
+        let ty = parse_select("SELECT * FROM R WHERE R.A > $2").unwrap();
+        assert!(matches!(
+            substitute_params(&ty, &[Value::Int(1)]),
+            Err(DbError::UnboundParameter(2))
+        ));
+    }
+
+    #[test]
+    fn projection_literals_left_alone() {
+        let q = parse_select("SELECT 1, maker FROM Car WHERE price < 5").unwrap();
+        let (ty, params) = parameterize(&q);
+        assert_eq!(params.len(), 1);
+        assert!(ty.to_string().starts_with("SELECT 1, maker"));
+    }
+
+    #[test]
+    fn in_list_and_between_parameterized() {
+        let q = parse_select("SELECT * FROM R WHERE a IN (1, 2) AND b BETWEEN 3 AND 4").unwrap();
+        let (ty, params) = parameterize(&q);
+        assert_eq!(
+            params,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]
+        );
+        let back = substitute_params(&ty, &params).unwrap();
+        assert_eq!(back, q);
+    }
+}

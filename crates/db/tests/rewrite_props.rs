@@ -1,0 +1,94 @@
+//! Property tests for the SQL rewrites the sniffer/invalidator depend on:
+//! parameterize ∘ substitute is the identity on query instances, the
+//! canonical template is literal-independent, and rendered SQL re-parses to
+//! the same AST.
+
+use cacheportal_db::sql::ast::Statement;
+use cacheportal_db::sql::parser::{parse, parse_select};
+use cacheportal_db::sql::rewrite::{parameterize, substitute_params};
+use cacheportal_db::Value;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(|f| Value::Float((f * 4.0).round() / 4.0)),
+        "[a-z]{1,8}".prop_map(Value::Str),
+        // Strings with quotes exercise literal escaping end-to-end.
+        Just(Value::Str("O'Hara's".into())),
+    ]
+}
+
+/// Templates covering the predicate shapes the invalidator analyzes.
+fn template_strategy() -> impl Strategy<Value = (&'static str, usize)> {
+    prop::sample::select(vec![
+        ("SELECT * FROM R WHERE R.a > $1 AND R.b < $2", 2),
+        ("SELECT R.a FROM R WHERE R.s = $1", 1),
+        (
+            "SELECT R.a, S.c FROM R, S WHERE R.b = S.b AND R.a >= $1 AND S.c IN ($2, $3)",
+            3,
+        ),
+        (
+            "SELECT * FROM R WHERE (R.a = $1 OR R.b = $2) AND R.s LIKE $3",
+            3,
+        ),
+        ("SELECT * FROM R WHERE R.a BETWEEN $1 AND $2", 2),
+        (
+            "SELECT COUNT(*) FROM R, S WHERE R.b = S.b AND S.c <> $1",
+            1,
+        ),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// substitute(template, params) then parameterize recovers both the
+    /// template and the parameter vector — the invalidator's query-type
+    /// discovery is lossless.
+    #[test]
+    fn parameterize_inverts_substitute(
+        (template, n) in template_strategy(),
+        values in prop::collection::vec(value_strategy(), 3),
+    ) {
+        let ty = parse_select(template).unwrap();
+        let params = &values[..n];
+        let inst = substitute_params(&ty, params).unwrap();
+        let (ty2, recovered) = parameterize(&inst);
+        prop_assert_eq!(&ty2, &ty, "template recovered");
+        prop_assert_eq!(recovered.as_slice(), params, "parameters recovered");
+    }
+
+    /// Instances of one template with different literals share the same
+    /// canonical type text.
+    #[test]
+    fn canonical_type_is_literal_independent(
+        (template, n) in template_strategy(),
+        a in prop::collection::vec(value_strategy(), 3),
+        b in prop::collection::vec(value_strategy(), 3),
+    ) {
+        let ty = parse_select(template).unwrap();
+        let inst_a = substitute_params(&ty, &a[..n]).unwrap();
+        let inst_b = substitute_params(&ty, &b[..n]).unwrap();
+        let (ta, _) = parameterize(&inst_a);
+        let (tb, _) = parameterize(&inst_b);
+        prop_assert_eq!(
+            Statement::Select(ta).to_sql(),
+            Statement::Select(tb).to_sql()
+        );
+    }
+
+    /// Rendered instance SQL re-parses to the identical AST (the wire
+    /// format between sniffer and invalidator is lossless).
+    #[test]
+    fn rendered_sql_reparses_identically(
+        (template, n) in template_strategy(),
+        values in prop::collection::vec(value_strategy(), 3),
+    ) {
+        let ty = parse_select(template).unwrap();
+        let inst = substitute_params(&ty, &values[..n]).unwrap();
+        let text = Statement::Select(inst.clone()).to_sql();
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(reparsed, Statement::Select(inst), "round trip of {}", text);
+    }
+}

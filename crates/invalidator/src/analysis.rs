@@ -1,0 +1,511 @@
+//! The invalidation decision algorithm (paper Example 4.1, §4.2.2).
+//!
+//! Given a bound query instance and one delta tuple of one FROM-list
+//! occurrence, decide whether the instance's result can be affected:
+//!
+//! 1. Substitute the tuple's values for that occurrence's columns throughout
+//!    the WHERE clause.
+//! 2. Conjuncts left with **no** column references are decided locally; if
+//!    any is false, the tuple cannot affect the result (*no impact*, no DB
+//!    access needed — the `(Mitsubishi, Eclipse, 20000)` case).
+//! 3. If conjuncts referencing the **other** tables remain, build the
+//!    *residual polling query* over those tables (the `PollQuery` of the
+//!    paper); a non-empty result means the instance is affected.
+//! 4. With no other tables (single-table query) the decision is immediate.
+//!
+//! Soundness note (beyond the paper): when several correlated deletes land
+//! in one synchronization batch, a residual poll against the *post-batch*
+//! state can miss join partners that were deleted in the same batch. The
+//! orchestrator therefore treats `poll == 0` as *affected* whenever any
+//! other table referenced by the residual had deletions this batch (see
+//! [`PollingQuery::other_tables`]). This only over-invalidates.
+
+use cacheportal_db::error::{DbError, DbResult};
+use cacheportal_db::eval::{bind, BindContext};
+use cacheportal_db::schema::SchemaRef;
+use cacheportal_db::sql::ast::{Expr, Select, SelectItem, Statement, TableRef};
+use cacheportal_db::table::Row;
+
+/// Source of table schemas (the invalidator's view of the DB catalog).
+pub trait SchemaProvider {
+    /// Schema of `table`, if it exists.
+    fn schema_of(&self, table: &str) -> Option<SchemaRef>;
+}
+
+impl SchemaProvider for cacheportal_db::table::Catalog {
+    fn schema_of(&self, table: &str) -> Option<SchemaRef> {
+        self.get(table).map(|t| t.schema().clone())
+    }
+}
+
+impl SchemaProvider for cacheportal_db::Database {
+    fn schema_of(&self, table: &str) -> Option<SchemaRef> {
+        self.catalog().schema_of(table)
+    }
+}
+
+/// A residual polling query awaiting execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollingQuery {
+    /// `SELECT COUNT(*) FROM <others> WHERE <residual>` — non-empty ⇔
+    /// the instance is affected.
+    pub sql: String,
+    /// Lower-cased names of the tables the poll reads (for the correlated-
+    /// delete guard and for maintained-index answering).
+    pub other_tables: Vec<String>,
+}
+
+/// Decision for one (instance, occurrence, tuple).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleImpact {
+    /// The tuple cannot affect this instance's result.
+    NoImpact,
+    /// The instance is affected; no polling required.
+    Affected,
+    /// Run the polling query to decide.
+    NeedsPoll(PollingQuery),
+}
+
+/// Pre-resolved information about one query instance, reused across all
+/// delta tuples of a batch.
+pub struct BoundInstance {
+    /// Fully bound SELECT (params substituted).
+    pub select: Select,
+    /// Binding context of the FROM list.
+    pub ctx: BindContext,
+}
+
+impl BoundInstance {
+    /// Resolve the FROM list of a bound SELECT against schemas.
+    pub fn new(select: Select, schemas: &dyn SchemaProvider) -> DbResult<BoundInstance> {
+        let mut tables = Vec::with_capacity(select.from.len());
+        for tref in &select.from {
+            let schema = schemas
+                .schema_of(&tref.table)
+                .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
+            tables.push((tref.binding().to_string(), schema));
+        }
+        Ok(BoundInstance {
+            select,
+            ctx: BindContext::new(tables),
+        })
+    }
+
+    /// Occurrence indexes of `table` (lower-cased match) in the FROM list.
+    pub fn occurrences_of(&self, table: &str) -> Vec<usize> {
+        self.select
+            .from
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.table.eq_ignore_ascii_case(table))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Analyze one delta tuple against one occurrence of its table.
+pub fn analyze_tuple(
+    inst: &BoundInstance,
+    occurrence: usize,
+    tuple: &Row,
+) -> DbResult<TupleImpact> {
+    match tuple_residual(inst, occurrence, tuple)? {
+        None => Ok(TupleImpact::NoImpact),
+        Some(residual) if inst.select.from.len() == 1 => {
+            debug_assert!(residual.is_empty(), "single-table residual impossible");
+            Ok(TupleImpact::Affected)
+        }
+        Some(residual) => Ok(TupleImpact::NeedsPoll(build_poll(
+            inst,
+            occurrence,
+            Expr::conjoin(residual),
+        ))),
+    }
+}
+
+/// Analyze a *batch* of delta tuples against one occurrence at once —
+/// §4.2.1's grouped update processing. Tuples failing their local checks
+/// are dropped; the survivors' residuals are OR-combined into a single
+/// polling query (`(res₁) OR (res₂) OR …`): the instance is affected iff
+/// any survivor's residual is satisfiable, so one poll decides the batch.
+///
+/// `max_or_terms` chunks pathological batches; each chunk yields one poll.
+/// Returns the per-batch decision plus how many tuples survived locally.
+pub fn analyze_tuple_batch(
+    inst: &BoundInstance,
+    occurrence: usize,
+    tuples: &[&Row],
+    max_or_terms: usize,
+) -> DbResult<(BatchImpact, usize)> {
+    debug_assert!(max_or_terms > 0);
+    let mut residuals: Vec<Expr> = Vec::new();
+    let mut survivors = 0usize;
+    for tuple in tuples {
+        match tuple_residual(inst, occurrence, tuple)? {
+            None => continue,
+            Some(residual) => {
+                survivors += 1;
+                if inst.select.from.len() == 1 {
+                    return Ok((BatchImpact::Affected, survivors));
+                }
+                if residual.is_empty() {
+                    // Unconstrained join: other tables' non-emptiness decides;
+                    // this dominates any OR.
+                    return Ok((
+                        BatchImpact::NeedsPolls(vec![build_poll(inst, occurrence, None)]),
+                        survivors,
+                    ));
+                }
+                residuals.push(Expr::conjoin(residual).expect("non-empty"));
+            }
+        }
+    }
+    if residuals.is_empty() {
+        return Ok((
+            if survivors > 0 {
+                BatchImpact::Affected
+            } else {
+                BatchImpact::NoImpact
+            },
+            survivors,
+        ));
+    }
+    let polls = residuals
+        .chunks(max_or_terms)
+        .map(|chunk| {
+            let ored = chunk
+                .iter()
+                .cloned()
+                .reduce(|a, b| Expr::Or(Box::new(a), Box::new(b)))
+                .expect("chunk non-empty");
+            build_poll(inst, occurrence, Some(ored))
+        })
+        .collect();
+    Ok((BatchImpact::NeedsPolls(polls), survivors))
+}
+
+/// Decision for one (instance, occurrence, tuple *batch*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchImpact {
+    /// No tuple in the batch can affect the instance.
+    NoImpact,
+    /// Affected without polling.
+    Affected,
+    /// Affected iff any of these polls is non-empty.
+    NeedsPolls(Vec<PollingQuery>),
+}
+
+/// Local-check + substitution core shared by single and batched analysis:
+/// `None` = tuple ruled out locally; `Some(residual conjuncts)` otherwise.
+fn tuple_residual(
+    inst: &BoundInstance,
+    occurrence: usize,
+    tuple: &Row,
+) -> DbResult<Option<Vec<Expr>>> {
+    let ctx = &inst.ctx;
+    let mut residual: Vec<Expr> = Vec::new();
+    if let Some(w) = &inst.select.where_clause {
+        for conjunct in w.conjuncts() {
+            let substituted = substitute_occurrence(conjunct, ctx, occurrence, tuple)?;
+            if has_columns(&substituted) {
+                residual.push(substituted);
+            } else {
+                // Fully bound: decide locally with the engine's evaluator
+                // (empty context — no columns remain by construction).
+                let bound = bind(&substituted, &BindContext::new(vec![]), &[])?;
+                if !bound.eval_predicate(&[]) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+    Ok(Some(residual))
+}
+
+/// Build `SELECT COUNT(*) FROM <others> WHERE <residual>`.
+fn build_poll(inst: &BoundInstance, occurrence: usize, residual: Option<Expr>) -> PollingQuery {
+    let others: Vec<&TableRef> = inst
+        .select
+        .from
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != occurrence)
+        .map(|(_, t)| t)
+        .collect();
+    debug_assert!(!others.is_empty(), "single-table polls never built");
+    let poll = Select {
+        distinct: false,
+        items: vec![SelectItem::Expr {
+            expr: Expr::Agg {
+                func: cacheportal_db::sql::ast::AggFunc::Count,
+                arg: None,
+                distinct: false,
+            },
+            alias: None,
+        }],
+        from: others.iter().map(|t| (*t).clone()).collect(),
+        where_clause: residual,
+        group_by: vec![],
+        having: None,
+        order_by: vec![],
+        limit: None,
+    };
+    let mut other_tables: Vec<String> = others
+        .iter()
+        .map(|t| t.table.to_ascii_lowercase())
+        .collect();
+    other_tables.sort();
+    other_tables.dedup();
+    PollingQuery {
+        sql: Statement::Select(poll).to_sql(),
+        other_tables,
+    }
+}
+
+/// Replace every column of FROM-occurrence `occurrence` with the tuple's
+/// value; other columns are left intact (with their qualification).
+fn substitute_occurrence(
+    e: &Expr,
+    ctx: &BindContext,
+    occurrence: usize,
+    tuple: &Row,
+) -> DbResult<Expr> {
+    // Resolve first so ambiguity errors surface as errors, not silence.
+    let err: std::cell::RefCell<Option<DbError>> = std::cell::RefCell::new(None);
+    let out = e.transform(&|node| {
+        if let Expr::Column(c) = node {
+            match ctx.resolve(c) {
+                Ok((t, col)) if t == occurrence => {
+                    return Some(Expr::Literal(tuple[col].clone()));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    *err.borrow_mut() = Some(e);
+                }
+            }
+        }
+        None
+    });
+    match err.into_inner() {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
+
+/// Does the expression still reference any column?
+fn has_columns(e: &Expr) -> bool {
+    !e.columns().is_empty()
+}
+
+/// Unresolved column references in the residual, re-qualified against the
+/// remaining FROM list, must stay valid. Columns that were *unqualified* and
+/// resolved to the removed occurrence have been substituted; unqualified
+/// columns resolving elsewhere keep working because binding names are
+/// unchanged. This helper is used by tests to assert the invariant.
+pub fn residual_is_executable(poll: &PollingQuery, schemas: &dyn SchemaProvider) -> bool {
+    let Ok(Statement::Select(sel)) =
+        cacheportal_db::sql::parser::parse(&poll.sql)
+    else {
+        return false;
+    };
+    BoundInstance::new(sel, schemas).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::sql::parser::parse_select;
+    use cacheportal_db::{Database, Value};
+
+    /// Example 4.1 database: Car(maker, model, price), Mileage(model, EPA).
+    fn example_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)")
+            .unwrap();
+        db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT)")
+            .unwrap();
+        db
+    }
+
+    fn bound(sql: &str, db: &Database) -> BoundInstance {
+        BoundInstance::new(parse_select(sql).unwrap(), db).unwrap()
+    }
+
+    const QUERY1: &str = "select Car.maker, Car.model, Car.price, Mileage.EPA \
+                          from Car, Mileage \
+                          where Car.model = Mileage.model and Car.price < 20000";
+
+    #[test]
+    fn eclipse_insert_has_no_impact() {
+        // Paper: (Mitsubishi, Eclipse, 20,000) fails Car.price < 20000
+        // locally — no polling needed.
+        let db = example_db();
+        let inst = bound(QUERY1, &db);
+        let impact = analyze_tuple(
+            &inst,
+            0,
+            &vec!["Mitsubishi".into(), "Eclipse".into(), Value::Int(20000)],
+        )
+        .unwrap();
+        assert_eq!(impact, TupleImpact::NoImpact);
+    }
+
+    #[test]
+    fn avalon_insert_needs_paper_poll_query() {
+        // Paper: (Toyota, Avalon, 25,000)... the paper's example uses a
+        // tuple that *passes* the price check; ours must too, so use 15000.
+        let db = example_db();
+        let inst = bound(QUERY1, &db);
+        let impact = analyze_tuple(
+            &inst,
+            0,
+            &vec!["Toyota".into(), "Avalon".into(), Value::Int(15000)],
+        )
+        .unwrap();
+        let TupleImpact::NeedsPoll(poll) = impact else {
+            panic!("expected poll, got {impact:?}");
+        };
+        // Residual: 'Avalon' = Mileage.model over table Mileage.
+        assert_eq!(
+            poll.sql,
+            "SELECT COUNT(*) FROM Mileage WHERE 'Avalon' = Mileage.model"
+        );
+        assert_eq!(poll.other_tables, vec!["mileage"]);
+        assert!(residual_is_executable(&poll, &db));
+    }
+
+    #[test]
+    fn mileage_insert_polls_car_side() {
+        let db = example_db();
+        let inst = bound(QUERY1, &db);
+        let impact = analyze_tuple(&inst, 1, &vec!["Avalon".into(), Value::Float(28.0)]).unwrap();
+        let TupleImpact::NeedsPoll(poll) = impact else {
+            panic!("expected poll")
+        };
+        assert_eq!(
+            poll.sql,
+            "SELECT COUNT(*) FROM Car WHERE Car.model = 'Avalon' AND Car.price < 20000"
+        );
+        assert!(residual_is_executable(&poll, &db));
+    }
+
+    #[test]
+    fn single_table_decides_without_polling() {
+        let db = example_db();
+        let inst = bound("SELECT * FROM Car WHERE price < 20000", &db);
+        let hit = analyze_tuple(&inst, 0, &vec!["a".into(), "b".into(), Value::Int(10)]).unwrap();
+        assert_eq!(hit, TupleImpact::Affected);
+        let miss =
+            analyze_tuple(&inst, 0, &vec!["a".into(), "b".into(), Value::Int(90000)]).unwrap();
+        assert_eq!(miss, TupleImpact::NoImpact);
+    }
+
+    #[test]
+    fn no_where_clause_single_table_always_affected() {
+        let db = example_db();
+        let inst = bound("SELECT * FROM Car", &db);
+        let impact = analyze_tuple(&inst, 0, &vec!["a".into(), "b".into(), Value::Int(1)]).unwrap();
+        assert_eq!(impact, TupleImpact::Affected);
+    }
+
+    #[test]
+    fn no_where_clause_join_polls_other_table_nonempty() {
+        let db = example_db();
+        let inst = bound("SELECT Car.maker FROM Car, Mileage", &db);
+        let impact = analyze_tuple(&inst, 0, &vec!["a".into(), "b".into(), Value::Int(1)]).unwrap();
+        let TupleImpact::NeedsPoll(poll) = impact else {
+            panic!()
+        };
+        assert_eq!(poll.sql, "SELECT COUNT(*) FROM Mileage");
+    }
+
+    #[test]
+    fn null_in_compared_column_means_no_impact() {
+        let db = example_db();
+        let inst = bound("SELECT * FROM Car WHERE price < 20000", &db);
+        let impact = analyze_tuple(&inst, 0, &vec!["a".into(), "b".into(), Value::Null]).unwrap();
+        assert_eq!(impact, TupleImpact::NoImpact, "NULL < 20000 is not true");
+    }
+
+    #[test]
+    fn aliases_are_preserved_in_polls() {
+        let db = example_db();
+        let inst = bound(
+            "SELECT c.maker FROM Car c, Mileage m WHERE c.model = m.model AND c.price < 5",
+            &db,
+        );
+        let impact = analyze_tuple(&inst, 0, &vec!["T".into(), "X".into(), Value::Int(1)]).unwrap();
+        let TupleImpact::NeedsPoll(poll) = impact else {
+            panic!()
+        };
+        assert_eq!(poll.sql, "SELECT COUNT(*) FROM Mileage m WHERE 'X' = m.model");
+        assert!(residual_is_executable(&poll, &db));
+    }
+
+    #[test]
+    fn self_join_occurrences_analyzed_independently() {
+        let db = example_db();
+        let inst = bound(
+            "SELECT a.maker FROM Car a, Car b WHERE a.model = b.model AND a.price < b.price",
+            &db,
+        );
+        assert_eq!(inst.occurrences_of("car"), vec![0, 1]);
+        let t = vec!["T".into(), "M".into(), Value::Int(100)];
+        let i0 = analyze_tuple(&inst, 0, &t).unwrap();
+        let TupleImpact::NeedsPoll(p0) = i0 else { panic!() };
+        assert_eq!(
+            p0.sql,
+            "SELECT COUNT(*) FROM Car b WHERE 'M' = b.model AND 100 < b.price"
+        );
+        let i1 = analyze_tuple(&inst, 1, &t).unwrap();
+        let TupleImpact::NeedsPoll(p1) = i1 else { panic!() };
+        assert_eq!(
+            p1.sql,
+            "SELECT COUNT(*) FROM Car a WHERE a.model = 'M' AND a.price < 100"
+        );
+    }
+
+    #[test]
+    fn or_conjunct_spanning_tables_goes_to_residual() {
+        let db = example_db();
+        let inst = bound(
+            "SELECT Car.maker FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND (Car.price < 10 OR Mileage.EPA > 30)",
+            &db,
+        );
+        // Tuple fails price < 10 but the OR can still hold via EPA.
+        let impact =
+            analyze_tuple(&inst, 0, &vec!["T".into(), "M".into(), Value::Int(50)]).unwrap();
+        let TupleImpact::NeedsPoll(poll) = impact else {
+            panic!()
+        };
+        assert!(poll.sql.contains("(50 < 10 OR Mileage.EPA > 30)"));
+    }
+
+    #[test]
+    fn scalar_functions_in_predicates_analyze_correctly() {
+        let db = example_db();
+        let inst = bound("SELECT * FROM Car WHERE UPPER(maker) = 'TOYOTA'", &db);
+        let hit =
+            analyze_tuple(&inst, 0, &vec!["toyota".into(), "m".into(), Value::Int(1)]).unwrap();
+        assert_eq!(hit, TupleImpact::Affected);
+        let miss =
+            analyze_tuple(&inst, 0, &vec!["honda".into(), "m".into(), Value::Int(1)]).unwrap();
+        assert_eq!(miss, TupleImpact::NoImpact);
+    }
+
+    #[test]
+    fn fully_local_or_decided_without_poll() {
+        let db = example_db();
+        let inst = bound(
+            "SELECT * FROM Car WHERE price < 10 OR maker = 'Toyota'",
+            &db,
+        );
+        let hit =
+            analyze_tuple(&inst, 0, &vec!["Toyota".into(), "M".into(), Value::Int(99)]).unwrap();
+        assert_eq!(hit, TupleImpact::Affected);
+        let miss =
+            analyze_tuple(&inst, 0, &vec!["Honda".into(), "M".into(), Value::Int(99)]).unwrap();
+        assert_eq!(miss, TupleImpact::NoImpact);
+    }
+}

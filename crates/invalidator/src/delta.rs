@@ -1,0 +1,242 @@
+//! Update processing (§4.2.1): pull the DBMS update log at each
+//! synchronization point and group the records per relation into Δ⁺R
+//! (insertions) and Δ⁻R (deletions).
+
+use cacheportal_db::table::Row;
+use cacheportal_db::{LogOp, LogRecord, Lsn};
+use std::collections::HashMap;
+
+/// One relation's delta for a sync interval.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TableDelta {
+    /// Δ⁺R — inserted rows.
+    pub inserted: Vec<Row>,
+    /// Δ⁻R — deleted rows (old images).
+    pub deleted: Vec<Row>,
+}
+
+impl TableDelta {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// Number of delta tuples.
+    pub fn len(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// Iterate all delta tuples, tagged with whether they were inserted.
+    pub fn tuples(&self) -> impl Iterator<Item = (&Row, bool)> {
+        self.inserted
+            .iter()
+            .map(|r| (r, true))
+            .chain(self.deleted.iter().map(|r| (r, false)))
+    }
+}
+
+/// All deltas for one sync interval.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaSet {
+    /// Lower-cased table name → delta.
+    tables: HashMap<String, TableDelta>,
+    /// First LSN *after* this batch.
+    pub next_lsn: Lsn,
+    /// Raw record count.
+    pub records: usize,
+}
+
+impl DeltaSet {
+    /// Group a slice of log records (as returned by `pull_since`).
+    pub fn from_records(records: &[LogRecord]) -> DeltaSet {
+        let mut set = DeltaSet::default();
+        for rec in records {
+            let delta = set
+                .tables
+                .entry(rec.table.to_ascii_lowercase())
+                .or_default();
+            match &rec.op {
+                LogOp::Insert(row) => delta.inserted.push(row.clone()),
+                LogOp::Delete(row) => delta.deleted.push(row.clone()),
+            }
+            set.next_lsn = set.next_lsn.max(rec.lsn + 1);
+        }
+        set.records = records.len();
+        set
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Delta for `table`, if it changed this interval.
+    pub fn for_table(&self, table: &str) -> Option<&TableDelta> {
+        self.tables.get(&table.to_ascii_lowercase())
+    }
+
+    /// Names (lower-cased) of tables with changes.
+    pub fn touched_tables(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Did `table` have deletions this interval? (Used by the same-batch
+    /// correlated-delete guard in the analysis module.)
+    pub fn has_deletions(&self, table: &str) -> bool {
+        self.tables
+            .get(&table.to_ascii_lowercase())
+            .is_some_and(|d| !d.deleted.is_empty())
+    }
+
+    /// Total delta tuples across all tables.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(TableDelta::len).sum()
+    }
+
+    /// **Net-change compaction**: cancel matching insert/delete pairs of
+    /// identical rows within the interval (an inserted-then-deleted row, or
+    /// a value-preserving UPDATE's delete+insert pair, nets to nothing
+    /// between the interval's endpoints).
+    ///
+    /// Caveat (documented in DESIGN.md): compaction reasons about the
+    /// *endpoint* states only. A page generated from a mid-interval
+    /// transient state can depend on a cancelled tuple; deployments where
+    /// pages may be generated concurrently with update bursts should leave
+    /// this off (the default). It is sound whenever page generation and
+    /// update application do not interleave within one sync interval.
+    pub fn compacted(&self) -> DeltaSet {
+        let mut out = DeltaSet {
+            tables: HashMap::with_capacity(self.tables.len()),
+            next_lsn: self.next_lsn,
+            records: 0,
+        };
+        for (name, delta) in &self.tables {
+            // Multiset difference in both directions.
+            let mut del_counts: HashMap<&Row, usize> = HashMap::new();
+            for d in &delta.deleted {
+                *del_counts.entry(d).or_insert(0) += 1;
+            }
+            let mut inserted = Vec::new();
+            for i in &delta.inserted {
+                match del_counts.get_mut(i) {
+                    Some(c) if *c > 0 => *c -= 1, // cancels one deletion
+                    _ => inserted.push(i.clone()),
+                }
+            }
+            let mut deleted = Vec::new();
+            for d in &delta.deleted {
+                if let Some(c) = del_counts.get_mut(d) {
+                    if *c > 0 {
+                        *c -= 1;
+                        deleted.push(d.clone());
+                    }
+                }
+            }
+            let compacted = TableDelta { inserted, deleted };
+            if !compacted.is_empty() {
+                out.records += compacted.len();
+                out.tables.insert(name.clone(), compacted);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::Value;
+
+    fn rec(lsn: Lsn, table: &str, op: LogOp) -> LogRecord {
+        LogRecord {
+            lsn,
+            table: table.into(),
+            op,
+        }
+    }
+
+    #[test]
+    fn groups_by_table_and_op() {
+        let records = vec![
+            rec(0, "Car", LogOp::Insert(vec![Value::Int(1)])),
+            rec(1, "Car", LogOp::Delete(vec![Value::Int(2)])),
+            rec(2, "Mileage", LogOp::Insert(vec![Value::Int(3)])),
+        ];
+        let set = DeltaSet::from_records(&records);
+        assert_eq!(set.records, 3);
+        assert_eq!(set.next_lsn, 3);
+        let car = set.for_table("CAR").unwrap();
+        assert_eq!(car.inserted.len(), 1);
+        assert_eq!(car.deleted.len(), 1);
+        assert_eq!(car.len(), 2);
+        assert!(set.for_table("mileage").is_some());
+        assert!(set.for_table("absent").is_none());
+        assert!(set.has_deletions("car"));
+        assert!(!set.has_deletions("mileage"));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let set = DeltaSet::from_records(&[]);
+        assert!(set.is_empty());
+        assert_eq!(set.next_lsn, 0);
+        assert_eq!(set.touched_tables().count(), 0);
+    }
+
+    #[test]
+    fn compaction_cancels_matching_pairs() {
+        let row = |i: i64| vec![Value::Int(i)];
+        let records = vec![
+            rec(0, "t", LogOp::Insert(row(1))), // inserted then deleted → nets out
+            rec(1, "t", LogOp::Delete(row(1))),
+            rec(2, "t", LogOp::Delete(row(2))), // value-preserving update → nets out
+            rec(3, "t", LogOp::Insert(row(2))),
+            rec(4, "t", LogOp::Insert(row(3))), // survives
+            rec(5, "t", LogOp::Delete(row(4))), // survives
+        ];
+        let set = DeltaSet::from_records(&records).compacted();
+        let d = set.for_table("t").unwrap();
+        assert_eq!(d.inserted, vec![row(3)]);
+        assert_eq!(d.deleted, vec![row(4)]);
+        assert_eq!(set.next_lsn, 6, "LSN progress preserved");
+    }
+
+    #[test]
+    fn compaction_respects_multiplicities() {
+        let row = vec![Value::Int(7)];
+        // 3 inserts, 1 delete of the same row → net 2 inserts.
+        let records = vec![
+            rec(0, "t", LogOp::Insert(row.clone())),
+            rec(1, "t", LogOp::Insert(row.clone())),
+            rec(2, "t", LogOp::Insert(row.clone())),
+            rec(3, "t", LogOp::Delete(row.clone())),
+        ];
+        let set = DeltaSet::from_records(&records).compacted();
+        let d = set.for_table("t").unwrap();
+        assert_eq!(d.inserted.len(), 2);
+        assert!(d.deleted.is_empty());
+    }
+
+    #[test]
+    fn compaction_drops_fully_cancelled_tables() {
+        let row = vec![Value::Int(1)];
+        let records = vec![
+            rec(0, "t", LogOp::Insert(row.clone())),
+            rec(1, "t", LogOp::Delete(row)),
+        ];
+        let set = DeltaSet::from_records(&records).compacted();
+        assert!(set.for_table("t").is_none());
+        assert_eq!(set.total_tuples(), 0);
+    }
+
+    #[test]
+    fn tuples_iterates_both_kinds() {
+        let records = vec![
+            rec(0, "t", LogOp::Insert(vec![Value::Int(1)])),
+            rec(1, "t", LogOp::Delete(vec![Value::Int(2)])),
+        ];
+        let set = DeltaSet::from_records(&records);
+        let tags: Vec<bool> = set.for_table("t").unwrap().tuples().map(|(_, i)| i).collect();
+        assert_eq!(tags, vec![true, false]);
+    }
+}

@@ -1,0 +1,791 @@
+//! The invalidator orchestrator (§4, Figure 11): at each synchronization
+//! point it (1) scans the QI/URL map for new query instances, (2) pulls the
+//! update log into Δ⁺/Δ⁻ deltas, (3) decides which instances are affected —
+//! locally where possible, by polling queries where not — and (4) emits the
+//! set of page keys to eject from the caches.
+
+use crate::analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, TupleImpact};
+use crate::delta::DeltaSet;
+use crate::policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
+use crate::polling::{InfoManager, PollRunner, PollStats};
+use crate::query_type::{QueryTypeId, Registry};
+use cacheportal_db::sql::rewrite::substitute_params;
+use cacheportal_db::{Database, DbResult, Lsn, Value};
+use cacheportal_sniffer::QiUrlMap;
+use cacheportal_web::PageKey;
+use std::collections::{HashMap, HashSet};
+
+/// What one synchronization point produced.
+#[derive(Debug, Default, Clone)]
+pub struct InvalidationReport {
+    /// Pages to eject from the caches.
+    pub pages: HashSet<PageKey>,
+    /// Query instances found affected.
+    pub invalidated_instances: u64,
+    /// Instances examined.
+    pub checked_instances: u64,
+    /// Delta tuples processed (tuple × occurrence pairs analyzed).
+    pub tuples_analyzed: u64,
+    /// New QI/URL rows registered this run.
+    pub registered: u64,
+    /// QI/URL rows skipped because they could not be parsed.
+    pub unparseable: u64,
+    /// Log records consumed.
+    pub records_consumed: u64,
+    /// Polling statistics.
+    pub polls: PollStats,
+    /// Poll decisions degraded to Conservative by the budget.
+    pub degraded_by_budget: u64,
+    /// Canonical SQL of types newly marked non-cacheable by policy
+    /// discovery.
+    pub newly_non_cacheable: Vec<String>,
+    /// Instances whose queries no longer bind against the current schema
+    /// (table/column dropped); their pages are conservatively ejected.
+    pub bind_failures: u64,
+    /// Wall-clock time the sync point took (the paper's per-type
+    /// "average and maximum invalidation times" statistic, aggregated).
+    pub elapsed: std::time::Duration,
+}
+
+/// Invalidator configuration.
+#[derive(Debug, Clone, Default)]
+pub struct InvalidatorConfig {
+    /// Policy configuration (defaults, budget, discovery rules).
+    pub policy: PolicyConfig,
+}
+
+/// The CachePortal invalidator.
+///
+/// ```
+/// use cacheportal_db::Database;
+/// use cacheportal_invalidator::{Invalidator, InvalidatorConfig};
+/// use cacheportal_sniffer::QiUrlMap;
+/// use cacheportal_web::PageKey;
+///
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)").unwrap();
+/// let mut inv = Invalidator::new(InvalidatorConfig::default());
+/// inv.start_from(db.high_water());
+///
+/// // The sniffer found that URL1 depends on this query instance:
+/// let map = QiUrlMap::new();
+/// map.insert("SELECT * FROM Car WHERE price < 20000".into(),
+///            PageKey::raw("URL1"), "cars".into());
+///
+/// // A backend update lands; the next sync point names the stale page.
+/// db.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)").unwrap();
+/// let report = inv.run_sync_point(&mut db, &map).unwrap();
+/// assert!(report.pages.contains(&PageKey::raw("URL1")));
+/// ```
+pub struct Invalidator {
+    registry: Registry,
+    info: InfoManager,
+    policies: PolicyStore,
+    config: InvalidatorConfig,
+    consumed_lsn: Lsn,
+    map_cursor: u64,
+}
+
+impl Invalidator {
+    /// Create an invalidator with the given configuration.
+    pub fn new(config: InvalidatorConfig) -> Self {
+        Invalidator {
+            registry: Registry::new(),
+            info: InfoManager::new(),
+            policies: PolicyStore::new(),
+            config,
+            consumed_lsn: 0,
+            map_cursor: 0,
+        }
+    }
+
+    /// The query-type/instance registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Mutable registry access.
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// The information-management module (maintained indexes).
+    pub fn info(&self) -> &InfoManager {
+        &self.info
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &InvalidatorConfig {
+        &self.config
+    }
+
+    /// Update-log position consumed so far.
+    pub fn consumed_lsn(&self) -> Lsn {
+        self.consumed_lsn
+    }
+
+    /// Start consuming the update log at `lsn`, skipping earlier records.
+    /// Deployments call this with the log's high-water mark at attach time
+    /// so that historical loads (bulk seeding) are not treated as updates.
+    pub fn start_from(&mut self, lsn: Lsn) {
+        self.consumed_lsn = self.consumed_lsn.max(lsn);
+    }
+
+    /// Off-line registration: declare a query type up front (§4.1.1).
+    pub fn register_type(&mut self, sql: &str) -> DbResult<QueryTypeId> {
+        self.registry.register_type_sql(sql)
+    }
+
+    /// Off-line policy registration (§4.1.3).
+    pub fn set_policy(&mut self, id: QueryTypeId, policy: InvalidationPolicy) {
+        self.policies.set_override(id, policy);
+    }
+
+    /// Start maintaining a join-attribute index inside the invalidator.
+    pub fn maintain_index(&mut self, db: &Database, table: &str, column: &str) -> DbResult<()> {
+        self.info.maintain_index(db, table, column)
+    }
+
+    /// Forget page associations (pages no longer cached anywhere).
+    pub fn forget_pages(&mut self, pages: &HashSet<PageKey>) -> usize {
+        self.registry.remove_pages(pages)
+    }
+
+    /// Run one synchronization point against the database and the sniffer's
+    /// QI/URL map. Returns the invalidation report; the caller delivers
+    /// `report.pages` to the caches as eject messages.
+    pub fn run_sync_point(
+        &mut self,
+        db: &mut Database,
+        map: &QiUrlMap,
+    ) -> DbResult<InvalidationReport> {
+        let started = std::time::Instant::now();
+        let mut report = InvalidationReport::default();
+
+        // (1) Online registration scan of the QI/URL map (§4.1.2).
+        let (entries, cursor) = map.entries_since(self.map_cursor);
+        self.map_cursor = cursor;
+        for entry in entries {
+            match self
+                .registry
+                .register_instance(&entry.sql, entry.page_key.clone())
+            {
+                Ok(_) => report.registered += 1,
+                Err(_) => report.unparseable += 1,
+            }
+        }
+
+        // (2) Pull the update log and build deltas (§4.2.1).
+        let records: Vec<cacheportal_db::LogRecord> =
+            db.update_log().pull_since(self.consumed_lsn).to_vec();
+        if records.is_empty() {
+            report.elapsed = started.elapsed();
+            return Ok(report);
+        }
+        let mut deltas = DeltaSet::from_records(&records);
+        if self.config.policy.compact_deltas {
+            deltas = deltas.compacted();
+        }
+        report.records_consumed = records.len() as u64;
+        self.consumed_lsn = deltas.next_lsn.max(self.consumed_lsn);
+
+        // Maintained indexes must reflect the post-batch state before any
+        // poll is answered from them.
+        self.info.apply_deltas(&deltas);
+
+        // (3) Decide affected instances.
+        let affected = self.analyze_batch(db, &deltas, &mut report)?;
+
+        // (4) Collect dependent pages.
+        for (ty, params) in &affected {
+            if let Some(data) = self.registry.pages_of(*ty, params) {
+                report.pages.extend(data.pages.iter().cloned());
+            }
+        }
+        report.invalidated_instances = affected.len() as u64;
+
+        // Bookkeeping + policy discovery (§4.1.4).
+        let mut invalidated_per_type: HashMap<QueryTypeId, u64> = HashMap::new();
+        for (ty, _) in &affected {
+            *invalidated_per_type.entry(*ty).or_insert(0) += 1;
+        }
+        let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
+        let mut touched_types: HashSet<QueryTypeId> = HashSet::new();
+        for t in &touched {
+            touched_types.extend(self.registry.types_reading(t).iter().copied());
+        }
+        for id in touched_types {
+            let instance_count = self.registry.instance_count(id) as u64;
+            let ratio_cfg = self.config.policy.non_cacheable_invalidation_ratio;
+            let min_batches = self.config.policy.min_batches_for_ratio;
+            let ty = self.registry.get_mut(id);
+            ty.stats.update_batches += 1;
+            ty.stats.invalidations += invalidated_per_type.get(&id).copied().unwrap_or(0);
+            if let Some(threshold) = ratio_cfg {
+                if ty.cacheable
+                    && ty.stats.update_batches >= min_batches
+                    && instance_count > 0
+                {
+                    // Fraction of this type's instances invalidated per
+                    // batch, averaged over batches.
+                    let per_batch = ty.stats.invalidations as f64
+                        / ty.stats.update_batches as f64
+                        / instance_count as f64;
+                    if per_batch > threshold {
+                        ty.cacheable = false;
+                        report.newly_non_cacheable.push(ty.sql.clone());
+                    }
+                }
+            }
+        }
+
+        report.elapsed = started.elapsed();
+        Ok(report)
+    }
+
+    /// Analyze one delta batch; returns affected (type, params) pairs.
+    fn analyze_batch(
+        &mut self,
+        db: &mut Database,
+        deltas: &DeltaSet,
+        report: &mut InvalidationReport,
+    ) -> DbResult<Vec<(QueryTypeId, Vec<Value>)>> {
+        let mut runner = PollRunner::new(&self.info, deltas);
+        let mut affected: Vec<(QueryTypeId, Vec<Value>)> = Vec::new();
+        let mut affected_set: HashSet<(QueryTypeId, Vec<Value>)> = HashSet::new();
+        // Bound instances are reused across tuples and tables.
+        let mut bound_cache: HashMap<(QueryTypeId, Vec<Value>), BoundInstance> = HashMap::new();
+
+        let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
+        let mut candidate_types: Vec<QueryTypeId> = touched
+            .iter()
+            .flat_map(|t| self.registry.types_reading(t).iter().copied())
+            .collect();
+        candidate_types.sort_unstable();
+        candidate_types.dedup();
+
+        for ty_id in candidate_types {
+            let type_started = std::time::Instant::now();
+            let policy = self.policies.policy_for(ty_id, &self.config.policy);
+            let ty = self.registry.get(ty_id);
+            let ty_select = ty.select.clone();
+            let instances: Vec<Vec<Value>> = self
+                .registry
+                .instances_of(ty_id)
+                .map(|(params, _)| params.clone())
+                .collect();
+            if instances.is_empty() {
+                continue;
+            }
+
+            if policy == InvalidationPolicy::TableLevel {
+                for params in instances {
+                    report.checked_instances += 1;
+                    if affected_set.insert((ty_id, params.clone())) {
+                        affected.push((ty_id, params));
+                    }
+                }
+                continue;
+            }
+
+            'instances: for params in instances {
+                report.checked_instances += 1;
+                let key = (ty_id, params.clone());
+                if affected_set.contains(&key) {
+                    continue;
+                }
+                let inst = match bound_cache.entry(key.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        // Binding can fail if the schema changed under the
+                        // registry (table/column dropped). Fail safe: the
+                        // instance is considered affected — its pages get
+                        // ejected and the next regeneration re-registers it
+                        // against the current schema (or 500s honestly).
+                        let bound = substitute_params(&ty_select, &params)
+                            .and_then(|sel| BoundInstance::new(sel, &*db));
+                        match bound {
+                            Ok(inst) => e.insert(inst),
+                            Err(_) => {
+                                report.bind_failures += 1;
+                                affected_set.insert(key.clone());
+                                affected.push(key);
+                                continue 'instances;
+                            }
+                        }
+                    }
+                };
+                for (occ, tref) in inst.select.from.iter().enumerate() {
+                    let Some(delta) = deltas.for_table(&tref.table) else {
+                        continue;
+                    };
+                    let is_affected = if self.config.policy.batch_polls {
+                        Self::decide_batched(
+                            &self.config.policy,
+                            &self.info,
+                            &mut runner,
+                            db,
+                            inst,
+                            occ,
+                            delta,
+                            policy,
+                            report,
+                        )?
+                    } else {
+                        Self::decide_per_tuple(
+                            &self.config.policy,
+                            &self.info,
+                            &mut runner,
+                            db,
+                            inst,
+                            occ,
+                            delta,
+                            policy,
+                            report,
+                        )?
+                    };
+                    if is_affected {
+                        affected_set.insert(key.clone());
+                        affected.push(key.clone());
+                        continue 'instances;
+                    }
+                }
+            }
+            self.registry
+                .get_mut(ty_id)
+                .stats
+                .record_analysis(type_started.elapsed().as_micros() as u64);
+        }
+        report.polls = runner.stats;
+        Ok(affected)
+    }
+
+    /// Per-tuple decision loop (grouping disabled): one poll per surviving
+    /// delta tuple.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_per_tuple(
+        policy_cfg: &crate::policy::PolicyConfig,
+        info: &InfoManager,
+        runner: &mut PollRunner,
+        db: &mut Database,
+        inst: &BoundInstance,
+        occ: usize,
+        delta: &crate::delta::TableDelta,
+        policy: InvalidationPolicy,
+        report: &mut InvalidationReport,
+    ) -> DbResult<bool> {
+        for (tuple, is_insert) in delta.tuples() {
+            report.tuples_analyzed += 1;
+            let impact = analyze_tuple(inst, occ, tuple)?;
+            let hit = match impact {
+                TupleImpact::NoImpact => false,
+                TupleImpact::Affected => true,
+                TupleImpact::NeedsPoll(poll) => Self::run_poll(
+                    policy_cfg, info, runner, db, &poll, !is_insert, policy, report,
+                )?,
+            };
+            if hit {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Grouped decision (§4.2.1): inserts and deletes are batched separately
+    /// (the correlated-delete guard only applies to deletions), each batch
+    /// producing at most ⌈n / max_or_terms⌉ polls.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_batched(
+        policy_cfg: &crate::policy::PolicyConfig,
+        info: &InfoManager,
+        runner: &mut PollRunner,
+        db: &mut Database,
+        inst: &BoundInstance,
+        occ: usize,
+        delta: &crate::delta::TableDelta,
+        policy: InvalidationPolicy,
+        report: &mut InvalidationReport,
+    ) -> DbResult<bool> {
+        let groups: [(&[cacheportal_db::table::Row], bool); 2] =
+            [(&delta.inserted, false), (&delta.deleted, true)];
+        for (rows, was_delete) in groups {
+            if rows.is_empty() {
+                continue;
+            }
+            report.tuples_analyzed += rows.len() as u64;
+            let refs: Vec<&cacheportal_db::table::Row> = rows.iter().collect();
+            let (impact, _survivors) = analyze_tuple_batch(
+                inst,
+                occ,
+                &refs,
+                policy_cfg.max_or_terms_per_poll.max(1),
+            )?;
+            let hit = match impact {
+                BatchImpact::NoImpact => false,
+                BatchImpact::Affected => true,
+                BatchImpact::NeedsPolls(polls) => {
+                    let mut any = false;
+                    for poll in &polls {
+                        if Self::run_poll(
+                            policy_cfg, info, runner, db, poll, was_delete, policy, report,
+                        )? {
+                            any = true;
+                            break;
+                        }
+                    }
+                    any
+                }
+            };
+            if hit {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Execute one polling decision under the policy and budget.
+    #[allow(clippy::too_many_arguments)]
+    fn run_poll(
+        policy_cfg: &crate::policy::PolicyConfig,
+        info: &InfoManager,
+        runner: &mut PollRunner,
+        db: &mut Database,
+        poll: &crate::analysis::PollingQuery,
+        tuple_was_delete: bool,
+        policy: InvalidationPolicy,
+        report: &mut InvalidationReport,
+    ) -> DbResult<bool> {
+        match policy {
+            InvalidationPolicy::Conservative => Ok(true),
+            InvalidationPolicy::Exact => {
+                let over_budget = policy_cfg
+                    .poll_budget_per_sync
+                    .is_some_and(|b| runner.stats.issued >= b);
+                if over_budget && info.try_answer(poll).is_none() {
+                    // Budget exhausted and no free answer: degrade to
+                    // Conservative (§4.2.2's quality/real-time trade-off).
+                    report.degraded_by_budget += 1;
+                    Ok(true)
+                } else {
+                    runner.is_affected(db, poll, tuple_was_delete)
+                }
+            }
+            InvalidationPolicy::TableLevel => unreachable!("handled before analysis"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 4.1 deployment: registry fed through a QI/URL map.
+    fn setup() -> (Database, QiUrlMap, Invalidator) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)")
+            .unwrap();
+        db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT)")
+            .unwrap();
+        db.execute("INSERT INTO Car VALUES ('Honda','Civic',18000)")
+            .unwrap();
+        db.execute("INSERT INTO Mileage VALUES ('Civic', 36.5), ('Avalon', 28.0)")
+            .unwrap();
+
+        let map = QiUrlMap::new();
+        map.insert(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < 20000"
+                .to_string(),
+            PageKey::raw("URL1"),
+            "carSearch".to_string(),
+        );
+        let mut inv = Invalidator::new(InvalidatorConfig::default());
+        // Consume the seeding inserts so tests start from a clean slate.
+        let mut report_db = db;
+        inv.run_sync_point(&mut report_db, &map).unwrap();
+        (report_db, map, inv)
+    }
+
+    #[test]
+    fn paper_example_4_1_end_to_end() {
+        let (mut db, map, mut inv) = setup();
+
+        // Insert (Mitsubishi, Eclipse, 20000): fails price < 20000 → no
+        // invalidation, and no polling needed.
+        db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.is_empty());
+        assert_eq!(r.polls.issued, 0, "decided locally");
+
+        // Insert (Toyota, Avalon, 15000): passes the local check; polling
+        // Mileage for 'Avalon' finds a row → URL1 invalidated.
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+        assert_eq!(r.polls.issued, 1);
+
+        // Insert (Dodge, Viper, 15000): passes price but no Mileage row →
+        // poll comes back empty → no invalidation.
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.is_empty());
+        assert_eq!(r.polls.issued, 1);
+    }
+
+    #[test]
+    fn conservative_policy_skips_polls_but_over_invalidates() {
+        let (mut db, map, mut inv) = setup();
+        let id = QueryTypeId(0);
+        inv.set_policy(id, InvalidationPolicy::Conservative);
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")), "over-invalidated");
+        assert_eq!(r.polls.issued, 0);
+    }
+
+    #[test]
+    fn table_level_policy_ignores_predicates() {
+        let (mut db, map, mut inv) = setup();
+        inv.set_policy(QueryTypeId(0), InvalidationPolicy::TableLevel);
+        db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(
+            r.pages.contains(&PageKey::raw("URL1")),
+            "even a non-matching tuple invalidates at table level"
+        );
+    }
+
+    #[test]
+    fn maintained_index_avoids_dbms_polls() {
+        let (mut db, map, mut inv) = setup();
+        inv.maintain_index(&db, "Mileage", "model").unwrap();
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.is_empty());
+        assert_eq!(r.polls.issued, 0);
+        assert_eq!(r.polls.from_index, 1);
+    }
+
+    #[test]
+    fn poll_budget_degrades_to_conservative() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.policy.poll_budget_per_sync = Some(0);
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+        assert_eq!(r.polls.issued, 0);
+        assert_eq!(r.degraded_by_budget, 1);
+    }
+
+    #[test]
+    fn update_of_joined_table_invalidates() {
+        let (mut db, map, mut inv) = setup();
+        // Mileage side: deleting Civic's row changes URL1's join result.
+        db.execute("DELETE FROM Mileage WHERE model = 'Civic'")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+    }
+
+    #[test]
+    fn irrelevant_table_does_not_invalidate() {
+        let (mut db, map, mut inv) = setup();
+        db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
+        db.execute("INSERT INTO Unrelated VALUES (1)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.is_empty());
+        assert_eq!(r.checked_instances, 0);
+    }
+
+    #[test]
+    fn no_updates_means_empty_report_but_registration_happens() {
+        let (mut db, map, mut inv) = setup();
+        map.insert(
+            "SELECT * FROM Car WHERE price < 99".to_string(),
+            PageKey::raw("URL2"),
+            "s".to_string(),
+        );
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.registered, 1);
+        assert!(r.pages.is_empty());
+        assert_eq!(r.records_consumed, 0);
+    }
+
+    #[test]
+    fn multiple_instances_share_one_poll() {
+        let (mut db, map, mut inv) = setup();
+        // Two instances of the same type with different prices, both above
+        // the inserted tuple's price → identical residual poll.
+        map.insert(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < 30000"
+                .to_string(),
+            PageKey::raw("URL3"),
+            "carSearch".to_string(),
+        );
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+        assert!(r.pages.contains(&PageKey::raw("URL3")));
+        assert_eq!(r.polls.issued, 1, "identical residuals deduplicated");
+        assert_eq!(r.polls.from_cache, 1);
+    }
+
+    #[test]
+    fn batched_polls_decide_whole_update_bursts() {
+        let (mut db, map, mut inv) = setup();
+        assert!(inv.config().policy.batch_polls);
+        // Ten cars passing the price bound, none with Mileage partners →
+        // one OR-combined poll, no invalidation.
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO Car VALUES ('m','ghost{i}',15000)"))
+                .unwrap();
+        }
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.is_empty());
+        assert_eq!(r.polls.issued, 1, "one poll for the whole burst");
+        assert_eq!(r.tuples_analyzed, 10);
+
+        // Same burst, one matching tuple hidden inside → invalidated, still
+        // a single poll.
+        for i in 0..9 {
+            db.execute(&format!("INSERT INTO Car VALUES ('m','ghost2{i}',15000)"))
+                .unwrap();
+        }
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+        assert_eq!(r.polls.issued, 1);
+    }
+
+    #[test]
+    fn batched_and_per_tuple_agree_on_outcome() {
+        for batch in [false, true] {
+            let (mut db, map, mut inv) = setup();
+            inv.config.policy.batch_polls = batch;
+            for i in 0..5 {
+                db.execute(&format!("INSERT INTO Car VALUES ('m','nope{i}',15000)"))
+                    .unwrap();
+            }
+            db.execute("INSERT INTO Car VALUES ('x','Civic',19999)").unwrap();
+            db.execute("DELETE FROM Mileage WHERE model = 'Avalon'").unwrap();
+            let r = inv.run_sync_point(&mut db, &map).unwrap();
+            assert!(
+                r.pages.contains(&PageKey::raw("URL1")),
+                "batch={batch}: Civic insert affects URL1"
+            );
+            if !batch {
+                assert!(r.polls.issued > 1, "per-tuple mode polls per tuple");
+            }
+        }
+    }
+
+    #[test]
+    fn or_term_chunking_caps_poll_size() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.policy.max_or_terms_per_poll = 4;
+        // 10 surviving tuples → ⌈10/4⌉ = 3 polls (none matching, so all run).
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO Car VALUES ('m','zz{i}',15000)"))
+                .unwrap();
+        }
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.polls.issued, 3);
+        assert!(r.pages.is_empty());
+    }
+
+    #[test]
+    fn dropped_table_fails_safe_by_ejecting_dependent_pages() {
+        let (mut db, map, mut inv) = setup();
+        // URL1 depends on Car ⋈ Mileage; drop Mileage out from under it.
+        db.execute("DROP TABLE Mileage").unwrap();
+        db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
+        // Any update to Car forces analysis of URL1's instance.
+        db.execute("INSERT INTO Car VALUES ('m','x',1)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.bind_failures, 1);
+        assert!(
+            r.pages.contains(&PageKey::raw("URL1")),
+            "schema change must eject, not error"
+        );
+    }
+
+    #[test]
+    fn compacted_deltas_skip_self_cancelling_bursts() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.policy.compact_deltas = true;
+        // Insert-then-delete of an impactful row within one interval: with
+        // compaction the batch nets to nothing and no analysis work happens.
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
+        db.execute("DELETE FROM Car WHERE model = 'Avalon' AND price = 15000").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.records_consumed, 2);
+        assert_eq!(r.tuples_analyzed, 0);
+        assert!(r.pages.is_empty());
+
+        // Without compaction the same burst costs analysis and invalidates.
+        let (mut db2, map2, mut inv2) = setup();
+        db2.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
+        db2.execute("DELETE FROM Car WHERE model = 'Avalon' AND price = 15000").unwrap();
+        let r2 = inv2.run_sync_point(&mut db2, &map2).unwrap();
+        assert!(r2.tuples_analyzed > 0);
+        assert!(r2.pages.contains(&PageKey::raw("URL1")), "conservative endpoint");
+    }
+
+    #[test]
+    fn batched_delete_guard_still_fires() {
+        let (mut db, map, mut inv) = setup();
+        // Delete both the Car row and its Mileage partner in one batch:
+        // post-state polls find nothing; the guard must still invalidate.
+        db.execute("DELETE FROM Car WHERE model = 'Civic'").unwrap();
+        db.execute("DELETE FROM Mileage WHERE model = 'Civic'").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(
+            r.pages.contains(&PageKey::raw("URL1")),
+            "correlated same-batch deletes must invalidate"
+        );
+    }
+
+    #[test]
+    fn per_type_analysis_timing_is_recorded() {
+        let (mut db, map, mut inv) = setup();
+        // setup() already consumed the seeding batch (update_batches == 1).
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
+        inv.run_sync_point(&mut db, &map).unwrap();
+        let stats = &inv.registry().get(QueryTypeId(0)).stats;
+        assert_eq!(stats.update_batches, 2);
+        assert!(stats.max_analysis_micros >= stats.avg_analysis_micros() as u64);
+        // A further batch accumulates.
+        db.execute("INSERT INTO Car VALUES ('Honda','Fit',12000)").unwrap();
+        inv.run_sync_point(&mut db, &map).unwrap();
+        let stats = &inv.registry().get(QueryTypeId(0)).stats;
+        assert_eq!(stats.update_batches, 3);
+        assert!(stats.total_analysis_micros >= stats.max_analysis_micros);
+    }
+
+    #[test]
+    fn policy_discovery_marks_hot_types_non_cacheable() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.policy.non_cacheable_invalidation_ratio = Some(0.5);
+        inv.config.policy.min_batches_for_ratio = 2;
+        for i in 0..3 {
+            db.execute(&format!(
+                "INSERT INTO Car VALUES ('Toyota','Avalon',{})",
+                1000 + i
+            ))
+            .unwrap();
+            inv.run_sync_point(&mut db, &map).unwrap();
+        }
+        let ty = inv.registry().get(QueryTypeId(0));
+        assert!(!ty.cacheable, "every batch invalidated the only instance");
+    }
+}

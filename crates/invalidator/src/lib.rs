@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # cacheportal-invalidator
+//!
+//! The CachePortal **invalidator** (paper §4): watches the database update
+//! log and decides which cached pages are stale.
+//!
+//! * [`query_type`] — query-type registration & discovery, the
+//!   type/instance/page registry (registration module, §4.1).
+//! * [`delta`] — update-log batching into Δ⁺R / Δ⁻R (§4.2.1).
+//! * [`analysis`] — the Example 4.1 decision algorithm: local predicate
+//!   checks and residual polling-query construction.
+//! * [`polling`] — polling execution with per-sync dedup and maintained
+//!   join-attribute indexes (information management module, §4.3).
+//! * [`policy`] — Exact / Conservative / TableLevel policies, the polling
+//!   budget, and policy discovery (§4.1.3–§4.1.4).
+//! * [`invalidator`] — the orchestrator: one `run_sync_point` per
+//!   synchronization interval, producing the pages to eject.
+
+pub mod analysis;
+pub mod delta;
+pub mod invalidator;
+pub mod policy;
+pub mod polling;
+pub mod query_type;
+
+pub use analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, PollingQuery, SchemaProvider, TupleImpact};
+pub use delta::{DeltaSet, TableDelta};
+pub use invalidator::{InvalidationReport, Invalidator, InvalidatorConfig};
+pub use policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
+pub use polling::{InfoManager, MaintainedIndex, PollRunner, PollStats};
+pub use query_type::{QueryType, QueryTypeId, Registry, TypeStats};

@@ -1,0 +1,436 @@
+//! Polling-query execution and the information management module (§4.2.3,
+//! §4.3).
+//!
+//! Polling queries are deduplicated within a synchronization point (the
+//! paper's grouping of related instances/updates: instances of one type and
+//! correlated delta tuples frequently produce the *same* residual SQL).
+//! Definite answers can also come from **maintained indexes** — the paper's
+//! "external indexes kept within the invalidator" — which are join-attribute
+//! multisets kept current from the update deltas, trading invalidator memory
+//! for DBMS load.
+
+use crate::analysis::{analyze_tuple, BoundInstance, PollingQuery, TupleImpact};
+use crate::delta::DeltaSet;
+use cacheportal_db::sql::ast::{CmpOp, Expr, Statement};
+use cacheportal_db::sql::parser::parse;
+use cacheportal_db::{Database, DbResult, Value};
+use std::collections::HashMap;
+
+/// One maintained join-attribute index.
+#[derive(Debug)]
+pub struct MaintainedIndex {
+    /// Lower-cased table name.
+    pub table: String,
+    /// Column name (case preserved for display; matched case-insensitively).
+    pub column: String,
+    column_idx: usize,
+    /// Multiset of values currently in the column.
+    counts: HashMap<Value, i64>,
+}
+
+impl MaintainedIndex {
+    /// Number of distinct values (the paper's "size of the join index").
+    pub fn distinct_values(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn contains(&self, v: &Value) -> bool {
+        self.counts.get(v).copied().unwrap_or(0) > 0
+    }
+}
+
+/// Statistics for the polling subsystem.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PollStats {
+    /// Polling queries actually sent to the DBMS.
+    pub issued: u64,
+    /// Polls answered from the per-sync-point dedup cache.
+    pub from_cache: u64,
+    /// Polls answered definitively by a maintained index.
+    pub from_index: u64,
+    /// Poll results flipped to "affected" by the correlated-delete guard.
+    pub delete_guard_hits: u64,
+}
+
+/// The information management module: maintained indexes + poll statistics.
+#[derive(Debug, Default)]
+pub struct InfoManager {
+    indexes: Vec<MaintainedIndex>,
+}
+
+impl InfoManager {
+    /// Create the module/runner.
+    pub fn new() -> Self {
+        InfoManager::default()
+    }
+
+    /// Start maintaining an index over `table.column`, bootstrapped from the
+    /// current database contents. Idempotent.
+    pub fn maintain_index(&mut self, db: &Database, table: &str, column: &str) -> DbResult<()> {
+        let t = db
+            .catalog()
+            .get(table)
+            .ok_or_else(|| cacheportal_db::DbError::UnknownTable(table.to_string()))?;
+        let column_idx = t.schema().require(column)?;
+        let table_lc = table.to_ascii_lowercase();
+        if self
+            .indexes
+            .iter()
+            .any(|ix| ix.table == table_lc && ix.column_idx == column_idx)
+        {
+            return Ok(());
+        }
+        let mut counts: HashMap<Value, i64> = HashMap::new();
+        for (_, row) in t.scan() {
+            *counts.entry(row[column_idx].clone()).or_insert(0) += 1;
+        }
+        self.indexes.push(MaintainedIndex {
+            table: table_lc,
+            column: column.to_string(),
+            column_idx,
+            counts,
+        });
+        Ok(())
+    }
+
+    /// Currently maintained indexes.
+    pub fn indexes(&self) -> &[MaintainedIndex] {
+        &self.indexes
+    }
+
+    /// Keep indexes current: fold one sync interval's deltas in. Must run
+    /// *before* polls are answered, since polls reflect the post-batch state.
+    pub fn apply_deltas(&mut self, deltas: &DeltaSet) {
+        for ix in &mut self.indexes {
+            if let Some(delta) = deltas.for_table(&ix.table) {
+                for row in &delta.inserted {
+                    *ix.counts.entry(row[ix.column_idx].clone()).or_insert(0) += 1;
+                }
+                for row in &delta.deleted {
+                    if let Some(c) = ix.counts.get_mut(&row[ix.column_idx]) {
+                        *c -= 1;
+                        if *c <= 0 {
+                            ix.counts.remove(&row[ix.column_idx]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Try to answer a poll from maintained indexes alone.
+    ///
+    /// * If the poll's WHERE contains an `indexed_col = literal` conjunct and
+    ///   the index says the value is absent, the count is definitely 0.
+    /// * If additionally that equality is the *only* conjunct and the poll
+    ///   reads a single table, a present value means count > 0.
+    ///
+    /// Returns `None` when the index cannot decide.
+    pub fn try_answer(&self, poll: &PollingQuery) -> Option<bool> {
+        let Ok(Statement::Select(sel)) = parse(&poll.sql) else {
+            return None;
+        };
+        if sel.from.len() != 1 {
+            return None;
+        }
+        let table_lc = sel.from[0].table.to_ascii_lowercase();
+        let conjuncts: Vec<&Expr> = match &sel.where_clause {
+            Some(w) => w.conjuncts(),
+            None => return None,
+        };
+        for (i, c) in conjuncts.iter().enumerate() {
+            let Some((col_name, value)) = as_col_eq_literal(c) else {
+                continue;
+            };
+            let Some(ix) = self
+                .indexes
+                .iter()
+                .find(|ix| ix.table == table_lc && ix.column.eq_ignore_ascii_case(col_name))
+            else {
+                continue;
+            };
+            if !ix.contains(&value) {
+                return Some(false); // definite: no row matches the equality
+            }
+            if conjuncts.len() == 1 && i == 0 {
+                return Some(true); // sole condition and value present
+            }
+        }
+        None
+    }
+}
+
+/// Match `col = literal` / `literal = col` (column possibly qualified).
+fn as_col_eq_literal(e: &Expr) -> Option<(&str, Value)> {
+    if let Expr::Cmp { left, op, right } = e {
+        if *op == CmpOp::Eq {
+            match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => {
+                    return Some((c.column.as_str(), v.clone()));
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Executes polls for one synchronization point, with dedup and the
+/// correlated-delete guard.
+pub struct PollRunner<'a> {
+    info: &'a InfoManager,
+    deltas: &'a DeltaSet,
+    cache: HashMap<String, bool>,
+    /// Counters for this sync point.
+    pub stats: PollStats,
+}
+
+impl<'a> PollRunner<'a> {
+    /// Create the module/runner.
+    pub fn new(info: &'a InfoManager, deltas: &'a DeltaSet) -> Self {
+        PollRunner {
+            info,
+            deltas,
+            cache: HashMap::new(),
+            stats: PollStats::default(),
+        }
+    }
+
+    /// Decide whether the polled instance is affected. `tuple_was_delete`
+    /// enables the correlated-delete guard (see `analysis` module docs).
+    pub fn is_affected(
+        &mut self,
+        db: &mut Database,
+        poll: &PollingQuery,
+        tuple_was_delete: bool,
+    ) -> DbResult<bool> {
+        let base = match self.cache.get(&poll.sql) {
+            Some(hit) => {
+                self.stats.from_cache += 1;
+                *hit
+            }
+            None => {
+                let answer = match self.info.try_answer(poll) {
+                    Some(ans) => {
+                        self.stats.from_index += 1;
+                        ans
+                    }
+                    None => {
+                        self.stats.issued += 1;
+                        let r = db.query(&poll.sql)?;
+                        matches!(r.rows.first().and_then(|row| row.first()),
+                                 Some(Value::Int(n)) if *n > 0)
+                    }
+                };
+                self.cache.insert(poll.sql.clone(), answer);
+                answer
+            }
+        };
+        if base {
+            return Ok(true);
+        }
+        if tuple_was_delete {
+            // A join partner may have been deleted in the same batch:
+            // re-check the residual against the other tables' Δ⁻ rows.
+            if self.residual_hits_deleted_rows(db, poll)? {
+                self.stats.delete_guard_hits += 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Exact Δ⁻ re-check for single-other-table residuals; coarse guard
+    /// (any deletions at all) for multi-table residuals.
+    fn residual_hits_deleted_rows(
+        &self,
+        db: &Database,
+        poll: &PollingQuery,
+    ) -> DbResult<bool> {
+        let Ok(Statement::Select(sel)) = parse(&poll.sql) else {
+            return Ok(false);
+        };
+        if sel.from.len() == 1 {
+            let table = sel.from[0].table.clone();
+            let Some(delta) = self.deltas.for_table(&table) else {
+                return Ok(false);
+            };
+            if delta.deleted.is_empty() {
+                return Ok(false);
+            }
+            let inst = BoundInstance::new(sel, db)?;
+            for row in &delta.deleted {
+                if analyze_tuple(&inst, 0, row)? == TupleImpact::Affected {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        } else {
+            Ok(poll
+                .other_tables
+                .iter()
+                .any(|t| self.deltas.has_deletions(t)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::{LogOp, LogRecord};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT)").unwrap();
+        db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5), ('Civic', 37.0)")
+            .unwrap();
+        db
+    }
+
+    fn poll(sql: &str) -> PollingQuery {
+        PollingQuery {
+            sql: sql.to_string(),
+            other_tables: vec!["mileage".to_string()],
+        }
+    }
+
+    #[test]
+    fn index_answers_definite_negative() {
+        let db = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&db, "Mileage", "model").unwrap();
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE 'Edsel' = Mileage.model"
+            )),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn index_answers_definite_positive_when_sole_condition() {
+        let db = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&db, "Mileage", "model").unwrap();
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon'"
+            )),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn index_declines_with_extra_conjuncts_when_value_present() {
+        let db = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&db, "Mileage", "model").unwrap();
+        // Present value + extra condition: the index alone cannot decide.
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon' AND Mileage.EPA > 100"
+            )),
+            None
+        );
+        // Absent value: definite no regardless of extra conjuncts.
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Edsel' AND Mileage.EPA > 1"
+            )),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn index_tracks_deltas_as_multiset() {
+        let db = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&db, "Mileage", "model").unwrap();
+        // Delete one of two Civic rows: value must remain present.
+        let batch = vec![LogRecord {
+            lsn: 0,
+            table: "Mileage".into(),
+            op: LogOp::Delete(vec!["Civic".into(), Value::Float(36.5)]),
+        }];
+        info.apply_deltas(&DeltaSet::from_records(&batch));
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Civic'"
+            )),
+            Some(true)
+        );
+        // Delete the second: now absent.
+        let batch = vec![LogRecord {
+            lsn: 1,
+            table: "Mileage".into(),
+            op: LogOp::Delete(vec!["Civic".into(), Value::Float(37.0)]),
+        }];
+        info.apply_deltas(&DeltaSet::from_records(&batch));
+        assert_eq!(
+            info.try_answer(&poll(
+                "SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Civic'"
+            )),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn runner_dedups_identical_polls() {
+        let mut database = db();
+        let info = InfoManager::new();
+        let deltas = DeltaSet::default();
+        let mut runner = PollRunner::new(&info, &deltas);
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon'");
+        assert!(runner.is_affected(&mut database, &p, false).unwrap());
+        assert!(runner.is_affected(&mut database, &p, false).unwrap());
+        assert_eq!(runner.stats.issued, 1);
+        assert_eq!(runner.stats.from_cache, 1);
+    }
+
+    #[test]
+    fn delete_guard_catches_same_batch_partner_deletion() {
+        let mut database = db();
+        // Delete the Avalon row and analyze a Car-side delete whose partner
+        // it was: the post-state poll finds nothing, the guard must fire.
+        database
+            .execute("DELETE FROM Mileage WHERE model = 'Avalon'")
+            .unwrap();
+        let recs: Vec<LogRecord> = database.update_log().pull_since(0).to_vec();
+        let deltas = DeltaSet::from_records(&recs);
+        let info = InfoManager::new();
+        let mut runner = PollRunner::new(&info, &deltas);
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE 'Avalon' = Mileage.model");
+        assert!(
+            runner.is_affected(&mut database, &p, true).unwrap(),
+            "deleted partner must still count for a deleted tuple"
+        );
+        assert_eq!(runner.stats.delete_guard_hits, 1);
+        // For an *inserted* tuple the guard must not fire.
+        let mut runner2 = PollRunner::new(&info, &deltas);
+        assert!(!runner2.is_affected(&mut database, &p, false).unwrap());
+    }
+
+    #[test]
+    fn guard_negative_when_deleted_rows_do_not_match() {
+        let mut database = db();
+        database
+            .execute("DELETE FROM Mileage WHERE model = 'Civic'")
+            .unwrap();
+        let recs: Vec<LogRecord> = database.update_log().pull_since(0).to_vec();
+        let deltas = DeltaSet::from_records(&recs);
+        let info = InfoManager::new();
+        let mut runner = PollRunner::new(&info, &deltas);
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE 'Edsel' = Mileage.model");
+        assert!(!runner.is_affected(&mut database, &p, true).unwrap());
+    }
+
+    #[test]
+    fn maintain_index_is_idempotent_and_sized() {
+        let db = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&db, "Mileage", "model").unwrap();
+        info.maintain_index(&db, "mileage", "MODEL").unwrap();
+        assert_eq!(info.indexes().len(), 1);
+        assert_eq!(info.indexes()[0].distinct_values(), 2); // Avalon, Civic
+    }
+}

@@ -1,0 +1,347 @@
+//! Query-type registration and discovery (§4.1.1–§4.1.2), and the
+//! type/instance/page registry.
+//!
+//! A **query type** is a parameterized SELECT (`$1…$n` markers). A **query
+//! instance** is a type plus a bound parameter vector. The registry keeps,
+//! per instance, the set of pages whose content depends on it — the
+//! invalidator-side view of the QI/URL map, grouped so that updates are
+//! processed per *type* rather than per instance (§4.1.2's grouping).
+
+use cacheportal_db::sql::ast::{Select, Statement, TableRef};
+use cacheportal_db::sql::parser::parse;
+use cacheportal_db::sql::rewrite::parameterize;
+use cacheportal_db::{DbResult, Value};
+use cacheportal_web::PageKey;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a registered query type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryTypeId(pub u32);
+
+/// Per-type bookkeeping statistics (§4.1.1's self-tuning inputs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TypeStats {
+    /// Instances registered under this type.
+    pub instances: u64,
+    /// Query-instance registrations observed (frequency proxy).
+    pub registrations: u64,
+    /// Instance invalidations caused by updates.
+    pub invalidations: u64,
+    /// Polling queries issued on behalf of this type.
+    pub polls: u64,
+    /// Update batches that touched this type's tables.
+    pub update_batches: u64,
+    /// Total wall-clock microseconds spent analyzing this type.
+    pub total_analysis_micros: u64,
+    /// Worst single-batch analysis time for this type (µs).
+    pub max_analysis_micros: u64,
+}
+
+impl TypeStats {
+    /// Ratio of instance-invalidations per touching update batch (the
+    /// paper's "invalidation ratio").
+    pub fn invalidation_ratio(&self) -> f64 {
+        if self.update_batches == 0 {
+            0.0
+        } else {
+            self.invalidations as f64 / self.update_batches as f64
+        }
+    }
+
+    /// Average analysis time per touching batch (µs) — the paper's
+    /// "average invalidation time" statistic (§4.1.1).
+    pub fn avg_analysis_micros(&self) -> f64 {
+        if self.update_batches == 0 {
+            0.0
+        } else {
+            self.total_analysis_micros as f64 / self.update_batches as f64
+        }
+    }
+
+    /// Record one batch's analysis duration.
+    pub fn record_analysis(&mut self, micros: u64) {
+        self.total_analysis_micros += micros;
+        self.max_analysis_micros = self.max_analysis_micros.max(micros);
+    }
+}
+
+/// A registered query type.
+#[derive(Debug, Clone)]
+pub struct QueryType {
+    /// Type identifier.
+    pub id: QueryTypeId,
+    /// Parameterized SELECT.
+    pub select: Select,
+    /// Canonical SQL text of `select` (registry key).
+    pub sql: String,
+    /// Number of `$n` parameters.
+    pub n_params: usize,
+    /// Lower-cased base-table names read by the query (deduped).
+    pub tables: Vec<String>,
+    /// Self-tuning statistics.
+    pub stats: TypeStats,
+    /// When false, pages depending on this type must not be cached
+    /// (policy-discovery outcome, §4.1.4).
+    pub cacheable: bool,
+}
+
+impl QueryType {
+    /// FROM-list occurrences (a table may appear several times).
+    pub fn from_refs(&self) -> &[TableRef] {
+        &self.select.from
+    }
+}
+
+/// One instance's data: the pages depending on it.
+#[derive(Debug, Default, Clone)]
+pub struct InstanceData {
+    /// Pages whose content depends on this instance.
+    pub pages: HashSet<PageKey>,
+}
+
+/// The registry of types and instances.
+#[derive(Debug, Default)]
+pub struct Registry {
+    types: Vec<QueryType>,
+    by_sql: HashMap<String, QueryTypeId>,
+    /// Instance params per type.
+    instances: HashMap<QueryTypeId, HashMap<Vec<Value>, InstanceData>>,
+    /// Which types read a given (lower-cased) table.
+    types_by_table: HashMap<String, Vec<QueryTypeId>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Register a query *type* from parameterized SQL (offline registration,
+    /// §4.1.1). Idempotent on canonical text.
+    pub fn register_type_sql(&mut self, sql: &str) -> DbResult<QueryTypeId> {
+        let stmt = parse(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(cacheportal_db::DbError::Unsupported(
+                "query types must be SELECT statements".into(),
+            ));
+        };
+        Ok(self.intern_type(sel))
+    }
+
+    fn intern_type(&mut self, select: Select) -> QueryTypeId {
+        let sql = Statement::Select(select.clone()).to_sql();
+        if let Some(id) = self.by_sql.get(&sql) {
+            return *id;
+        }
+        let id = QueryTypeId(self.types.len() as u32);
+        let mut tables: Vec<String> = select
+            .from
+            .iter()
+            .map(|t| t.table.to_ascii_lowercase())
+            .collect();
+        tables.sort();
+        tables.dedup();
+        let n_params = {
+            let mut n = 0usize;
+            if let Some(w) = &select.where_clause {
+                for p in w.params() {
+                    n = n.max(p);
+                }
+            }
+            n
+        };
+        for t in &tables {
+            self.types_by_table.entry(t.clone()).or_default().push(id);
+        }
+        self.by_sql.insert(sql.clone(), id);
+        self.types.push(QueryType {
+            id,
+            select,
+            sql,
+            n_params,
+            tables,
+            stats: TypeStats::default(),
+            cacheable: true,
+        });
+        self.instances.entry(id).or_default();
+        id
+    }
+
+    /// Register a bound query instance discovered in the QI/URL map
+    /// (online discovery, §4.1.2): parameterize → intern type → record the
+    /// instance and its dependent page.
+    pub fn register_instance(
+        &mut self,
+        bound_sql: &str,
+        page: PageKey,
+    ) -> DbResult<(QueryTypeId, Vec<Value>)> {
+        let stmt = parse(bound_sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(cacheportal_db::DbError::Unsupported(
+                "query instances must be SELECT statements".into(),
+            ));
+        };
+        let (template, params) = parameterize(&sel);
+        let id = self.intern_type(template);
+        let ty = &mut self.types[id.0 as usize];
+        ty.stats.registrations += 1;
+        let by_params = self.instances.entry(id).or_default();
+        let data = by_params.entry(params.clone()).or_insert_with(|| {
+            ty.stats.instances += 1;
+            InstanceData::default()
+        });
+        data.pages.insert(page);
+        Ok((id, params))
+    }
+
+    /// Type by id.
+    pub fn get(&self, id: QueryTypeId) -> &QueryType {
+        &self.types[id.0 as usize]
+    }
+
+    /// Mutable type access by id.
+    pub fn get_mut(&mut self, id: QueryTypeId) -> &mut QueryType {
+        &mut self.types[id.0 as usize]
+    }
+
+    /// All registered types.
+    pub fn types(&self) -> &[QueryType] {
+        &self.types
+    }
+
+    /// Types whose FROM list includes `table` (lower-cased lookup).
+    pub fn types_reading(&self, table: &str) -> &[QueryTypeId] {
+        self.types_by_table
+            .get(&table.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Instances (param vectors + data) of one type.
+    pub fn instances_of(&self, id: QueryTypeId) -> impl Iterator<Item = (&Vec<Value>, &InstanceData)> {
+        self.instances
+            .get(&id)
+            .into_iter()
+            .flat_map(|m| m.iter())
+    }
+
+    /// Number of registered instances of one type.
+    pub fn instance_count(&self, id: QueryTypeId) -> usize {
+        self.instances.get(&id).map(HashMap::len).unwrap_or(0)
+    }
+
+    /// Instances across all types.
+    pub fn total_instances(&self) -> usize {
+        self.instances.values().map(HashMap::len).sum()
+    }
+
+    /// Pages depending on a specific instance.
+    pub fn pages_of(&self, id: QueryTypeId, params: &[Value]) -> Option<&InstanceData> {
+        self.instances.get(&id).and_then(|m| m.get(params))
+    }
+
+    /// Remove page associations (pages ejected and no longer tracked);
+    /// instances left with no pages are dropped. Returns dropped instances.
+    pub fn remove_pages(&mut self, pages: &HashSet<PageKey>) -> usize {
+        let mut dropped = 0;
+        for by_params in self.instances.values_mut() {
+            by_params.retain(|_, data| {
+                data.pages.retain(|p| !pages.contains(p));
+                if data.pages.is_empty() {
+                    dropped += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_groups_instances_under_one_type() {
+        let mut reg = Registry::new();
+        let (t1, p1) = reg
+            .register_instance(
+                "SELECT * FROM Car WHERE price < 20000",
+                PageKey::raw("p1"),
+            )
+            .unwrap();
+        let (t2, p2) = reg
+            .register_instance(
+                "SELECT * FROM Car WHERE price < 30000",
+                PageKey::raw("p2"),
+            )
+            .unwrap();
+        assert_eq!(t1, t2);
+        assert_ne!(p1, p2);
+        assert_eq!(reg.types().len(), 1);
+        assert_eq!(reg.instance_count(t1), 2);
+        assert_eq!(reg.get(t1).n_params, 1);
+    }
+
+    #[test]
+    fn same_instance_twice_adds_pages_not_instances() {
+        let mut reg = Registry::new();
+        let sql = "SELECT * FROM Car WHERE price < 20000";
+        reg.register_instance(sql, PageKey::raw("p1")).unwrap();
+        let (id, params) = reg.register_instance(sql, PageKey::raw("p2")).unwrap();
+        assert_eq!(reg.instance_count(id), 1);
+        assert_eq!(reg.pages_of(id, &params).unwrap().pages.len(), 2);
+        assert_eq!(reg.get(id).stats.registrations, 2);
+    }
+
+    #[test]
+    fn offline_type_registration_matches_discovery() {
+        let mut reg = Registry::new();
+        let offline = reg
+            .register_type_sql("SELECT * FROM Car WHERE price < $1")
+            .unwrap();
+        let (discovered, _) = reg
+            .register_instance("SELECT * FROM Car WHERE price < 42", PageKey::raw("p"))
+            .unwrap();
+        assert_eq!(offline, discovered);
+    }
+
+    #[test]
+    fn types_by_table_index() {
+        let mut reg = Registry::new();
+        reg.register_instance(
+            "SELECT Car.maker FROM Car, Mileage WHERE Car.model = Mileage.model",
+            PageKey::raw("p"),
+        )
+        .unwrap();
+        reg.register_instance("SELECT EPA FROM Mileage", PageKey::raw("q"))
+            .unwrap();
+        assert_eq!(reg.types_reading("car").len(), 1);
+        assert_eq!(reg.types_reading("MILEAGE").len(), 2);
+        assert_eq!(reg.types_reading("other").len(), 0);
+    }
+
+    #[test]
+    fn remove_pages_drops_empty_instances() {
+        let mut reg = Registry::new();
+        let (id, params) = reg
+            .register_instance("SELECT * FROM Car WHERE price < 1", PageKey::raw("p1"))
+            .unwrap();
+        let mut gone = HashSet::new();
+        gone.insert(PageKey::raw("p1"));
+        assert_eq!(reg.remove_pages(&gone), 1);
+        assert!(reg.pages_of(id, &params).is_none());
+        assert_eq!(reg.instance_count(id), 0);
+    }
+
+    #[test]
+    fn non_select_rejected() {
+        let mut reg = Registry::new();
+        assert!(reg.register_type_sql("DELETE FROM Car").is_err());
+        assert!(reg
+            .register_instance("INSERT INTO Car VALUES (1)", PageKey::raw("p"))
+            .is_err());
+    }
+}

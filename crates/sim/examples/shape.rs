@@ -1,0 +1,36 @@
+//! Calibration aid: print the full Table 2/3 grid at the paper's horizon.
+//! Used when tuning `ServiceTimes`; the publishable runners live in
+//! `cacheportal-bench` (`table2`, `table3`).
+//!
+//! ```text
+//! cargo run --release -p cacheportal-sim --example shape
+//! ```
+
+use cacheportal_sim::*;
+fn main() {
+    for rate in [UpdateRate::NONE, UpdateRate::MEDIUM, UpdateRate::HIGH] {
+        println!("== {} ==", rate.label());
+        for conf in Configuration::ALL {
+            let p = SimParams::paper_baseline().with_update_rate(rate);
+            let r = simulate(conf, &p);
+            println!("{:10} missDB={:>8} missResp={:>8} hit={:>8} exp={:>8}  (done={} censored={})",
+                conf.label(),
+                ConfigRow::fmt_cell(r.row.miss_db.mean_ms()),
+                ConfigRow::fmt_cell(r.row.miss_resp.mean_ms()),
+                ConfigRow::fmt_cell(r.row.hit_resp.mean_ms()),
+                ConfigRow::fmt_cell(r.row.all_resp.mean_ms()),
+                r.completed_requests, r.censored_requests);
+        }
+    }
+    println!("== Table 3 (Conf II LocalDbms) ==");
+    for rate in [UpdateRate::NONE, UpdateRate::MEDIUM, UpdateRate::HIGH] {
+        let p = SimParams::paper_baseline().with_update_rate(rate).with_conf2_access(Conf2CacheAccess::LocalDbms);
+        let r = simulate(Configuration::MiddleTierCache, &p);
+        println!("{:12} missDB={:>8} missResp={:>8} hit={:>8} exp={:>8}",
+            rate.label(),
+            ConfigRow::fmt_cell(r.row.miss_db.mean_ms()),
+            ConfigRow::fmt_cell(r.row.miss_resp.mean_ms()),
+            ConfigRow::fmt_cell(r.row.hit_resp.mean_ms()),
+            ConfigRow::fmt_cell(r.row.all_resp.mean_ms()));
+    }
+}

@@ -1,0 +1,565 @@
+//! The three site configurations of the paper's §1 and §5, as
+//! discrete-event models.
+//!
+//! * **Configuration I** — web/app server + *replicated* DBMS per node,
+//!   no caching; every update is applied at every replica.
+//! * **Configuration II** — one shared DBMS, a middle-tier *data cache* at
+//!   each node, synchronized every interval by a "fetch recent updates"
+//!   query per cache.
+//! * **Configuration III** — one shared DBMS and a *dynamic web-page cache*
+//!   in front of the load balancer, kept fresh by the CachePortal
+//!   invalidator (whose polling cost is one cheap query per interval,
+//!   §5.2.4).
+
+use crate::des::{Engine, SimTime, Step, StationId};
+use crate::metrics::{class, collect, RunResult, MARK_DB_END, MARK_DB_START};
+use crate::params::{ClientModel, Conf2CacheAccess, Freshness, SimParams};
+use crate::workload::{generate_requests, generate_updates, PageClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which deployment to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Configuration {
+    /// Conf I: load balancing + DB replication.
+    ReplicatedDb,
+    /// Conf II: one DB + middle-tier data caches.
+    MiddleTierCache,
+    /// Conf III: one DB + front web cache (CachePortal).
+    WebCache,
+}
+
+impl Configuration {
+    /// All three configurations, in paper order.
+    pub const ALL: [Configuration; 3] = [
+        Configuration::ReplicatedDb,
+        Configuration::MiddleTierCache,
+        Configuration::WebCache,
+    ];
+
+    /// Display label (`Conf. I` â¦ `Conf. III`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Configuration::ReplicatedDb => "Conf. I",
+            Configuration::MiddleTierCache => "Conf. II",
+            Configuration::WebCache => "Conf. III",
+        }
+    }
+}
+
+struct Site {
+    ext_net: StationId,
+    site_net: StationId,
+    ws: Vec<StationId>,
+    app: Vec<StationId>,
+}
+
+fn build_site(engine: &mut Engine, params: &SimParams) -> Site {
+    let svc = &params.svc;
+    let ext_net = engine.add_station("ext_net", svc.ext_net_workers);
+    let site_net = engine.add_station("site_net", svc.net_workers);
+    let mut ws = Vec::new();
+    let mut app = Vec::new();
+    for i in 0..params.nodes {
+        ws.push(engine.add_station(&format!("ws{i}"), svc.ws_workers));
+        app.push(engine.add_station(&format!("as{i}"), svc.as_workers));
+    }
+    Site {
+        ext_net,
+        site_net,
+        ws,
+        app,
+    }
+}
+
+fn db_service(params: &SimParams, page: PageClass) -> SimTime {
+    match page {
+        PageClass::Light => params.svc.db_light,
+        PageClass::Medium => params.svc.db_medium,
+        PageClass::Heavy => params.svc.db_heavy,
+    }
+}
+
+/// One message traversal of a network station.
+fn net_hop(steps: &mut Vec<Step>, net: StationId, msg: SimTime) {
+    steps.push(Step::Acquire(net));
+    steps.push(Step::Busy(msg));
+    steps.push(Step::Release(net));
+}
+
+/// WS entry + AS entry (workers held until the matching exit).
+fn enter_servers(steps: &mut Vec<Step>, site: &Site, node: usize, params: &SimParams) {
+    steps.push(Step::Acquire(site.ws[node]));
+    steps.push(Step::Busy(params.svc.ws_pre));
+    steps.push(Step::Acquire(site.app[node]));
+    steps.push(Step::Busy(params.svc.as_pre));
+}
+
+fn exit_servers(steps: &mut Vec<Step>, site: &Site, node: usize, params: &SimParams) {
+    steps.push(Step::Busy(params.svc.as_post));
+    steps.push(Step::Release(site.app[node]));
+    steps.push(Step::Busy(params.svc.ws_post));
+    steps.push(Step::Release(site.ws[node]));
+}
+
+/// One DB round trip over `net` (None for a co-located replica DB).
+fn db_trip(
+    steps: &mut Vec<Step>,
+    db: StationId,
+    service: SimTime,
+    net: Option<(StationId, SimTime)>,
+) {
+    steps.push(Step::Mark(MARK_DB_START));
+    if let Some((net, msg)) = net {
+        net_hop(steps, net, msg);
+    }
+    steps.push(Step::Acquire(db));
+    steps.push(Step::Busy(service));
+    steps.push(Step::Release(db));
+    if let Some((net, msg)) = net {
+        net_hop(steps, net, msg);
+    }
+    steps.push(Step::Mark(MARK_DB_END));
+}
+
+/// Run one configuration under the given parameters.
+///
+/// ```
+/// use cacheportal_sim::{simulate, Configuration, SimParams, UpdateRate, SEC};
+///
+/// let params = SimParams::paper_baseline()
+///     .with_duration(10 * SEC)
+///     .with_update_rate(UpdateRate::MEDIUM);
+/// let result = simulate(Configuration::WebCache, &params);
+/// assert!(result.completed_requests > 0);
+/// assert!(result.row.hit_resp.mean_ms().unwrap() < result.row.miss_resp.mean_ms().unwrap());
+/// ```
+pub fn simulate(conf: Configuration, params: &SimParams) -> RunResult {
+    let mut engine = Engine::new();
+    let svc = params.svc.clone();
+    let site = build_site(&mut engine, params);
+
+    // Configuration-specific stations.
+    let shared_db = engine.add_station("db", svc.db_workers_shared);
+    let replica_dbs: Vec<StationId> = (0..params.nodes)
+        .map(|i| engine.add_station(&format!("db{i}"), svc.db_workers_replica))
+        .collect();
+    let dcaches: Vec<StationId> = (0..params.nodes)
+        .map(|i| engine.add_station(&format!("dcache{i}"), svc.dcache_workers))
+        .collect();
+    let web_cache = engine.add_station("web_cache", svc.cache_workers);
+
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let requests = generate_requests(
+        &mut rng,
+        params.num_req_per_sec,
+        params.effective_hit_ratio(),
+        params.duration,
+    );
+    let updates = generate_updates(&mut rng, &params.update_rate, params.duration);
+
+    // Build the step program for one request given its class, its pre-drawn
+    // cache outcome, and the node the load balancer picked.
+    let make_steps = |page: PageClass, cache_hit: bool, node: usize| -> (u32, Vec<Step>) {
+        let mut steps: Vec<Step> = Vec::with_capacity(32);
+        let db_svc = db_service(params, page);
+
+        // Conf I has no cache: every request is a miss by construction.
+        let effective_hit = cache_hit && conf != Configuration::ReplicatedDb;
+        let job_class = class::request(page, effective_hit);
+
+        match conf {
+            Configuration::ReplicatedDb => {
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+                net_hop(&mut steps, site.site_net, svc.net_msg);
+                enter_servers(&mut steps, &site, node, params);
+                for _ in 0..params.query_per_request {
+                    // Replica DB is co-located: no network hop.
+                    db_trip(&mut steps, replica_dbs[node], db_svc, None);
+                }
+                exit_servers(&mut steps, &site, node, params);
+                net_hop(&mut steps, site.site_net, svc.net_msg);
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+            }
+            Configuration::MiddleTierCache => {
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+                net_hop(&mut steps, site.site_net, svc.net_msg);
+                enter_servers(&mut steps, &site, node, params);
+                let access = match params.conf2_access {
+                    Conf2CacheAccess::Negligible => svc.dcache_mem,
+                    Conf2CacheAccess::LocalDbms => svc.dcache_conn,
+                };
+                for _ in 0..params.query_per_request {
+                    // Every query consults the node's data cache first.
+                    steps.push(Step::Acquire(dcaches[node]));
+                    steps.push(Step::Busy(access));
+                    steps.push(Step::Release(dcaches[node]));
+                    if !effective_hit {
+                        db_trip(
+                            &mut steps,
+                            shared_db,
+                            db_svc,
+                            Some((site.site_net, svc.net_msg)),
+                        );
+                    }
+                }
+                exit_servers(&mut steps, &site, node, params);
+                net_hop(&mut steps, site.site_net, svc.net_msg);
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+            }
+            Configuration::WebCache => {
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+                // Front cache handles every request…
+                steps.push(Step::Acquire(web_cache));
+                steps.push(Step::Busy(svc.cache_lookup));
+                steps.push(Step::Release(web_cache));
+                if !effective_hit {
+                    // …misses continue into the site.
+                    net_hop(&mut steps, site.site_net, svc.net_msg);
+                    enter_servers(&mut steps, &site, node, params);
+                    for _ in 0..params.query_per_request {
+                        db_trip(
+                            &mut steps,
+                            shared_db,
+                            db_svc,
+                            Some((site.site_net, svc.net_msg)),
+                        );
+                    }
+                    exit_servers(&mut steps, &site, node, params);
+                    net_hop(&mut steps, site.site_net, svc.net_msg);
+                    // Response stored/forwarded by the cache.
+                    steps.push(Step::Acquire(web_cache));
+                    steps.push(Step::Busy(svc.cache_lookup));
+                    steps.push(Step::Release(web_cache));
+                }
+                net_hop(&mut steps, site.ext_net, svc.ext_net_msg);
+            }
+        }
+        (job_class, steps)
+    };
+
+    // --- request jobs -----------------------------------------------------
+    match params.client_model {
+        ClientModel::Open => {
+            for (seq, req) in requests.iter().enumerate() {
+                let node = seq % params.nodes; // round-robin load balancer
+                let (job_class, steps) = make_steps(req.class, req.cache_hit, node);
+                engine.spawn_at(req.at, job_class, steps);
+            }
+        }
+        ClientModel::Closed { users, think_time } => {
+            // Each user issues its next request `think` after the previous
+            // response; chains are built back-to-front and sized generously
+            // (unstarted tail requests are simply never spawned).
+            use crate::des::ChainedJob;
+            use rand::Rng;
+            let hit_ratio = params.effective_hit_ratio();
+            let per_user =
+                (params.duration / think_time.max(1)) as usize * 2 + 32;
+            for user in 0..users.max(1) {
+                let mut chain: Option<Box<ChainedJob>> = None;
+                for k in (1..per_user).rev() {
+                    let page = PageClass::ALL[rng.gen_range(0..3)];
+                    let hit = rng.gen_range(0.0..1.0) < hit_ratio;
+                    let node = (user + k) % params.nodes;
+                    let (job_class, steps) = make_steps(page, hit, node);
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let delay = (-u.ln() * think_time as f64) as u64;
+                    chain = Some(Box::new(ChainedJob {
+                        delay,
+                        class: job_class,
+                        steps,
+                        next: chain,
+                    }));
+                }
+                let page = PageClass::ALL[rng.gen_range(0..3)];
+                let hit = rng.gen_range(0.0..1.0) < hit_ratio;
+                let (job_class, steps) = make_steps(page, hit, user % params.nodes);
+                // Stagger user start times across one think interval.
+                let start = (user as u64 * think_time) / users.max(1) as u64;
+                engine.spawn_chain_at(start, job_class, steps, chain);
+            }
+        }
+    }
+
+    // --- update jobs ----------------------------------------------------
+    for upd in &updates {
+        match conf {
+            Configuration::ReplicatedDb => {
+                // dist_synch_cost: the update is applied at every replica.
+                for db in &replica_dbs {
+                    let mut steps = Vec::with_capacity(8);
+                    net_hop(&mut steps, site.site_net, svc.net_msg);
+                    steps.push(Step::Acquire(*db));
+                    steps.push(Step::Busy(svc.db_update));
+                    steps.push(Step::Release(*db));
+                    engine.spawn_at(upd.at, class::KIND_UPDATE, steps);
+                }
+            }
+            Configuration::MiddleTierCache | Configuration::WebCache => {
+                let mut steps = Vec::with_capacity(8);
+                net_hop(&mut steps, site.site_net, svc.net_msg);
+                steps.push(Step::Acquire(shared_db));
+                steps.push(Step::Busy(svc.db_update));
+                steps.push(Step::Release(shared_db));
+                engine.spawn_at(upd.at, class::KIND_UPDATE, steps);
+            }
+        }
+    }
+
+    // --- synchronization / invalidation traffic -------------------------
+    let has_updates = !updates.is_empty();
+    let mut t = svc.sync_interval;
+    while t < params.duration {
+        match conf {
+            Configuration::MiddleTierCache => {
+                // data_cache_synch_cost: one "fetch updates" query per cache
+                // per interval (§5.2.5), over the shared network.
+                if has_updates {
+                    for _ in 0..params.nodes {
+                        let mut steps = Vec::with_capacity(8);
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        steps.push(Step::Acquire(shared_db));
+                        steps.push(Step::Busy(svc.sync_query));
+                        steps.push(Step::Release(shared_db));
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        engine.spawn_at(t, class::KIND_SYNC, steps);
+                    }
+                }
+            }
+            Configuration::WebCache => match params.freshness {
+                Freshness::Invalidation => {
+                    // poll_cost: the invalidator's per-interval query (§5.2.4).
+                    if has_updates {
+                        let mut steps = Vec::with_capacity(8);
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        steps.push(Step::Acquire(shared_db));
+                        steps.push(Step::Busy(svc.poll_query));
+                        steps.push(Step::Release(shared_db));
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        engine.spawn_at(t, class::KIND_POLL, steps);
+                    }
+                }
+                Freshness::PeriodicRefresh { pages_per_interval } => {
+                    // Time-based refresh regenerates pages through the full
+                    // backend path every interval — updates or not.
+                    for k in 0..pages_per_interval {
+                        let page = PageClass::ALL[k % 3];
+                        let node = k % params.nodes;
+                        let mut steps = Vec::with_capacity(24);
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        enter_servers(&mut steps, &site, node, params);
+                        db_trip(
+                            &mut steps,
+                            shared_db,
+                            db_service(params, page),
+                            Some((site.site_net, svc.net_msg)),
+                        );
+                        exit_servers(&mut steps, &site, node, params);
+                        net_hop(&mut steps, site.site_net, svc.net_msg);
+                        engine.spawn_at(t, class::KIND_SYNC, steps);
+                    }
+                }
+            },
+            Configuration::ReplicatedDb => {
+                // Replication has no periodic sync beyond the per-update
+                // fan-out already modelled.
+            }
+        }
+        t += svc.sync_interval;
+    }
+
+    engine.run_until(params.duration);
+    collect(&engine, params.duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::SEC;
+    use crate::params::UpdateRate;
+
+    fn quick(conf: Configuration, rate: UpdateRate) -> RunResult {
+        let params = SimParams::paper_baseline()
+            .with_duration(40 * SEC)
+            .with_update_rate(rate);
+        simulate(conf, &params)
+    }
+
+    #[test]
+    fn conf_i_has_no_hits_and_is_overloaded() {
+        let r = quick(Configuration::ReplicatedDb, UpdateRate::NONE);
+        assert_eq!(r.row.hit_resp.count, 0, "no cache in Conf I");
+        let conf3 = quick(Configuration::WebCache, UpdateRate::NONE);
+        assert!(
+            r.row.all_resp.mean_ms().unwrap() > 10.0 * conf3.row.all_resp.mean_ms().unwrap(),
+            "Conf I must be at least an order of magnitude slower: {:?} vs {:?}",
+            r.row.all_resp.mean_ms(),
+            conf3.row.all_resp.mean_ms()
+        );
+    }
+
+    #[test]
+    fn conf_iii_close_to_conf_ii_when_no_updates() {
+        let ii = quick(Configuration::MiddleTierCache, UpdateRate::NONE);
+        let iii = quick(Configuration::WebCache, UpdateRate::NONE);
+        let a = ii.row.all_resp.mean_ms().unwrap();
+        let b = iii.row.all_resp.mean_ms().unwrap();
+        assert!(b < a * 1.25, "III ({b:.0}ms) ≈ or < II ({a:.0}ms)");
+    }
+
+    #[test]
+    fn update_load_widens_the_gap() {
+        let ii = quick(Configuration::MiddleTierCache, UpdateRate::HIGH);
+        let iii = quick(Configuration::WebCache, UpdateRate::HIGH);
+        let a = ii.row.all_resp.mean_ms().unwrap();
+        let b = iii.row.all_resp.mean_ms().unwrap();
+        assert!(
+            b < a,
+            "under heavy updates Conf III ({b:.0}ms) must beat Conf II ({a:.0}ms)"
+        );
+    }
+
+    #[test]
+    fn conf_iii_hits_unaffected_by_updates() {
+        let none = quick(Configuration::WebCache, UpdateRate::NONE);
+        let high = quick(Configuration::WebCache, UpdateRate::HIGH);
+        let h0 = none.row.hit_resp.mean_ms().unwrap();
+        let h1 = high.row.hit_resp.mean_ms().unwrap();
+        assert!(
+            (h1 - h0).abs() < h0 * 0.25,
+            "hit time moved too much: {h0:.0} → {h1:.0}"
+        );
+    }
+
+    #[test]
+    fn conf_ii_local_dbms_cache_is_catastrophic() {
+        let params = SimParams::paper_baseline()
+            .with_duration(40 * SEC)
+            .with_conf2_access(crate::params::Conf2CacheAccess::LocalDbms);
+        let table3 = simulate(Configuration::MiddleTierCache, &params);
+        let table2 = quick(Configuration::MiddleTierCache, UpdateRate::NONE);
+        assert!(
+            table3.row.all_resp.mean_ms().unwrap()
+                > 20.0 * table2.row.all_resp.mean_ms().unwrap(),
+            "local-DBMS cache must blow up: {:?} vs {:?}",
+            table3.row.all_resp.mean_ms(),
+            table2.row.all_resp.mean_ms()
+        );
+    }
+
+    #[test]
+    fn closed_loop_saturates_instead_of_diverging() {
+        use crate::params::ClientModel;
+        // Conf I is hopelessly overloaded open-loop: its mean response grows
+        // with experiment length. Closed-loop with a fixed population, the
+        // backlog is bounded by the population, so the mean stabilizes.
+        let closed = |secs: u64| {
+            let params = SimParams::paper_baseline()
+                .with_duration(secs * SEC)
+                .with_client_model(ClientModel::Closed {
+                    users: 30,
+                    think_time: SEC,
+                });
+            simulate(Configuration::ReplicatedDb, &params)
+                .row
+                .all_resp
+                .mean_ms()
+                .unwrap()
+        };
+        let open = |secs: u64| {
+            let params = SimParams::paper_baseline().with_duration(secs * SEC);
+            simulate(Configuration::ReplicatedDb, &params)
+                .row
+                .all_resp
+                .mean_ms()
+                .unwrap()
+        };
+        let (c30, c90) = (closed(30), closed(90));
+        let (o30, o90) = (open(30), open(90));
+        assert!(
+            o90 > o30 * 1.8,
+            "open loop must diverge with duration: {o30} -> {o90}"
+        );
+        assert!(
+            c90 < c30 * 1.5,
+            "closed loop must stabilize: {c30} -> {c90}"
+        );
+        assert!(c90 < o90, "closed-loop backlog is bounded by the population");
+    }
+
+    #[test]
+    fn closed_loop_matches_open_when_underloaded() {
+        use crate::params::ClientModel;
+        // Conf III is far from saturation: a closed population generating
+        // roughly the same demand sees hit latencies in the same range.
+        let params = SimParams::paper_baseline()
+            .with_duration(40 * SEC)
+            .with_client_model(ClientModel::Closed {
+                users: 30,
+                think_time: SEC,
+            });
+        let closed = simulate(Configuration::WebCache, &params);
+        let open = simulate(
+            Configuration::WebCache,
+            &SimParams::paper_baseline().with_duration(40 * SEC),
+        );
+        let ch = closed.row.hit_resp.mean_ms().unwrap();
+        let oh = open.row.hit_resp.mean_ms().unwrap();
+        assert!(
+            (ch - oh).abs() < oh * 0.25,
+            "hit latency should not depend on the client model when idle: {ch} vs {oh}"
+        );
+        assert!(closed.completed_requests > 500, "population kept busy");
+    }
+
+    #[test]
+    fn periodic_refresh_costs_more_than_invalidation() {
+        use crate::params::Freshness;
+        let base = SimParams::paper_baseline()
+            .with_duration(40 * SEC)
+            .with_update_rate(UpdateRate::MEDIUM);
+        let inval = simulate(Configuration::WebCache, &base);
+        let refresh = |pages| {
+            simulate(
+                Configuration::WebCache,
+                &base.clone().with_freshness(Freshness::PeriodicRefresh {
+                    pages_per_interval: pages,
+                }),
+            )
+        };
+        let light = refresh(5);
+        let heavy = refresh(40);
+        let e = |r: &RunResult| r.row.all_resp.mean_ms().unwrap();
+        assert!(
+            e(&light) > e(&inval),
+            "even light refresh costs more: {} vs {}",
+            e(&light),
+            e(&inval)
+        );
+        assert!(
+            e(&heavy) > e(&light) * 1.5,
+            "refresh cost grows with refreshed pages: {} vs {}",
+            e(&heavy),
+            e(&light)
+        );
+        // The extra load shows up as DB utilization.
+        let util = |r: &RunResult| {
+            r.stations
+                .iter()
+                .find(|(n, _, _)| n == "db")
+                .map(|(_, u, _)| *u)
+                .unwrap()
+        };
+        assert!(util(&heavy) > util(&inval));
+        assert!(util(&heavy) > 0.95, "refresh saturates the DBMS");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(Configuration::WebCache, UpdateRate::MEDIUM);
+        let b = quick(Configuration::WebCache, UpdateRate::MEDIUM);
+        assert_eq!(a.row.all_resp.sum, b.row.all_resp.sum);
+        assert_eq!(a.completed_requests, b.completed_requests);
+    }
+}

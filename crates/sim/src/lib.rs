@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # cacheportal-sim
+//!
+//! Deterministic discrete-event simulation of the paper's three deployment
+//! configurations (§5): web/app-server worker pools whose threads are held
+//! across database calls (the resource-starvation mechanism of §5.3.1), a
+//! shared site network contended by requests, updates and synchronization
+//! traffic, replica/shared DBMS stations, and the three cache placements.
+//!
+//! The experiment harness in `cacheportal-bench` drives [`configs::simulate`]
+//! across the paper's parameter grid to regenerate Tables 2 and 3 and the
+//! parameter sweeps.
+
+pub mod configs;
+pub mod des;
+pub mod metrics;
+pub mod params;
+pub mod workload;
+
+pub use configs::{simulate, Configuration};
+pub use des::{Engine, SimTime, Step, MS, SEC};
+pub use metrics::{collect, Agg, ConfigRow, Percentiles, RunResult};
+pub use params::{ClientModel, Conf2CacheAccess, Freshness, HitRatioModel, ServiceTimes, SimParams, UpdateRate};
+pub use workload::PageClass;

@@ -1,0 +1,324 @@
+//! Response-time metrics in the shape of the paper's Tables 2 and 3.
+
+use crate::des::{Engine, SimTime, MS};
+use crate::workload::PageClass;
+
+/// Job-class encoding shared by configs and metrics.
+pub mod class {
+    use crate::workload::PageClass;
+
+    /// Page-request jobs.
+    pub const KIND_REQUEST: u32 = 0;
+    /// Update-tuple jobs.
+    pub const KIND_UPDATE: u32 = 1 << 4;
+    /// Cache-synchronization jobs (Conf II).
+    pub const KIND_SYNC: u32 = 2 << 4;
+    /// Invalidator polling jobs (Conf III).
+    pub const KIND_POLL: u32 = 3 << 4;
+
+    /// Encode a page request class.
+    pub fn request(page: PageClass, hit: bool) -> u32 {
+        let p = match page {
+            PageClass::Light => 0,
+            PageClass::Medium => 1,
+            PageClass::Heavy => 2,
+        };
+        KIND_REQUEST | (p << 1) | u32::from(hit)
+    }
+
+    /// True for page-request jobs.
+    pub fn is_request(c: u32) -> bool {
+        c & !0xF == KIND_REQUEST
+    }
+
+    /// True when the pre-drawn outcome was a cache hit.
+    pub fn is_hit(c: u32) -> bool {
+        c & 1 == 1
+    }
+
+    /// Decode the page class.
+    pub fn page(c: u32) -> PageClass {
+        match (c >> 1) & 0b11 {
+            0 => PageClass::Light,
+            1 => PageClass::Medium,
+            _ => PageClass::Heavy,
+        }
+    }
+}
+
+/// Mark indices used by all configurations.
+pub const MARK_DB_START: u8 = 0;
+/// Time the DB round trip finished.
+pub const MARK_DB_END: u8 = 1;
+
+/// Aggregated response times for one cell group.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Agg {
+    /// Observations.
+    pub count: u64,
+    /// Sum of response times (Âµs).
+    pub sum: u128,
+}
+
+impl Agg {
+    /// Record one observation.
+    pub fn add(&mut self, v: SimTime) {
+        self.count += 1;
+        self.sum += v as u128;
+    }
+
+    /// Mean in milliseconds (`None` when empty — the paper prints `N/A`).
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64 / MS as f64)
+        }
+    }
+}
+
+/// One configuration's row group, matching the paper's table cells:
+/// miss-DB, miss-response, hit-response, expected response.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConfigRow {
+    /// DB segment of misses.
+    pub miss_db: Agg,
+    /// Full response time of misses.
+    pub miss_resp: Agg,
+    /// Response time of hits.
+    pub hit_resp: Agg,
+    /// Response time over all requests (the "expected" column).
+    pub all_resp: Agg,
+}
+
+impl ConfigRow {
+    /// Format one cell: average ms or `N/A`.
+    pub fn fmt_cell(v: Option<f64>) -> String {
+        match v {
+            Some(ms) => format!("{ms:.0}"),
+            None => "N/A".to_string(),
+        }
+    }
+}
+
+/// Latency percentiles over all requests (ms): p50 / p95 / p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Compute from an unsorted sample set (empty → all zeros).
+    pub fn from_samples(mut samples: Vec<SimTime>) -> Percentiles {
+        if samples.is_empty() {
+            return Percentiles {
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        samples.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx] as f64 / MS as f64
+        };
+        Percentiles {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        }
+    }
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The paper-shaped cell group.
+    pub row: ConfigRow,
+    /// Per (page class, hit) aggregates.
+    pub per_class: Vec<(PageClass, bool, Agg)>,
+    /// Requests completed within the horizon.
+    pub completed_requests: u64,
+    /// Requests still queued at the horizon (right-censored; their elapsed
+    /// wait is included in the averages).
+    pub censored_requests: u64,
+    /// Station name → (utilization, peak queue).
+    pub stations: Vec<(String, f64, usize)>,
+    /// Response-time percentiles over all requests (censored included).
+    pub percentiles: Percentiles,
+}
+
+/// Collect metrics from a finished engine.
+pub fn collect(engine: &Engine, horizon: SimTime) -> RunResult {
+    let mut row = ConfigRow::default();
+    let mut per: Vec<(PageClass, bool, Agg)> = Vec::new();
+    for pc in PageClass::ALL {
+        per.push((pc, false, Agg::default()));
+        per.push((pc, true, Agg::default()));
+    }
+    let mut add_per = |job_class: u32, v: SimTime| {
+        let pc = class::page(job_class);
+        let hit = class::is_hit(job_class);
+        for (p, h, agg) in per.iter_mut() {
+            if *p == pc && *h == hit {
+                agg.add(v);
+            }
+        }
+    };
+
+    let mut samples: Vec<SimTime> = Vec::new();
+    let mut completed_requests = 0;
+    for job in engine.completed() {
+        if !class::is_request(job.class) {
+            continue;
+        }
+        completed_requests += 1;
+        let resp = job.response_time();
+        samples.push(resp);
+        row.all_resp.add(resp);
+        add_per(job.class, resp);
+        if class::is_hit(job.class) {
+            row.hit_resp.add(resp);
+        } else {
+            row.miss_resp.add(resp);
+            if let Some(db) = job.mark_span(MARK_DB_START, MARK_DB_END) {
+                row.miss_db.add(db);
+            }
+        }
+    }
+
+    // Right-censored jobs: the user was still waiting at the horizon.
+    let mut censored_requests = 0;
+    for (job_class, created) in engine.in_flight_jobs() {
+        if !class::is_request(job_class) || created >= horizon {
+            continue;
+        }
+        censored_requests += 1;
+        let resp = horizon - created;
+        samples.push(resp);
+        row.all_resp.add(resp);
+        add_per(job_class, resp);
+        if class::is_hit(job_class) {
+            row.hit_resp.add(resp);
+        } else {
+            row.miss_resp.add(resp);
+        }
+    }
+
+    let stations = engine
+        .stations()
+        .iter()
+        .map(|s| (s.name.clone(), s.utilization(horizon), s.peak_queue))
+        .collect();
+
+    RunResult {
+        row,
+        per_class: per,
+        completed_requests,
+        censored_requests,
+        stations,
+        percentiles: Percentiles::from_samples(samples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::Step;
+
+    #[test]
+    fn class_encoding_round_trips() {
+        for pc in PageClass::ALL {
+            for hit in [false, true] {
+                let c = class::request(pc, hit);
+                assert!(class::is_request(c));
+                assert_eq!(class::page(c), pc);
+                assert_eq!(class::is_hit(c), hit);
+            }
+        }
+        assert!(!class::is_request(class::KIND_UPDATE));
+        assert!(!class::is_request(class::KIND_SYNC));
+    }
+
+    #[test]
+    fn agg_mean() {
+        let mut a = Agg::default();
+        assert_eq!(a.mean_ms(), None);
+        a.add(10 * MS);
+        a.add(30 * MS);
+        assert_eq!(a.mean_ms(), Some(20.0));
+    }
+
+    #[test]
+    fn collect_splits_hits_and_misses() {
+        let mut e = Engine::new();
+        let db = e.add_station("db", 1);
+        // A miss with a DB segment.
+        e.spawn_at(
+            0,
+            class::request(PageClass::Light, false),
+            vec![
+                Step::Busy(5 * MS),
+                Step::Mark(MARK_DB_START),
+                Step::Acquire(db),
+                Step::Busy(100 * MS),
+                Step::Release(db),
+                Step::Mark(MARK_DB_END),
+            ],
+        );
+        // A hit.
+        e.spawn_at(
+            0,
+            class::request(PageClass::Light, true),
+            vec![Step::Busy(10 * MS)],
+        );
+        // An update job must not count as a request.
+        e.spawn_at(0, class::KIND_UPDATE, vec![Step::Busy(MS)]);
+        e.run_until(10_000 * MS);
+        let r = collect(&e, 10_000 * MS);
+        assert_eq!(r.completed_requests, 2);
+        assert_eq!(r.row.hit_resp.mean_ms(), Some(10.0));
+        assert_eq!(r.row.miss_resp.mean_ms(), Some(105.0));
+        assert_eq!(r.row.miss_db.mean_ms(), Some(100.0));
+        assert_eq!(r.row.all_resp.count, 2);
+    }
+
+    #[test]
+    fn percentiles_from_samples() {
+        let p = Percentiles::from_samples((1..=100).map(|i| i * MS).collect());
+        // Nearest-rank on indexes 0..99: idx = round(99·p).
+        assert_eq!(p.p50, 51.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        let empty = Percentiles::from_samples(vec![]);
+        assert_eq!(empty.p50, 0.0);
+        let single = Percentiles::from_samples(vec![7 * MS]);
+        assert_eq!((single.p50, single.p95, single.p99), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn censored_jobs_count_as_waiting() {
+        let mut e = Engine::new();
+        let s = e.add_station("cpu", 1);
+        // Second job can never finish before the horizon.
+        for i in 0..2 {
+            e.spawn_at(
+                0,
+                class::request(PageClass::Heavy, false),
+                vec![Step::Acquire(s), Step::Busy(800 * MS + i), Step::Release(s)],
+            );
+        }
+        e.run_until(1_000 * MS);
+        let r = collect(&e, 1_000 * MS);
+        assert_eq!(r.completed_requests, 1);
+        assert_eq!(r.censored_requests, 1);
+        assert_eq!(r.row.all_resp.count, 2);
+        // Censored response = full kilosecond wait.
+        assert!(r.row.all_resp.mean_ms().unwrap() > 800.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Workload generation: Poisson request/update arrival streams with seeded,
+//! reproducible randomness (the paper's request and update generators,
+//! §5.2.2–§5.2.3).
+
+use crate::des::{SimTime, SEC};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Page classes, in the paper's terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageClass {
+    /// Select on the small table.
+    Light,
+    /// Select on the large table.
+    Medium,
+    /// Select-join over both tables.
+    Heavy,
+}
+
+impl PageClass {
+    /// All three classes, in paper order.
+    pub const ALL: [PageClass; 3] = [PageClass::Light, PageClass::Medium, PageClass::Heavy];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PageClass::Light => "light",
+            PageClass::Medium => "medium",
+            PageClass::Heavy => "heavy",
+        }
+    }
+}
+
+/// One generated page request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestArrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Page class.
+    pub class: PageClass,
+    /// Pre-drawn cache outcome (the paper models a fixed hit ratio).
+    pub cache_hit: bool,
+}
+
+/// One generated update tuple.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateArrival {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Which table (0 = small, 1 = large).
+    pub table: usize,
+    /// Insert (true) or delete (false).
+    pub is_insert: bool,
+}
+
+/// Exponential interarrival sample for rate `per_sec` (Poisson process).
+fn exp_interarrival(rng: &mut StdRng, per_sec: f64) -> SimTime {
+    debug_assert!(per_sec > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let secs = -u.ln() / per_sec;
+    (secs * SEC as f64) as SimTime
+}
+
+/// Generate a Poisson stream of arrival instants over `[0, duration)`.
+fn poisson_stream(rng: &mut StdRng, per_sec: f64, duration: SimTime) -> Vec<SimTime> {
+    let mut out = Vec::new();
+    if per_sec <= 0.0 {
+        return out;
+    }
+    let mut t = exp_interarrival(rng, per_sec);
+    while t < duration {
+        out.push(t);
+        t += exp_interarrival(rng, per_sec);
+    }
+    out
+}
+
+/// Generate the request stream: one independent Poisson stream per page
+/// class at `num_req_per_sec / 3`, with pre-drawn hit/miss outcomes.
+pub fn generate_requests(
+    rng: &mut StdRng,
+    num_req_per_sec: f64,
+    hit_ratio: f64,
+    duration: SimTime,
+) -> Vec<RequestArrival> {
+    let per_class = num_req_per_sec / PageClass::ALL.len() as f64;
+    let mut all = Vec::new();
+    for class in PageClass::ALL {
+        for at in poisson_stream(rng, per_class, duration) {
+            let cache_hit = rng.gen_range(0.0..1.0) < hit_ratio;
+            all.push(RequestArrival {
+                at,
+                class,
+                cache_hit,
+            });
+        }
+    }
+    all.sort_by_key(|r| r.at);
+    all
+}
+
+/// Generate the update stream for the paper's ⟨ins₁,del₁,ins₂,del₂⟩ spec.
+pub fn generate_updates(
+    rng: &mut StdRng,
+    rate: &crate::params::UpdateRate,
+    duration: SimTime,
+) -> Vec<UpdateArrival> {
+    let mut all = Vec::new();
+    let streams = [
+        (rate.ins1, 0usize, true),
+        (rate.del1, 0, false),
+        (rate.ins2, 1, true),
+        (rate.del2, 1, false),
+    ];
+    for (per_sec, table, is_insert) in streams {
+        if per_sec <= 0.0 {
+            continue;
+        }
+        for at in poisson_stream(rng, per_sec, duration) {
+            all.push(UpdateArrival {
+                at,
+                table,
+                is_insert,
+            });
+        }
+    }
+    all.sort_by_key(|u| u.at);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::UpdateRate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn request_stream_has_roughly_right_rate_and_mix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let reqs = generate_requests(&mut rng, 30.0, 0.7, 100 * SEC);
+        let n = reqs.len() as f64;
+        assert!((2400.0..3600.0).contains(&n), "expected ≈3000, got {n}");
+        for class in PageClass::ALL {
+            let share = reqs.iter().filter(|r| r.class == class).count() as f64 / n;
+            assert!((share - 1.0 / 3.0).abs() < 0.05, "{}: {share}", class.label());
+        }
+        let hits = reqs.iter().filter(|r| r.cache_hit).count() as f64 / n;
+        assert!((hits - 0.7).abs() < 0.05, "hit share {hits}");
+        assert!(reqs.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+    }
+
+    #[test]
+    fn update_stream_respects_spec() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ups = generate_updates(&mut rng, &UpdateRate::MEDIUM, 100 * SEC);
+        let n = ups.len() as f64; // expect ≈ 20/s × 100 s
+        assert!((1600.0..2400.0).contains(&n), "expected ≈2000, got {n}");
+        let t0 = ups.iter().filter(|u| u.table == 0).count();
+        let t1 = ups.iter().filter(|u| u.table == 1).count();
+        assert!((t0 as f64 / t1 as f64 - 1.0).abs() < 0.2);
+        assert!(generate_updates(&mut rng, &UpdateRate::NONE, 100 * SEC).is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = generate_requests(&mut StdRng::seed_from_u64(42), 30.0, 0.7, 10 * SEC);
+        let b = generate_requests(&mut StdRng::seed_from_u64(42), 30.0, 0.7, 10 * SEC);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.at == y.at && x.class == y.class && x.cache_hit == y.cache_hit));
+    }
+}

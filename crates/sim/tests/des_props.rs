@@ -1,0 +1,120 @@
+//! Property tests on the discrete-event engine: conservation, FIFO order,
+//! monotonicity in service time, and work conservation at a single station.
+
+use cacheportal_sim::{Engine, Step};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every spawned job either completes or stays in flight;
+    /// with a generous horizon, all complete.
+    #[test]
+    fn jobs_are_conserved(
+        arrivals in prop::collection::vec((0u64..1_000, 1u64..200), 1..40),
+        workers in 1usize..4,
+    ) {
+        let mut e = Engine::new();
+        let s = e.add_station("cpu", workers);
+        for (i, (at, dur)) in arrivals.iter().enumerate() {
+            e.spawn_at(*at, i as u32, vec![Step::Acquire(s), Step::Busy(*dur), Step::Release(s)]);
+        }
+        let total_work: u64 = arrivals.iter().map(|(_, d)| *d).sum();
+        let horizon = 1_000 + total_work + 10;
+        e.run_until(horizon);
+        prop_assert_eq!(e.completed().len(), arrivals.len());
+        prop_assert_eq!(e.in_flight(), 0);
+    }
+
+    /// Single-worker FIFO: jobs entering the queue in arrival order leave
+    /// in arrival order, and the station is work-conserving (total busy
+    /// time equals total service demand).
+    #[test]
+    fn single_worker_is_fifo_and_work_conserving(
+        arrivals in prop::collection::vec((0u64..500, 1u64..100), 2..30),
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        let mut e = Engine::new();
+        let s = e.add_station("cpu", 1);
+        for (i, (at, dur)) in sorted.iter().enumerate() {
+            e.spawn_at(*at, i as u32, vec![Step::Acquire(s), Step::Busy(*dur), Step::Release(s)]);
+        }
+        e.run_until(1_000_000);
+        let done = e.completed();
+        prop_assert_eq!(done.len(), sorted.len());
+        // Completion order == arrival order (ties broken by spawn order).
+        for w in done.windows(2) {
+            prop_assert!(w[0].class < w[1].class, "FIFO violated");
+        }
+        let total: u64 = sorted.iter().map(|(_, d)| *d).sum();
+        let busy = e.station(s).busy_time as u64;
+        prop_assert_eq!(busy, total, "work conservation");
+        // Utilization never exceeds 1 per worker.
+        let horizon = done.last().unwrap().finished;
+        prop_assert!(e.station(s).utilization(horizon) <= 1.0 + 1e-9);
+    }
+
+    /// Monotonicity: uniformly increasing every service time cannot make
+    /// any job finish earlier.
+    #[test]
+    fn service_time_monotonicity(
+        arrivals in prop::collection::vec((0u64..300, 1u64..50), 1..20),
+        workers in 1usize..3,
+        extra in 1u64..30,
+    ) {
+        let run = |bump: u64| {
+            let mut e = Engine::new();
+            let s = e.add_station("cpu", workers);
+            for (i, (at, dur)) in arrivals.iter().enumerate() {
+                e.spawn_at(
+                    *at,
+                    i as u32,
+                    vec![Step::Acquire(s), Step::Busy(dur + bump), Step::Release(s)],
+                );
+            }
+            e.run_until(10_000_000);
+            let mut by_class: Vec<(u32, u64)> =
+                e.completed().iter().map(|j| (j.class, j.finished)).collect();
+            by_class.sort();
+            by_class
+        };
+        let base = run(0);
+        let slower = run(extra);
+        for ((c1, f1), (c2, f2)) in base.iter().zip(&slower) {
+            prop_assert_eq!(c1, c2);
+            prop_assert!(f2 >= f1, "job {} finished earlier with longer service", c1);
+        }
+    }
+
+    /// Marks never decrease along a program.
+    #[test]
+    fn marks_are_monotone(
+        durs in prop::collection::vec(1u64..50, 1..6),
+    ) {
+        let mut e = Engine::new();
+        let s = e.add_station("cpu", 1);
+        let mut steps = Vec::new();
+        for (i, d) in durs.iter().enumerate() {
+            steps.push(Step::Mark(i as u8));
+            steps.push(Step::Acquire(s));
+            steps.push(Step::Busy(*d));
+            steps.push(Step::Release(s));
+        }
+        steps.push(Step::Mark(durs.len() as u8));
+        e.spawn_at(0, 0, steps);
+        e.run_until(1_000_000);
+        let job = &e.completed()[0];
+        let marks: Vec<u64> = (0..=durs.len())
+            .map(|i| job.marks[i].expect("mark recorded"))
+            .collect();
+        for w in marks.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert_eq!(
+            *marks.last().unwrap() - marks[0],
+            durs.iter().sum::<u64>(),
+            "uncontended serial busy time adds up exactly"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # cacheportal-sniffer
+//!
+//! The CachePortal **sniffer** (paper §3): three loosely coupled parts that
+//! build the QI/URL map without touching servlets, the web server, or the
+//! DBMS.
+//!
+//! * [`request_log::RequestLog`] — servlet-wrapper request logger.
+//! * [`query_log::LoggedConnection`] — JDBC-wrapper query logger.
+//! * [`mapper::Mapper`] — interval-containment join of the two logs,
+//!   producing the [`map::QiUrlMap`].
+
+pub mod map;
+pub mod mapper;
+pub mod query_log;
+pub mod request_log;
+
+pub use map::{QiUrlEntry, QiUrlMap};
+pub use mapper::{canonical_bound_sql, Mapper, MapperReport};
+pub use query_log::{LoggedConnection, QueryLog, QueryRecord};
+pub use request_log::RequestLog;

@@ -1,0 +1,177 @@
+//! The QI/URL map (§2.4): the sniffer's output, the invalidator's input.
+//!
+//! Each row associates one *bound* query instance (canonical SQL text) with
+//! one page key. Rows are deduplicated — re-requesting a cached page must
+//! not grow the map.
+
+use cacheportal_web::PageKey;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// One row of the QI/URL map.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QiUrlEntry {
+    /// Unique row id.
+    pub id: u64,
+    /// Canonical bound SQL text of the query instance.
+    pub sql: String,
+    /// The page whose content depends on this query instance.
+    pub page_key: PageKey,
+    /// Servlet that generated the page.
+    pub servlet: String,
+}
+
+/// The map itself, with a read cursor for the invalidator's online
+/// registration scan.
+#[derive(Default)]
+pub struct QiUrlMap {
+    inner: Mutex<MapInner>,
+}
+
+#[derive(Default)]
+struct MapInner {
+    entries: Vec<QiUrlEntry>,
+    seen: HashSet<(String, PageKey)>,
+    next_id: u64,
+}
+
+impl QiUrlMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        QiUrlMap::default()
+    }
+
+    /// Insert a (query instance, page) association; returns true if new.
+    pub fn insert(&self, sql: String, page_key: PageKey, servlet: String) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.seen.insert((sql.clone(), page_key.clone())) {
+            return false;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.entries.push(QiUrlEntry {
+            id,
+            sql,
+            page_key,
+            servlet,
+        });
+        true
+    }
+
+    /// Entries with id >= `cursor`; returns them plus the next cursor.
+    /// This is the invalidator's "constantly listening to the QI/URL map"
+    /// interface (§4.1.2).
+    pub fn entries_since(&self, cursor: u64) -> (Vec<QiUrlEntry>, u64) {
+        let inner = self.inner.lock();
+        let start = inner.entries.partition_point(|e| e.id < cursor);
+        (inner.entries[start..].to_vec(), inner.next_id)
+    }
+
+    /// Every entry (diagnostics, tests).
+    pub fn all(&self) -> Vec<QiUrlEntry> {
+        self.inner.lock().entries.clone()
+    }
+
+    /// Remove all rows for the given pages (e.g. pages evicted from every
+    /// cache no longer need invalidation tracking).
+    pub fn remove_pages(&self, pages: &HashSet<PageKey>) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|e| !pages.contains(&e.page_key));
+        inner.seen.retain(|(_, pk)| !pages.contains(pk));
+        before - inner.entries.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when the map has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize every row to JSON — the transfer format when the sniffer
+    /// and the invalidator run on different machines (the invalidator
+    /// "fetches the logs from the appropriate servers at regular
+    /// intervals", §2.2 / Figure 7 arrow (c)).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.inner.lock().entries).expect("entries serialize")
+    }
+
+    /// Rebuild a map from [`QiUrlMap::to_json`] output. Row ids, the dedup
+    /// set, and the registration cursor position are all reconstructed.
+    pub fn from_json(s: &str) -> Result<QiUrlMap, serde_json::Error> {
+        let entries: Vec<QiUrlEntry> = serde_json::from_str(s)?;
+        let seen = entries
+            .iter()
+            .map(|e| (e.sql.clone(), e.page_key.clone()))
+            .collect();
+        let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
+        Ok(QiUrlMap {
+            inner: Mutex::new(MapInner {
+                entries,
+                seen,
+                next_id,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_on_sql_page_pair() {
+        let m = QiUrlMap::new();
+        assert!(m.insert("Q1".into(), PageKey::raw("p1"), "s".into()));
+        assert!(!m.insert("Q1".into(), PageKey::raw("p1"), "s".into()));
+        assert!(m.insert("Q1".into(), PageKey::raw("p2"), "s".into()));
+        assert!(m.insert("Q2".into(), PageKey::raw("p1"), "s".into()));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn cursor_scan_sees_only_new_entries() {
+        let m = QiUrlMap::new();
+        m.insert("Q1".into(), PageKey::raw("p1"), "s".into());
+        let (batch1, cur) = m.entries_since(0);
+        assert_eq!(batch1.len(), 1);
+        m.insert("Q2".into(), PageKey::raw("p2"), "s".into());
+        let (batch2, cur2) = m.entries_since(cur);
+        assert_eq!(batch2.len(), 1);
+        assert_eq!(batch2[0].sql, "Q2");
+        let (batch3, _) = m.entries_since(cur2);
+        assert!(batch3.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let m = QiUrlMap::new();
+        m.insert("Q1".into(), PageKey::raw("p1"), "s1".into());
+        m.insert("Q2".into(), PageKey::raw("p2"), "s2".into());
+        let json = m.to_json();
+        let rebuilt = QiUrlMap::from_json(&json).unwrap();
+        assert_eq!(rebuilt.all(), m.all());
+        // Dedup set survives the trip…
+        assert!(!rebuilt.insert("Q1".into(), PageKey::raw("p1"), "s1".into()));
+        // …and new ids continue where the original left off.
+        assert!(rebuilt.insert("Q3".into(), PageKey::raw("p3"), "s3".into()));
+        assert_eq!(rebuilt.all().last().unwrap().id, 2);
+        assert!(QiUrlMap::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn remove_pages_purges_seen_set_too() {
+        let m = QiUrlMap::new();
+        m.insert("Q1".into(), PageKey::raw("p1"), "s".into());
+        let mut gone = HashSet::new();
+        gone.insert(PageKey::raw("p1"));
+        assert_eq!(m.remove_pages(&gone), 1);
+        assert!(m.is_empty());
+        // Re-inserting after removal must work (seen set purged).
+        assert!(m.insert("Q1".into(), PageKey::raw("p1"), "s".into()));
+    }
+}

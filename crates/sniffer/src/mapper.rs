@@ -1,0 +1,286 @@
+//! The request-to-query mapper (§3.3).
+//!
+//! At every run it joins the two logs on *interval containment*: a query
+//! issued and answered inside a request's [receive, delivery] window is
+//! attributed to that request. Under concurrency a query interval can fall
+//! inside several request windows; the mapper then attributes it to all of
+//! them — conservative in exactly the direction invalidation safety needs
+//! (a page is never missing a dependency, it can only have spurious ones).
+
+use crate::map::QiUrlMap;
+use crate::query_log::{QueryLog, QueryRecord};
+use crate::request_log::RequestLog;
+use cacheportal_db::sql::parser::parse;
+use cacheportal_db::sql::rewrite::substitute_params;
+use cacheportal_db::sql::ast::Statement;
+use cacheportal_web::RequestRecord;
+use std::sync::Arc;
+
+/// Outcome counters for one mapper run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MapperReport {
+    /// (query, request) associations written to the map (after dedup the
+    /// map itself may record fewer).
+    pub mapped: u64,
+    /// Queries that matched more than one request window.
+    pub ambiguous: u64,
+    /// Queries retained for the next run (enclosing request not yet logged).
+    pub retained: u64,
+    /// Queries dropped after exceeding the retention limit.
+    pub dropped: u64,
+    /// Non-SELECT statements discarded.
+    pub non_select: u64,
+    /// SELECTs that could not be canonicalized (unparseable by the
+    /// invalidator's dialect) and were skipped.
+    pub unparseable: u64,
+}
+
+/// The mapper. Owns retention state between runs.
+///
+/// ```
+/// use cacheportal_sniffer::{Mapper, QiUrlMap, QueryLog, RequestLog};
+/// use cacheportal_web::{PageKey, RequestObserver, RequestRecord};
+/// use cacheportal_db::Value;
+/// use std::sync::Arc;
+///
+/// let requests = Arc::new(RequestLog::new());
+/// let queries = QueryLog::new();
+/// let map = Arc::new(QiUrlMap::new());
+///
+/// // A request window [10, 20] containing one query [12, 14].
+/// requests.on_request(RequestRecord {
+///     id: 1, servlet: "cars".into(),
+///     request_string: "/cars?maxprice=20000".into(),
+///     cookie_string: String::new(), post_string: String::new(),
+///     page_key: PageKey::raw("shop/cars?g:maxprice=20000"),
+///     received: 10, delivered: 20,
+/// });
+/// queries.record("SELECT * FROM Car WHERE price < $1",
+///                &[Value::Int(20000)], true, 12, 14);
+///
+/// let mut mapper = Mapper::new(requests, queries, map.clone());
+/// let report = mapper.run_once();
+/// assert_eq!(report.mapped, 1);
+/// assert_eq!(map.all()[0].sql, "SELECT * FROM Car WHERE price < 20000");
+/// ```
+pub struct Mapper {
+    requests: Arc<RequestLog>,
+    queries: Arc<QueryLog>,
+    map: Arc<QiUrlMap>,
+    /// (record, runs it has been retained).
+    pending: Vec<(QueryRecord, u8)>,
+    /// How many runs an unmatched query survives before being dropped.
+    max_retention: u8,
+}
+
+impl Mapper {
+    /// Create a mapper over the two logs, writing into `map`.
+    pub fn new(requests: Arc<RequestLog>, queries: Arc<QueryLog>, map: Arc<QiUrlMap>) -> Self {
+        Mapper {
+            requests,
+            queries,
+            map,
+            pending: Vec::new(),
+            max_retention: 2,
+        }
+    }
+
+    /// How many runs an unmatched query survives before being dropped.
+    pub fn with_max_retention(mut self, runs: u8) -> Self {
+        self.max_retention = runs;
+        self
+    }
+
+    /// The QI/URL map this mapper writes to.
+    pub fn map(&self) -> &Arc<QiUrlMap> {
+        &self.map
+    }
+
+    /// Process everything currently in the logs.
+    pub fn run_once(&mut self) -> MapperReport {
+        let mut report = MapperReport::default();
+        let requests = self.requests.drain();
+        let mut queries: Vec<(QueryRecord, u8)> =
+            std::mem::take(&mut self.pending);
+        for q in self.queries.drain() {
+            queries.push((q, 0));
+        }
+
+        for (q, age) in queries {
+            if !q.is_select {
+                report.non_select += 1;
+                continue;
+            }
+            let owners: Vec<&RequestRecord> = requests
+                .iter()
+                .filter(|r| r.received <= q.received && q.delivered <= r.delivered)
+                .collect();
+            match owners.len() {
+                0 => {
+                    if age >= self.max_retention {
+                        report.dropped += 1;
+                    } else {
+                        report.retained += 1;
+                        self.pending.push((q, age + 1));
+                    }
+                }
+                n => {
+                    if n > 1 {
+                        report.ambiguous += 1;
+                    }
+                    match canonical_bound_sql(&q) {
+                        Some(sql) => {
+                            for r in owners {
+                                self.map.insert(
+                                    sql.clone(),
+                                    r.page_key.clone(),
+                                    r.servlet.clone(),
+                                );
+                                report.mapped += 1;
+                            }
+                        }
+                        None => report.unparseable += 1,
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Canonical bound SQL text of a logged query: parse, substitute parameters,
+/// re-render. Returns `None` for statements outside the supported dialect.
+pub fn canonical_bound_sql(q: &QueryRecord) -> Option<String> {
+    match parse(&q.sql) {
+        Ok(Statement::Select(sel)) => {
+            let bound = substitute_params(&sel, &q.params).ok()?;
+            Some(Statement::Select(bound).to_sql())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::Value;
+    use cacheportal_web::{PageKey, RequestObserver};
+
+    fn request(id: u64, recv: u64, deliver: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            servlet: "s".into(),
+            request_string: format!("/s?id={id}"),
+            cookie_string: String::new(),
+            post_string: String::new(),
+            page_key: PageKey::raw(format!("page{id}")),
+            received: recv,
+            delivered: deliver,
+        }
+    }
+
+    fn query(sql: &str, params: Vec<Value>, recv: u64, deliver: u64) -> QueryRecord {
+        QueryRecord {
+            id: 0,
+            sql: sql.into(),
+            params,
+            is_select: true,
+            received: recv,
+            delivered: deliver,
+        }
+    }
+
+    fn setup() -> (Arc<RequestLog>, Arc<QueryLog>, Mapper) {
+        let rl = Arc::new(RequestLog::new());
+        let ql = QueryLog::new();
+        let map = Arc::new(QiUrlMap::new());
+        let mapper = Mapper::new(rl.clone(), ql.clone(), map);
+        (rl, ql, mapper)
+    }
+
+    fn push_query(ql: &QueryLog, q: QueryRecord) {
+        ql.record(&q.sql, &q.params, q.is_select, q.received, q.delivered);
+    }
+
+    #[test]
+    fn contained_query_maps_to_its_request() {
+        let (rl, ql, mut mapper) = setup();
+        rl.on_request(request(1, 10, 20));
+        rl.on_request(request(2, 30, 40));
+        push_query(&ql, query("SELECT * FROM Car WHERE price < $1", vec![Value::Int(5)], 12, 15));
+        push_query(&ql, query("SELECT * FROM Car WHERE price < $1", vec![Value::Int(9)], 31, 39));
+        let rep = mapper.run_once();
+        assert_eq!(rep.mapped, 2);
+        assert_eq!(rep.ambiguous, 0);
+        let entries = mapper.map().all();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].sql, "SELECT * FROM Car WHERE price < 5");
+        assert_eq!(entries[0].page_key, PageKey::raw("page1"));
+        assert_eq!(entries[1].page_key, PageKey::raw("page2"));
+    }
+
+    #[test]
+    fn overlapping_requests_map_conservatively() {
+        let (rl, ql, mut mapper) = setup();
+        rl.on_request(request(1, 10, 50));
+        rl.on_request(request(2, 20, 40));
+        // Query inside both windows.
+        push_query(&ql, query("SELECT * FROM Car", vec![], 25, 30));
+        let rep = mapper.run_once();
+        assert_eq!(rep.mapped, 2);
+        assert_eq!(rep.ambiguous, 1);
+        assert_eq!(mapper.map().len(), 2);
+    }
+
+    #[test]
+    fn orphan_query_retained_then_dropped() {
+        let (_rl, ql, mut mapper) = setup();
+        push_query(&ql, query("SELECT * FROM Car", vec![], 5, 6));
+        let r1 = mapper.run_once();
+        assert_eq!(r1.retained, 1);
+        let r2 = mapper.run_once();
+        assert_eq!(r2.retained, 1);
+        let r3 = mapper.run_once();
+        assert_eq!(r3.dropped, 1);
+        let r4 = mapper.run_once();
+        assert_eq!(r4.dropped + r4.retained, 0);
+    }
+
+    #[test]
+    fn retained_query_maps_when_request_arrives_late() {
+        let (rl, ql, mut mapper) = setup();
+        push_query(&ql, query("SELECT * FROM Car", vec![], 15, 18));
+        mapper.run_once();
+        // The enclosing request finishes (and is logged) later.
+        rl.on_request(request(7, 10, 20));
+        let rep = mapper.run_once();
+        assert_eq!(rep.mapped, 1);
+        assert_eq!(mapper.map().all()[0].page_key, PageKey::raw("page7"));
+    }
+
+    #[test]
+    fn non_selects_and_unparseable_skipped() {
+        let (rl, ql, mut mapper) = setup();
+        rl.on_request(request(1, 0, 100));
+        ql.record("INSERT INTO t VALUES (1)", &[], false, 10, 11);
+        ql.record("SELECT garbage FROM", &[], true, 20, 21);
+        let rep = mapper.run_once();
+        assert_eq!(rep.non_select, 1);
+        assert_eq!(rep.unparseable, 1);
+        assert_eq!(rep.mapped, 0);
+    }
+
+    #[test]
+    fn canonicalization_normalizes_case_and_spacing() {
+        let q = query(
+            "select  *  from Car where PRICE < $1",
+            vec![Value::Int(7)],
+            0,
+            0,
+        );
+        assert_eq!(
+            canonical_bound_sql(&q).unwrap(),
+            "SELECT * FROM Car WHERE PRICE < 7"
+        );
+    }
+}

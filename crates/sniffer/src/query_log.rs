@@ -1,0 +1,187 @@
+//! The query log (the sniffer's *query logger*, §3.2) — the JDBC-wrapper
+//! analogue.
+//!
+//! [`LoggedConnection`] wraps any [`Connection`]. Because every servlet,
+//! pool, and data source hands out connections through the same factory
+//! seam, wrapping the factory captures *all* queries regardless of how the
+//! application obtained the connection — the paper's argument for wrapping
+//! at the driver.
+
+use cacheportal_db::{DbResult, ExecOutcome, QueryResult, Value};
+use cacheportal_web::clock::{Clock, Micros};
+use cacheportal_web::Connection;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One logged query.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QueryRecord {
+    /// Unique query id.
+    pub id: u64,
+    /// The SQL as the application issued it (may contain `$n` / `?`).
+    pub sql: String,
+    /// Bound parameter values.
+    pub params: Vec<Value>,
+    /// True for SELECTs (the only kind the mapper maps to pages).
+    pub is_select: bool,
+    /// Query receive time (when the driver got it).
+    pub received: Micros,
+    /// Result delivery time.
+    pub delivered: Micros,
+}
+
+/// Append-only query log shared by all logged connections.
+pub struct QueryLog {
+    records: Mutex<Vec<QueryRecord>>,
+    next_id: AtomicU64,
+}
+
+impl QueryLog {
+    /// Create an empty shared log / wrap a connection.
+    pub fn new() -> Arc<Self> {
+        Arc::new(QueryLog {
+            records: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Append one query record.
+    pub fn record(
+        &self,
+        sql: &str,
+        params: &[Value],
+        is_select: bool,
+        received: Micros,
+        delivered: Micros,
+    ) {
+        let rec = QueryRecord {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            sql: sql.to_string(),
+            params: params.to_vec(),
+            is_select,
+            received,
+            delivered,
+        };
+        self.records.lock().push(rec);
+    }
+
+    /// Take every record currently in the log.
+    pub fn drain(&self) -> Vec<QueryRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Put unconsumed records back (the mapper retains queries whose
+    /// enclosing request has not been logged yet).
+    pub fn restore(&self, records: Vec<QueryRecord>) {
+        let mut guard = self.records.lock();
+        let mut merged = records;
+        merged.append(&mut guard);
+        *guard = merged;
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Connection wrapper that records every statement with timestamps.
+pub struct LoggedConnection<C: Connection> {
+    inner: C,
+    log: Arc<QueryLog>,
+    clock: Arc<dyn Clock>,
+}
+
+impl<C: Connection> LoggedConnection<C> {
+    /// Create an empty shared log / wrap a connection.
+    pub fn new(inner: C, log: Arc<QueryLog>, clock: Arc<dyn Clock>) -> Self {
+        LoggedConnection { inner, log, clock }
+    }
+}
+
+impl<C: Connection> Connection for LoggedConnection<C> {
+    fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        let received = self.clock.tick();
+        let result = self.inner.query(sql, params);
+        let delivered = self.clock.tick();
+        if result.is_ok() {
+            self.log.record(sql, params, true, received, delivered);
+        }
+        result
+    }
+
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        let received = self.clock.tick();
+        let result = self.inner.execute(sql, params);
+        let delivered = self.clock.tick();
+        if result.is_ok() {
+            self.log.record(sql, params, false, received, delivered);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::Database;
+    use cacheportal_web::{shared, DbConnection, ManualClock};
+
+    fn setup() -> (LoggedConnection<DbConnection>, Arc<QueryLog>, Arc<ManualClock>) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        let log = QueryLog::new();
+        let clock = ManualClock::new();
+        let conn = LoggedConnection::new(DbConnection::new(shared(db)), log.clone(), clock.clone());
+        (conn, log, clock)
+    }
+
+    #[test]
+    fn queries_logged_with_interval() {
+        let (mut conn, log, clock) = setup();
+        clock.set(100);
+        conn.query("SELECT * FROM t WHERE a = $1", &[Value::Int(1)]).unwrap();
+        let recs = log.drain();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!(r.is_select);
+        assert_eq!(r.params, vec![Value::Int(1)]);
+        assert!(r.received > 100 && r.delivered > r.received);
+    }
+
+    #[test]
+    fn executes_logged_as_non_select() {
+        let (mut conn, log, _) = setup();
+        conn.execute("INSERT INTO t VALUES (2)", &[]).unwrap();
+        let recs = log.drain();
+        assert_eq!(recs.len(), 1);
+        assert!(!recs[0].is_select);
+    }
+
+    #[test]
+    fn failed_statements_not_logged() {
+        let (mut conn, log, _) = setup();
+        assert!(conn.query("SELECT * FROM missing", &[]).is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn restore_prepends() {
+        let (mut conn, log, _) = setup();
+        conn.query("SELECT * FROM t", &[]).unwrap();
+        let first = log.drain();
+        conn.query("SELECT a FROM t", &[]).unwrap();
+        log.restore(first);
+        let all = log.drain();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].sql, "SELECT * FROM t");
+        assert_eq!(all[1].sql, "SELECT a FROM t");
+    }
+}

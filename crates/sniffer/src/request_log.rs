@@ -1,0 +1,73 @@
+//! The HTTP request log (the sniffer's *request logger*, §3.1).
+//!
+//! Implemented as a [`RequestObserver`] installed on the application server —
+//! the servlet-wrapper design from the paper: nothing in the servlet or the
+//! web server changes.
+
+use cacheportal_web::{RequestObserver, RequestRecord};
+use parking_lot::Mutex;
+
+/// Append-only request log with a consumption cursor for the mapper.
+#[derive(Default)]
+pub struct RequestLog {
+    inner: Mutex<Vec<RequestRecord>>,
+}
+
+impl RequestLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        RequestLog::default()
+    }
+
+    /// Take every record currently in the log (the mapper consumes them).
+    pub fn drain(&self) -> Vec<RequestRecord> {
+        std::mem::take(&mut *self.inner.lock())
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no records are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RequestObserver for RequestLog {
+    fn on_request(&self, record: RequestRecord) {
+        self.inner.lock().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_web::PageKey;
+
+    fn record(id: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            servlet: "s".into(),
+            request_string: "/s?a=1".into(),
+            cookie_string: String::new(),
+            post_string: String::new(),
+            page_key: PageKey::raw(format!("k{id}")),
+            received: id * 10,
+            delivered: id * 10 + 5,
+        }
+    }
+
+    #[test]
+    fn drain_empties_the_log() {
+        let log = RequestLog::new();
+        log.on_request(record(1));
+        log.on_request(record(2));
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        assert!(log.drain().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the interval-containment mapper.
+//!
+//! * With non-overlapping request windows (serial requests), every query is
+//!   attributed to exactly the request that issued it.
+//! * With arbitrary (possibly overlapping) windows, the attribution is a
+//!   superset of the truth — conservative in the safe direction.
+
+use cacheportal_db::Value;
+use cacheportal_sniffer::{Mapper, QiUrlMap, QueryLog, RequestLog};
+use cacheportal_web::{PageKey, RequestObserver, RequestRecord};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn request(id: u64, recv: u64, deliver: u64) -> RequestRecord {
+    RequestRecord {
+        id,
+        servlet: "s".into(),
+        request_string: format!("/s?id={id}"),
+        cookie_string: String::new(),
+        post_string: String::new(),
+        page_key: PageKey::raw(format!("page{id}")),
+        received: recv,
+        delivered: deliver,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serial (non-overlapping) requests: exact attribution, no ambiguity.
+    #[test]
+    fn serial_requests_map_exactly(
+        // (request duration, #queries, gap to next request)
+        spec in prop::collection::vec((2u64..40, 1usize..4, 1u64..10), 1..20),
+    ) {
+        let rl = Arc::new(RequestLog::new());
+        let ql = QueryLog::new();
+        let map = Arc::new(QiUrlMap::new());
+
+        let mut t = 0u64;
+        let mut expected = Vec::new(); // (query marker, page id)
+        for (id, (dur, nq, gap)) in spec.iter().enumerate() {
+            let recv = t;
+            let deliver = t + dur;
+            // Queries strictly inside the window, distinct values so every
+            // map row is unique.
+            for q in 0..*nq {
+                let qt = recv + 1 + (q as u64 % dur.saturating_sub(1).max(1));
+                let marker = (id * 10 + q) as i64;
+                ql.record(
+                    "SELECT * FROM t WHERE a = $1",
+                    &[Value::Int(marker)],
+                    true,
+                    qt.min(deliver - 1),
+                    (qt + 1).min(deliver),
+                );
+                expected.push((marker, id as u64));
+            }
+            rl.on_request(request(id as u64, recv, deliver));
+            t = deliver + gap;
+        }
+
+        let mut mapper = Mapper::new(rl, ql, map.clone());
+        let report = mapper.run_once();
+        prop_assert_eq!(report.ambiguous, 0, "serial windows cannot overlap");
+        prop_assert_eq!(report.mapped as usize, expected.len());
+        let rows = map.all();
+        for (marker, req_id) in expected {
+            let row = rows
+                .iter()
+                .find(|r| r.sql.ends_with(&format!("a = {marker}")))
+                .expect("every query mapped");
+            prop_assert_eq!(
+                row.page_key.clone(),
+                PageKey::raw(format!("page{req_id}")),
+                "query {} attributed to the wrong request",
+                marker
+            );
+        }
+    }
+
+    /// Arbitrary windows: the true owner is always among the attributions
+    /// (the conservative superset property invalidation safety relies on).
+    #[test]
+    fn overlapping_requests_never_lose_the_true_owner(
+        windows in prop::collection::vec((0u64..100, 5u64..60), 2..12),
+    ) {
+        let rl = Arc::new(RequestLog::new());
+        let ql = QueryLog::new();
+        let map = Arc::new(QiUrlMap::new());
+        let mut truth = Vec::new();
+        for (id, (start, dur)) in windows.iter().enumerate() {
+            let recv = *start;
+            let deliver = start + dur;
+            // One query strictly inside this request's window.
+            let qt = recv + dur / 2;
+            ql.record(
+                "SELECT * FROM t WHERE a = $1",
+                &[Value::Int(id as i64)],
+                true,
+                qt,
+                qt + 1,
+            );
+            truth.push((id as i64, id as u64));
+            rl.on_request(request(id as u64, recv, deliver));
+        }
+        let mut mapper = Mapper::new(rl, ql, map.clone());
+        mapper.run_once();
+        let rows = map.all();
+        for (marker, req_id) in truth {
+            let owners: Vec<_> = rows
+                .iter()
+                .filter(|r| r.sql.ends_with(&format!("a = {marker}")))
+                .map(|r| r.page_key.clone())
+                .collect();
+            prop_assert!(
+                owners.contains(&PageKey::raw(format!("page{req_id}"))),
+                "true owner page{req_id} missing from attributions of query {marker}: {owners:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The application server: routes requests to servlets, manages the
+//! connection pool, runs the request-logger wrapper, and rewrites
+//! cache-control directives for CachePortal-compliant caches (§3.1).
+
+use crate::clock::{Clock, Micros};
+use crate::connection::ConnectionPool;
+use crate::http::{CacheControl, HttpRequest, HttpResponse};
+use crate::servlet::Servlet;
+use crate::url::PageKey;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What the request logger records per request (§3.1's five fields).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RequestRecord {
+    /// Unique request id.
+    pub id: u64,
+    /// Servlet that served the request.
+    pub servlet: String,
+    /// `path?get-params` string.
+    pub request_string: String,
+    /// Cookie string.
+    pub cookie_string: String,
+    /// POST string.
+    pub post_string: String,
+    /// Canonical page key (host + path + key params).
+    pub page_key: PageKey,
+    /// Receive timestamp.
+    pub received: Micros,
+    /// Delivery timestamp.
+    pub delivered: Micros,
+}
+
+/// Observer interface implemented by the sniffer's request logger.
+pub trait RequestObserver: Send + Sync {
+    /// Called once per successfully served request.
+    fn on_request(&self, record: RequestRecord);
+}
+
+/// Application server configuration.
+#[derive(Debug, Clone)]
+pub struct AppServerConfig {
+    /// When true (CachePortal deployment), cacheable dynamic pages are
+    /// tagged `private, owner="cacheportal"` instead of `no-cache`.
+    pub rewrite_cache_control: bool,
+    /// Owner string used in the rewritten directive.
+    pub cache_owner: String,
+}
+
+impl Default for AppServerConfig {
+    fn default() -> Self {
+        AppServerConfig {
+            rewrite_cache_control: false,
+            cache_owner: "cacheportal".to_string(),
+        }
+    }
+}
+
+/// The application server.
+pub struct AppServer {
+    routes: RwLock<HashMap<String, Arc<dyn Servlet>>>,
+    pool: Arc<ConnectionPool>,
+    clock: Arc<dyn Clock>,
+    observer: RwLock<Option<Arc<dyn RequestObserver>>>,
+    config: AppServerConfig,
+    next_id: AtomicU64,
+    requests_served: AtomicU64,
+}
+
+impl AppServer {
+    /// Create an application server over a connection pool.
+    pub fn new(pool: Arc<ConnectionPool>, clock: Arc<dyn Clock>, config: AppServerConfig) -> Self {
+        AppServer {
+            routes: RwLock::new(HashMap::new()),
+            pool,
+            clock,
+            observer: RwLock::new(None),
+            config,
+            next_id: AtomicU64::new(1),
+            requests_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Register a servlet at `/{spec.name}`.
+    pub fn register(&self, servlet: Arc<dyn Servlet>) {
+        let path = format!("/{}", servlet.spec().name);
+        self.routes.write().insert(path, servlet);
+    }
+
+    /// Install the request observer (the sniffer's request logger). The
+    /// paper's design is non-invasive: this wrapper is the only touch point.
+    pub fn set_observer(&self, obs: Arc<dyn RequestObserver>) {
+        *self.observer.write() = Some(obs);
+    }
+
+    /// Look up the servlet for a request path.
+    pub fn servlet_for(&self, path: &str) -> Option<Arc<dyn Servlet>> {
+        self.routes.read().get(path).cloned()
+    }
+
+    /// Registered servlets (deployment introspection).
+    pub fn servlets(&self) -> Vec<Arc<dyn Servlet>> {
+        self.routes.read().values().cloned().collect()
+    }
+
+    /// Total requests routed to servlets.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Handle one request end-to-end: route, execute, log, tag.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(servlet) = self.servlet_for(&req.path) else {
+            return HttpResponse::not_found();
+        };
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+
+        let received = self.clock.tick();
+        let mut conn = self.pool.checkout();
+        let outcome = servlet.handle(req, &mut conn);
+        drop(conn);
+        let delivered = self.clock.tick();
+
+        let body = match outcome {
+            Ok(body) => body,
+            Err(e) => return HttpResponse::server_error(&e.to_string()),
+        };
+
+        // Request-logger wrapper: record after successful delivery.
+        let spec = servlet.spec();
+        if let Some(obs) = self.observer.read().as_ref() {
+            obs.on_request(RequestRecord {
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                servlet: spec.name.clone(),
+                request_string: req.request_string(),
+                cookie_string: req.cookie_string(),
+                post_string: req.post_string(),
+                page_key: PageKey::for_request(req, spec),
+                received,
+                delivered,
+            });
+        }
+
+        // §3.1: translate `no-cache` into the owner-restricted directive so
+        // CachePortal-compliant caches may store the page.
+        let cache_control = if spec.cacheable && self.config.rewrite_cache_control {
+            CacheControl::PrivateOwner(self.config.cache_owner.clone())
+        } else {
+            CacheControl::NoCache
+        };
+        HttpResponse::ok(body, cache_control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::connection::{shared, ConnectionFactory, DbConnection};
+    use crate::servlet::{ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+    use cacheportal_db::schema::ColType;
+    use cacheportal_db::Database;
+    use parking_lot::Mutex;
+
+    fn app(rewrite: bool) -> (AppServer, Arc<ManualClock>) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)")
+            .unwrap();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000)")
+            .unwrap();
+        let sdb = shared(db);
+        let factory: ConnectionFactory =
+            Arc::new(move || Box::new(DbConnection::new(sdb.clone())));
+        let clock = ManualClock::new();
+        let app = AppServer::new(
+            ConnectionPool::new(factory, 4),
+            clock.clone(),
+            AppServerConfig {
+                rewrite_cache_control: rewrite,
+                ..Default::default()
+            },
+        );
+        app.register(Arc::new(SqlServlet::new(
+            ServletSpec::new("cars").with_key_get_params(&["maxprice"]),
+            "Cars",
+            vec![QueryTemplate::new(
+                "SELECT * FROM Car WHERE price <= $1",
+                vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+            )],
+        )));
+        (app, clock)
+    }
+
+    struct Capture(Mutex<Vec<RequestRecord>>);
+    impl RequestObserver for Capture {
+        fn on_request(&self, r: RequestRecord) {
+            self.0.lock().push(r);
+        }
+    }
+
+    #[test]
+    fn routes_and_renders() {
+        let (app, _) = app(false);
+        let resp = app.handle(&HttpRequest::get("h", "/cars", &[("maxprice", "30000")]));
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.body.contains("Avalon"));
+        assert_eq!(resp.cache_control, CacheControl::NoCache);
+        assert_eq!(app.requests_served(), 1);
+    }
+
+    #[test]
+    fn unknown_route_404() {
+        let (app, _) = app(false);
+        let resp = app.handle(&HttpRequest::get("h", "/nope", &[]));
+        assert_eq!(resp.status.code(), 404);
+    }
+
+    #[test]
+    fn servlet_error_becomes_500() {
+        let (app, _) = app(false);
+        let resp = app.handle(&HttpRequest::get("h", "/cars", &[])); // missing param
+        assert_eq!(resp.status.code(), 500);
+    }
+
+    #[test]
+    fn cacheportal_mode_rewrites_directive() {
+        let (app, _) = app(true);
+        let resp = app.handle(&HttpRequest::get("h", "/cars", &[("maxprice", "30000")]));
+        assert_eq!(
+            resp.cache_control,
+            CacheControl::PrivateOwner("cacheportal".into())
+        );
+    }
+
+    #[test]
+    fn observer_gets_timestamps_and_key() {
+        let (app, clock) = app(false);
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        app.set_observer(cap.clone());
+        clock.set(100);
+        app.handle(&HttpRequest::get("h", "/cars", &[("maxprice", "30000")]));
+        let recs = cap.0.lock();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!(r.received > 100 && r.delivered > r.received);
+        assert_eq!(r.servlet, "cars");
+        assert!(r.request_string.contains("maxprice=30000"));
+        assert!(r.page_key.as_str().contains("maxprice=30000"));
+    }
+
+    #[test]
+    fn failed_requests_are_not_logged() {
+        let (app, _) = app(false);
+        let cap = Arc::new(Capture(Mutex::new(Vec::new())));
+        app.set_observer(cap.clone());
+        app.handle(&HttpRequest::get("h", "/cars", &[])); // 500
+        assert!(cap.0.lock().is_empty());
+    }
+}

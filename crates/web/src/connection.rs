@@ -1,0 +1,217 @@
+//! Database connection abstraction — the JDBC analogue.
+//!
+//! Servlets talk to the database through `dyn Connection`, never through the
+//! engine directly. This is the seam the sniffer's query logger wraps
+//! (§3.2): it works no matter how the servlet obtained the connection
+//! (explicit driver, pool, or data source), exactly like the paper's JDBC
+//! driver wrapper.
+
+use cacheportal_db::{Database, DbResult, ExecOutcome, QueryResult, Value};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared database handle (one DBMS, many connections).
+pub type SharedDb = Arc<RwLock<Database>>;
+
+/// Create a shared handle from an engine instance.
+pub fn shared(db: Database) -> SharedDb {
+    Arc::new(RwLock::new(db))
+}
+
+/// A database connection: the servlet-facing query interface.
+pub trait Connection: Send {
+    /// Run a SELECT.
+    fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult>;
+    /// Run any statement (updates arrive through here too).
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome>;
+}
+
+/// Direct connection to an in-process [`Database`] (the "native driver").
+pub struct DbConnection {
+    db: SharedDb,
+}
+
+impl DbConnection {
+    /// Create the connection/pool.
+    pub fn new(db: SharedDb) -> Self {
+        DbConnection { db }
+    }
+}
+
+impl Connection for DbConnection {
+    fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        self.db.write().query_with_params(sql, params)
+    }
+
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        self.db.write().execute_with_params(sql, params)
+    }
+}
+
+/// Factory producing fresh connections (possibly wrapped by loggers).
+pub type ConnectionFactory = Arc<dyn Fn() -> Box<dyn Connection> + Send + Sync>;
+
+/// Pool statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PoolStats {
+    /// Total checkouts served.
+    pub checkouts: u64,
+    /// Connections created by the factory.
+    pub created: u64,
+    /// Checkouts served by creating a connection beyond `max` because the
+    /// pool was empty (resource-pressure signal; the paper's §5.3 starvation
+    /// story is about exactly this kind of contention).
+    pub overflow: u64,
+}
+
+/// A fixed-size connection pool with overflow accounting — the BEA WebLogic
+/// "connection pool / data source" analogue (§3.2).
+pub struct ConnectionPool {
+    factory: ConnectionFactory,
+    idle: Mutex<Vec<Box<dyn Connection>>>,
+    max: usize,
+    created: AtomicU64,
+    checkouts: AtomicU64,
+    overflow: AtomicU64,
+}
+
+impl ConnectionPool {
+    /// Create the connection/pool.
+    pub fn new(factory: ConnectionFactory, max: usize) -> Arc<Self> {
+        Arc::new(ConnectionPool {
+            factory,
+            idle: Mutex::new(Vec::new()),
+            max,
+            created: AtomicU64::new(0),
+            checkouts: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+        })
+    }
+
+    /// Borrow a connection; it returns to the pool when dropped.
+    pub fn checkout(self: &Arc<Self>) -> PooledConnection {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let conn = {
+            let mut idle = self.idle.lock();
+            idle.pop()
+        };
+        let conn = conn.unwrap_or_else(|| {
+            let prev = self.created.fetch_add(1, Ordering::Relaxed);
+            if prev as usize >= self.max {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+            }
+            (self.factory)()
+        });
+        PooledConnection {
+            conn: Some(conn),
+            pool: Arc::clone(self),
+        }
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            created: self.created.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+        }
+    }
+
+    fn checkin(&self, conn: Box<dyn Connection>) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max {
+            idle.push(conn);
+        }
+        // else: drop the overflow connection.
+    }
+}
+
+/// RAII guard around a pooled connection.
+pub struct PooledConnection {
+    conn: Option<Box<dyn Connection>>,
+    pool: Arc<ConnectionPool>,
+}
+
+impl Connection for PooledConnection {
+    fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        self.conn.as_mut().expect("live connection").query(sql, params)
+    }
+
+    fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        self.conn
+            .as_mut()
+            .expect("live connection")
+            .execute(sql, params)
+    }
+}
+
+impl Drop for PooledConnection {
+    fn drop(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.pool.checkin(conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_db() -> SharedDb {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        shared(db)
+    }
+
+    #[test]
+    fn direct_connection_queries() {
+        let db = test_db();
+        let mut conn = DbConnection::new(db);
+        let r = conn.query("SELECT * FROM t WHERE a = $1", &[Value::Int(1)]).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(conn.execute("DELETE FROM t", &[]).unwrap().affected(), 2);
+    }
+
+    #[test]
+    fn pool_reuses_connections() {
+        let db = test_db();
+        let factory: ConnectionFactory =
+            Arc::new(move || Box::new(DbConnection::new(db.clone())));
+        let pool = ConnectionPool::new(factory, 2);
+        {
+            let mut c1 = pool.checkout();
+            c1.query("SELECT * FROM t", &[]).unwrap();
+        }
+        {
+            let _c1 = pool.checkout();
+            let _c2 = pool.checkout();
+        }
+        let s = pool.stats();
+        assert_eq!(s.checkouts, 3);
+        assert_eq!(s.created, 2, "second round reuses the returned conn");
+        assert_eq!(s.overflow, 0);
+    }
+
+    #[test]
+    fn pool_overflow_is_counted_and_dropped() {
+        let db = test_db();
+        let factory: ConnectionFactory =
+            Arc::new(move || Box::new(DbConnection::new(db.clone())));
+        let pool = ConnectionPool::new(factory, 1);
+        {
+            let _c1 = pool.checkout();
+            let _c2 = pool.checkout();
+            let _c3 = pool.checkout();
+        }
+        let s = pool.stats();
+        assert_eq!(s.created, 3);
+        assert_eq!(s.overflow, 2);
+        // Only `max` connections are retained.
+        {
+            let _c = pool.checkout();
+        }
+        assert_eq!(pool.stats().created, 3, "retained connection was reused");
+    }
+}

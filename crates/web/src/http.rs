@@ -1,0 +1,306 @@
+//! HTTP request/response model.
+//!
+//! The paper defines a page identifier (§2.3.1) as the `HTTP_HOST` plus the
+//! GET query string, the cookies, and the POST body — of which only the
+//! parameters declared as *keys* by the servlet participate in cache
+//! identity. [`HttpRequest`] carries all three parameter sets.
+
+use std::fmt;
+
+/// HTTP method; the model only distinguishes GET/POST semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+}
+
+/// An incoming request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// `HTTP_HOST`.
+    pub host: String,
+    /// Path component, e.g. `/servlet/carSearch`.
+    pub path: String,
+    /// GET parameters (`QUERY_STRING`), in arrival order.
+    pub get: Vec<(String, String)>,
+    /// POST parameters (message body), in arrival order.
+    pub post: Vec<(String, String)>,
+    /// Cookies (`HTTP_COOKIE`).
+    pub cookies: Vec<(String, String)>,
+}
+
+impl HttpRequest {
+    /// A GET request with query parameters.
+    pub fn get(host: &str, path: &str, params: &[(&str, &str)]) -> Self {
+        HttpRequest {
+            method: Method::Get,
+            host: host.to_string(),
+            path: path.to_string(),
+            get: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            post: Vec::new(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// A POST request with body parameters.
+    pub fn post(host: &str, path: &str, params: &[(&str, &str)]) -> Self {
+        HttpRequest {
+            method: Method::Post,
+            host: host.to_string(),
+            path: path.to_string(),
+            get: Vec::new(),
+            post: params
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            cookies: Vec::new(),
+        }
+    }
+
+    /// Builder-style cookie attachment.
+    pub fn with_cookie(mut self, name: &str, value: &str) -> Self {
+        self.cookies.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    fn lookup<'a>(list: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        list.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// GET parameter by name.
+    pub fn get_param(&self, key: &str) -> Option<&str> {
+        Self::lookup(&self.get, key)
+    }
+
+    /// POST parameter by name.
+    pub fn post_param(&self, key: &str) -> Option<&str> {
+        Self::lookup(&self.post, key)
+    }
+
+    /// Cookie value by name.
+    pub fn cookie(&self, key: &str) -> Option<&str> {
+        Self::lookup(&self.cookies, key)
+    }
+
+    /// The request string as the request logger records it:
+    /// `path?k1=v1&k2=v2` (GET parameters only).
+    pub fn request_string(&self) -> String {
+        if self.get.is_empty() {
+            self.path.clone()
+        } else {
+            let qs: Vec<String> = self.get.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}?{}", self.path, qs.join("&"))
+        }
+    }
+
+    /// Cookie string as logged (`k1=v1; k2=v2`).
+    pub fn cookie_string(&self) -> String {
+        self.cookies
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// POST string as logged.
+    pub fn post_string(&self) -> String {
+        self.post
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("&")
+    }
+}
+
+/// Cacheability directive on a response.
+///
+/// `PrivateOwner` is the paper's rewritten form
+/// (`Cache-Control: private, owner="cacheportal"`, §3.1): ordinary caches
+/// treat it as non-cacheable, CachePortal-compliant caches may cache it.
+/// `Eject` is the NetCache-style invalidation message (§4.2.4) carried by a
+/// synthetic request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheControl {
+    /// Cacheable by anyone (static pages).
+    Public,
+    /// `no-cache`: not cacheable at all.
+    NoCache,
+    /// `private, owner="<owner>"`: cacheable only by caches run by `owner`.
+    PrivateOwner(String),
+    /// `eject`: invalidate this URL in the receiving cache.
+    Eject,
+}
+
+impl CacheControl {
+    /// Header value serialization.
+    pub fn header_value(&self) -> String {
+        match self {
+            CacheControl::Public => "public".to_string(),
+            CacheControl::NoCache => "no-cache".to_string(),
+            CacheControl::PrivateOwner(o) => format!("private, owner=\"{o}\""),
+            CacheControl::Eject => "eject".to_string(),
+        }
+    }
+
+    /// Parse a header value (inverse of [`CacheControl::header_value`]).
+    pub fn parse(s: &str) -> Option<CacheControl> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("public") {
+            return Some(CacheControl::Public);
+        }
+        if t.eq_ignore_ascii_case("no-cache") {
+            return Some(CacheControl::NoCache);
+        }
+        if t.eq_ignore_ascii_case("eject") {
+            return Some(CacheControl::Eject);
+        }
+        let lower = t.to_ascii_lowercase();
+        if lower.starts_with("private") {
+            if let Some(idx) = lower.find("owner=") {
+                let rest = &t[idx + "owner=".len()..];
+                let owner = rest.trim().trim_matches('"');
+                return Some(CacheControl::PrivateOwner(owner.to_string()));
+            }
+        }
+        None
+    }
+
+    /// May a cache owned by `owner` store a response with this directive?
+    pub fn cacheable_by(&self, owner: &str) -> bool {
+        match self {
+            CacheControl::Public => true,
+            CacheControl::NoCache | CacheControl::Eject => false,
+            CacheControl::PrivateOwner(o) => o == owner,
+        }
+    }
+}
+
+impl fmt::Display for CacheControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.header_value())
+    }
+}
+
+/// HTTP status subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 OK.
+    Ok,
+    /// 404 Not Found.
+    NotFound,
+    /// 500 Internal Server Error.
+    ServerError,
+}
+
+impl Status {
+    /// Numeric status code.
+    pub fn code(&self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::NotFound => 404,
+            Status::ServerError => 500,
+        }
+    }
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Response status.
+    pub status: Status,
+    /// Cacheability directive.
+    pub cache_control: CacheControl,
+    /// Response body (HTML).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given body and directive.
+    pub fn ok(body: impl Into<String>, cache_control: CacheControl) -> Self {
+        HttpResponse {
+            status: Status::Ok,
+            cache_control,
+            body: body.into(),
+        }
+    }
+
+    /// A 404 response.
+    pub fn not_found() -> Self {
+        HttpResponse {
+            status: Status::NotFound,
+            cache_control: CacheControl::NoCache,
+            body: "<html><body>404 Not Found</body></html>".to_string(),
+        }
+    }
+
+    /// A 500 response carrying the error message.
+    pub fn server_error(msg: &str) -> Self {
+        HttpResponse {
+            status: Status::ServerError,
+            cache_control: CacheControl::NoCache,
+            body: format!("<html><body>500 Internal Server Error: {msg}</body></html>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_strings() {
+        let r = HttpRequest::get("shop.example.com", "/catalog", &[("cat", "sedans"), ("page", "2")])
+            .with_cookie("session", "abc");
+        assert_eq!(r.request_string(), "/catalog?cat=sedans&page=2");
+        assert_eq!(r.cookie_string(), "session=abc");
+        assert_eq!(r.get_param("cat"), Some("sedans"));
+        assert_eq!(r.get_param("nope"), None);
+        assert_eq!(r.cookie("session"), Some("abc"));
+    }
+
+    #[test]
+    fn post_string() {
+        let r = HttpRequest::post("h", "/p", &[("a", "1"), ("b", "2")]);
+        assert_eq!(r.post_string(), "a=1&b=2");
+        assert_eq!(r.request_string(), "/p");
+        assert_eq!(r.post_param("b"), Some("2"));
+    }
+
+    #[test]
+    fn cache_control_round_trip() {
+        for cc in [
+            CacheControl::Public,
+            CacheControl::NoCache,
+            CacheControl::Eject,
+            CacheControl::PrivateOwner("cacheportal".into()),
+        ] {
+            assert_eq!(CacheControl::parse(&cc.header_value()), Some(cc.clone()));
+        }
+        assert_eq!(CacheControl::parse("garbage"), None);
+    }
+
+    #[test]
+    fn cacheable_by_owner_rules() {
+        let cc = CacheControl::PrivateOwner("cacheportal".into());
+        assert!(cc.cacheable_by("cacheportal"));
+        assert!(!cc.cacheable_by("squid"));
+        assert!(!CacheControl::NoCache.cacheable_by("cacheportal"));
+        assert!(CacheControl::Public.cacheable_by("anyone"));
+    }
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(HttpResponse::not_found().status.code(), 404);
+        assert_eq!(HttpResponse::server_error("x").status.code(), 500);
+    }
+}

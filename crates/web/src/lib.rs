@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # cacheportal-web
+//!
+//! Web/application-server substrate for the CachePortal reproduction: an
+//! HTTP request/response model with GET/POST/cookie parameters, cache-control
+//! directives (including the `eject` and `private, owner="cacheportal"`
+//! extensions from the paper), servlets with per-servlet cache-key specs, a
+//! JDBC-style connection abstraction with pooling, and web/application
+//! server components with the non-invasive logging seams the sniffer hooks.
+
+pub mod appserver;
+pub mod clock;
+pub mod connection;
+pub mod http;
+pub mod render;
+pub mod servlet;
+pub mod url;
+pub mod webserver;
+
+pub use appserver::{AppServer, AppServerConfig, RequestObserver, RequestRecord};
+pub use clock::{Clock, ManualClock, Micros, SystemClock};
+pub use connection::{shared, Connection, ConnectionFactory, ConnectionPool, DbConnection, SharedDb};
+pub use http::{CacheControl, HttpRequest, HttpResponse, Method, Status};
+pub use servlet::{FnServlet, ParamSource, QueryTemplate, Servlet, ServletSpec, SqlServlet};
+pub use url::PageKey;
+pub use webserver::WebServer;

@@ -1,0 +1,92 @@
+//! Deterministic HTML rendering of query results.
+//!
+//! Pages must render byte-identically for identical query results — the
+//! freshness oracle compares cached bodies against regenerated ones.
+
+use cacheportal_db::QueryResult;
+
+/// Minimal HTML escaping for text content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a query result as an HTML table.
+pub fn html_table(result: &QueryResult) -> String {
+    let mut out = String::with_capacity(128 + result.rows.len() * 64);
+    out.push_str("<table>\n<tr>");
+    for c in &result.columns {
+        out.push_str("<th>");
+        out.push_str(&escape(c));
+        out.push_str("</th>");
+    }
+    out.push_str("</tr>\n");
+    for row in &result.rows {
+        out.push_str("<tr>");
+        for v in row {
+            out.push_str("<td>");
+            out.push_str(&escape(&v.to_string()));
+            out.push_str("</td>");
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// Wrap body fragments into a full page.
+pub fn html_page(title: &str, fragments: &[String]) -> String {
+    let mut out = String::with_capacity(128 + fragments.iter().map(String::len).sum::<usize>());
+    out.push_str("<html><head><title>");
+    out.push_str(&escape(title));
+    out.push_str("</title></head>\n<body>\n<h1>");
+    out.push_str(&escape(title));
+    out.push_str("</h1>\n");
+    for f in fragments {
+        out.push_str(f);
+        out.push('\n');
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::Value;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn table_rendering_is_deterministic() {
+        let r = QueryResult {
+            columns: vec!["maker".into(), "price".into()],
+            rows: vec![vec![Value::Str("Toyota".into()), Value::Int(25000)]],
+        };
+        let a = html_table(&r);
+        let b = html_table(&r);
+        assert_eq!(a, b);
+        assert!(a.contains("<th>maker</th>"));
+        assert!(a.contains("<td>25000</td>"));
+    }
+
+    #[test]
+    fn page_wraps_fragments() {
+        let p = html_page("Cars & Trucks", &["<p>x</p>".to_string()]);
+        assert!(p.contains("<title>Cars &amp; Trucks</title>"));
+        assert!(p.contains("<p>x</p>"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Page identity: the paper's "URL" (§2.3.1).
+//!
+//! A [`PageKey`] is the canonical cache identity of a dynamically generated
+//! page: host + path + the *key* parameters (GET/POST/cookie) declared by the
+//! servlet spec, with parameters sorted so that permutations of the query
+//! string map to the same cached page.
+
+use crate::http::HttpRequest;
+use crate::servlet::ServletSpec;
+use std::fmt;
+
+/// Canonical page identifier used as the cache key.
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct PageKey(String);
+
+impl PageKey {
+    /// Build the canonical key for `req` under `spec`'s key-parameter lists.
+    ///
+    /// Parameters not named in the spec are ignored (the paper: "some
+    /// parameters may need to be used as keys/indexes in the cache, whereas
+    /// some other may not").
+    pub fn for_request(req: &HttpRequest, spec: &ServletSpec) -> PageKey {
+        let mut parts: Vec<String> = Vec::new();
+        let mut collect = |kind: &str, names: &[String], from: &[(String, String)]| {
+            for name in names {
+                if let Some((_, v)) = from.iter().find(|(k, _)| k == name) {
+                    parts.push(format!("{kind}:{name}={v}"));
+                }
+            }
+        };
+        collect("g", &spec.key_get_params, &req.get);
+        collect("p", &spec.key_post_params, &req.post);
+        collect("c", &spec.key_cookie_params, &req.cookies);
+        parts.sort();
+        PageKey(format!("{}{}?{}", req.host, req.path, parts.join("&")))
+    }
+
+    /// Raw key constructor (for tests and invalidation messages).
+    pub fn raw(s: impl Into<String>) -> PageKey {
+        PageKey(s.into())
+    }
+
+    /// The canonical key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servlet::ServletSpec;
+
+    fn spec() -> ServletSpec {
+        ServletSpec::new("carSearch")
+            .with_key_get_params(&["maxprice", "maker"])
+            .with_key_cookie_params(&["locale"])
+    }
+
+    #[test]
+    fn key_param_order_is_canonical() {
+        let r1 = HttpRequest::get("h", "/s", &[("maker", "Toyota"), ("maxprice", "20000")]);
+        let r2 = HttpRequest::get("h", "/s", &[("maxprice", "20000"), ("maker", "Toyota")]);
+        assert_eq!(
+            PageKey::for_request(&r1, &spec()),
+            PageKey::for_request(&r2, &spec())
+        );
+    }
+
+    #[test]
+    fn non_key_params_ignored() {
+        let r1 = HttpRequest::get("h", "/s", &[("maker", "Toyota"), ("tracking", "xyz")]);
+        let r2 = HttpRequest::get("h", "/s", &[("maker", "Toyota"), ("tracking", "abc")]);
+        assert_eq!(
+            PageKey::for_request(&r1, &spec()),
+            PageKey::for_request(&r2, &spec())
+        );
+    }
+
+    #[test]
+    fn key_cookies_distinguish_pages() {
+        let base = HttpRequest::get("h", "/s", &[("maker", "Toyota")]);
+        let en = base.clone().with_cookie("locale", "en");
+        let de = base.with_cookie("locale", "de");
+        assert_ne!(
+            PageKey::for_request(&en, &spec()),
+            PageKey::for_request(&de, &spec())
+        );
+    }
+
+    #[test]
+    fn different_values_different_keys() {
+        let r1 = HttpRequest::get("h", "/s", &[("maker", "Toyota")]);
+        let r2 = HttpRequest::get("h", "/s", &[("maker", "Honda")]);
+        assert_ne!(
+            PageKey::for_request(&r1, &spec()),
+            PageKey::for_request(&r2, &spec())
+        );
+    }
+
+    #[test]
+    fn host_and_path_in_key() {
+        let r1 = HttpRequest::get("h1", "/s", &[]);
+        let r2 = HttpRequest::get("h2", "/s", &[]);
+        assert_ne!(
+            PageKey::for_request(&r1, &spec()),
+            PageKey::for_request(&r2, &spec())
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! An e-commerce storefront — the workload the paper's introduction
+//! motivates: catalog pages, product-detail pages with a join against
+//! inventory, and a bestsellers page with aggregates; business processes
+//! update prices and stock in the background.
+//!
+//! Shows: multiple servlets with different key parameters, selective
+//! invalidation across page families, polling behaviour, maintained
+//! indexes, and cache statistics.
+//!
+//! ```text
+//! cargo run --example ecommerce_storefront
+//! ```
+
+use cacheportal::{CachePortal, Served};
+use cacheportal::db::schema::ColType;
+use cacheportal::db::{Database, Value};
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use std::sync::Arc;
+
+fn build_store() -> Database {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE products (sku INT, name TEXT, category TEXT, price FLOAT, INDEX(sku), INDEX(category))",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE inventory (sku INT, warehouse TEXT, stock INT, INDEX(sku))")
+        .unwrap();
+    db.execute("CREATE TABLE sales (sku INT, units INT, INDEX(sku))").unwrap();
+
+    let categories = ["audio", "video", "gaming"];
+    for sku in 0..60i64 {
+        let cat = categories[(sku % 3) as usize];
+        db.insert_row(
+            "products",
+            vec![
+                sku.into(),
+                format!("Product #{sku}").into(),
+                cat.into(),
+                Value::Float(9.99 + sku as f64),
+            ],
+        )
+        .unwrap();
+        db.insert_row(
+            "inventory",
+            vec![sku.into(), "east".into(), ((sku * 7) % 50).into()],
+        )
+        .unwrap();
+        db.insert_row("sales", vec![sku.into(), ((sku * 13) % 90).into()])
+            .unwrap();
+    }
+    db
+}
+
+fn register_servlets(portal: &CachePortal) {
+    // Catalog browsing: keyed by category and a price ceiling.
+    portal.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("catalog").with_key_get_params(&["category", "maxprice"]),
+        "Catalog",
+        vec![QueryTemplate::new(
+            "SELECT sku, name, price FROM products \
+             WHERE category = $1 AND price <= $2 ORDER BY price",
+            vec![
+                ParamSource::Get("category".into(), ColType::Str),
+                ParamSource::Get("maxprice".into(), ColType::Float),
+            ],
+        )],
+    )));
+    // Product detail: join against inventory.
+    portal.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("product").with_key_get_params(&["sku"]),
+        "Product detail",
+        vec![QueryTemplate::new(
+            "SELECT products.name, products.price, inventory.warehouse, inventory.stock \
+             FROM products, inventory \
+             WHERE products.sku = $1 AND products.sku = inventory.sku",
+            vec![ParamSource::Get("sku".into(), ColType::Int)],
+        )],
+    )));
+    // Bestsellers: aggregate page, no key params (one global page).
+    portal.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("bestsellers"),
+        "Bestsellers",
+        vec![QueryTemplate::new(
+            "SELECT sku, SUM(units) FROM sales GROUP BY sku ORDER BY sku LIMIT 10",
+            vec![],
+        )],
+    )));
+}
+
+fn main() {
+    let portal = CachePortal::builder(build_store())
+        .maintain_index("inventory", "sku")
+        .build()
+        .unwrap();
+    register_servlets(&portal);
+
+    // Browse: warm the cache with a spread of pages.
+    let catalog_audio = HttpRequest::get(
+        "store",
+        "/catalog",
+        &[("category", "audio"), ("maxprice", "40")],
+    );
+    let catalog_gaming = HttpRequest::get(
+        "store",
+        "/catalog",
+        &[("category", "gaming"), ("maxprice", "100")],
+    );
+    let product_5 = HttpRequest::get("store", "/product", &[("sku", "5")]);
+    let product_7 = HttpRequest::get("store", "/product", &[("sku", "7")]);
+    let bestsellers = HttpRequest::get("store", "/bestsellers", &[]);
+
+    for req in [&catalog_audio, &catalog_gaming, &product_5, &product_7, &bestsellers] {
+        portal.request(req);
+    }
+    portal.sync_point().unwrap(); // sniffer maps pages → query instances
+    println!("cached pages: {}", portal.page_cache().len());
+    println!("QI/URL map rows: {}", portal.qi_url_map().len());
+
+    // Business process 1: a price drop on an audio product under $40.
+    portal
+        .update("UPDATE products SET price = 19.99 WHERE sku = 3")
+        .unwrap();
+    let r = portal.sync_point().unwrap();
+    println!(
+        "\nprice drop on sku 3 → ejected {} page(s) ({} poll(s), {} answered by index)",
+        r.ejected, r.invalidation.polls.issued, r.invalidation.polls.from_index
+    );
+    // The audio catalog page and sku 3's detail page (not cached) depend on
+    // it; gaming catalog and other product pages survive.
+    assert_eq!(portal.request(&catalog_gaming).served, Served::CacheHit);
+    assert_eq!(portal.request(&product_5).served, Served::CacheHit);
+    let refreshed = portal.request(&catalog_audio);
+    assert_eq!(refreshed.served, Served::Generated);
+    assert!(refreshed.response.body.contains("19.99"));
+
+    // Business process 2: warehouse restock for sku 7 — detail page only.
+    portal
+        .update("UPDATE inventory SET stock = 500 WHERE sku = 7")
+        .unwrap();
+    let r = portal.sync_point().unwrap();
+    println!(
+        "restock sku 7 → ejected {} page(s); product 7 regenerates, product 5 stays cached",
+        r.ejected
+    );
+    assert_eq!(portal.request(&product_5).served, Served::CacheHit);
+    let p7 = portal.request(&product_7);
+    assert_eq!(p7.served, Served::Generated);
+    assert!(p7.response.body.contains("500"));
+
+    // Business process 3: a sale updates the sales table — only the
+    // bestsellers page depends on it.
+    portal.update("UPDATE sales SET units = 999 WHERE sku = 2").unwrap();
+    let r = portal.sync_point().unwrap();
+    println!("sale on sku 2 → ejected {} page(s) (bestsellers only)", r.ejected);
+    assert_eq!(portal.request(&catalog_gaming).served, Served::CacheHit);
+    let bs = portal.request(&bestsellers);
+    assert_eq!(bs.served, Served::Generated);
+    assert!(bs.response.body.contains("999"));
+
+    // No stale page survives any sync point.
+    assert!(portal.stale_pages().is_empty());
+
+    let stats = portal.page_cache().stats();
+    println!(
+        "\ncache stats: {} hits / {} lookups (hit ratio {:.2}), {} invalidations",
+        stats.hits,
+        stats.lookups(),
+        stats.hit_ratio(),
+        stats.invalidations
+    );
+    println!("freshness oracle: no stale pages ✓");
+}

@@ -1,0 +1,133 @@
+//! Interactive SQL shell over the `cacheportal-db` engine — explore the
+//! substrate the reproduction is built on: the SQL subset, EXPLAIN plans,
+//! and the update log the invalidator consumes.
+//!
+//! ```text
+//! cargo run --example sql_repl
+//! sql> CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))
+//! sql> INSERT INTO Car VALUES ('Honda','Civic',18000)
+//! sql> SELECT * FROM Car WHERE price < 20000
+//! sql> .explain SELECT * FROM Car WHERE model = 'Civic'
+//! sql> .log          -- show the update log (what the invalidator sees)
+//! sql> .quit
+//! ```
+//!
+//! Pipe a script: `echo "SELECT 1+1 FROM t" | cargo run --example sql_repl`.
+
+use cacheportal::db::{Database, ExecOutcome, LogOp};
+use cacheportal::web::render;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = Database::new();
+    // A little starter schema so SELECTs work out of the box.
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    db.execute(
+        "INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000), \
+         ('Mitsubishi','Eclipse',20000)",
+    )
+    .unwrap();
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .unwrap();
+
+    println!("cacheportal-db SQL shell — tables: Car, Mileage");
+    println!("commands: .explain <select>, .log, .tables, .stats, .quit\n");
+
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("sql> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if line == ".tables" {
+            for name in db.catalog().table_names() {
+                let t = db.catalog().get(name).unwrap();
+                let cols: Vec<String> = t
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| format!("{} {}", c.name, c.ty))
+                    .collect();
+                println!("{name} ({}) — {} rows", cols.join(", "), t.len());
+            }
+            continue;
+        }
+        if line == ".log" {
+            let recs = db.update_log().pull_since(0);
+            if recs.is_empty() {
+                println!("(update log empty — the invalidator has nothing to do)");
+            }
+            for r in recs {
+                let (op, row) = match &r.op {
+                    LogOp::Insert(row) => ("+", row),
+                    LogOp::Delete(row) => ("-", row),
+                };
+                let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("lsn {:>4}  {op} {:<10} ({})", r.lsn, r.table, vals.join(", "));
+            }
+            continue;
+        }
+        if line == ".stats" {
+            let s = db.stats();
+            println!(
+                "selects={} inserts={} deletes={} updates={} | scanned={} probes={} joined={}",
+                s.selects,
+                s.inserts,
+                s.deletes,
+                s.updates,
+                s.exec.rows_scanned,
+                s.exec.index_probes,
+                s.exec.rows_joined
+            );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".explain ") {
+            match db.explain(rest) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match db.execute(line) {
+            Ok(ExecOutcome::Rows(result)) => {
+                // Text rendering: column header + rows.
+                println!("{}", result.columns.join(" | "));
+                for row in &result.rows {
+                    let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", vals.join(" | "));
+                }
+                println!("({} row(s))", result.rows.len());
+                // Also demonstrate the HTML renderer used by servlets:
+                if std::env::var("REPL_HTML").is_ok() {
+                    println!("{}", render::html_table(&result));
+                }
+            }
+            Ok(ExecOutcome::Affected(n)) => println!("ok ({n} row(s) affected)"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Crude interactivity check without extra dependencies: piped stdin is fine
+/// either way, we just suppress the prompt when reading a script.
+fn atty_stdin() -> bool {
+    // Heuristic: if an env marker is set (tests/scripts), treat as piped.
+    std::env::var("REPL_NO_PROMPT").is_err()
+}

@@ -1,0 +1,7 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the CachePortal reproduction workspace.
+//!
+//! Re-exports the public facade crate so top-level examples and
+//! integration tests have one import root.
+pub use cacheportal as portal;

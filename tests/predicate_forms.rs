@@ -1,0 +1,169 @@
+//! End-to-end invalidation through every predicate form the SQL subset
+//! supports: IN lists, BETWEEN, LIKE, IS NULL, scalar functions, and
+//! aggregates — each as a real servlet on a real CachePortal deployment.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::{CachePortal, Served};
+use std::sync::Arc;
+
+fn portal() -> CachePortal {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE listings (city TEXT, kind TEXT, price INT, agent TEXT, INDEX(city))",
+    )
+    .unwrap();
+    db.execute(
+        "INSERT INTO listings VALUES \
+         ('austin','condo',300, 'ann'), ('austin','house',500, 'bob'), \
+         ('boston','condo',700, NULL), ('boston','house',900, 'cat')",
+    )
+    .unwrap();
+    let p = CachePortal::builder(db).build().unwrap();
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("inlist").with_key_get_params(&["kind"]),
+        "By kind",
+        vec![QueryTemplate::new(
+            "SELECT city, price FROM listings WHERE kind IN ($1, 'bungalow') ORDER BY price",
+            vec![ParamSource::Get("kind".into(), ColType::Str)],
+        )],
+    )));
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("between").with_key_get_params(&["lo", "hi"]),
+        "Price band",
+        vec![QueryTemplate::new(
+            "SELECT city, kind FROM listings WHERE price BETWEEN $1 AND $2 ORDER BY city, kind",
+            vec![
+                ParamSource::Get("lo".into(), ColType::Int),
+                ParamSource::Get("hi".into(), ColType::Int),
+            ],
+        )],
+    )));
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("like").with_key_get_params(&["prefix"]),
+        "City prefix",
+        vec![QueryTemplate::new(
+            "SELECT city, price FROM listings WHERE city LIKE $1 ORDER BY price",
+            vec![ParamSource::Get("prefix".into(), ColType::Str)],
+        )],
+    )));
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("unassigned"),
+        "Unassigned listings",
+        vec![QueryTemplate::new(
+            "SELECT city, price FROM listings WHERE agent IS NULL ORDER BY price",
+            vec![],
+        )],
+    )));
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("stats").with_key_get_params(&["city"]),
+        "City stats",
+        vec![QueryTemplate::new(
+            "SELECT COUNT(*), MIN(price), MAX(price) FROM listings WHERE city = $1",
+            vec![ParamSource::Get("city".into(), ColType::Str)],
+        )],
+    )));
+    p
+}
+
+#[test]
+fn in_list_pages_invalidate_precisely() {
+    let p = portal();
+    let condo = HttpRequest::get("h", "/inlist", &[("kind", "condo")]);
+    let house = HttpRequest::get("h", "/inlist", &[("kind", "house")]);
+    p.request(&condo);
+    p.request(&house);
+    p.sync_point().unwrap();
+
+    p.update("INSERT INTO listings VALUES ('denver','condo',400,'dee')").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 1, "only the condo page");
+    assert_eq!(p.request(&house).served, Served::CacheHit);
+    assert!(p.request(&condo).response.body.contains("denver"));
+    assert!(p.stale_pages().is_empty());
+
+    // The constant alternative in the IN list also triggers.
+    p.sync_point().unwrap();
+    p.update("INSERT INTO listings VALUES ('waco','bungalow',100,'eve')").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 2, "bungalow matches both pages' IN lists");
+}
+
+#[test]
+fn between_pages_invalidate_on_band_membership() {
+    let p = portal();
+    let low = HttpRequest::get("h", "/between", &[("lo", "0"), ("hi", "400")]);
+    let high = HttpRequest::get("h", "/between", &[("lo", "600"), ("hi", "1000")]);
+    p.request(&low);
+    p.request(&high);
+    p.sync_point().unwrap();
+
+    p.update("INSERT INTO listings VALUES ('austin','loft',350,'fay')").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 1);
+    assert_eq!(p.request(&high).served, Served::CacheHit);
+    assert_eq!(p.request(&low).served, Served::Generated);
+    assert!(p.stale_pages().is_empty());
+}
+
+#[test]
+fn like_pages_invalidate_on_pattern_match() {
+    let p = portal();
+    let bos = HttpRequest::get("h", "/like", &[("prefix", "bos%")]);
+    let aus = HttpRequest::get("h", "/like", &[("prefix", "aus%")]);
+    p.request(&bos);
+    p.request(&aus);
+    p.sync_point().unwrap();
+
+    p.update("INSERT INTO listings VALUES ('boston','loft',800,'gus')").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 1);
+    assert_eq!(p.request(&aus).served, Served::CacheHit);
+    assert!(p.request(&bos).response.body.contains("800"));
+    assert!(p.stale_pages().is_empty());
+}
+
+#[test]
+fn is_null_page_tracks_null_membership() {
+    let p = portal();
+    let req = HttpRequest::get("h", "/unassigned", &[]);
+    let before = p.request(&req);
+    assert!(before.response.body.contains("700"), "seed NULL row listed");
+    p.sync_point().unwrap();
+
+    // A fully-assigned listing does not touch the NULL page.
+    p.update("INSERT INTO listings VALUES ('reno','condo',200,'hal')").unwrap();
+    p.sync_point().unwrap();
+    assert_eq!(p.request(&req).served, Served::CacheHit);
+
+    // An unassigned one does.
+    p.update("INSERT INTO listings VALUES ('reno','house',250,NULL)").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 1);
+    assert!(p.request(&req).response.body.contains("250"));
+    assert!(p.stale_pages().is_empty());
+}
+
+#[test]
+fn aggregate_pages_stay_safe_even_when_value_unchanged() {
+    let p = portal();
+    let req = HttpRequest::get("h", "/stats", &[("city", "austin")]);
+    p.request(&req);
+    p.sync_point().unwrap();
+
+    // Inserting a mid-band listing changes COUNT but not MIN/MAX; the page
+    // must still be ejected (content changed via COUNT).
+    p.update("INSERT INTO listings VALUES ('austin','duplex',400,'ivy')").unwrap();
+    p.sync_point().unwrap();
+    let fresh = p.request(&req);
+    assert_eq!(fresh.served, Served::Generated);
+    assert!(fresh.response.body.contains("<td>3</td>"));
+    assert!(p.stale_pages().is_empty());
+
+    // Other cities never touch it.
+    p.sync_point().unwrap();
+    p.update("INSERT INTO listings VALUES ('boston','duplex',750,'joe')").unwrap();
+    p.sync_point().unwrap();
+    assert_eq!(p.request(&req).served, Served::CacheHit);
+}

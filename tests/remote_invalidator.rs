@@ -1,0 +1,153 @@
+//! Distributed deployment (paper Figure 7): the sniffer runs next to the
+//! servers and the invalidator "sits on a separate machine which fetches
+//! the logs … at regular intervals". Here the machine boundary is exercised
+//! by shipping the QI/URL map as JSON between a sniffer-side process and an
+//! invalidator-side process that share only the database.
+
+use cacheportal_db::schema::ColType;
+use cacheportal_db::Database;
+use cacheportal_invalidator::{Invalidator, InvalidatorConfig};
+use cacheportal_sniffer::{LoggedConnection, Mapper, QiUrlMap, QueryLog, RequestLog};
+use cacheportal_web::{
+    shared, AppServer, AppServerConfig, Clock, ConnectionFactory, ConnectionPool, DbConnection,
+    HttpRequest, ManualClock, ParamSource, QueryTemplate, ServletSpec, SqlServlet,
+};
+use std::sync::Arc;
+
+/// The "web machine": servers + sniffer, producing QI/URL JSON snapshots.
+struct WebMachine {
+    app: Arc<AppServer>,
+    mapper: Mapper,
+    map: Arc<QiUrlMap>,
+}
+
+impl WebMachine {
+    fn new(db: cacheportal_web::SharedDb) -> Self {
+        let clock = ManualClock::new();
+        let query_log = QueryLog::new();
+        let factory: ConnectionFactory = {
+            let db = db.clone();
+            let log = query_log.clone();
+            let clock: Arc<dyn Clock> = clock.clone();
+            Arc::new(move || {
+                Box::new(LoggedConnection::new(
+                    DbConnection::new(db.clone()),
+                    log.clone(),
+                    clock.clone(),
+                ))
+            })
+        };
+        let app = Arc::new(AppServer::new(
+            ConnectionPool::new(factory, 4),
+            clock,
+            AppServerConfig {
+                rewrite_cache_control: true,
+                cache_owner: "cacheportal".into(),
+            },
+        ));
+        let request_log = Arc::new(RequestLog::new());
+        app.set_observer(request_log.clone());
+        app.register(Arc::new(SqlServlet::new(
+            ServletSpec::new("cars").with_key_get_params(&["maxprice"]),
+            "Cars",
+            vec![QueryTemplate::new(
+                "SELECT * FROM Car WHERE price < $1",
+                vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+            )],
+        )));
+        let map = Arc::new(QiUrlMap::new());
+        let mapper = Mapper::new(request_log, query_log, map.clone());
+        WebMachine { app, mapper, map }
+    }
+
+    /// Run the local mapper and export the map as a JSON snapshot — the
+    /// bytes that cross the machine boundary.
+    fn snapshot(&mut self) -> String {
+        self.mapper.run_once();
+        self.map.to_json()
+    }
+}
+
+#[test]
+fn invalidator_runs_from_shipped_json_snapshots() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)").unwrap();
+    db.execute("INSERT INTO Car VALUES ('Honda','Civic',18000)").unwrap();
+    let start_lsn = db.high_water();
+    let sdb = shared(db);
+
+    let mut web = WebMachine::new(sdb.clone());
+    // The invalidator machine: only the database connection and JSON
+    // snapshots in; page keys to eject out.
+    let mut invalidator = Invalidator::new(InvalidatorConfig::default());
+    invalidator.start_from(start_lsn);
+
+    // Traffic on the web machine.
+    for bound in ["20000", "15000"] {
+        let resp = web
+            .app
+            .handle(&HttpRequest::get("shop", "/cars", &[("maxprice", bound)]));
+        assert_eq!(resp.status.code(), 200);
+    }
+    let wire_bytes = web.snapshot();
+
+    // ... bytes travel ...
+    let remote_map = QiUrlMap::from_json(&wire_bytes).unwrap();
+    {
+        let mut db = sdb.write();
+        let r = invalidator.run_sync_point(&mut db, &remote_map).unwrap();
+        assert_eq!(r.registered, 2);
+    }
+
+    // A backend update lands; next interval's snapshot has nothing new, but
+    // the invalidator (registered from the previous snapshot) names the
+    // right page.
+    sdb.write()
+        .execute("INSERT INTO Car VALUES ('Kia','Rio',17000)")
+        .unwrap();
+    let wire_bytes = web.snapshot();
+    let remote_map = QiUrlMap::from_json(&wire_bytes).unwrap();
+    let report = {
+        let mut db = sdb.write();
+        invalidator.run_sync_point(&mut db, &remote_map).unwrap()
+    };
+    assert_eq!(report.pages.len(), 1);
+    assert!(
+        report
+            .pages
+            .iter()
+            .next()
+            .unwrap()
+            .as_str()
+            .contains("maxprice=20000"),
+        "only the 20000 page is affected by a 17000 car"
+    );
+}
+
+#[test]
+fn snapshots_are_idempotent_across_intervals() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)").unwrap();
+    let start_lsn = db.high_water();
+    let sdb = shared(db);
+    let mut web = WebMachine::new(sdb.clone());
+    let mut invalidator = Invalidator::new(InvalidatorConfig::default());
+    invalidator.start_from(start_lsn);
+
+    web.app
+        .handle(&HttpRequest::get("shop", "/cars", &[("maxprice", "9000")]));
+    // The same full snapshot shipped twice must register once: the
+    // invalidator's cursor rides on stable row ids preserved by the JSON
+    // round trip.
+    for round in 0..2 {
+        let remote = QiUrlMap::from_json(&web.snapshot()).unwrap();
+        let mut db = sdb.write();
+        let r = invalidator.run_sync_point(&mut db, &remote).unwrap();
+        if round == 0 {
+            assert_eq!(r.registered, 1);
+        } else {
+            assert_eq!(r.registered, 0, "full-snapshot redelivery is idempotent");
+        }
+    }
+    assert_eq!(invalidator.registry().total_instances(), 1);
+}

@@ -1,0 +1,145 @@
+//! Soak test: the four-node cluster under sustained concurrent load —
+//! readers, a writer issuing single statements and transactions, and a
+//! synchronizer — followed by a full-system freshness audit.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::cache::PageCacheConfig;
+use cacheportal::invalidator::InvalidatorConfig;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::{CachePortalCluster, Served};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn build_farm() -> CachePortalCluster {
+    let mut db = Database::new();
+    db.execute(
+        "CREATE TABLE products (sku INT, category INT, price INT, INDEX(sku), INDEX(category))",
+    )
+    .unwrap();
+    db.execute("CREATE TABLE stock (sku INT, qty INT, INDEX(sku))").unwrap();
+    for sku in 0..150i64 {
+        db.insert_row("products", vec![sku.into(), (sku % 6).into(), (10 + sku).into()])
+            .unwrap();
+        db.insert_row("stock", vec![sku.into(), ((sku * 3) % 40).into()])
+            .unwrap();
+    }
+    let farm = CachePortalCluster::new(
+        db,
+        4,
+        PageCacheConfig::default(),
+        InvalidatorConfig::default(),
+    )
+    .unwrap();
+    farm.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("category").with_key_get_params(&["id"]),
+        "Category",
+        vec![QueryTemplate::new(
+            "SELECT sku, price FROM products WHERE category = $1 ORDER BY sku",
+            vec![ParamSource::Get("id".into(), ColType::Int)],
+        )],
+    )));
+    farm.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("detail").with_key_get_params(&["sku"]),
+        "Detail",
+        vec![QueryTemplate::new(
+            "SELECT products.price, stock.qty FROM products, stock \
+             WHERE products.sku = $1 AND products.sku = stock.sku",
+            vec![ParamSource::Get("sku".into(), ColType::Int)],
+        )],
+    )));
+    farm
+}
+
+#[test]
+fn cluster_soak_under_concurrent_load() {
+    let farm = Arc::new(build_farm());
+    let served = AtomicU64::new(0);
+    let hits = AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        // Six reader threads across both page families.
+        for t in 0..6u64 {
+            let farm = Arc::clone(&farm);
+            let served = &served;
+            let hits = &hits;
+            scope.spawn(move |_| {
+                for i in 0..200u64 {
+                    let req = if (i + t) % 3 == 0 {
+                        HttpRequest::get(
+                            "shop",
+                            "/detail",
+                            &[("sku", &((i * 7 + t) % 150).to_string())],
+                        )
+                    } else {
+                        HttpRequest::get(
+                            "shop",
+                            "/category",
+                            &[("id", &((i + t) % 6).to_string())],
+                        )
+                    };
+                    let out = farm.request(&req);
+                    assert_eq!(out.response.status.code(), 200, "no 5xx under load");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    if out.served == Served::CacheHit {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // A writer mixing plain updates and atomic transactions.
+        {
+            let farm = Arc::clone(&farm);
+            scope.spawn(move |_| {
+                for i in 0..80i64 {
+                    if i % 4 == 0 {
+                        // Atomic restock: price change + stock change together.
+                        let sku = (i * 11) % 150;
+                        let mut db = farm.db().write();
+                        let mut tx = db.begin();
+                        tx.execute(&format!(
+                            "UPDATE products SET price = (price + 1) WHERE sku = {sku}"
+                        ))
+                        .unwrap();
+                        tx.execute(&format!(
+                            "UPDATE stock SET qty = (qty + 5) WHERE sku = {sku}"
+                        ))
+                        .unwrap();
+                        tx.commit();
+                    } else {
+                        farm.update(&format!(
+                            "UPDATE stock SET qty = {} WHERE sku = {}",
+                            i % 50,
+                            (i * 13) % 150
+                        ))
+                        .unwrap();
+                    }
+                }
+            });
+        }
+        // Synchronizer.
+        {
+            let farm = Arc::clone(&farm);
+            scope.spawn(move |_| {
+                for _ in 0..40 {
+                    farm.sync_point().unwrap();
+                    std::thread::yield_now();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    assert_eq!(served.load(Ordering::Relaxed), 1200);
+    assert!(hits.load(Ordering::Relaxed) > 100, "cache did real work");
+
+    // Freshness audit after the final sync.
+    farm.sync_point().unwrap();
+    assert!(
+        farm.stale_pages().is_empty(),
+        "soak must end with a fully fresh cache"
+    );
+    // Load was spread across all four nodes.
+    let loads = farm.node_loads();
+    assert!(loads.iter().all(|&l| l > 0), "every node served: {loads:?}");
+}
