@@ -165,6 +165,9 @@ pub struct WorkloadResult {
     pub stale_page_rounds: u64,
     /// Achieved cache hit ratio.
     pub hit_ratio: f64,
+    /// The portal's full `metrics_snapshot()` at the end of the run
+    /// (registry counters/histograms, staleness window, recent trace).
+    pub observability: serde_json::Value,
 }
 
 /// Drive the functional system under the configured workload.
@@ -247,6 +250,11 @@ pub fn run_workload(config: &WorkloadConfig) -> WorkloadResult {
                 result.stale_page_rounds += portal.stale_pages().len() as u64;
             }
             _ => {
+                // The sync point fires at the end of the interval: updates
+                // committed during the round have aged up to ROUND_TICKS by
+                // the time their pages are ejected (the staleness window the
+                // probe measures).
+                portal.advance_clock(ROUND_TICKS);
                 let report = portal.sync_point().unwrap();
                 result.pages_ejected += report.ejected as u64;
                 result.polls_issued += report.invalidation.polls.issued;
@@ -273,7 +281,6 @@ pub fn run_workload(config: &WorkloadConfig) -> WorkloadResult {
                     }
                 }
                 result.stale_page_rounds += portal.stale_pages().len() as u64;
-                portal.advance_clock(ROUND_TICKS);
             }
         }
     }
@@ -282,6 +289,7 @@ pub fn run_workload(config: &WorkloadConfig) -> WorkloadResult {
     } else {
         result.cache_hits as f64 / result.requests as f64
     };
+    result.observability = portal.metrics_snapshot();
     result
 }
 

@@ -25,6 +25,7 @@ struct GroupingPoint {
     actual_polls: u64,
     saved_by_cache: u64,
     saved_by_index: u64,
+    observability: serde_json::Value,
 }
 
 fn main() {
@@ -61,6 +62,7 @@ fn main() {
                 actual_polls: r.polls_issued,
                 saved_by_cache: r.polls_saved_by_cache,
                 saved_by_index: r.polls_saved_by_index,
+                observability: r.observability,
             });
         }
     }

@@ -43,6 +43,7 @@ fn main() {
         "over-inval".to_string(),
         "polls".to_string(),
         "stale rounds".to_string(),
+        "staleness p95 (us)".to_string(),
     ]];
     for r in &results {
         let over = if r.pages_ejected == 0 {
@@ -53,6 +54,10 @@ fn main() {
                 r.ejected_unchanged as f64 / r.pages_ejected as f64 * 100.0
             )
         };
+        let staleness_p95 = r.observability["staleness"]["commit_to_eject_micros"]["p95"]
+            .as_u64()
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".to_string());
         rows.push(vec![
             r.mode.clone(),
             format!("{:.2}", r.hit_ratio),
@@ -60,6 +65,7 @@ fn main() {
             over,
             r.polls_issued.to_string(),
             r.stale_page_rounds.to_string(),
+            staleness_p95,
         ]);
     }
     println!("Fig E3: invalidation-policy ablation (functional system)\n");

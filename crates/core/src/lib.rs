@@ -63,3 +63,5 @@ pub use cacheportal_cache as cache;
 pub use cacheportal_sniffer as sniffer;
 /// Re-export: the invalidator.
 pub use cacheportal_invalidator as invalidator;
+/// Re-export: the observability layer (metrics, tracing, staleness probe).
+pub use cacheportal_obs as obs;

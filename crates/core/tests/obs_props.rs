@@ -1,0 +1,104 @@
+//! Property test: after any randomized interleaving of requests, updates,
+//! and sync points, the metrics registry's accumulated invalidation
+//! counters equal the totals of the `SyncReport`s the portal returned.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::CachePortal;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn example_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .unwrap();
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .unwrap();
+    db
+}
+
+fn portal() -> CachePortal {
+    let p = CachePortal::builder(example_db()).build().unwrap();
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    )));
+    p
+}
+
+fn req(maxprice: i64) -> HttpRequest {
+    HttpRequest::get(
+        "shop.example.com",
+        "/carSearch",
+        &[("maxprice", &maxprice.to_string())],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn registry_counters_match_sync_report_totals(
+        ops in prop::collection::vec(0u8..6, 1..32),
+    ) {
+        let p = portal();
+        let mut total_records = 0u64;
+        let mut total_polls = 0u64;
+        let mut total_local = 0u64;
+        let mut total_ejected = 0u64;
+        let mut total_mapped = 0u64;
+        let mut sync_points = 0u64;
+
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => { p.request(&req(20000)); }
+                1 => { p.request(&req(30000)); }
+                2 => {
+                    p.update(&format!(
+                        "INSERT INTO Car VALUES ('M','car{i}',{})",
+                        15_000 + (i as i64) * 137 % 20_000
+                    )).unwrap();
+                }
+                3 => {
+                    p.update(&format!("INSERT INTO Mileage VALUES ('car{i}', 30.0)"))
+                        .unwrap();
+                }
+                4 => { p.update("DELETE FROM Car WHERE price > 24000").unwrap(); }
+                _ => {
+                    p.advance_clock(100);
+                    let r = p.sync_point().unwrap();
+                    total_records += r.invalidation.records_consumed;
+                    total_polls += r.invalidation.polls.issued;
+                    total_local += r.invalidation.local_decisions;
+                    total_ejected += r.ejected as u64;
+                    total_mapped += r.mapper.mapped;
+                    sync_points += 1;
+                }
+            }
+        }
+
+        let m = &p.obs().metrics;
+        prop_assert_eq!(m.counter_value("invalidator.sync_points"), sync_points);
+        prop_assert_eq!(m.counter_value("invalidator.records_consumed"), total_records);
+        prop_assert_eq!(m.counter_value("invalidator.polls.issued"), total_polls);
+        prop_assert_eq!(m.counter_value("invalidator.polls.avoided_local"), total_local);
+        prop_assert_eq!(m.counter_value("invalidator.pages.ejected"), total_ejected);
+        prop_assert_eq!(m.counter_value("sniffer.mapper.mapped"), total_mapped);
+
+        // The staleness probe never holds stamps for records a sync point
+        // already consumed.
+        if ops.last() == Some(&5) {
+            prop_assert_eq!(p.obs().staleness.pending_len(), 0);
+        }
+    }
+}

@@ -50,6 +50,12 @@ pub struct DbStats {
     pub deletes: u64,
     /// Rows updated.
     pub updates: u64,
+    /// Transactions opened via [`Database::begin`].
+    pub txn_begins: u64,
+    /// Transactions committed.
+    pub txn_commits: u64,
+    /// Transactions aborted (explicit rollback or drop without commit).
+    pub txn_aborts: u64,
     /// Accumulated executor work counters.
     pub exec: ExecStats,
 }
@@ -104,6 +110,12 @@ impl Database {
     /// Cumulative statistics.
     pub fn stats(&self) -> &DbStats {
         &self.stats
+    }
+
+    /// Mutable statistics access for same-crate instrumentation (the
+    /// transaction guard counts begins/commits/aborts).
+    pub(crate) fn stats_mut(&mut self) -> &mut DbStats {
+        &mut self.stats
     }
 
     /// Execute one SQL statement without parameters.

@@ -54,6 +54,8 @@ pub struct ExecStats {
     pub rows_output: u64,
     /// Number of index probes used instead of full scans.
     pub index_probes: u64,
+    /// Full sequential scans the planner fell back to (no usable index).
+    pub seq_scans: u64,
 }
 
 impl ExecStats {
@@ -68,6 +70,7 @@ impl ExecStats {
         self.rows_joined += other.rows_joined;
         self.rows_output += other.rows_output;
         self.index_probes += other.index_probes;
+        self.seq_scans += other.seq_scans;
     }
 }
 
@@ -370,6 +373,7 @@ fn scan_with_predicates<'a>(
         return out;
     }
     let mut out = Vec::new();
+    stats.seq_scans += 1;
     for (_, row) in table.scan() {
         stats.rows_scanned += 1;
         if predicates.iter().all(|q| pred_single(q, table_no, row)) {

@@ -29,6 +29,7 @@ impl Database {
     /// commits, rolls back, or is dropped (drop = rollback).
     pub fn begin(&mut self) -> Transaction<'_> {
         let start_lsn = self.high_water();
+        self.stats_mut().txn_begins += 1;
         Transaction {
             db: self,
             start_lsn,
@@ -56,6 +57,7 @@ impl Transaction<'_> {
     /// Make the transaction's changes permanent.
     pub fn commit(mut self) {
         self.finished = true;
+        self.db.stats_mut().txn_commits += 1;
     }
 
     /// Undo every change made since `begin`.
@@ -65,6 +67,7 @@ impl Transaction<'_> {
     }
 
     fn rollback_inner(&mut self) -> DbResult<()> {
+        self.db.stats_mut().txn_aborts += 1;
         // Collect the records to undo (newest first).
         let records: Vec<(String, LogOp)> = self
             .db

@@ -42,9 +42,21 @@ pub struct InvalidationReport {
     /// Instances whose queries no longer bind against the current schema
     /// (table/column dropped); their pages are conservatively ejected.
     pub bind_failures: u64,
+    /// Delta-tuple/batch decisions resolved purely by local analysis
+    /// (`NoImpact` or `Affected` without a polling query) — each of these is
+    /// a poll the local check avoided (§4.2).
+    pub local_decisions: u64,
     /// Wall-clock time the sync point took (the paper's per-type
     /// "average and maximum invalidation times" statistic, aggregated).
     pub elapsed: std::time::Duration,
+    /// Stage timing: online registration scan of the QI/URL map (§4.1.2).
+    pub registration_micros: u64,
+    /// Stage timing: update-log pull + delta build + index maintenance.
+    pub delta_micros: u64,
+    /// Stage timing: affected-instance analysis (local checks + polls).
+    pub analysis_micros: u64,
+    /// Stage timing: page collection + policy discovery bookkeeping.
+    pub collect_micros: u64,
 }
 
 /// Invalidator configuration.
@@ -174,11 +186,14 @@ impl Invalidator {
                 Err(_) => report.unparseable += 1,
             }
         }
+        report.registration_micros = started.elapsed().as_micros() as u64;
 
         // (2) Pull the update log and build deltas (§4.2.1).
+        let delta_started = std::time::Instant::now();
         let records: Vec<cacheportal_db::LogRecord> =
             db.update_log().pull_since(self.consumed_lsn).to_vec();
         if records.is_empty() {
+            report.delta_micros = delta_started.elapsed().as_micros() as u64;
             report.elapsed = started.elapsed();
             return Ok(report);
         }
@@ -192,11 +207,15 @@ impl Invalidator {
         // Maintained indexes must reflect the post-batch state before any
         // poll is answered from them.
         self.info.apply_deltas(&deltas);
+        report.delta_micros = delta_started.elapsed().as_micros() as u64;
 
         // (3) Decide affected instances.
+        let analysis_started = std::time::Instant::now();
         let affected = self.analyze_batch(db, &deltas, &mut report)?;
+        report.analysis_micros = analysis_started.elapsed().as_micros() as u64;
 
         // (4) Collect dependent pages.
+        let collect_started = std::time::Instant::now();
         for (ty, params) in &affected {
             if let Some(data) = self.registry.pages_of(*ty, params) {
                 report.pages.extend(data.pages.iter().cloned());
@@ -239,6 +258,7 @@ impl Invalidator {
             }
         }
 
+        report.collect_micros = collect_started.elapsed().as_micros() as u64;
         report.elapsed = started.elapsed();
         Ok(report)
     }
@@ -378,8 +398,14 @@ impl Invalidator {
             report.tuples_analyzed += 1;
             let impact = analyze_tuple(inst, occ, tuple)?;
             let hit = match impact {
-                TupleImpact::NoImpact => false,
-                TupleImpact::Affected => true,
+                TupleImpact::NoImpact => {
+                    report.local_decisions += 1;
+                    false
+                }
+                TupleImpact::Affected => {
+                    report.local_decisions += 1;
+                    true
+                }
                 TupleImpact::NeedsPoll(poll) => Self::run_poll(
                     policy_cfg, info, runner, db, &poll, !is_insert, policy, report,
                 )?,
@@ -421,8 +447,14 @@ impl Invalidator {
                 policy_cfg.max_or_terms_per_poll.max(1),
             )?;
             let hit = match impact {
-                BatchImpact::NoImpact => false,
-                BatchImpact::Affected => true,
+                BatchImpact::NoImpact => {
+                    report.local_decisions += 1;
+                    false
+                }
+                BatchImpact::Affected => {
+                    report.local_decisions += 1;
+                    true
+                }
                 BatchImpact::NeedsPolls(polls) => {
                     let mut any = false;
                     for poll in &polls {

@@ -1,0 +1,154 @@
+//! `cacheportal-obs` — unified observability layer for the CachePortal
+//! pipeline.
+//!
+//! Three instruments, deliberately dependency-free (atomics, `parking_lot`,
+//! and `serde_json` only) so every runtime crate can use them:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and log-bucketed latency
+//!   histograms with p50/p95/p99/max summaries.
+//! * [`Tracer`] — a bounded ring buffer of pipeline events covering
+//!   HTTP request → servlet → SQL execution → cache admission, and
+//!   sync point → delta build → local check → polling query → eject fan-out.
+//! * [`StalenessProbe`] — stamps each committed mutation's LSN with a
+//!   logical timestamp and records the commit→eject staleness window per
+//!   invalidated page.
+//!
+//! [`Obs`] bundles the three behind one `Arc`-shareable handle and renders
+//! the combined [`Obs::snapshot`] JSON document and human-readable
+//! [`Obs::fmt_report`] that `CachePortal::metrics_snapshot()` exposes.
+
+mod histogram;
+mod registry;
+mod staleness;
+mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use staleness::{Lsn, StalenessProbe};
+pub use trace::{TraceEvent, Tracer};
+
+use std::sync::Arc;
+
+/// The bundle of instruments one `CachePortal` owns.
+pub struct Obs {
+    /// Named counters/gauges/histograms.
+    pub metrics: MetricsRegistry,
+    /// Bounded pipeline event trace.
+    pub tracer: Tracer,
+    /// Commit→eject staleness window probe.
+    pub staleness: StalenessProbe,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl Obs {
+    /// Instruments with default sizing (1024-event trace ring).
+    pub fn new() -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::default(),
+            staleness: StalenessProbe::new(),
+        }
+    }
+
+    /// Same, pre-wrapped for sharing across components.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The combined observability document:
+    ///
+    /// ```json
+    /// {
+    ///   "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+    ///   "staleness": {"pending_mutations": n, "commit_to_eject_micros": {...}},
+    ///   "trace": {"recorded": n, "dropped": n, "recent": [...]}
+    /// }
+    /// ```
+    pub fn snapshot(&self) -> serde_json::Value {
+        self.snapshot_with_trace(32)
+    }
+
+    /// [`Obs::snapshot`] with an explicit cap on embedded trace events.
+    pub fn snapshot_with_trace(&self, recent_events: usize) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("metrics".to_string(), self.metrics.snapshot()),
+            ("staleness".to_string(), self.staleness.to_json()),
+            ("trace".to_string(), self.tracer.to_json(recent_events)),
+        ])
+    }
+
+    /// Multi-line human-readable report of every instrument.
+    pub fn fmt_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== metrics ==");
+        out.push_str(&self.metrics.fmt_report());
+        let s = self.staleness.window_snapshot();
+        let _ = writeln!(
+            out,
+            "== staleness ==\ncommit->eject micros: n={} mean={:.1} p50={} p95={} p99={} max={} (pending mutations: {})",
+            s.count,
+            s.mean,
+            s.p50,
+            s.p95,
+            s.p99,
+            s.max,
+            self.staleness.pending_len()
+        );
+        let _ = writeln!(
+            out,
+            "== trace ==\nrecorded={} dropped={}",
+            self.tracer.recorded(),
+            self.tracer.dropped()
+        );
+        for e in self.tracer.recent(16) {
+            let dur = e
+                .duration_micros
+                .map(|d| format!(" ({d}us)"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "  [{}] t={} {}.{}{} {}", e.seq, e.ts, e.scope, e.name, dur, e.detail);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_snapshot_has_all_sections() {
+        let obs = Obs::new();
+        obs.metrics.counter("cache.page.hits").add(3);
+        obs.staleness.stamp(1, 10);
+        obs.staleness.on_sync_point(1, 50, 2);
+        obs.tracer.event("core", "sync.point", 50, "lsn=1");
+        let snap = obs.snapshot();
+        assert_eq!(snap["metrics"]["counters"]["cache.page.hits"].as_u64(), Some(3));
+        assert_eq!(
+            snap["staleness"]["commit_to_eject_micros"]["count"].as_u64(),
+            Some(2)
+        );
+        assert_eq!(snap["trace"]["recorded"].as_u64(), Some(1));
+        // The whole document renders and re-parses as JSON text.
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["metrics"]["counters"]["cache.page.hits"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn report_mentions_each_section() {
+        let obs = Obs::new();
+        obs.metrics.counter("db.queries").inc();
+        let report = obs.fmt_report();
+        assert!(report.contains("== metrics =="));
+        assert!(report.contains("db.queries"));
+        assert!(report.contains("== staleness =="));
+        assert!(report.contains("== trace =="));
+    }
+}

@@ -1,0 +1,213 @@
+//! Named metric registry: counters, gauges, and latency histograms.
+//!
+//! Instruments obtain `Arc` handles once (registration takes a write lock)
+//! and then update them with plain atomic operations; the registry itself is
+//! only locked again to take snapshots. Metric names are dotted paths such
+//! as `cache.page.hits` or `invalidator.polls.issued`.
+
+use crate::histogram::Histogram;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone event counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite with a cumulative total maintained elsewhere. For metrics
+    /// integrated from component-owned stats structs at sync points.
+    pub fn set_total(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous signed level (pool sizes, queue depths).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Registry of named instruments. Cheap to share (`Arc` internally); cloning
+/// handles out of it is the intended usage pattern.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Convenience: read a counter's current value (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.read().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Convenience: read a gauge's current value (0 if absent).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges.read().get(name).map_or(0, |g| g.get())
+    }
+
+    /// Snapshot every instrument as JSON:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, ..}}}`.
+    pub fn snapshot(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::UInt(v.get())))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::Int(v.get())))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot().to_json()))
+            .collect();
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(histograms)),
+        ])
+    }
+
+    /// Human-readable dump, one instrument per line, sorted by name.
+    pub fn fmt_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in self.counters.read().iter() {
+            let _ = writeln!(out, "counter    {k:<48} {}", v.get());
+        }
+        for (k, v) in self.gauges.read().iter() {
+            let _ = writeln!(out, "gauge      {k:<48} {}", v.get());
+        }
+        for (k, v) in self.histograms.read().iter() {
+            let s = v.snapshot();
+            let _ = writeln!(
+                out,
+                "histogram  {k:<48} n={} mean={:.1} p50={} p95={} p99={} max={}",
+                s.count, s.mean, s.p50, s.p95, s.p99, s.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("x.hits"), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn gauge_levels() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("pool.size");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(r.gauge_value("pool.size"), 3);
+    }
+
+    #[test]
+    fn snapshot_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.gauge("b").set(-1);
+        r.histogram("c").record(10);
+        let s = r.snapshot();
+        assert_eq!(s["counters"]["a"].as_u64(), Some(1));
+        assert_eq!(s["gauges"]["b"].as_i64(), Some(-1));
+        assert_eq!(s["histograms"]["c"]["count"].as_u64(), Some(1));
+        // Round-trips through JSON text.
+        let text = serde_json::to_string(&s).unwrap();
+        let back: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["counters"]["a"].as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,216 @@
+//! Lightweight span/event tracer with a bounded ring buffer.
+//!
+//! Components emit [`TraceEvent`]s at pipeline milestones (request served,
+//! SQL executed, cache admission, sync point phases, page ejection). The
+//! tracer keeps only the most recent `capacity` events, so it is safe to
+//! leave enabled in long benchmarks; it can also be disabled entirely, which
+//! reduces `event` to one atomic load.
+//!
+//! Timestamps are the caller's logical clock (the portal's microsecond
+//! `ManualClock`), keeping traces deterministic under simulation; wall-clock
+//! durations for spans are measured separately with [`Tracer::span`].
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One pipeline milestone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global sequence number (monotone, gap-free per tracer).
+    pub seq: u64,
+    /// Logical timestamp supplied by the caller (microseconds).
+    pub ts: u64,
+    /// Subsystem: `"web"`, `"db"`, `"cache"`, `"sniffer"`, `"invalidator"`, `"core"`.
+    pub scope: &'static str,
+    /// Milestone name, e.g. `"sql.exec"`, `"cache.admit"`, `"sync.eject"`.
+    pub name: &'static str,
+    /// Free-form context (page key, SQL template, poll count, ...).
+    pub detail: String,
+    /// Wall-clock duration in microseconds for span events, `None` for
+    /// point events.
+    pub duration_micros: Option<u64>,
+}
+
+/// Bounded event recorder; all methods take `&self`.
+pub struct Tracer {
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl Tracer {
+    /// A tracer retaining the `capacity` most recent events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turn event recording on or off (span closures still run either way).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record a point event.
+    pub fn event(&self, scope: &'static str, name: &'static str, ts: u64, detail: impl Into<String>) {
+        self.push(scope, name, ts, detail.into(), None);
+    }
+
+    /// Run `f`, recording a span event carrying its wall-clock duration.
+    pub fn span<R>(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: impl Into<String>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        if !self.enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.push(scope, name, ts, detail.into(), Some(micros));
+        out
+    }
+
+    fn push(&self, scope: &'static str, name: &'static str, ts: u64, detail: String, duration: Option<u64>) {
+        if !self.enabled() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(TraceEvent {
+            seq,
+            ts,
+            scope,
+            name,
+            detail,
+            duration_micros: duration,
+        });
+    }
+
+    /// Total events ever recorded (including since-dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let ring = self.ring.lock();
+        let skip = ring.len().saturating_sub(n);
+        ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drop all buffered events (counters keep their totals).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+
+    /// JSON summary: totals plus the `recent_limit` most recent events.
+    pub fn to_json(&self, recent_limit: usize) -> serde_json::Value {
+        use serde_json::Value;
+        let events = self
+            .recent(recent_limit)
+            .into_iter()
+            .map(|e| {
+                let mut fields = vec![
+                    ("seq".to_string(), Value::UInt(e.seq)),
+                    ("ts".to_string(), Value::UInt(e.ts)),
+                    ("scope".to_string(), Value::String(e.scope.to_string())),
+                    ("name".to_string(), Value::String(e.name.to_string())),
+                    ("detail".to_string(), Value::String(e.detail)),
+                ];
+                if let Some(d) = e.duration_micros {
+                    fields.push(("duration_micros".to_string(), Value::UInt(d)));
+                }
+                Value::Object(fields)
+            })
+            .collect();
+        Value::Object(vec![
+            ("recorded".to_string(), Value::UInt(self.recorded())),
+            ("dropped".to_string(), Value::UInt(self.dropped())),
+            ("recent".to_string(), Value::Array(events)),
+        ])
+    }
+}
+
+impl Default for Tracer {
+    /// 1024-event ring, enabled.
+    fn default() -> Self {
+        Tracer::new(1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let t = Tracer::new(4);
+        for i in 0..10u64 {
+            t.event("core", "tick", i, format!("i={i}"));
+        }
+        let recent = t.recent(10);
+        assert_eq!(recent.len(), 4);
+        assert_eq!(recent.first().unwrap().seq, 6);
+        assert_eq!(recent.last().unwrap().seq, 9);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        t.set_enabled(false);
+        t.event("db", "sql.exec", 1, "");
+        let out = t.span("db", "sql.exec", 2, "", || 42);
+        assert_eq!(out, 42);
+        assert_eq!(t.recorded(), 0);
+        assert!(t.recent(8).is_empty());
+    }
+
+    #[test]
+    fn span_measures_duration() {
+        let t = Tracer::new(8);
+        t.span("cache", "lookup", 5, "k", || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        let e = &t.recent(1)[0];
+        assert_eq!(e.name, "lookup");
+        assert!(e.duration_micros.unwrap() >= 1_000);
+    }
+
+    #[test]
+    fn json_shape() {
+        let t = Tracer::new(8);
+        t.event("web", "request", 3, "/page");
+        let j = t.to_json(8);
+        assert_eq!(j["recorded"].as_u64(), Some(1));
+        assert_eq!(j["recent"][0]["scope"].as_str(), Some("web"));
+    }
+}

@@ -33,6 +33,8 @@ pub struct MapperReport {
     /// SELECTs that could not be canonicalized (unparseable by the
     /// invalidator's dialect) and were skipped.
     pub unparseable: u64,
+    /// Wall-clock microseconds this run took (mapping latency).
+    pub elapsed_micros: u64,
 }
 
 /// The mapper. Owns retention state between runs.
@@ -98,6 +100,7 @@ impl Mapper {
 
     /// Process everything currently in the logs.
     pub fn run_once(&mut self) -> MapperReport {
+        let start = std::time::Instant::now();
         let mut report = MapperReport::default();
         let requests = self.requests.drain();
         let mut queries: Vec<(QueryRecord, u8)> =
@@ -144,6 +147,7 @@ impl Mapper {
                 }
             }
         }
+        report.elapsed_micros = start.elapsed().as_micros() as u64;
         report
     }
 }

@@ -110,6 +110,12 @@ impl AppServer {
         self.requests_served.load(Ordering::Relaxed)
     }
 
+    /// The connection pool this server draws from (checkout counters and
+    /// wait-time statistics live there).
+    pub fn pool(&self) -> &Arc<ConnectionPool> {
+        &self.pool
+    }
+
     /// Handle one request end-to-end: route, execute, log, tag.
     pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
         let Some(servlet) = self.servlet_for(&req.path) else {

@@ -63,6 +63,9 @@ pub struct PoolStats {
     /// pool was empty (resource-pressure signal; the paper's §5.3 starvation
     /// story is about exactly this kind of contention).
     pub overflow: u64,
+    /// Wall-clock microseconds spent inside `checkout` (lock contention +
+    /// factory construction) across all checkouts.
+    pub wait_micros: u64,
 }
 
 /// A fixed-size connection pool with overflow accounting — the BEA WebLogic
@@ -74,6 +77,7 @@ pub struct ConnectionPool {
     created: AtomicU64,
     checkouts: AtomicU64,
     overflow: AtomicU64,
+    wait_micros: AtomicU64,
 }
 
 impl ConnectionPool {
@@ -86,11 +90,13 @@ impl ConnectionPool {
             created: AtomicU64::new(0),
             checkouts: AtomicU64::new(0),
             overflow: AtomicU64::new(0),
+            wait_micros: AtomicU64::new(0),
         })
     }
 
     /// Borrow a connection; it returns to the pool when dropped.
     pub fn checkout(self: &Arc<Self>) -> PooledConnection {
+        let start = std::time::Instant::now();
         self.checkouts.fetch_add(1, Ordering::Relaxed);
         let conn = {
             let mut idle = self.idle.lock();
@@ -103,6 +109,8 @@ impl ConnectionPool {
             }
             (self.factory)()
         });
+        self.wait_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
         PooledConnection {
             conn: Some(conn),
             pool: Arc::clone(self),
@@ -115,6 +123,7 @@ impl ConnectionPool {
             checkouts: self.checkouts.load(Ordering::Relaxed),
             created: self.created.load(Ordering::Relaxed),
             overflow: self.overflow.load(Ordering::Relaxed),
+            wait_micros: self.wait_micros.load(Ordering::Relaxed),
         }
     }
 

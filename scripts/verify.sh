@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline tier-1 verification: build, test, lint. No network access is
+# required — every external dependency is vendored under vendor/ as a
+# path crate, and Cargo.lock is committed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "verify: OK"

@@ -1,0 +1,485 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple wall-clock measurement loop: warm up briefly, then time batches of
+//! iterations until the measurement budget is spent, reporting mean/min/max
+//! per iteration. No statistical machinery, no HTML reports; results print
+//! to stdout and append to `target/criterion-offline.csv` so before/after
+//! comparisons (e.g. the observability overhead check) are scriptable.
+//!
+//! When invoked by `cargo test` (libtest passes `--test`), each benchmark
+//! runs exactly one iteration as a smoke test, like real criterion.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` recreates per-iteration inputs (sizing is irrelevant
+/// to this stand-in; the variants exist for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// Per-iteration state of unknown size.
+    PerIteration,
+}
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("func", param)` → `func/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Accepts `&str`, `String`, and `BenchmarkId` where criterion does.
+pub trait IntoBenchmarkId {
+    /// Render to the display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // libtest (cargo test) passes --test; honor --bench filters too.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with("--"))
+            .cloned();
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(60),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples to aim for (compatibility knob).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Compatibility no-op (CLI args are read in `default()`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        run_bench(self, None, &id, f);
+        self
+    }
+}
+
+/// A named group; per-group overrides mirror criterion's.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let overrides = (self.sample_size, self.measurement_time);
+        run_bench_with(self.c, &full, f, overrides);
+        self
+    }
+
+    /// Benchmark a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration (accepted, not used by the stand-in).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs the measurement loop.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Collected per-iteration nanoseconds (mean per timed batch).
+    samples: Vec<f64>,
+}
+
+enum BenchMode {
+    Test,
+    Measure {
+        warm_up: Duration,
+        budget: Duration,
+        max_samples: usize,
+    },
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &self.mode {
+            BenchMode::Test => {
+                black_box(routine());
+            }
+            BenchMode::Measure {
+                warm_up,
+                budget,
+                max_samples,
+            } => {
+                let (warm_up, budget, max_samples) = (*warm_up, *budget, *max_samples);
+                // Warm-up: discover a batch size that takes ≥ ~1/20 of the
+                // budget per sample, so Instant overhead stays negligible.
+                let mut iters_per_sample = 1u64;
+                let warm_start = Instant::now();
+                let mut one = time_batch(&mut routine, 1);
+                while warm_start.elapsed() < warm_up {
+                    one = one.min(time_batch(&mut routine, 1));
+                }
+                let target_sample = (budget.as_nanos() as f64 / max_samples as f64).max(1_000.0);
+                if (one.as_nanos() as f64) < target_sample {
+                    iters_per_sample =
+                        ((target_sample / one.as_nanos().max(1) as f64).ceil() as u64).clamp(1, 1 << 20);
+                }
+                let start = Instant::now();
+                while start.elapsed() < budget && self.samples.len() < max_samples {
+                    let t = time_batch(&mut routine, iters_per_sample);
+                    self.samples
+                        .push(t.as_nanos() as f64 / iters_per_sample as f64);
+                }
+                if self.samples.is_empty() {
+                    let t = time_batch(&mut routine, iters_per_sample);
+                    self.samples
+                        .push(t.as_nanos() as f64 / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+
+    /// Time `routine` with a fresh `setup()` value each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match &self.mode {
+            BenchMode::Test => {
+                black_box(routine(setup()));
+            }
+            BenchMode::Measure {
+                warm_up,
+                budget,
+                max_samples,
+            } => {
+                let (warm_up, budget, max_samples) = (*warm_up, *budget, *max_samples);
+                let warm_start = Instant::now();
+                loop {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    let _ = t0.elapsed();
+                    if warm_start.elapsed() >= warm_up {
+                        break;
+                    }
+                }
+                let start = Instant::now();
+                while start.elapsed() < budget && self.samples.len() < max_samples {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(t0.elapsed().as_nanos() as f64);
+                }
+                if self.samples.is_empty() {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    self.samples.push(t0.elapsed().as_nanos() as f64);
+                }
+            }
+        }
+    }
+
+    /// Variant excluding drop time (measured identically here).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn time_batch<O, R: FnMut() -> O>(routine: &mut R, iters: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(routine());
+    }
+    start.elapsed()
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(c: &mut Criterion, group: Option<&str>, id: &str, f: F) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    run_bench_with(c, &full, f, (None, None));
+}
+
+fn run_bench_with<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    full_id: &str,
+    mut f: F,
+    overrides: (Option<usize>, Option<Duration>),
+) {
+    if let Some(filter) = &c.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mode = if c.test_mode {
+        BenchMode::Test
+    } else {
+        BenchMode::Measure {
+            warm_up: c.warm_up_time,
+            budget: overrides.1.unwrap_or(c.measurement_time),
+            max_samples: overrides.0.unwrap_or(c.sample_size),
+        }
+    };
+    let mut b = Bencher {
+        mode,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if c.test_mode {
+        println!("{full_id}: test ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{full_id}: no samples (bencher closure never called iter?)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{full_id:<60} time: [{} {} {}] ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        b.samples.len()
+    );
+    append_csv(full_id, mean, min, max, b.samples.len());
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Append machine-readable results for before/after comparisons.
+fn append_csv(id: &str, mean: f64, min: f64, max: f64, samples: usize) {
+    use std::io::Write as _;
+    let path = std::path::Path::new("target").join("criterion-offline.csv");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(f, "{id},{mean:.1},{min:.1},{max:.1},{samples}");
+    }
+}
+
+/// Define a group runner function, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        let mut c = Criterion::default();
+        c.test_mode = false;
+        c.filter = None;
+        c.sample_size = 5;
+        c.measurement_time = Duration::from_millis(10);
+        c.warm_up_time = Duration::from_millis(1);
+        c
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = fast_config();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = fast_config();
+        c.benchmark_group("g").bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

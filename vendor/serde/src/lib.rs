@@ -1,0 +1,472 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde serializes through a visitor pipeline; this stand-in uses a
+//! much simpler model sufficient for the workspace: [`Serialize`] lowers a
+//! value to an owned [`Value`] tree and [`Deserialize`] rebuilds from one.
+//! The companion `serde_json` stand-in renders/parses that tree as JSON
+//! text using serde_json's conventions (newtype structs transparent, unit
+//! enum variants as strings, data-carrying variants as single-key objects),
+//! so documents produced here look exactly like upstream serde_json's.
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the `serde_derive`
+//! stand-in and re-exported here, mirroring serde's `derive` feature.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The serialization data model: a JSON-shaped value tree.
+///
+/// Object keys keep insertion order (fields serialize in declaration
+/// order, like serde_json with `preserve_order`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number).
+    Int(i64),
+    /// Unsigned integer (JSON number); kept separate so u64 > i64::MAX
+    /// round-trips exactly.
+    UInt(u64),
+    /// Floating-point (JSON number; non-finite renders as `null`).
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as an object's entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read as a bool, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Read any numeric variant as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Read as u64 if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Read as i64 if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() <= i64::MAX as f64 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Is this `Value::Null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object-field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Array-element lookup; `None` for non-arrays / out of range.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `v["key"]`, serde_json-style: missing keys index to `Null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `v[0]`, serde_json-style: out-of-range indexes to `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- Serialize impls for std types ----
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        // Sorted for deterministic output (HashMap iteration order is not).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls for std types ----
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($n:tt $t:ident),+; $len:expr))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {v:?}")))?;
+                if a.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected array of {}, got {}", $len, a.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&a[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (0 A; 1)
+    (0 A, 1 B; 2)
+    (0 A, 1 B, 2 C; 3)
+    (0 A, 1 B, 2 C, 3 D; 4)
+    (0 A, 1 B, 2 C, 3 D, 4 E; 5)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F; 6)
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::deserialize_value(&42i64.serialize_value()), Ok(42));
+        assert_eq!(u64::deserialize_value(&u64::MAX.serialize_value()), Ok(u64::MAX));
+        assert_eq!(
+            String::deserialize_value(&"hi".serialize_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Option::<f64>::deserialize_value(&None::<f64>.serialize_value()),
+            Ok(None)
+        );
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize_value(&xs.serialize_value()), Ok(xs));
+    }
+
+    #[test]
+    fn index_operators_default_to_null() {
+        let v = Value::Object(vec![("a".into(), Value::Int(1))]);
+        assert_eq!(v["a"].as_i64(), Some(1));
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn negative_int_rejects_unsigned() {
+        assert!(u32::deserialize_value(&Value::Int(-1)).is_err());
+    }
+}

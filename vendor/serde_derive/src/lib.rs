@@ -1,0 +1,389 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stand-in `serde::Serialize` / `serde::Deserialize` traits
+//! (value-tree model) for the item shapes this workspace uses:
+//!
+//! - structs with named fields
+//! - tuple structs (newtypes are transparent, like serde)
+//! - enums with unit and tuple variants
+//!
+//! Implemented with hand-rolled `proc_macro::TokenStream` parsing because
+//! `syn`/`quote` are unavailable offline. Generics and named-field enum
+//! variants are unsupported and panic at expansion time with a clear
+//! message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    /// Tuple arity; 0 = unit variant.
+    arity: usize,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic types are not supported (on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_items(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive stand-in: unexpected struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive stand-in: unexpected enum body: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skip attributes (incl. doc comments) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stand-in: expected identifier, got {other:?}"),
+    }
+}
+
+/// Count comma-separated items at the top level of a stream, ignoring
+/// commas nested inside `<…>` (generic argument lists).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut items = 0usize;
+    let mut saw_tokens = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                items += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        items += 1;
+    }
+    items
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stand-in: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_items(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive stand-in: struct-style enum variant `{name}` is not supported")
+            }
+            _ => 0,
+        };
+        // Skip a discriminant (`= expr`) if present, then the comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+// ---- codegen ----
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         __obj.iter().find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\
+                         .unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| ::serde::Error::custom(\
+                         format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Fields::Unit => format!("let _ = v; Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match v.arity {
+                0 => format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),"),
+                1 => format!(
+                    "{name}::{vn}(__a) => ::serde::Value::Object(vec![(\
+                     \"{vn}\".to_string(), ::serde::Serialize::serialize_value(__a))]),"
+                ),
+                n => {
+                    let binds: Vec<String> = (0..n).map(|i| format!("__a{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![(\
+                         \"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n\
+         match self {{ {} }}\n\
+         }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| v.arity == 0)
+        .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+        .collect();
+    let keyed_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| v.arity > 0)
+        .map(|v| {
+            let vn = &v.name;
+            if v.arity == 1 {
+                format!(
+                    "\"{vn}\" => return Ok({name}::{vn}(\
+                     ::serde::Deserialize::deserialize_value(__payload)?)),"
+                )
+            } else {
+                let n = v.arity;
+                let items: Vec<String> = (0..n)
+                    .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{vn}\" => {{\n\
+                     let __arr = __payload.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array payload for {name}::{vn}\"))?;\n\
+                     if __arr.len() != {n} {{ return Err(::serde::Error::custom(\
+                     \"wrong payload arity for {name}::{vn}\")); }}\n\
+                     return Ok({name}::{vn}({}));\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         if let Some(__s) = v.as_str() {{\n\
+         match __s {{ {} _ => {{}} }}\n\
+         }}\n\
+         if let Some(__obj) = v.as_object() {{\n\
+         if __obj.len() == 1 {{\n\
+         let (__key, __payload) = &__obj[0];\n\
+         match __key.as_str() {{ {} _ => {{}} }}\n\
+         }}\n\
+         }}\n\
+         Err(::serde::Error::custom(format!(\"unrecognized {name} value: {{v:?}}\")))\n\
+         }}\n\
+         }}",
+        unit_arms.join("\n"),
+        keyed_arms.join("\n")
+    )
+}
