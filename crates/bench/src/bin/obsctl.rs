@@ -1,0 +1,363 @@
+//! `obsctl` — command-line client for the CachePortal observability surface.
+//!
+//! ```text
+//! obsctl metrics --addr 127.0.0.1:9184
+//! obsctl explain --addr 127.0.0.1:9184 --url 'http://shop/carSearch?maxprice=30000'
+//! obsctl explain --file obs-export.jsonl --lsn 5
+//! obsctl diff before.json after.json
+//! obsctl demo --serve 127.0.0.1:0 --hold-secs 30 --export obs-export.jsonl
+//! ```
+//!
+//! * `metrics` — fetch `/metrics` (Prometheus text exposition) and print it.
+//! * `explain` — fetch `/explain?url=…` / `/explain?lsn=…` from a live admin
+//!   endpoint, or reconstruct the same answer offline from a JSONL export,
+//!   and pretty-print the eject chains.
+//! * `diff` — compare the `metrics.counters` sections of two
+//!   `metrics_snapshot()` documents.
+//! * `demo` — run a small car-search workload, start the admin endpoint,
+//!   write a JSONL export, print one explain chain, and hold the server open
+//!   (CI smoke-tests `/metrics` and `/healthz` against it).
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::CachePortal;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("demo") => cmd_demo(&args[1..]),
+        _ => {
+            eprintln!("usage: obsctl <metrics|explain|diff|demo> [options]");
+            eprintln!("  metrics --addr HOST:PORT");
+            eprintln!("  explain (--addr HOST:PORT | --file EXPORT.jsonl) (--url URL | --lsn N)");
+            eprintln!("  diff BEFORE.json AFTER.json");
+            eprintln!("  demo --serve HOST:PORT [--hold-secs N] [--export FILE]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Value of `--flag` in `args`, if present.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_metrics(args: &[String]) -> i32 {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("obsctl metrics: --addr HOST:PORT required");
+        return 2;
+    };
+    match http_get(addr, "/metrics") {
+        Ok((200, body)) => {
+            print!("{body}");
+            0
+        }
+        Ok((code, body)) => {
+            eprintln!("GET /metrics -> {code}\n{body}");
+            1
+        }
+        Err(e) => {
+            eprintln!("GET /metrics failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_explain(args: &[String]) -> i32 {
+    let url = flag(args, "--url");
+    let lsn = flag(args, "--lsn");
+    if url.is_none() == lsn.is_none() {
+        eprintln!("obsctl explain: exactly one of --url / --lsn required");
+        return 2;
+    }
+    let doc = if let Some(addr) = flag(args, "--addr") {
+        let path = match (url, lsn) {
+            (Some(u), _) => format!("/explain?url={}", percent_encode(u)),
+            (_, Some(l)) => format!("/explain?lsn={l}"),
+            _ => unreachable!(),
+        };
+        match http_get(addr, &path) {
+            Ok((200, body)) => match serde_json::from_str(&body) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("invalid JSON from {path}: {e}");
+                    return 1;
+                }
+            },
+            Ok((code, body)) => {
+                eprintln!("GET {path} -> {code}\n{body}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("GET {path} failed: {e}");
+                return 1;
+            }
+        }
+    } else if let Some(file) = flag(args, "--file") {
+        match explain_from_export(file, url, lsn) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("cannot explain from {file}: {e}");
+                return 1;
+            }
+        }
+    } else {
+        eprintln!("obsctl explain: --addr or --file required");
+        return 2;
+    };
+    print!("{}", render_explanation(&doc));
+    0
+}
+
+/// Rebuild an `Explanation`-shaped document from the `eject` lines of a
+/// JSONL export (the offline twin of the admin endpoint).
+fn explain_from_export(
+    path: &str,
+    url: Option<&str>,
+    lsn: Option<&str>,
+) -> Result<serde_json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let lsn: Option<u64> = match lsn {
+        Some(s) => Some(s.parse().map_err(|_| format!("bad --lsn {s}"))?),
+        None => None,
+    };
+    let mut matches = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        if v["kind"].as_str() != Some("eject") {
+            continue;
+        }
+        let hit = match (url, lsn) {
+            (Some(u), _) => v["url"].as_str() == Some(u),
+            (_, Some(l)) => {
+                v["lsn_first"].as_u64().is_some_and(|f| f <= l)
+                    && v["lsn_last"].as_u64().is_some_and(|t| t >= l)
+            }
+            _ => false,
+        };
+        if hit {
+            matches.push(v);
+        }
+    }
+    Ok(serde_json::Value::Object(vec![
+        ("matches".to_string(), serde_json::Value::Array(matches)),
+        ("truncated".to_string(), serde_json::Value::Bool(false)),
+        ("source".to_string(), serde_json::Value::String(path.to_string())),
+    ]))
+}
+
+/// Pretty-print one explanation document (live `/explain` response or the
+/// offline reconstruction): one block per eject chain.
+fn render_explanation(doc: &serde_json::Value) -> String {
+    let mut out = String::new();
+    let empty = Vec::new();
+    let matches = doc["matches"].as_array().unwrap_or(&empty);
+    if matches.is_empty() {
+        out.push_str("no matching eject records\n");
+    }
+    for m in matches {
+        out.push_str(&format!(
+            "eject #{} of {}  (sync #{}, t={}us{})\n",
+            m["seq"].as_u64().unwrap_or(0),
+            m["url"].as_str().unwrap_or("?"),
+            m["sync_seq"].as_u64().unwrap_or(0),
+            m["ts"].as_u64().unwrap_or(0),
+            if m["resident"].as_bool() == Some(false) {
+                ", not resident"
+            } else {
+                ""
+            },
+        ));
+        out.push_str(&format!(
+            "  update log: LSNs {}..={}\n",
+            m["lsn_first"].as_u64().unwrap_or(0),
+            m["lsn_last"].as_u64().unwrap_or(0)
+        ));
+        for d in m["deltas"].as_array().unwrap_or(&empty) {
+            out.push_str(&format!(
+                "  delta: {} +{} / -{}\n",
+                d["table"].as_str().unwrap_or("?"),
+                d["inserted"].as_u64().unwrap_or(0),
+                d["deleted"].as_u64().unwrap_or(0)
+            ));
+        }
+        for c in m["causes"].as_array().unwrap_or(&empty) {
+            let params: Vec<&str> = c["params"]
+                .as_array()
+                .unwrap_or(&empty)
+                .iter()
+                .filter_map(|p| p.as_str())
+                .collect();
+            out.push_str(&format!(
+                "  cause: type #{} {}\n         params [{}]\n         verdict {} — {}\n",
+                c["query_type"].as_u64().unwrap_or(0),
+                c["type_sql"].as_str().unwrap_or("?"),
+                params.join(", "),
+                c["verdict"].as_str().unwrap_or("?"),
+                c["detail"].as_str().unwrap_or("")
+            ));
+        }
+    }
+    for row in doc["qi_map"].as_array().unwrap_or(&empty) {
+        out.push_str(&format!(
+            "qi row #{} [{}]: {}\n",
+            row["id"].as_u64().unwrap_or(0),
+            row["servlet"].as_str().unwrap_or("?"),
+            row["sql"].as_str().unwrap_or("?")
+        ));
+    }
+    if doc["truncated"].as_bool() == Some(true) {
+        out.push_str(&format!(
+            "warning: ring truncated ({} records dropped) — older evidence is gone\n",
+            doc["dropped_records"].as_u64().unwrap_or(0)
+        ));
+    }
+    out
+}
+
+fn cmd_diff(args: &[String]) -> i32 {
+    let (Some(a), Some(b)) = (args.first(), args.get(1)) else {
+        eprintln!("obsctl diff: two snapshot files required");
+        return 2;
+    };
+    let load = |p: &str| -> Result<Vec<(String, u64)>, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+        let doc: serde_json::Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+        match &doc["metrics"]["counters"] {
+            serde_json::Value::Object(fields) => Ok(fields
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|v| (k.clone(), v)))
+                .collect()),
+            _ => Err("no metrics.counters section".to_string()),
+        }
+    };
+    let (before, after) = match (load(a), load(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("obsctl diff: {e}");
+            return 1;
+        }
+    };
+    let old: std::collections::BTreeMap<_, _> = before.into_iter().collect();
+    let mut changed = 0;
+    for (k, v) in &after {
+        let prev = old.get(k).copied().unwrap_or(0);
+        if *v != prev {
+            println!("{k}: {prev} -> {v} ({:+})", *v as i64 - prev as i64);
+            changed += 1;
+        }
+    }
+    if changed == 0 {
+        println!("no counter changes");
+    }
+    0
+}
+
+fn cmd_demo(args: &[String]) -> i32 {
+    let Some(addr) = flag(args, "--serve") else {
+        eprintln!("obsctl demo: --serve HOST:PORT required");
+        return 2;
+    };
+    let hold_secs: u64 = flag(args, "--hold-secs").and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    let portal = demo_portal();
+    let req = |maxprice: i64| {
+        HttpRequest::get("shop.example.com", "/carSearch", &[("maxprice", &maxprice.to_string())])
+    };
+    // Populate, sync, mutate, sync: leaves real eject chains behind.
+    portal.request(&req(20000));
+    portal.request(&req(30000));
+    portal.sync_point().expect("sync");
+    portal.advance_clock(1_000);
+    portal.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").expect("update");
+    portal.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").expect("update");
+    portal.sync_point().expect("sync");
+
+    if let Some(path) = flag(args, "--export") {
+        let mut f = std::fs::File::create(path).expect("create export file");
+        let stats = portal.export_jsonl(&mut f).expect("export");
+        println!(
+            "exported {} trace events + {} eject records to {path}",
+            stats.trace_events, stats.eject_records
+        );
+    }
+
+    for rec in portal.obs().provenance.recent(1) {
+        println!("latest eject chain:");
+        print!("{}", render_explanation(&portal.explain_invalidation(&rec.url)));
+    }
+
+    let server = portal.serve_admin(addr).expect("bind admin endpoint");
+    println!("admin listening on {}", server.addr());
+    println!("try: obsctl metrics --addr {}", server.addr());
+    std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+    server.shutdown();
+    0
+}
+
+/// The paper's running car-search example, assembled as a live portal.
+fn demo_portal() -> CachePortal {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .expect("schema");
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .expect("schema");
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .expect("seed");
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .expect("seed");
+    let portal = CachePortal::builder(db).build().expect("build portal");
+    portal.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    )));
+    portal
+}
+
+/// Minimal blocking HTTP/1.1 GET (the admin endpoint always closes the
+/// connection after one response).
+fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let code = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((code, body))
+}
+
+/// Percent-encode a query-parameter value (everything but unreserved chars).
+fn percent_encode(s: &str) -> String {
+    s.bytes()
+        .map(|b| {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+                (b as char).to_string()
+            } else {
+                format!("%{b:02X}")
+            }
+        })
+        .collect()
+}

@@ -7,10 +7,12 @@
 //! against), and offers LRU / LFU / FIFO eviction.
 
 use crate::stats::CacheStats;
+use cacheportal_obs::{Counter, Gauge, MetricsRegistry};
 use cacheportal_web::clock::Micros;
 use cacheportal_web::PageKey;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Eviction policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,10 +79,41 @@ pub struct PageCache {
     config: PageCacheConfig,
 }
 
+/// Registry handles mirroring [`CacheStats`], updated at the same mutation
+/// sites so `/metrics` and `metrics_snapshot()` always agree with
+/// [`PageCache::stats`].
+struct WiredMetrics {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    insertions: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    expirations: Arc<Counter>,
+    resident: Arc<Gauge>,
+}
+
 struct Inner {
     map: HashMap<PageKey, Entry>,
     stats: CacheStats,
     next_seq: u64,
+    wired: Option<WiredMetrics>,
+}
+
+impl Inner {
+    /// Re-publish the full `stats` struct into the wired registry handles.
+    /// Called after every stats mutation; field-by-field `set_total` keeps
+    /// the two paths equal by construction.
+    fn publish(&self) {
+        if let Some(w) = &self.wired {
+            w.hits.set_total(self.stats.hits);
+            w.misses.set_total(self.stats.misses);
+            w.insertions.set_total(self.stats.insertions);
+            w.evictions.set_total(self.stats.evictions);
+            w.invalidations.set_total(self.stats.invalidations);
+            w.expirations.set_total(self.stats.expirations);
+            w.resident.set(self.map.len() as i64);
+        }
+    }
 }
 
 impl PageCache {
@@ -91,6 +124,7 @@ impl PageCache {
                 map: HashMap::with_capacity(config.capacity.min(4096)),
                 stats: CacheStats::default(),
                 next_seq: 0,
+                wired: None,
             }),
             config,
         }
@@ -99,6 +133,26 @@ impl PageCache {
     /// The active configuration.
     pub fn config(&self) -> &PageCacheConfig {
         &self.config
+    }
+
+    /// Mirror this cache's [`CacheStats`] into `registry` under
+    /// `<prefix>.{hits,misses,insertions,evictions,invalidations,expirations}`
+    /// counters and a `<prefix>.resident` gauge. From this point on every
+    /// stats mutation also updates the registry, so metric snapshots and the
+    /// Prometheus endpoint agree with [`PageCache::stats`] at all times.
+    pub fn wire_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        let wired = WiredMetrics {
+            hits: registry.counter(&format!("{prefix}.hits")),
+            misses: registry.counter(&format!("{prefix}.misses")),
+            insertions: registry.counter(&format!("{prefix}.insertions")),
+            evictions: registry.counter(&format!("{prefix}.evictions")),
+            invalidations: registry.counter(&format!("{prefix}.invalidations")),
+            expirations: registry.counter(&format!("{prefix}.expirations")),
+            resident: registry.gauge(&format!("{prefix}.resident")),
+        };
+        let mut inner = self.inner.lock();
+        inner.wired = Some(wired);
+        inner.publish();
     }
 
     /// Look up a page. `now` drives TTL expiry and recency bookkeeping.
@@ -112,6 +166,7 @@ impl PageCache {
                 .is_some_and(|ttl| now.saturating_sub(e.inserted_at) > ttl),
             None => {
                 inner.stats.misses += 1;
+                inner.publish();
                 return None;
             }
         };
@@ -119,6 +174,7 @@ impl PageCache {
             inner.map.remove(key);
             inner.stats.expirations += 1;
             inner.stats.misses += 1;
+            inner.publish();
             return None;
         }
         let e = inner.map.get_mut(key).expect("checked above");
@@ -126,6 +182,7 @@ impl PageCache {
         e.uses += 1;
         let body = e.body.clone();
         inner.stats.hits += 1;
+        inner.publish();
         Some(body)
     }
 
@@ -151,6 +208,7 @@ impl PageCache {
             },
         );
         inner.stats.insertions += 1;
+        inner.publish();
     }
 
     fn pick_victim(&self, map: &HashMap<PageKey, Entry>) -> Option<PageKey> {
@@ -167,14 +225,25 @@ impl PageCache {
     /// Process an invalidation (eject) message: remove the named pages.
     /// Returns how many were actually present.
     pub fn invalidate<'a>(&self, keys: impl IntoIterator<Item = &'a PageKey>) -> usize {
+        self.invalidate_collect(keys).len()
+    }
+
+    /// Like [`PageCache::invalidate`], but returns the keys that were
+    /// actually resident (the provenance log records which named pages the
+    /// eject really removed vs. merely mentioned).
+    pub fn invalidate_collect<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a PageKey>,
+    ) -> Vec<PageKey> {
         let mut inner = self.inner.lock();
-        let mut removed = 0;
+        let mut removed = Vec::new();
         for k in keys {
             if inner.map.remove(k).is_some() {
-                removed += 1;
+                removed.push(k.clone());
             }
         }
-        inner.stats.invalidations += removed as u64;
+        inner.stats.invalidations += removed.len() as u64;
+        inner.publish();
         removed
     }
 
@@ -184,6 +253,7 @@ impl PageCache {
         let n = inner.map.len();
         inner.stats.invalidations += n as u64;
         inner.map.clear();
+        inner.publish();
         n
     }
 
@@ -312,6 +382,46 @@ mod tests {
         assert!(!c.contains(&key("a")));
         assert!(c.contains(&key("b")));
         assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn invalidate_collect_names_resident_keys_only() {
+        let c = cache(8, EvictionPolicy::Lru);
+        for k in ["a", "b"] {
+            c.put(key(k), k.into(), 0);
+        }
+        let removed = c.invalidate_collect([&key("a"), &key("zz")]);
+        assert_eq!(removed, vec![key("a")]);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn wired_metrics_track_cache_stats_exactly() {
+        let c = cache(2, EvictionPolicy::Lru);
+        let registry = MetricsRegistry::new();
+        c.put(key("pre"), "x".into(), 0); // before wiring: seeded at wire time
+        c.wire_metrics(&registry, "cache.page");
+        assert_eq!(registry.counter_value("cache.page.insertions"), 1);
+        assert_eq!(registry.gauge_value("cache.page.resident"), 1);
+
+        c.get(&key("pre"), 1); // hit
+        c.get(&key("nope"), 2); // miss
+        c.put(key("b"), "2".into(), 3);
+        c.put(key("c"), "3".into(), 4); // evicts one
+        c.invalidate([&key("c")]);
+
+        let s = c.stats();
+        for (name, want) in [
+            ("cache.page.hits", s.hits),
+            ("cache.page.misses", s.misses),
+            ("cache.page.insertions", s.insertions),
+            ("cache.page.evictions", s.evictions),
+            ("cache.page.invalidations", s.invalidations),
+            ("cache.page.expirations", s.expirations),
+        ] {
+            assert_eq!(registry.counter_value(name), want, "{name}");
+        }
+        assert_eq!(registry.gauge_value("cache.page.resident"), c.len() as i64);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Integration tests for invalidation provenance: every page eject must be
+//! explainable after the fact as a full causal chain — consumed update-log
+//! LSN range → per-table ΔR groups → matched query type (with bound
+//! parameters) → verdict → QI rows → ejected URL — and the live surfaces
+//! (`/metrics`, `/explain`, JSONL export) must agree with the in-process
+//! snapshot.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::CachePortal;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn example_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .unwrap();
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .unwrap();
+    db
+}
+
+fn search_servlet() -> Arc<dyn cacheportal::web::Servlet> {
+    Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    ))
+}
+
+fn req(maxprice: i64) -> HttpRequest {
+    HttpRequest::get(
+        "shop.example.com",
+        "/carSearch",
+        &[("maxprice", &maxprice.to_string())],
+    )
+}
+
+fn portal() -> CachePortal {
+    let p = CachePortal::builder(example_db()).build().unwrap();
+    p.register_servlet(search_servlet());
+    p
+}
+
+/// Acceptance: after the end-to-end pipeline runs, *every* eject the
+/// provenance ring retains resolves through `explain_invalidation(url)` to
+/// the full LSN → ΔR → query-type → verdict → QI → URL chain.
+#[test]
+fn every_eject_is_explained_with_the_full_chain() {
+    let p = portal();
+    p.request(&req(20000)); // page A: Civic only
+    let out_b = p.request(&req(30000)); // page B: Civic + Avalon
+    let url_b = out_b.key.unwrap().as_str().to_string();
+    p.sync_point().unwrap();
+
+    // Affects only page B (new 22000 car joins its result).
+    p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").unwrap();
+    p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").unwrap();
+    let r1 = p.sync_point().unwrap();
+    assert_eq!(r1.ejected, 1);
+
+    // Re-cache page B, then hit it again with a different update.
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+    p.update("UPDATE Car SET price = 21000 WHERE model = 'Avalon'").unwrap();
+    let r2 = p.sync_point().unwrap();
+    assert!(r2.ejected >= 1);
+
+    let records = p.obs().provenance.recent(usize::MAX);
+    assert!(records.len() >= 2, "two sync points ejected pages");
+
+    for rec in &records {
+        let doc = p.explain_invalidation(&rec.url);
+        let matches = doc["matches"].as_array().unwrap();
+        assert!(!matches.is_empty(), "no explanation for {}", rec.url);
+        let m = matches
+            .iter()
+            .find(|m| m["seq"].as_u64() == Some(rec.seq))
+            .expect("the record itself is among the matches");
+
+        // LSN range: present and ordered.
+        let first = m["lsn_first"].as_u64().unwrap();
+        let last = m["lsn_last"].as_u64().unwrap();
+        assert!(first <= last);
+
+        // ΔR groups: at least one table with a non-empty delta.
+        let deltas = m["deltas"].as_array().unwrap();
+        assert!(!deltas.is_empty());
+        for d in deltas {
+            assert!(d["table"].as_str().is_some());
+            assert!(d["inserted"].as_u64().unwrap() + d["deleted"].as_u64().unwrap() > 0);
+        }
+
+        // Query type + verdict: the matched instance names the join and a
+        // concrete decision procedure.
+        let causes = m["causes"].as_array().unwrap();
+        assert!(!causes.is_empty(), "eject of {} has no cause", rec.url);
+        for c in causes {
+            assert!(c["type_sql"].as_str().unwrap().to_lowercase().contains("from car, mileage"));
+            assert!(!c["params"].as_array().unwrap().is_empty());
+            let verdict = c["verdict"].as_str().unwrap();
+            assert!(
+                [
+                    "local-predicate",
+                    "polling-query",
+                    "poll-cache",
+                    "maintained-index",
+                    "delete-guard",
+                    "budget-degraded",
+                    "conservative",
+                    "table-level",
+                    "bind-failure",
+                ]
+                .contains(&verdict),
+                "unknown verdict {verdict}"
+            );
+            assert!(!c["detail"].as_str().unwrap().is_empty());
+        }
+
+        // URL + residency: the chain ends at the page itself.
+        assert_eq!(m["url"].as_str(), Some(rec.url.as_str()));
+        assert!(m["resident"].as_bool().unwrap(), "cached pages were resident");
+
+        // QI rows: the sniffer half of the chain.
+        let qi = doc["qi_map"].as_array().unwrap();
+        assert!(!qi.is_empty(), "{} has no QI rows", rec.url);
+        for row in qi {
+            assert!(row["sql"].as_str().unwrap().to_lowercase().contains("select"));
+            assert_eq!(row["servlet"].as_str(), Some("carSearch"));
+        }
+    }
+
+    // Both syncs in this test ejected page B specifically.
+    let b = p.explain_invalidation(&url_b);
+    assert_eq!(b["matches"].as_array().unwrap().len(), 2);
+    assert_eq!(b["truncated"].as_bool(), Some(false));
+}
+
+#[test]
+fn explain_update_resolves_any_lsn_in_the_consumed_batch() {
+    let p = portal();
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+
+    let lsn_before = {
+        let db = p.db().read();
+        db.high_water()
+    };
+    p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").unwrap();
+    p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").unwrap();
+    p.sync_point().unwrap();
+
+    // Both committed LSNs fall in the same consumed batch: either explains
+    // the eject.
+    for lsn in [lsn_before, lsn_before + 1] {
+        let doc = p.explain_update(lsn);
+        let matches = doc["matches"].as_array().unwrap();
+        assert_eq!(matches.len(), 1, "lsn {lsn} must resolve to the eject");
+        assert!(matches[0]["url"].as_str().unwrap().contains("carSearch"));
+    }
+    // An LSN never consumed resolves to nothing — and says the ring is
+    // intact, so "nothing" means "no eject", not "evidence rotated out".
+    let miss = p.explain_update(999_999);
+    assert!(miss["matches"].as_array().unwrap().is_empty());
+    assert_eq!(miss["truncated"].as_bool(), Some(false));
+}
+
+/// Acceptance: `/metrics` is valid Prometheus text exposition and its
+/// counters agree with `metrics_snapshot()`.
+#[test]
+fn prometheus_exposition_matches_the_snapshot() {
+    let p = portal();
+    p.request(&req(20000));
+    p.request(&req(20000));
+    p.sync_point().unwrap();
+    p.update("INSERT INTO Car VALUES ('Kia','Rio',12000)").unwrap();
+    p.sync_point().unwrap();
+
+    let snap = p.metrics_snapshot();
+    let text = p.obs().metrics.render_prometheus();
+
+    // Well-formed: every non-comment line is `name[{labels}] value`.
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, value) = line.rsplit_once(' ').unwrap();
+        assert!(name.starts_with("cacheportal_"), "bad metric name in {line}");
+        assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+    }
+
+    // Every snapshot counter appears with the same value.
+    let counters = match &snap["metrics"]["counters"] {
+        serde_json::Value::Object(fields) => fields.clone(),
+        other => panic!("counters section missing: {other:?}"),
+    };
+    assert!(!counters.is_empty());
+    for (dotted, v) in &counters {
+        let expect = format!(
+            "{}_total {}",
+            cacheportal::obs::prometheus_name(dotted),
+            v.as_u64().unwrap()
+        );
+        assert!(
+            text.lines().any(|l| l == expect),
+            "snapshot counter {dotted} not in exposition as `{expect}`"
+        );
+    }
+}
+
+#[test]
+fn admin_endpoint_serves_metrics_and_explanations() {
+    let p = portal();
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+    p.update("UPDATE Car SET price = 21000 WHERE model = 'Avalon'").unwrap();
+    p.sync_point().unwrap();
+    let url = p.obs().provenance.recent(1)[0].url.clone();
+
+    let server = p.serve_admin("127.0.0.1:0").unwrap();
+    let addr = server.addr().to_string();
+
+    let (code, body) = http_get(&addr, "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+    let (code, body) = http_get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(body.lines().any(|l| l.starts_with("cacheportal_web_requests_total_total ")));
+    assert!(body.contains("cacheportal_invalidator_pages_ejected_total 1"));
+
+    let encoded: String = url
+        .bytes()
+        .map(|b| {
+            if b.is_ascii_alphanumeric() {
+                (b as char).to_string()
+            } else {
+                format!("%{b:02X}")
+            }
+        })
+        .collect();
+    let (code, body) = http_get(&addr, &format!("/explain?url={encoded}"));
+    assert_eq!(code, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["matches"][0]["url"].as_str(), Some(url.as_str()));
+    assert!(!doc["qi_map"].as_array().unwrap().is_empty());
+
+    let (code, body) = http_get(&addr, "/explain?lsn=4");
+    assert_eq!(code, 200);
+    let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(doc["matches"][0]["url"].as_str(), Some(url.as_str()));
+
+    let (code, _) = http_get(&addr, "/explain");
+    assert_eq!(code, 400);
+
+    server.shutdown();
+}
+
+/// Regression: a rolled-back transaction must leave no provenance — its log
+/// records are rewound before any sync point can consume them.
+#[test]
+fn rolled_back_transactions_leave_no_provenance() {
+    let p = portal();
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+
+    let err: cacheportal::db::DbResult<()> = p.update_txn(|tx| {
+        tx.execute("INSERT INTO Mileage VALUES ('Rio', 33.0)")?;
+        tx.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)")?;
+        Err(cacheportal::db::DbError::Unsupported("business rule".into()))
+    });
+    assert!(err.is_err());
+    p.sync_point().unwrap();
+
+    assert_eq!(p.obs().provenance.recorded(), 0, "no eject, no record");
+    let doc = p.explain_invalidation(&p.request(&req(30000)).key.unwrap().as_str().to_string());
+    assert!(doc["matches"].as_array().unwrap().is_empty());
+    assert_eq!(doc["truncated"].as_bool(), Some(false));
+
+    // The same statements committed do produce the full chain.
+    p.update_txn(|tx| {
+        tx.execute("INSERT INTO Mileage VALUES ('Rio', 33.0)")?;
+        tx.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)")?;
+        Ok(())
+    })
+    .unwrap();
+    p.sync_point().unwrap();
+    assert_eq!(p.obs().provenance.recorded(), 1);
+    let rec = &p.obs().provenance.recent(1)[0];
+    assert_eq!(rec.lsn_last - rec.lsn_first + 1, 2, "one batch, two records");
+}
+
+#[test]
+fn snapshot_surfaces_ring_overflow_instead_of_hiding_it() {
+    let p = portal();
+    // Overflow both bounded rings well past their default capacities.
+    for i in 0..1_200u64 {
+        p.obs().tracer.event("test", "spam", i, "x");
+    }
+    for i in 0..600u64 {
+        p.obs().provenance.record(cacheportal::obs::EjectRecord {
+            seq: 0,
+            sync_seq: 0,
+            ts: i,
+            lsn_first: i,
+            lsn_last: i,
+            deltas: vec![],
+            url: format!("/p{i}"),
+            resident: false,
+            causes: vec![],
+        });
+    }
+    let snap = p.metrics_snapshot();
+    assert!(snap["trace"]["dropped"].as_u64().unwrap() > 0);
+    assert!(snap["provenance"]["dropped"].as_u64().unwrap() > 0);
+    assert_eq!(snap["provenance"]["recorded"].as_u64(), Some(600));
+
+    // Evicted evidence is flagged, not silently absent.
+    let doc = p.explain_invalidation("/p0");
+    assert!(doc["matches"].as_array().unwrap().is_empty());
+    assert_eq!(doc["truncated"].as_bool(), Some(true));
+    assert!(doc["dropped_records"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn jsonl_export_streams_without_duplicates() {
+    let p = portal();
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+
+    let mut buf = Vec::new();
+    let stats = p.export_jsonl(&mut buf).unwrap();
+    assert!(stats.trace_events > 0);
+    assert_eq!(stats.eject_records, 0, "nothing ejected yet");
+
+    p.update("UPDATE Car SET price = 21000 WHERE model = 'Avalon'").unwrap();
+    p.sync_point().unwrap();
+    let mut buf2 = Vec::new();
+    let stats2 = p.export_jsonl(&mut buf2).unwrap();
+    assert_eq!(stats2.eject_records, 1);
+
+    // Every line is valid standalone JSON with a kind tag; the second batch
+    // repeats nothing from the first.
+    let parse = |buf: &[u8]| -> Vec<serde_json::Value> {
+        std::str::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect()
+    };
+    let first = parse(&buf);
+    let second = parse(&buf2);
+    for line in first.iter().chain(&second) {
+        assert!(matches!(line["kind"].as_str(), Some("trace") | Some("eject")));
+    }
+    let max_trace_seq_first = first
+        .iter()
+        .filter(|l| l["kind"].as_str() == Some("trace"))
+        .filter_map(|l| l["seq"].as_u64())
+        .max()
+        .unwrap();
+    let min_trace_seq_second = second
+        .iter()
+        .filter(|l| l["kind"].as_str() == Some("trace"))
+        .filter_map(|l| l["seq"].as_u64())
+        .min()
+        .unwrap();
+    assert!(min_trace_seq_second > max_trace_seq_first);
+    assert!(second.iter().any(|l| l["kind"].as_str() == Some("eject")
+        && l["url"].as_str().unwrap().contains("carSearch")));
+}
+
+/// Minimal blocking HTTP/1.1 GET against the admin server.
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let code: u16 = raw.split_whitespace().nth(1).unwrap().parse().unwrap();
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (code, body)
+}

@@ -54,10 +54,14 @@ impl Transaction<'_> {
         self.db.query(sql)
     }
 
-    /// Make the transaction's changes permanent.
-    pub fn commit(mut self) {
+    /// Make the transaction's changes permanent. Returns the inclusive LSN
+    /// range the transaction appended to the update log (`None` if it wrote
+    /// nothing) — the handle downstream provenance keys eject chains on.
+    pub fn commit(mut self) -> Option<(Lsn, Lsn)> {
         self.finished = true;
         self.db.stats_mut().txn_commits += 1;
+        let end = self.db.high_water();
+        (end > self.start_lsn).then(|| (self.start_lsn, end - 1))
     }
 
     /// Undo every change made since `begin`.
@@ -128,9 +132,16 @@ mod tests {
         let mut tx = db.begin();
         tx.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)").unwrap();
         tx.execute("INSERT INTO Mileage VALUES ('Rio', 33.0)").unwrap();
-        tx.commit();
+        assert_eq!(tx.commit(), Some((hw, hw + 1)), "committed LSN range");
         assert_eq!(db.query("SELECT * FROM Car").unwrap().rows.len(), 2);
         assert_eq!(db.update_log().pull_since(hw).len(), 2);
+    }
+
+    #[test]
+    fn empty_commit_reports_no_lsn_range() {
+        let mut db = db();
+        let tx = db.begin();
+        assert_eq!(tx.commit(), None);
     }
 
     #[test]

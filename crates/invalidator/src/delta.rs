@@ -35,6 +35,17 @@ impl TableDelta {
     }
 }
 
+/// Per-table ΔR group sizes (provenance summary of one sync batch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaGroupStat {
+    /// Lower-cased table name.
+    pub table: String,
+    /// |Δ⁺R| — rows inserted.
+    pub inserted: u64,
+    /// |Δ⁻R| — rows deleted.
+    pub deleted: u64,
+}
+
 /// All deltas for one sync interval.
 #[derive(Debug, Default, Clone)]
 pub struct DeltaSet {
@@ -78,6 +89,22 @@ impl DeltaSet {
     /// Names (lower-cased) of tables with changes.
     pub fn touched_tables(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
+    }
+
+    /// Per-table ΔR group sizes, sorted by table name (the HashMap iteration
+    /// order is not deterministic; provenance records must be).
+    pub fn group_stats(&self) -> Vec<DeltaGroupStat> {
+        let mut groups: Vec<DeltaGroupStat> = self
+            .tables
+            .iter()
+            .map(|(t, d)| DeltaGroupStat {
+                table: t.clone(),
+                inserted: d.inserted.len() as u64,
+                deleted: d.deleted.len() as u64,
+            })
+            .collect();
+        groups.sort_by(|a, b| a.table.cmp(&b.table));
+        groups
     }
 
     /// Did `table` have deletions this interval? (Used by the same-batch

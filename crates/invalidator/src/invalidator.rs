@@ -5,9 +5,9 @@
 //! set of page keys to eject from the caches.
 
 use crate::analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, TupleImpact};
-use crate::delta::DeltaSet;
+use crate::delta::{DeltaGroupStat, DeltaSet};
 use crate::policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
-use crate::polling::{InfoManager, PollRunner, PollStats};
+use crate::polling::{InfoManager, PollAnswer, PollRunner, PollStats};
 use crate::query_type::{QueryTypeId, Registry};
 use cacheportal_db::sql::rewrite::substitute_params;
 use cacheportal_db::{Database, DbResult, Lsn, Value};
@@ -15,11 +15,95 @@ use cacheportal_sniffer::QiUrlMap;
 use cacheportal_web::PageKey;
 use std::collections::{HashMap, HashSet};
 
+/// How an instance was judged affected (the provenance verdict).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Local predicate evaluation alone proved impact — no poll needed.
+    LocalPredicate,
+    /// A residual polling query issued to the DBMS found matching rows.
+    PollingQuery,
+    /// An identical poll earlier in the sync point already answered yes.
+    PollCache,
+    /// A maintained join-attribute index answered the poll.
+    MaintainedIndex,
+    /// The correlated-delete guard flipped a negative poll to affected.
+    DeleteGuard,
+    /// The poll budget was exhausted; degraded to Conservative.
+    BudgetDegraded,
+    /// Conservative policy: local checks passed, poll skipped.
+    Conservative,
+    /// Table-level policy: any update to a read table invalidates.
+    TableLevel,
+    /// The instance's SQL no longer binds against the schema; failed safe.
+    BindFailure,
+}
+
+impl VerdictKind {
+    /// Stable kebab-case name used in provenance records and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VerdictKind::LocalPredicate => "local-predicate",
+            VerdictKind::PollingQuery => "polling-query",
+            VerdictKind::PollCache => "poll-cache",
+            VerdictKind::MaintainedIndex => "maintained-index",
+            VerdictKind::DeleteGuard => "delete-guard",
+            VerdictKind::BudgetDegraded => "budget-degraded",
+            VerdictKind::Conservative => "conservative",
+            VerdictKind::TableLevel => "table-level",
+            VerdictKind::BindFailure => "bind-failure",
+        }
+    }
+}
+
+impl From<PollAnswer> for VerdictKind {
+    fn from(a: PollAnswer) -> Self {
+        match a {
+            PollAnswer::Issued => VerdictKind::PollingQuery,
+            PollAnswer::FromCache => VerdictKind::PollCache,
+            PollAnswer::FromIndex => VerdictKind::MaintainedIndex,
+            PollAnswer::DeleteGuard => VerdictKind::DeleteGuard,
+        }
+    }
+}
+
+/// Verdict kind plus free-form detail (polling SQL, predicate context, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictCause {
+    /// What decided the instance was affected.
+    pub kind: VerdictKind,
+    /// Human-readable supporting detail.
+    pub detail: String,
+}
+
+/// One affected query instance with its verdict and dependent pages —
+/// the invalidator's half of an eject provenance chain.
+#[derive(Debug, Clone)]
+pub struct InstanceVerdict {
+    /// The matched query type.
+    pub type_id: QueryTypeId,
+    /// The type's parameterised SQL.
+    pub type_sql: String,
+    /// Bound parameter values of the affected instance.
+    pub params: Vec<Value>,
+    /// Why the instance was judged affected.
+    pub cause: VerdictCause,
+    /// Pages depending on the instance (ejected as a consequence).
+    pub pages: Vec<PageKey>,
+}
+
 /// What one synchronization point produced.
 #[derive(Debug, Default, Clone)]
 pub struct InvalidationReport {
     /// Pages to eject from the caches.
     pub pages: HashSet<PageKey>,
+    /// Per affected instance: matched type, parameters, verdict, pages.
+    /// Feeds the provenance log; one entry per `invalidated_instances`.
+    pub verdicts: Vec<InstanceVerdict>,
+    /// Inclusive LSN range of the update-log records consumed (None when
+    /// the log was empty).
+    pub lsn_range: Option<(Lsn, Lsn)>,
+    /// Per-table ΔR group sizes of the consumed batch, sorted by table.
+    pub delta_groups: Vec<DeltaGroupStat>,
     /// Query instances found affected.
     pub invalidated_instances: u64,
     /// Instances examined.
@@ -202,6 +286,11 @@ impl Invalidator {
             deltas = deltas.compacted();
         }
         report.records_consumed = records.len() as u64;
+        report.lsn_range = match (records.first(), records.last()) {
+            (Some(f), Some(l)) => Some((f.lsn, l.lsn)),
+            _ => None,
+        };
+        report.delta_groups = deltas.group_stats();
         self.consumed_lsn = deltas.next_lsn.max(self.consumed_lsn);
 
         // Maintained indexes must reflect the post-batch state before any
@@ -211,22 +300,33 @@ impl Invalidator {
 
         // (3) Decide affected instances.
         let analysis_started = std::time::Instant::now();
-        let affected = self.analyze_batch(db, &deltas, &mut report)?;
+        let mut affected = self.analyze_batch(db, &deltas, &mut report)?;
         report.analysis_micros = analysis_started.elapsed().as_micros() as u64;
 
-        // (4) Collect dependent pages.
+        // (4) Collect dependent pages, keeping the per-instance chain
+        // (type → params → verdict → pages) for the provenance log.
         let collect_started = std::time::Instant::now();
-        for (ty, params) in &affected {
-            if let Some(data) = self.registry.pages_of(*ty, params) {
-                report.pages.extend(data.pages.iter().cloned());
-            }
+        for (ty, params, cause) in affected.drain(..) {
+            let pages: Vec<PageKey> = self
+                .registry
+                .pages_of(ty, &params)
+                .map(|data| data.pages.iter().cloned().collect())
+                .unwrap_or_default();
+            report.pages.extend(pages.iter().cloned());
+            report.verdicts.push(InstanceVerdict {
+                type_id: ty,
+                type_sql: self.registry.get(ty).sql.clone(),
+                params,
+                cause,
+                pages,
+            });
         }
-        report.invalidated_instances = affected.len() as u64;
+        report.invalidated_instances = report.verdicts.len() as u64;
 
         // Bookkeeping + policy discovery (§4.1.4).
         let mut invalidated_per_type: HashMap<QueryTypeId, u64> = HashMap::new();
-        for (ty, _) in &affected {
-            *invalidated_per_type.entry(*ty).or_insert(0) += 1;
+        for v in &report.verdicts {
+            *invalidated_per_type.entry(v.type_id).or_insert(0) += 1;
         }
         let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
         let mut touched_types: HashSet<QueryTypeId> = HashSet::new();
@@ -263,15 +363,16 @@ impl Invalidator {
         Ok(report)
     }
 
-    /// Analyze one delta batch; returns affected (type, params) pairs.
+    /// Analyze one delta batch; returns affected (type, params, verdict)
+    /// triples.
     fn analyze_batch(
         &mut self,
         db: &mut Database,
         deltas: &DeltaSet,
         report: &mut InvalidationReport,
-    ) -> DbResult<Vec<(QueryTypeId, Vec<Value>)>> {
+    ) -> DbResult<Vec<(QueryTypeId, Vec<Value>, VerdictCause)>> {
         let mut runner = PollRunner::new(&self.info, deltas);
-        let mut affected: Vec<(QueryTypeId, Vec<Value>)> = Vec::new();
+        let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
         let mut affected_set: HashSet<(QueryTypeId, Vec<Value>)> = HashSet::new();
         // Bound instances are reused across tuples and tables.
         let mut bound_cache: HashMap<(QueryTypeId, Vec<Value>), BoundInstance> = HashMap::new();
@@ -299,10 +400,27 @@ impl Invalidator {
             }
 
             if policy == InvalidationPolicy::TableLevel {
+                let read_touched: Vec<String> = ty_select
+                    .from
+                    .iter()
+                    .map(|tref| tref.table.to_ascii_lowercase())
+                    .filter(|t| deltas.for_table(t).is_some())
+                    .collect();
+                let detail = format!(
+                    "table-level policy: update batch touched read table(s) {}",
+                    read_touched.join(", ")
+                );
                 for params in instances {
                     report.checked_instances += 1;
                     if affected_set.insert((ty_id, params.clone())) {
-                        affected.push((ty_id, params));
+                        affected.push((
+                            ty_id,
+                            params,
+                            VerdictCause {
+                                kind: VerdictKind::TableLevel,
+                                detail: detail.clone(),
+                            },
+                        ));
                     }
                 }
                 continue;
@@ -326,10 +444,19 @@ impl Invalidator {
                             .and_then(|sel| BoundInstance::new(sel, &*db));
                         match bound {
                             Ok(inst) => e.insert(inst),
-                            Err(_) => {
+                            Err(err) => {
                                 report.bind_failures += 1;
                                 affected_set.insert(key.clone());
-                                affected.push(key);
+                                affected.push((
+                                    key.0,
+                                    key.1,
+                                    VerdictCause {
+                                        kind: VerdictKind::BindFailure,
+                                        detail: format!(
+                                            "instance no longer binds against the schema ({err}); failed safe"
+                                        ),
+                                    },
+                                ));
                                 continue 'instances;
                             }
                         }
@@ -339,7 +466,7 @@ impl Invalidator {
                     let Some(delta) = deltas.for_table(&tref.table) else {
                         continue;
                     };
-                    let is_affected = if self.config.policy.batch_polls {
+                    let cause = if self.config.policy.batch_polls {
                         Self::decide_batched(
                             &self.config.policy,
                             &self.info,
@@ -364,9 +491,9 @@ impl Invalidator {
                             report,
                         )?
                     };
-                    if is_affected {
+                    if let Some(cause) = cause {
                         affected_set.insert(key.clone());
-                        affected.push(key.clone());
+                        affected.push((key.0, key.1.clone(), cause));
                         continue 'instances;
                     }
                 }
@@ -381,7 +508,7 @@ impl Invalidator {
     }
 
     /// Per-tuple decision loop (grouping disabled): one poll per surviving
-    /// delta tuple.
+    /// delta tuple. Returns the verdict that proved impact, or `None`.
     #[allow(clippy::too_many_arguments)]
     fn decide_per_tuple(
         policy_cfg: &crate::policy::PolicyConfig,
@@ -393,28 +520,35 @@ impl Invalidator {
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
         report: &mut InvalidationReport,
-    ) -> DbResult<bool> {
+    ) -> DbResult<Option<VerdictCause>> {
+        let table = &inst.select.from[occ].table;
         for (tuple, is_insert) in delta.tuples() {
             report.tuples_analyzed += 1;
             let impact = analyze_tuple(inst, occ, tuple)?;
             let hit = match impact {
                 TupleImpact::NoImpact => {
                     report.local_decisions += 1;
-                    false
+                    None
                 }
                 TupleImpact::Affected => {
                     report.local_decisions += 1;
-                    true
+                    Some(VerdictCause {
+                        kind: VerdictKind::LocalPredicate,
+                        detail: format!(
+                            "{} tuple in `{table}` satisfies the instance's local predicates",
+                            if is_insert { "Δ⁺ inserted" } else { "Δ⁻ deleted" }
+                        ),
+                    })
                 }
                 TupleImpact::NeedsPoll(poll) => Self::run_poll(
                     policy_cfg, info, runner, db, &poll, !is_insert, policy, report,
                 )?,
             };
-            if hit {
-                return Ok(true);
+            if hit.is_some() {
+                return Ok(hit);
             }
         }
-        Ok(false)
+        Ok(None)
     }
 
     /// Grouped decision (§4.2.1): inserts and deletes are batched separately
@@ -431,7 +565,8 @@ impl Invalidator {
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
         report: &mut InvalidationReport,
-    ) -> DbResult<bool> {
+    ) -> DbResult<Option<VerdictCause>> {
+        let table = &inst.select.from[occ].table;
         let groups: [(&[cacheportal_db::table::Row], bool); 2] =
             [(&delta.inserted, false), (&delta.deleted, true)];
         for (rows, was_delete) in groups {
@@ -449,30 +584,37 @@ impl Invalidator {
             let hit = match impact {
                 BatchImpact::NoImpact => {
                     report.local_decisions += 1;
-                    false
+                    None
                 }
                 BatchImpact::Affected => {
                     report.local_decisions += 1;
-                    true
+                    Some(VerdictCause {
+                        kind: VerdictKind::LocalPredicate,
+                        detail: format!(
+                            "{} batch of {} tuple(s) in `{table}` satisfies the instance's local predicates",
+                            if was_delete { "Δ⁻ deleted" } else { "Δ⁺ inserted" },
+                            rows.len()
+                        ),
+                    })
                 }
                 BatchImpact::NeedsPolls(polls) => {
-                    let mut any = false;
+                    let mut any = None;
                     for poll in &polls {
-                        if Self::run_poll(
+                        if let Some(cause) = Self::run_poll(
                             policy_cfg, info, runner, db, poll, was_delete, policy, report,
                         )? {
-                            any = true;
+                            any = Some(cause);
                             break;
                         }
                     }
                     any
                 }
             };
-            if hit {
-                return Ok(true);
+            if hit.is_some() {
+                return Ok(hit);
             }
         }
-        Ok(false)
+        Ok(None)
     }
 
     /// Execute one polling decision under the policy and budget.
@@ -486,9 +628,12 @@ impl Invalidator {
         tuple_was_delete: bool,
         policy: InvalidationPolicy,
         report: &mut InvalidationReport,
-    ) -> DbResult<bool> {
+    ) -> DbResult<Option<VerdictCause>> {
         match policy {
-            InvalidationPolicy::Conservative => Ok(true),
+            InvalidationPolicy::Conservative => Ok(Some(VerdictCause {
+                kind: VerdictKind::Conservative,
+                detail: format!("conservative policy assumed affected, skipping poll: {}", poll.sql),
+            })),
             InvalidationPolicy::Exact => {
                 let over_budget = policy_cfg
                     .poll_budget_per_sync
@@ -497,9 +642,22 @@ impl Invalidator {
                     // Budget exhausted and no free answer: degrade to
                     // Conservative (§4.2.2's quality/real-time trade-off).
                     report.degraded_by_budget += 1;
-                    Ok(true)
+                    Ok(Some(VerdictCause {
+                        kind: VerdictKind::BudgetDegraded,
+                        detail: format!("poll budget exhausted; assumed affected instead of polling: {}", poll.sql),
+                    }))
                 } else {
-                    runner.is_affected(db, poll, tuple_was_delete)
+                    Ok(runner
+                        .decide(db, poll, tuple_was_delete)?
+                        .map(|answer| VerdictCause {
+                            kind: answer.into(),
+                            detail: match answer {
+                                PollAnswer::Issued => format!("polling query found matching rows: {}", poll.sql),
+                                PollAnswer::FromCache => format!("deduplicated poll already answered yes this sync point: {}", poll.sql),
+                                PollAnswer::FromIndex => format!("maintained index answered the poll: {}", poll.sql),
+                                PollAnswer::DeleteGuard => format!("correlated same-batch deletion of a join partner; poll was: {}", poll.sql),
+                            },
+                        }))
                 }
             }
             InvalidationPolicy::TableLevel => unreachable!("handled before analysis"),
@@ -565,6 +723,77 @@ mod tests {
         let r = inv.run_sync_point(&mut db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.polls.issued, 1);
+    }
+
+    #[test]
+    fn report_carries_verdict_provenance() {
+        let (mut db, map, mut inv) = setup();
+        // Poll-decided invalidation: the verdict names the polling query.
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts.len(), 1);
+        let v = &r.verdicts[0];
+        assert_eq!(v.type_id, QueryTypeId(0));
+        assert!(v.type_sql.to_ascii_lowercase().contains("from car, mileage"));
+        assert_eq!(v.cause.kind, VerdictKind::PollingQuery);
+        assert!(v.cause.detail.to_ascii_lowercase().contains("select count"));
+        assert_eq!(v.pages, vec![PageKey::raw("URL1")]);
+        // LSN range covers exactly the consumed record; ΔR groups name Car.
+        let (first, last) = r.lsn_range.unwrap();
+        assert_eq!(first, last);
+        assert_eq!(r.delta_groups.len(), 1);
+        assert_eq!(r.delta_groups[0].table, "car");
+        assert_eq!(r.delta_groups[0].inserted, 1);
+        assert_eq!(r.delta_groups[0].deleted, 0);
+
+        // A negative sync point produces no verdicts and a fresh LSN range.
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',99999)")
+            .unwrap();
+        let r2 = inv.run_sync_point(&mut db, &map).unwrap();
+        assert!(r2.verdicts.is_empty());
+        assert_eq!(r2.lsn_range.unwrap().0, last + 1);
+    }
+
+    #[test]
+    fn verdict_kinds_follow_the_decision_path() {
+        // Conservative: poll skipped, verdict says so.
+        let (mut db, map, mut inv) = setup();
+        inv.set_policy(QueryTypeId(0), InvalidationPolicy::Conservative);
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::Conservative);
+
+        // Table-level: any touch of a read table.
+        let (mut db, map, mut inv) = setup();
+        inv.set_policy(QueryTypeId(0), InvalidationPolicy::TableLevel);
+        db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::TableLevel);
+        assert!(r.verdicts[0].cause.detail.contains("car"));
+
+        // Budget degradation.
+        let (mut db, map, mut inv) = setup();
+        inv.config.policy.poll_budget_per_sync = Some(0);
+        db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::BudgetDegraded);
+
+        // Maintained index answering the poll affirmatively.
+        let (mut db, map, mut inv) = setup();
+        inv.maintain_index(&db, "Mileage", "model").unwrap();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::MaintainedIndex);
+
+        // Local predicate only: deleting a Mileage partner row decides via
+        // the delete guard or locally; bind failure path is separate.
+        let (mut db, map, mut inv) = setup();
+        db.execute("DROP TABLE Mileage").unwrap();
+        db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
+        db.execute("INSERT INTO Car VALUES ('m','x',1)").unwrap();
+        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::BindFailure);
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub mod polling;
 pub mod query_type;
 
 pub use analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, PollingQuery, SchemaProvider, TupleImpact};
-pub use delta::{DeltaSet, TableDelta};
-pub use invalidator::{InvalidationReport, Invalidator, InvalidatorConfig};
+pub use delta::{DeltaGroupStat, DeltaSet, TableDelta};
+pub use invalidator::{
+    InstanceVerdict, InvalidationReport, Invalidator, InvalidatorConfig, VerdictCause, VerdictKind,
+};
 pub use policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
-pub use polling::{InfoManager, MaintainedIndex, PollRunner, PollStats};
+pub use polling::{InfoManager, MaintainedIndex, PollAnswer, PollRunner, PollStats};
 pub use query_type::{QueryType, QueryTypeId, Registry, TypeStats};

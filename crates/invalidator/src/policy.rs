@@ -19,6 +19,17 @@ pub enum InvalidationPolicy {
     TableLevel,
 }
 
+impl InvalidationPolicy {
+    /// Stable kebab-case name (used in provenance verdicts and reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            InvalidationPolicy::Exact => "exact",
+            InvalidationPolicy::Conservative => "conservative",
+            InvalidationPolicy::TableLevel => "table-level",
+        }
+    }
+}
+
 /// Tunable policy configuration.
 #[derive(Debug, Clone)]
 pub struct PolicyConfig {

@@ -175,6 +175,19 @@ fn as_col_eq_literal(e: &Expr) -> Option<(&str, Value)> {
     None
 }
 
+/// How an affirmative poll decision was reached (provenance detail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollAnswer {
+    /// The polling query was sent to the DBMS and found matching rows.
+    Issued,
+    /// An identical poll earlier in this sync point already answered yes.
+    FromCache,
+    /// A maintained join-attribute index answered definitively.
+    FromIndex,
+    /// The correlated-delete guard flipped a negative poll to affected.
+    DeleteGuard,
+}
+
 /// Executes polls for one synchronization point, with dedup and the
 /// correlated-delete guard.
 pub struct PollRunner<'a> {
@@ -204,40 +217,52 @@ impl<'a> PollRunner<'a> {
         poll: &PollingQuery,
         tuple_was_delete: bool,
     ) -> DbResult<bool> {
-        let base = match self.cache.get(&poll.sql) {
+        Ok(self.decide(db, poll, tuple_was_delete)?.is_some())
+    }
+
+    /// Like [`PollRunner::is_affected`], but reports *how* an affirmative
+    /// answer was reached (`None` = not affected).
+    pub fn decide(
+        &mut self,
+        db: &mut Database,
+        poll: &PollingQuery,
+        tuple_was_delete: bool,
+    ) -> DbResult<Option<PollAnswer>> {
+        let (base, source) = match self.cache.get(&poll.sql) {
             Some(hit) => {
                 self.stats.from_cache += 1;
-                *hit
+                (*hit, PollAnswer::FromCache)
             }
             None => {
-                let answer = match self.info.try_answer(poll) {
+                let (answer, source) = match self.info.try_answer(poll) {
                     Some(ans) => {
                         self.stats.from_index += 1;
-                        ans
+                        (ans, PollAnswer::FromIndex)
                     }
                     None => {
                         self.stats.issued += 1;
                         let r = db.query(&poll.sql)?;
-                        matches!(r.rows.first().and_then(|row| row.first()),
-                                 Some(Value::Int(n)) if *n > 0)
+                        let ans = matches!(r.rows.first().and_then(|row| row.first()),
+                                 Some(Value::Int(n)) if *n > 0);
+                        (ans, PollAnswer::Issued)
                     }
                 };
                 self.cache.insert(poll.sql.clone(), answer);
-                answer
+                (answer, source)
             }
         };
         if base {
-            return Ok(true);
+            return Ok(Some(source));
         }
         if tuple_was_delete {
             // A join partner may have been deleted in the same batch:
             // re-check the residual against the other tables' Δ⁻ rows.
             if self.residual_hits_deleted_rows(db, poll)? {
                 self.stats.delete_guard_hits += 1;
-                return Ok(true);
+                return Ok(Some(PollAnswer::DeleteGuard));
             }
         }
-        Ok(false)
+        Ok(None)
     }
 
     /// Exact Δ⁻ re-check for single-other-table residuals; coarse guard
@@ -408,6 +433,32 @@ mod tests {
         // For an *inserted* tuple the guard must not fire.
         let mut runner2 = PollRunner::new(&info, &deltas);
         assert!(!runner2.is_affected(&mut database, &p, false).unwrap());
+    }
+
+    #[test]
+    fn decide_reports_the_answer_source() {
+        let mut database = db();
+        let mut info = InfoManager::new();
+        info.maintain_index(&database, "Mileage", "model").unwrap();
+        let deltas = DeltaSet::default();
+        let mut runner = PollRunner::new(&info, &deltas);
+        // Index answers the sole-equality poll without touching the DBMS.
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon'");
+        assert_eq!(
+            runner.decide(&mut database, &p, false).unwrap(),
+            Some(PollAnswer::FromIndex)
+        );
+        assert_eq!(
+            runner.decide(&mut database, &p, false).unwrap(),
+            Some(PollAnswer::FromCache)
+        );
+        // Undecidable by index → issued against the DBMS.
+        let q = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.EPA > 1");
+        assert_eq!(
+            runner.decide(&mut database, &q, false).unwrap(),
+            Some(PollAnswer::Issued)
+        );
+        assert_eq!(runner.stats.issued, 1);
     }
 
     #[test]

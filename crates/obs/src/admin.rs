@@ -1,0 +1,303 @@
+//! Minimal admin/introspection HTTP endpoint over `std::net::TcpListener`.
+//!
+//! Deliberately dependency-free: one accept thread, `HTTP/1.1` with
+//! `Connection: close`, GET only. Routes:
+//!
+//! * `GET /healthz` — liveness, plain `ok`.
+//! * `GET /metrics` — Prometheus text exposition (version 0.0.4).
+//! * `GET /explain?url=<percent-encoded url>` — eject provenance as JSON.
+//! * `GET /explain?lsn=<n>` — update provenance as JSON.
+//!
+//! The server is decoupled from `CachePortal` through [`AdminSource`]; the
+//! core crate implements it over the live registry + provenance log and
+//! exposes `CachePortal::serve_admin(addr)`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What the admin endpoint serves. Implementations must be cheap enough to
+/// call per-request (snapshots, not recomputation).
+pub trait AdminSource: Send + Sync {
+    /// Body for `GET /metrics` (Prometheus text exposition).
+    fn prometheus(&self) -> String;
+    /// Body for `GET /explain?url=…`.
+    fn explain_url(&self, url: &str) -> serde_json::Value;
+    /// Body for `GET /explain?lsn=…`.
+    fn explain_lsn(&self, lsn: u64) -> serde_json::Value;
+}
+
+/// A running admin endpoint. Dropping (or calling [`AdminServer::shutdown`])
+/// stops the accept loop and joins the thread.
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `source` on a
+    /// background thread.
+    pub fn serve(addr: &str, source: Arc<dyn AdminSource>) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("cacheportal-admin".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = handle_conn(&mut stream, source.as_ref());
+                    }
+                }
+            })?;
+        Ok(AdminServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the (blocking) accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn handle_conn(stream: &mut TcpStream, source: &dyn AdminSource) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let request_line = read_request_line(stream)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => respond(
+            stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &source.prometheus(),
+        ),
+        "/explain" => {
+            if let Some(url) = query_param(query, "url") {
+                let body = serde_json::to_string_pretty(&source.explain_url(&url))
+                    .unwrap_or_else(|_| "{}".to_string());
+                respond(stream, 200, "application/json", &body)
+            } else if let Some(lsn) = query_param(query, "lsn").and_then(|v| v.parse::<u64>().ok()) {
+                let body = serde_json::to_string_pretty(&source.explain_lsn(lsn))
+                    .unwrap_or_else(|_| "{}".to_string());
+                respond(stream, 200, "application/json", &body)
+            } else {
+                respond(
+                    stream,
+                    400,
+                    "text/plain; charset=utf-8",
+                    "expected ?url=<url> or ?lsn=<n>\n",
+                )
+            }
+        }
+        _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Read up to the end of the request head and return the request line.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    Ok(head.lines().next().unwrap_or("").to_string())
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// First value of `name` in an `a=b&c=d` query string, percent-decoded.
+fn query_param(query: &str, name: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then(|| percent_decode(v))
+    })
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decode a query value (`%XX` escapes and `+` as space).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StubSource;
+
+    impl AdminSource for StubSource {
+        fn prometheus(&self) -> String {
+            "# TYPE cacheportal_test_total counter\ncacheportal_test_total 1\n".to_string()
+        }
+        fn explain_url(&self, url: &str) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "url".to_string(),
+                serde_json::Value::String(url.to_string()),
+            )])
+        }
+        fn explain_lsn(&self, lsn: u64) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "lsn".to_string(),
+                serde_json::Value::UInt(lsn),
+            )])
+        }
+    }
+
+    /// Tiny blocking HTTP GET for tests.
+    fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_health_metrics_and_explain() {
+        let server = AdminServer::serve("127.0.0.1:0", Arc::new(StubSource)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("cacheportal_test_total 1"));
+
+        let (status, body) = http_get(addr, "/explain?url=a%20b+c");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["url"].as_str(), Some("a b c"));
+
+        let (status, body) = http_get(addr, "/explain?lsn=7");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["lsn"].as_u64(), Some(7));
+
+        let (status, _) = http_get(addr, "/explain?bogus=1");
+        assert_eq!(status, 400);
+        let (status, _) = http_get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Fb+c%3D1"), "a/b c=1");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trail%2"), "trail%2");
+    }
+}

@@ -1,0 +1,178 @@
+//! JSONL event export: stream trace events and provenance records to any
+//! `io::Write` for offline analysis.
+//!
+//! The exporter is cursor-based: each call emits only events recorded since
+//! the previous call, one JSON object per line. Two kinds of lines:
+//!
+//! ```json
+//! {"kind":"trace","seq":3,"ts":120,"scope":"core","name":"sync.point","detail":"...","duration_micros":17}
+//! {"kind":"eject","seq":0,"sync_seq":1,"lsn_first":0,...,"url":"...","causes":[...]}
+//! ```
+//!
+//! Because both rings are bounded, events that rotate out between calls are
+//! lost; the per-call [`ExportStats`] reports how many were skipped so the
+//! gap is visible in tooling.
+
+use std::io;
+
+use crate::Obs;
+
+/// What one [`JsonlExporter::export`] call wrote.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportStats {
+    /// Trace-event lines written.
+    pub trace_events: u64,
+    /// Eject-record lines written.
+    pub eject_records: u64,
+    /// Events that rotated out of the bounded rings before this call and
+    /// were therefore never written.
+    pub skipped: u64,
+}
+
+/// Incremental JSONL exporter over an [`Obs`] bundle.
+#[derive(Debug, Default)]
+pub struct JsonlExporter {
+    next_trace_seq: u64,
+    next_eject_seq: u64,
+}
+
+impl JsonlExporter {
+    /// An exporter starting from the beginning of both rings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write all trace events and eject records recorded since the last
+    /// call as JSONL, advancing the cursors.
+    pub fn export<W: io::Write>(&mut self, obs: &Obs, w: &mut W) -> io::Result<ExportStats> {
+        let mut stats = ExportStats::default();
+
+        let events = obs.tracer.recent(usize::MAX);
+        if let Some(first) = events.first() {
+            stats.skipped += first.seq.saturating_sub(self.next_trace_seq);
+        }
+        let trace_cursor = self.next_trace_seq;
+        for e in events.iter().filter(|e| e.seq >= trace_cursor) {
+            let mut obj = vec![
+                ("kind".to_string(), serde_json::Value::String("trace".to_string())),
+                ("seq".to_string(), serde_json::Value::UInt(e.seq)),
+                ("ts".to_string(), serde_json::Value::UInt(e.ts)),
+                ("scope".to_string(), serde_json::Value::String(e.scope.to_string())),
+                ("name".to_string(), serde_json::Value::String(e.name.to_string())),
+                ("detail".to_string(), serde_json::Value::String(e.detail.clone())),
+            ];
+            if let Some(d) = e.duration_micros {
+                obj.push(("duration_micros".to_string(), serde_json::Value::UInt(d)));
+            }
+            let line = serde_json::to_string(&serde_json::Value::Object(obj))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+            stats.trace_events += 1;
+            self.next_trace_seq = e.seq + 1;
+        }
+
+        let records = obs.provenance.since(self.next_eject_seq);
+        if let Some(first) = records.first() {
+            stats.skipped += first.seq.saturating_sub(self.next_eject_seq);
+        }
+        for r in &records {
+            let mut obj = vec![(
+                "kind".to_string(),
+                serde_json::Value::String("eject".to_string()),
+            )];
+            if let serde_json::Value::Object(fields) = r.to_json() {
+                obj.extend(fields);
+            }
+            let line = serde_json::to_string(&serde_json::Value::Object(obj))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+            stats.eject_records += 1;
+            self.next_eject_seq = r.seq + 1;
+        }
+
+        w.flush()?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::{Cause, DeltaGroup, EjectRecord};
+
+    fn eject(url: &str, lsn: u64) -> EjectRecord {
+        EjectRecord {
+            seq: 0,
+            sync_seq: 1,
+            ts: 99,
+            lsn_first: lsn,
+            lsn_last: lsn,
+            deltas: vec![DeltaGroup {
+                table: "car".into(),
+                inserted: 1,
+                deleted: 0,
+            }],
+            url: url.to_string(),
+            resident: true,
+            causes: vec![Cause {
+                query_type: 0,
+                type_sql: "SELECT 1".into(),
+                params: vec![],
+                verdict: "local-predicate".into(),
+                detail: "".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn exports_incrementally_as_valid_jsonl() {
+        let obs = Obs::new();
+        obs.tracer.event("core", "update.commit", 10, "lsn=0");
+        obs.provenance.record(eject("/a", 0));
+
+        let mut exporter = JsonlExporter::new();
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        assert_eq!(stats.trace_events, 1);
+        assert_eq!(stats.eject_records, 1);
+        assert_eq!(stats.skipped, 0);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["kind"].as_str(), Some("trace"));
+        assert_eq!(first["name"].as_str(), Some("update.commit"));
+        let second: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(second["kind"].as_str(), Some("eject"));
+        assert_eq!(second["url"].as_str(), Some("/a"));
+        assert_eq!(second["causes"][0]["verdict"].as_str(), Some("local-predicate"));
+
+        // Second export with nothing new writes nothing.
+        let mut out2 = Vec::new();
+        let stats2 = exporter.export(&obs, &mut out2).unwrap();
+        assert_eq!(stats2, ExportStats::default());
+        assert!(out2.is_empty());
+
+        // New events only.
+        obs.tracer.event("core", "sync.point", 20, "");
+        let mut out3 = Vec::new();
+        let stats3 = exporter.export(&obs, &mut out3).unwrap();
+        assert_eq!(stats3.trace_events, 1);
+        assert_eq!(stats3.eject_records, 0);
+    }
+
+    #[test]
+    fn reports_skipped_when_ring_rotates() {
+        let obs = Obs::with_capacity(2, 2);
+        let mut exporter = JsonlExporter::new();
+        for i in 0..5u64 {
+            obs.provenance.record(eject(&format!("/p{i}"), i));
+        }
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        // Ring holds the last 2 of 5; the first 3 rotated out unexported.
+        assert_eq!(stats.eject_records, 2);
+        assert_eq!(stats.skipped, 3);
+    }
+}

@@ -12,18 +12,32 @@
 //! * [`StalenessProbe`] — stamps each committed mutation's LSN with a
 //!   logical timestamp and records the commit→eject staleness window per
 //!   invalidated page.
+//! * [`ProvenanceLog`] — bounded ring of [`EjectRecord`]s capturing the
+//!   full update→query-type→verdict→URL chain behind every page eject,
+//!   indexed by URL and by LSN for `explain_*` queries.
 //!
-//! [`Obs`] bundles the three behind one `Arc`-shareable handle and renders
+//! Live exposure: [`AdminServer`] serves `/metrics` (Prometheus text
+//! exposition via [`MetricsRegistry::render_prometheus`]), `/explain` and
+//! `/healthz` over a plain `TcpListener`, and [`JsonlExporter`] streams
+//! trace events + provenance records as JSONL for offline analysis.
+//!
+//! [`Obs`] bundles the instruments behind one `Arc`-shareable handle and renders
 //! the combined [`Obs::snapshot`] JSON document and human-readable
 //! [`Obs::fmt_report`] that `CachePortal::metrics_snapshot()` exposes.
 
+mod admin;
+mod export;
 mod histogram;
+pub mod provenance;
 mod registry;
 mod staleness;
 mod trace;
 
+pub use admin::{AdminServer, AdminSource};
+pub use export::{ExportStats, JsonlExporter};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use provenance::{Cause, DeltaGroup, EjectRecord, Explanation, ProvenanceLog};
+pub use registry::{prometheus_name, Counter, Gauge, MetricsRegistry};
 pub use staleness::{Lsn, StalenessProbe};
 pub use trace::{TraceEvent, Tracer};
 
@@ -37,6 +51,8 @@ pub struct Obs {
     pub tracer: Tracer,
     /// Commit→eject staleness window probe.
     pub staleness: StalenessProbe,
+    /// Invalidation provenance ring (why was each page ejected?).
+    pub provenance: ProvenanceLog,
 }
 
 impl Default for Obs {
@@ -46,12 +62,25 @@ impl Default for Obs {
 }
 
 impl Obs {
-    /// Instruments with default sizing (1024-event trace ring).
+    /// Instruments with default sizing (1024-event trace ring,
+    /// 512-record provenance ring).
     pub fn new() -> Self {
         Obs {
             metrics: MetricsRegistry::new(),
             tracer: Tracer::default(),
             staleness: StalenessProbe::new(),
+            provenance: ProvenanceLog::default(),
+        }
+    }
+
+    /// Instruments with explicit ring capacities (trace events, provenance
+    /// records).
+    pub fn with_capacity(trace_events: usize, provenance_records: usize) -> Self {
+        Obs {
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::new(trace_events),
+            staleness: StalenessProbe::new(),
+            provenance: ProvenanceLog::new(provenance_records),
         }
     }
 
@@ -66,7 +95,8 @@ impl Obs {
     /// {
     ///   "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
     ///   "staleness": {"pending_mutations": n, "commit_to_eject_micros": {...}},
-    ///   "trace": {"recorded": n, "dropped": n, "recent": [...]}
+    ///   "trace": {"recorded": n, "dropped": n, "recent": [...]},
+    ///   "provenance": {"recorded": n, "dropped": n, "recent": [...]}
     /// }
     /// ```
     pub fn snapshot(&self) -> serde_json::Value {
@@ -79,6 +109,7 @@ impl Obs {
             ("metrics".to_string(), self.metrics.snapshot()),
             ("staleness".to_string(), self.staleness.to_json()),
             ("trace".to_string(), self.tracer.to_json(recent_events)),
+            ("provenance".to_string(), self.provenance.to_json(8)),
         ])
     }
 
@@ -112,6 +143,24 @@ impl Obs {
                 .map(|d| format!(" ({d}us)"))
                 .unwrap_or_default();
             let _ = writeln!(out, "  [{}] t={} {}.{}{} {}", e.seq, e.ts, e.scope, e.name, dur, e.detail);
+        }
+        let _ = writeln!(
+            out,
+            "== provenance ==\nrecorded={} dropped={}",
+            self.provenance.recorded(),
+            self.provenance.dropped()
+        );
+        for r in self.provenance.recent(8) {
+            let _ = writeln!(
+                out,
+                "  [{}] sync#{} lsn {}..={} {} ({} causes)",
+                r.seq,
+                r.sync_seq,
+                r.lsn_first,
+                r.lsn_last,
+                r.url,
+                r.causes.len()
+            );
         }
         out
     }

@@ -122,31 +122,87 @@ impl MetricsRegistry {
 
     /// Snapshot every instrument as JSON:
     /// `{"counters": {..}, "gauges": {..}, "histograms": {name: {count, ..}}}`.
+    ///
+    /// Keys are explicitly sorted so snapshot artifacts (results/*.json) are
+    /// byte-stable across runs regardless of registration order.
     pub fn snapshot(&self) -> serde_json::Value {
         use serde_json::Value;
-        let counters = self
+        let mut counters: Vec<(String, Value)> = self
             .counters
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), Value::UInt(v.get())))
             .collect();
-        let gauges = self
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, Value)> = self
             .gauges
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), Value::Int(v.get())))
             .collect();
-        let histograms = self
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, Value)> = self
             .histograms
             .read()
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot().to_json()))
             .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(vec![
             ("counters".to_string(), Value::Object(counters)),
             ("gauges".to_string(), Value::Object(gauges)),
             ("histograms".to_string(), Value::Object(histograms)),
         ])
+    }
+
+    /// Render every instrument in Prometheus text exposition format
+    /// (version 0.0.4), sorted by metric name for stable output.
+    ///
+    /// Dotted registry names map to `cacheportal_<name with non-alphanumeric
+    /// characters as '_'>`; counters additionally get the conventional
+    /// `_total` suffix, and histograms are rendered as summaries with
+    /// `quantile` labels plus `_sum`/`_count` series.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (prometheus_name(k), v.get()))
+            .collect();
+        counters.sort();
+        for (name, v) in counters {
+            let _ = writeln!(out, "# TYPE {name}_total counter\n{name}_total {v}");
+        }
+
+        let mut gauges: Vec<(String, i64)> = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (prometheus_name(k), v.get()))
+            .collect();
+        gauges.sort();
+        for (name, v) in gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+
+        let mut summaries: Vec<(String, crate::HistogramSnapshot)> = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (prometheus_name(k), v.snapshot()))
+            .collect();
+        summaries.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, s) in summaries {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", s.sum, s.count);
+        }
+        out
     }
 
     /// Human-readable dump, one instrument per line, sorted by name.
@@ -171,6 +227,20 @@ impl MetricsRegistry {
     }
 }
 
+/// `cache.page.hits` → `cacheportal_cache_page_hits`.
+pub fn prometheus_name(dotted: &str) -> String {
+    let mut name = String::with_capacity(dotted.len() + 12);
+    name.push_str("cacheportal_");
+    for c in dotted.chars() {
+        if c.is_ascii_alphanumeric() {
+            name.push(c);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +263,63 @@ mod tests {
         g.set(5);
         g.add(-2);
         assert_eq!(r.gauge_value("pool.size"), 3);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_sorted_and_well_formed() {
+        let r = MetricsRegistry::new();
+        // Register deliberately out of order; output must be sorted.
+        r.counter("web.requests").add(3);
+        r.counter("cache.page.hits").add(7);
+        r.gauge("db.log.pending").set(-2);
+        r.histogram("invalidator.sync.micros").record(100);
+        r.histogram("invalidator.sync.micros").record(200);
+        let text = r.render_prometheus();
+
+        let hits = text.find("cacheportal_cache_page_hits_total 7").unwrap();
+        let reqs = text.find("cacheportal_web_requests_total 3").unwrap();
+        assert!(hits < reqs, "counters not sorted:\n{text}");
+        assert!(text.contains("# TYPE cacheportal_cache_page_hits_total counter"));
+        assert!(text.contains("# TYPE cacheportal_db_log_pending gauge"));
+        assert!(text.contains("cacheportal_db_log_pending -2"));
+        assert!(text.contains("# TYPE cacheportal_invalidator_sync_micros summary"));
+        assert!(text.contains("cacheportal_invalidator_sync_micros{quantile=\"0.5\"}"));
+        assert!(text.contains("cacheportal_invalidator_sync_micros_sum 300"));
+        assert!(text.contains("cacheportal_invalidator_sync_micros_count 2"));
+
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(name.starts_with("cacheportal_"), "bad name in {line}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_exposition_are_deterministic_across_registration_order() {
+        let build = |names: &[&str]| {
+            let r = MetricsRegistry::new();
+            for (i, n) in names.iter().enumerate() {
+                r.counter(n).add(i as u64 + 1);
+            }
+            // Same values regardless of registration order.
+            for (i, n) in names.iter().enumerate() {
+                r.counter(n).set_total(10 + i as u64);
+            }
+            r
+        };
+        let a = build(&["z.last", "a.first", "m.mid"]);
+        let b = build(&["m.mid", "z.last", "a.first"]);
+        // set_total indexed by iteration order differs; normalize values.
+        for n in ["z.last", "a.first", "m.mid"] {
+            a.counter(n).set_total(5);
+            b.counter(n).set_total(5);
+        }
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap()
+        );
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
     }
 
     #[test]

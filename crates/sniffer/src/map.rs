@@ -72,6 +72,18 @@ impl QiUrlMap {
         self.inner.lock().entries.clone()
     }
 
+    /// All QI rows registered for `page` — the QI→URL half of an eject
+    /// provenance chain ("which query instances does this URL depend on?").
+    pub fn entries_for_page(&self, page: &PageKey) -> Vec<QiUrlEntry> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .filter(|e| &e.page_key == page)
+            .cloned()
+            .collect()
+    }
+
     /// Remove all rows for the given pages (e.g. pages evicted from every
     /// cache no longer need invalidation tracking).
     pub fn remove_pages(&self, pages: &HashSet<PageKey>) -> usize {

@@ -71,4 +71,31 @@ fn main() {
     // The oracle agrees no cached page is stale.
     assert!(portal.stale_pages().is_empty());
     println!("freshness oracle: no stale pages ✓");
+
+    // 6. Why was the page ejected? The provenance log kept the whole chain:
+    //    consumed LSN range → per-table ΔR groups → matched query type with
+    //    bound parameters → verdict → QI rows → URL.
+    let ejected_url = &portal.obs().provenance.recent(1)[0].url;
+    let chain = portal.explain_invalidation(ejected_url);
+    println!("\nwhy was {ejected_url} ejected?");
+    let m = &chain["matches"][0];
+    println!(
+        "  update log LSNs {}..={}",
+        m["lsn_first"].as_u64().unwrap(),
+        m["lsn_last"].as_u64().unwrap()
+    );
+    let c = &m["causes"][0];
+    println!("  matched type : {}", c["type_sql"].as_str().unwrap());
+    println!(
+        "  bound params : {:?}",
+        c["params"].as_array().unwrap().iter().filter_map(|p| p.as_str()).collect::<Vec<_>>()
+    );
+    println!(
+        "  verdict      : {} ({})",
+        c["verdict"].as_str().unwrap(),
+        c["detail"].as_str().unwrap()
+    );
+    for row in chain["qi_map"].as_array().unwrap() {
+        println!("  qi row       : {}", row["sql"].as_str().unwrap());
+    }
 }

@@ -6,12 +6,51 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release, offline) =="
-cargo build --release --offline
+cargo build --release --offline --workspace
 
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
+
+echo "== admin endpoint smoke test (obsctl demo) =="
+# Start the demo workload with a live admin server on an ephemeral port,
+# writing the JSONL provenance export CI uploads as an artifact.
+DEMO_LOG=target/obsctl-demo.log
+EXPORT=target/obs-export.jsonl
+rm -f "$DEMO_LOG" "$EXPORT"
+./target/release/obsctl demo --serve 127.0.0.1:0 --hold-secs 60 \
+  --export "$EXPORT" >"$DEMO_LOG" 2>&1 &
+DEMO_PID=$!
+trap 'kill "$DEMO_PID" 2>/dev/null || true' EXIT
+
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^admin listening on //p' "$DEMO_LOG" | head -n1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "admin server never came up"; cat "$DEMO_LOG"; exit 1; }
+
+# curl where available; fall back to obsctl's built-in HTTP client.
+if command -v curl >/dev/null 2>&1; then
+  curl -fsS "http://$ADDR/healthz" | grep -qx "ok" || { echo "/healthz failed"; exit 1; }
+  METRICS=$(curl -fsS "http://$ADDR/metrics")
+else
+  echo "(curl not found; checking /metrics via obsctl)"
+  METRICS=$(./target/release/obsctl metrics --addr "$ADDR")
+fi
+echo "$METRICS" | grep -q "^cacheportal_" || { echo "/metrics is not Prometheus exposition"; exit 1; }
+echo "$METRICS" | grep -q "^cacheportal_invalidator_pages_ejected_total 1$" \
+  || { echo "/metrics missing expected eject counter"; exit 1; }
+
+kill "$DEMO_PID" 2>/dev/null || true
+wait "$DEMO_PID" 2>/dev/null || true
+trap - EXIT
+
+test -s "$EXPORT" || { echo "JSONL export missing or empty"; exit 1; }
+grep -q '"kind": *"eject"' "$EXPORT" || { echo "export carries no eject records"; exit 1; }
+echo "admin endpoint + JSONL export: OK"
 
 echo "verify: OK"
