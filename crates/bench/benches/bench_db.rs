@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_queries(c: &mut Criterion) {
-    let mut db = paper_application(11);
+    let db = paper_application(11);
     let mut group = c.benchmark_group("db_queries");
 
     group.bench_function("light_select_small_indexed", |b| {
@@ -107,8 +107,8 @@ fn bench_range_index(c: &mut Criterion) {
         }
         db
     };
-    let mut with_ix = build(true);
-    let mut without = build(false);
+    let with_ix = build(true);
+    let without = build(false);
     let q = "SELECT id FROM t WHERE val < 100";
     group.bench_function("with_range_index", |b| {
         b.iter(|| black_box(with_ix.query(q).unwrap()))

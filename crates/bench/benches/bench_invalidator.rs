@@ -72,7 +72,7 @@ fn sync_point_cost(c: &mut Criterion) {
                             let mut inv = Invalidator::new(InvalidatorConfig::default());
                             inv.start_from(db.high_water());
                             // First run registers the instances.
-                            inv.run_sync_point(&mut db, &map).unwrap();
+                            inv.run_sync_point(&db, &map).unwrap();
                             for i in 0..inv.registry().types().len() {
                                 inv.set_policy(QueryTypeId(i as u32), policy);
                             }
@@ -87,8 +87,8 @@ fn sync_point_cost(c: &mut Criterion) {
                             }
                             (db, map, inv)
                         },
-                        |(mut db, map, mut inv)| {
-                            black_box(inv.run_sync_point(&mut db, &map).unwrap())
+                        |(db, map, mut inv)| {
+                            black_box(inv.run_sync_point(&db, &map).unwrap())
                         },
                         criterion::BatchSize::LargeInput,
                     )
@@ -103,10 +103,10 @@ fn registration_cost(c: &mut Criterion) {
     c.bench_function("invalidator_register_500_instances", |b| {
         b.iter_batched(
             || (example_db(), seeded_map(500)),
-            |(mut db, map)| {
+            |(db, map)| {
                 let mut inv = Invalidator::new(InvalidatorConfig::default());
                 inv.start_from(db.high_water());
-                black_box(inv.run_sync_point(&mut db, &map).unwrap())
+                black_box(inv.run_sync_point(&db, &map).unwrap())
             },
             criterion::BatchSize::LargeInput,
         )
@@ -127,7 +127,7 @@ fn maintained_index_benefit(c: &mut Criterion) {
                     if with_index {
                         inv.maintain_index(&db, "Mileage", "model").unwrap();
                     }
-                    inv.run_sync_point(&mut db, &map).unwrap();
+                    inv.run_sync_point(&db, &map).unwrap();
                     for j in 0..10 {
                         db.execute(&format!(
                             "INSERT INTO Car VALUES ('m','nomatch{j}',11000)"
@@ -136,8 +136,8 @@ fn maintained_index_benefit(c: &mut Criterion) {
                     }
                     (db, map, inv)
                 },
-                |(mut db, map, mut inv)| {
-                    black_box(inv.run_sync_point(&mut db, &map).unwrap())
+                |(db, map, mut inv)| {
+                    black_box(inv.run_sync_point(&db, &map).unwrap())
                 },
                 criterion::BatchSize::LargeInput,
             )

@@ -199,7 +199,7 @@ impl CachePortalCluster {
         }
         let invalidation = {
             let mut db = self.db.write();
-            let report = invalidator.run_sync_point(&mut db, &self.map)?;
+            let report = invalidator.run_sync_point(&db, &self.map)?;
             let consumed = invalidator.consumed_lsn();
             db.update_log_mut().truncate(consumed);
             report

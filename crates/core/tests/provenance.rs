@@ -279,7 +279,7 @@ fn rolled_back_transactions_leave_no_provenance() {
     p.sync_point().unwrap();
 
     assert_eq!(p.obs().provenance.recorded(), 0, "no eject, no record");
-    let doc = p.explain_invalidation(&p.request(&req(30000)).key.unwrap().as_str().to_string());
+    let doc = p.explain_invalidation(p.request(&req(30000)).key.unwrap().as_str());
     assert!(doc["matches"].as_array().unwrap().is_empty());
     assert_eq!(doc["truncated"].as_bool(), Some(false));
 
@@ -374,6 +374,66 @@ fn jsonl_export_streams_without_duplicates() {
     assert!(min_trace_seq_second > max_trace_seq_first);
     assert!(second.iter().any(|l| l["kind"].as_str() == Some("eject")
         && l["url"].as_str().unwrap().contains("carSearch")));
+}
+
+/// Regression: the sharded analysis path must leave eject provenance
+/// complete — every [`EjectRecord`] the parallel run produces carries the
+/// LSN range, non-empty ΔR groups, and at least one verdict cause, and the
+/// whole chain is identical to what the sequential path records. Also
+/// checks the `invalidator.shard.*` surfaces: the workers gauge reports
+/// the configured width and per-shard timings land in the histogram.
+#[test]
+fn parallel_analysis_keeps_eject_provenance_complete() {
+    let run = |workers: usize| {
+        let p = CachePortal::builder(example_db())
+            .workers(workers)
+            .build()
+            .unwrap();
+        p.register_servlet(search_servlet());
+        p.request(&req(20000));
+        p.request(&req(30000));
+        p.sync_point().unwrap();
+
+        p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").unwrap();
+        p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").unwrap();
+        p.update("UPDATE Car SET price = 17500 WHERE model = 'Civic'").unwrap();
+        let r = p.sync_point().unwrap();
+        assert!(r.ejected >= 1, "the burst invalidates at least one page");
+
+        let records = p.obs().provenance.recent(usize::MAX);
+        assert!(!records.is_empty());
+        let mut digest: Vec<String> = Vec::new();
+        for rec in &records {
+            assert!(rec.lsn_first <= rec.lsn_last);
+            assert!(!rec.deltas.is_empty(), "{} lost its ΔR groups", rec.url);
+            assert!(!rec.causes.is_empty(), "{} lost its causes", rec.url);
+            let mut causes: Vec<String> = rec
+                .causes
+                .iter()
+                .map(|c| format!("{}|{:?}|{}|{}", c.type_sql, c.params, c.verdict, c.detail))
+                .collect();
+            causes.sort_unstable();
+            let mut deltas: Vec<String> = rec
+                .deltas
+                .iter()
+                .map(|d| format!("{}:{}+{}-", d.table, d.inserted, d.deleted))
+                .collect();
+            deltas.sort_unstable();
+            digest.push(format!(
+                "{}|{}..{}|{deltas:?}|{causes:?}|{}",
+                rec.url, rec.lsn_first, rec.lsn_last, rec.resident
+            ));
+        }
+        digest.sort_unstable();
+
+        let m = &p.obs().metrics;
+        assert_eq!(m.gauge_value("invalidator.shard.workers"), workers as i64);
+        (r.ejected, digest)
+    };
+
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel, "parallel provenance diverged");
 }
 
 /// Minimal blocking HTTP/1.1 GET against the admin server.

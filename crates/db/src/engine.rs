@@ -10,6 +10,7 @@ use crate::sql::ast::{Expr, Statement};
 use crate::sql::parser::parse;
 use crate::table::{Catalog, Row, Table};
 use crate::value::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Outcome of executing one statement.
@@ -39,7 +40,8 @@ impl ExecOutcome {
     }
 }
 
-/// Cumulative engine statistics.
+/// Cumulative engine statistics (a point-in-time snapshot; see
+/// [`Database::stats`]).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DbStats {
     /// SELECT statements executed.
@@ -60,6 +62,56 @@ pub struct DbStats {
     pub exec: ExecStats,
 }
 
+/// Interior-mutable statistics cells: every counter is a relaxed atomic so
+/// the read-only query path ([`Database::query`] and friends, which take
+/// `&self`) can account its work without exclusive access. Concurrent
+/// pollers — the invalidator's sharded sync-point pipeline — therefore
+/// never serialize on statistics.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCells {
+    selects: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    updates: AtomicU64,
+    txn_begins: AtomicU64,
+    txn_commits: AtomicU64,
+    txn_aborts: AtomicU64,
+    rows_scanned: AtomicU64,
+    rows_joined: AtomicU64,
+    rows_output: AtomicU64,
+    index_probes: AtomicU64,
+    seq_scans: AtomicU64,
+}
+
+impl StatsCells {
+    fn add_exec(&self, s: &ExecStats) {
+        self.rows_scanned.fetch_add(s.rows_scanned, Ordering::Relaxed);
+        self.rows_joined.fetch_add(s.rows_joined, Ordering::Relaxed);
+        self.rows_output.fetch_add(s.rows_output, Ordering::Relaxed);
+        self.index_probes.fetch_add(s.index_probes, Ordering::Relaxed);
+        self.seq_scans.fetch_add(s.seq_scans, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DbStats {
+        DbStats {
+            selects: self.selects.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            txn_begins: self.txn_begins.load(Ordering::Relaxed),
+            txn_commits: self.txn_commits.load(Ordering::Relaxed),
+            txn_aborts: self.txn_aborts.load(Ordering::Relaxed),
+            exec: ExecStats {
+                rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+                rows_joined: self.rows_joined.load(Ordering::Relaxed),
+                rows_output: self.rows_output.load(Ordering::Relaxed),
+                index_probes: self.index_probes.load(Ordering::Relaxed),
+                seq_scans: self.seq_scans.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
 /// A parsed, reusable statement (see [`Database::prepare`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedStatement {
@@ -78,7 +130,7 @@ impl PreparedStatement {
 pub struct Database {
     catalog: Catalog,
     log: UpdateLog,
-    stats: DbStats,
+    stats: StatsCells,
 }
 
 impl Database {
@@ -107,15 +159,24 @@ impl Database {
         &mut self.log
     }
 
-    /// Cumulative statistics.
-    pub fn stats(&self) -> &DbStats {
-        &self.stats
+    /// Cumulative statistics (a consistent-enough relaxed snapshot).
+    pub fn stats(&self) -> DbStats {
+        self.stats.snapshot()
     }
 
-    /// Mutable statistics access for same-crate instrumentation (the
-    /// transaction guard counts begins/commits/aborts).
-    pub(crate) fn stats_mut(&mut self) -> &mut DbStats {
-        &mut self.stats
+    /// Same-crate instrumentation hooks: the transaction guard counts
+    /// begins/commits/aborts through `&self` so it composes with the
+    /// read-only query path.
+    pub(crate) fn note_txn_begin(&self) {
+        self.stats.txn_begins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_txn_commit(&self) {
+        self.stats.txn_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_txn_abort(&self) {
+        self.stats.txn_aborts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Execute one SQL statement without parameters.
@@ -139,8 +200,8 @@ impl Database {
             Statement::Select(s) => {
                 let mut stats = ExecStats::default();
                 let result = execute_select(&self.catalog, s, params, &mut stats)?;
-                self.stats.selects += 1;
-                self.stats.exec.add(&stats);
+                self.stats.selects.fetch_add(1, Ordering::Relaxed);
+                self.stats.add_exec(&stats);
                 Ok(ExecOutcome::Rows(result))
             }
             Statement::Insert(ins) => {
@@ -152,7 +213,7 @@ impl Database {
                     table.insert(row.clone())?;
                     self.log.append(&table_name, LogOp::Insert(row));
                 }
-                self.stats.inserts += n as u64;
+                self.stats.inserts.fetch_add(n as u64, Ordering::Relaxed);
                 Ok(ExecOutcome::Affected(n))
             }
             Statement::Delete(del) => {
@@ -174,7 +235,7 @@ impl Database {
                     })
                     .map(|(rid, row)| (rid, row.clone()))
                     .collect();
-                self.stats.exec.rows_scanned += table.len() as u64;
+                self.stats.rows_scanned.fetch_add(table.len() as u64, Ordering::Relaxed);
                 let table_name = table.name().to_string();
                 let table = self.catalog.require_mut(&del.table)?;
                 let n = victims.len();
@@ -182,7 +243,7 @@ impl Database {
                     table.delete(rid);
                     self.log.append(&table_name, LogOp::Delete(row));
                 }
-                self.stats.deletes += n as u64;
+                self.stats.deletes.fetch_add(n as u64, Ordering::Relaxed);
                 Ok(ExecOutcome::Affected(n))
             }
             Statement::Update(upd) => {
@@ -217,7 +278,7 @@ impl Database {
                         (rid, row.clone(), new_row)
                     })
                     .collect();
-                self.stats.exec.rows_scanned += table.len() as u64;
+                self.stats.rows_scanned.fetch_add(table.len() as u64, Ordering::Relaxed);
                 let table_name = table.name().to_string();
                 let table = self.catalog.require_mut(&upd.table)?;
                 let n = changes.len();
@@ -227,7 +288,7 @@ impl Database {
                     self.log.append(&table_name, LogOp::Delete(old));
                     self.log.append(&table_name, LogOp::Insert(new));
                 }
-                self.stats.updates += n as u64;
+                self.stats.updates.fetch_add(n as u64, Ordering::Relaxed);
                 Ok(ExecOutcome::Affected(n))
             }
             Statement::CreateTable(ct) => {
@@ -277,14 +338,44 @@ impl Database {
         }
     }
 
-    /// Convenience: run a SELECT and return its result.
-    pub fn query(&mut self, sql: &str) -> DbResult<QueryResult> {
-        Ok(self.execute(sql)?.rows())
+    /// Run a SELECT through the read-only query path. Takes `&self`: any
+    /// number of pollers (the invalidator's sharded sync-point workers, web
+    /// connections holding a read lock) can execute concurrently, with
+    /// statistics accounted through relaxed atomics. Non-SELECT statements
+    /// are rejected with [`DbError::Unsupported`] rather than executed.
+    pub fn query(&self, sql: &str) -> DbResult<QueryResult> {
+        self.query_with_params(sql, &[])
     }
 
-    /// Convenience: run a SELECT with parameters.
-    pub fn query_with_params(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
-        Ok(self.execute_with_params(sql, params)?.rows())
+    /// Read-only SELECT with positional parameters (`$1`… / `?`).
+    pub fn query_with_params(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        let stmt = parse(sql)?;
+        self.query_statement(&stmt, params)
+    }
+
+    /// Read-only SELECT from a prepared statement — the hot path for
+    /// templated polling queries issued during a sync point.
+    pub fn query_prepared(
+        &self,
+        prepared: &PreparedStatement,
+        params: &[Value],
+    ) -> DbResult<QueryResult> {
+        self.query_statement(&prepared.stmt, params)
+    }
+
+    fn query_statement(&self, stmt: &Statement, params: &[Value]) -> DbResult<QueryResult> {
+        match stmt {
+            Statement::Select(s) => {
+                let mut stats = ExecStats::default();
+                let result = execute_select(&self.catalog, s, params, &mut stats)?;
+                self.stats.selects.fetch_add(1, Ordering::Relaxed);
+                self.stats.add_exec(&stats);
+                Ok(result)
+            }
+            other => Err(DbError::Unsupported(format!(
+                "read-only query path accepts only SELECT, got {other:?}"
+            ))),
+        }
     }
 
     /// Current log high-water mark (next LSN).
@@ -298,7 +389,7 @@ impl Database {
         let name = t.name().to_string();
         t.insert(row.clone())?;
         self.log.append(&name, LogOp::Insert(row));
-        self.stats.inserts += 1;
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -311,7 +402,7 @@ impl Database {
             Some(rid) => {
                 let removed = t.delete(rid).expect("rid came from find_equal");
                 self.log.append(&name, LogOp::Delete(removed));
-                self.stats.deletes += 1;
+                self.stats.deletes.fetch_add(1, Ordering::Relaxed);
                 Ok(true)
             }
             None => Ok(false),
@@ -380,7 +471,7 @@ mod tests {
 
     #[test]
     fn select_star() {
-        let mut db = example_db();
+        let db = example_db();
         let r = db.query("SELECT * FROM Car").unwrap();
         assert_eq!(r.columns, vec!["maker", "model", "price"]);
         assert_eq!(r.rows.len(), 3);
@@ -388,7 +479,7 @@ mod tests {
 
     #[test]
     fn filtered_select_with_params() {
-        let mut db = example_db();
+        let db = example_db();
         let r = db
             .query_with_params(
                 "SELECT model FROM Car WHERE price <= $1",
@@ -400,7 +491,7 @@ mod tests {
 
     #[test]
     fn paper_join_query() {
-        let mut db = example_db();
+        let db = example_db();
         let r = db
             .query(
                 "select Car.maker, Car.model, Car.price, Mileage.EPA \
@@ -482,7 +573,7 @@ mod tests {
 
     #[test]
     fn order_by_desc_and_limit() {
-        let mut db = example_db();
+        let db = example_db();
         let r = db
             .query("SELECT model, price FROM Car ORDER BY price DESC LIMIT 2")
             .unwrap();
@@ -544,7 +635,7 @@ mod tests {
 
     #[test]
     fn stats_accumulate() {
-        let mut db = example_db();
+        let db = example_db();
         let s0 = db.stats().selects;
         db.query("SELECT * FROM Car").unwrap();
         assert_eq!(db.stats().selects, s0 + 1);
@@ -553,7 +644,7 @@ mod tests {
 
     #[test]
     fn fingerprint_is_order_sensitive() {
-        let mut db = example_db();
+        let db = example_db();
         let a = db
             .query("SELECT model FROM Car ORDER BY price")
             .unwrap()
@@ -567,7 +658,7 @@ mod tests {
 
     #[test]
     fn index_probe_used_for_equality() {
-        let mut db = example_db();
+        let db = example_db();
         db.query("SELECT * FROM Car WHERE model = 'Avalon'").unwrap();
         assert!(db.stats().exec.index_probes > 0);
         assert_eq!(db.stats().exec.rows_scanned, 0, "no full scan needed");
@@ -584,7 +675,7 @@ mod tests {
 
     #[test]
     fn range_index_used_for_inequalities() {
-        let mut db = range_db();
+        let db = range_db();
         let r = db.query("SELECT a FROM t WHERE a < 10").unwrap();
         assert_eq!(r.rows.len(), 10);
         assert_eq!(db.stats().exec.rows_scanned, 0, "range scan, no seq scan");
@@ -601,7 +692,7 @@ mod tests {
 
     #[test]
     fn range_index_results_match_seq_scan() {
-        let mut with_ix = range_db();
+        let with_ix = range_db();
         let mut without = Database::new();
         without.execute("CREATE TABLE t (a INT, s TEXT)").unwrap();
         for i in 0..100 {
@@ -671,7 +762,7 @@ mod tests {
 
     #[test]
     fn having_errors_are_typed() {
-        let mut db = example_db();
+        let db = example_db();
         assert!(matches!(
             db.query("SELECT maker FROM Car HAVING maker = 'x'"),
             Err(DbError::Unsupported(_))
@@ -685,7 +776,7 @@ mod tests {
 
     #[test]
     fn inner_join_on_is_sugar_for_comma_join() {
-        let mut db = example_db();
+        let db = example_db();
         let a = db
             .query(
                 "SELECT Car.maker, Mileage.EPA FROM Car INNER JOIN Mileage \

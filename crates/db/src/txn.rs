@@ -29,7 +29,7 @@ impl Database {
     /// commits, rolls back, or is dropped (drop = rollback).
     pub fn begin(&mut self) -> Transaction<'_> {
         let start_lsn = self.high_water();
-        self.stats_mut().txn_begins += 1;
+        self.note_txn_begin();
         Transaction {
             db: self,
             start_lsn,
@@ -59,7 +59,7 @@ impl Transaction<'_> {
     /// nothing) — the handle downstream provenance keys eject chains on.
     pub fn commit(mut self) -> Option<(Lsn, Lsn)> {
         self.finished = true;
-        self.db.stats_mut().txn_commits += 1;
+        self.db.note_txn_commit();
         let end = self.db.high_water();
         (end > self.start_lsn).then(|| (self.start_lsn, end - 1))
     }
@@ -71,7 +71,7 @@ impl Transaction<'_> {
     }
 
     fn rollback_inner(&mut self) -> DbResult<()> {
-        self.db.stats_mut().txn_aborts += 1;
+        self.db.note_txn_abort();
         // Collect the records to undo (newest first).
         let records: Vec<(String, LogOp)> = self
             .db

@@ -108,7 +108,7 @@ proptest! {
         c_op in op_strategy(),
         c_lit in 0i64..8,
     ) {
-        let mut db = build_db(&r_rows, &s_rows);
+        let db = build_db(&r_rows, &s_rows);
         let sql = format!(
             "SELECT * FROM R, S WHERE R.b = S.b AND R.a {a_op} {a_lit} AND S.c {c_op} {c_lit}"
         );
@@ -126,7 +126,7 @@ proptest! {
         a_lit in 0i64..8,
         use_index_eq in any::<bool>(),
     ) {
-        let mut db = build_db(&r_rows, &[]);
+        let db = build_db(&r_rows, &[]);
         let sql = if use_index_eq {
             format!("SELECT * FROM R WHERE b = {b_lit} AND a {a_op} {a_lit}")
         } else {
@@ -145,7 +145,7 @@ proptest! {
         lit1 in 0i64..8,
         lit2 in 0i64..8,
     ) {
-        let mut db = build_db(&r_rows, &s_rows);
+        let db = build_db(&r_rows, &s_rows);
         let sql = format!(
             "SELECT * FROM R, S WHERE R.b = S.b AND (R.a = {lit1} OR S.c = {lit2})"
         );
@@ -160,7 +160,7 @@ proptest! {
         r_rows in prop::collection::vec((0i64..4, 0i64..4, small_string()), 0..10),
         s_rows in prop::collection::vec((0i64..4, 0i64..4), 0..10),
     ) {
-        let mut db = build_db(&r_rows, &s_rows);
+        let db = build_db(&r_rows, &s_rows);
         let sql = "SELECT * FROM R, S";
         let naive = naive_select_star(&db, sql);
         let exec = db.query(sql).unwrap();
@@ -174,7 +174,7 @@ proptest! {
         a_op in op_strategy(),
         a_lit in 0i64..8,
     ) {
-        let mut db = build_db(&r_rows, &[]);
+        let db = build_db(&r_rows, &[]);
         let filter_sql = format!("SELECT * FROM R WHERE a {a_op} {a_lit}");
         let naive = naive_select_star(&db, &filter_sql);
         let count_sql = format!("SELECT COUNT(*) FROM R WHERE a {a_op} {a_lit}");
@@ -222,7 +222,7 @@ proptest! {
         r_rows in prop::collection::vec((0i64..8, 0i64..6, small_string()), 0..40),
         asc in any::<bool>(),
     ) {
-        let mut db = build_db(&r_rows, &[]);
+        let db = build_db(&r_rows, &[]);
         let sql = format!("SELECT a FROM R ORDER BY a {}", if asc { "ASC" } else { "DESC" });
         let rows = db.query(&sql).unwrap().rows;
         for w in rows.windows(2) {
@@ -239,7 +239,7 @@ proptest! {
     fn distinct_is_set_semantics(
         r_rows in prop::collection::vec((0i64..4, 0i64..6, small_string()), 0..40),
     ) {
-        let mut db = build_db(&r_rows, &[]);
+        let db = build_db(&r_rows, &[]);
         let rows = db.query("SELECT DISTINCT a FROM R").unwrap().rows;
         let as_set: std::collections::HashSet<_> = rows.iter().cloned().collect();
         prop_assert_eq!(as_set.len(), rows.len(), "no duplicates");

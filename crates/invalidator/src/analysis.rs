@@ -53,6 +53,32 @@ pub struct PollingQuery {
     /// Lower-cased names of the tables the poll reads (for the correlated-
     /// delete guard and for maintained-index answering).
     pub other_tables: Vec<String>,
+    /// Structural dedup key: a 64-bit hash of the canonical poll SQL,
+    /// computed once at construction. The per-sync-point dedup cache keys on
+    /// this instead of the SQL string, so cache hits neither clone nor
+    /// re-hash the full string. The SQL is built deterministically from the
+    /// residual, so equal keys ⇔ equal polls (modulo a vanishing 2⁻⁶⁴
+    /// collision chance, which only costs a skipped poll — over-invalidation
+    /// is impossible because cached answers are only reused affirmatively
+    /// per identical SQL text in practice).
+    pub key: u64,
+}
+
+impl PollingQuery {
+    /// Build a poll, computing its structural dedup key. `DefaultHasher`
+    /// with its fixed initial state keeps keys stable across threads and
+    /// runs, which the deterministic shard merge relies on.
+    pub fn new(sql: String, other_tables: Vec<String>) -> Self {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        sql.hash(&mut h);
+        let key = h.finish();
+        PollingQuery {
+            sql,
+            other_tables,
+            key,
+        }
+    }
 }
 
 /// Decision for one (instance, occurrence, tuple).
@@ -66,6 +92,55 @@ pub enum TupleImpact {
     NeedsPoll(PollingQuery),
 }
 
+/// One WHERE conjunct, compiled once per instance (not once per tuple):
+/// which FROM occurrences it references, whether it has column references
+/// at all, and — for constant conjuncts — its pre-evaluated truth value.
+/// `tuple_residual` consults this to skip the transform walk entirely for
+/// conjuncts that cannot be changed by substituting a given occurrence.
+struct CompiledConjunct {
+    expr: Expr,
+    /// Bit i set ⇔ the conjunct references FROM occurrence i. `u64::MAX`
+    /// is the fallback for conjuncts we could not fully classify (a column
+    /// that fails to resolve, or an occurrence index ≥ 64): those take the
+    /// original per-tuple path so errors surface exactly as before.
+    occ_mask: u64,
+    /// Any column reference at all (false ⇒ the conjunct is constant).
+    has_columns: bool,
+    /// Constant conjunct that evaluates to not-true: the instance can never
+    /// be affected by any tuple.
+    const_false: bool,
+}
+
+fn compile_conjunct(e: &Expr, ctx: &BindContext) -> CompiledConjunct {
+    let cols = e.columns();
+    let has_columns = !cols.is_empty();
+    let mut mask = 0u64;
+    let mut fallback = false;
+    for c in &cols {
+        match ctx.resolve(c) {
+            Ok((t, _)) if t < 64 => mask |= 1 << t,
+            _ => fallback = true,
+        }
+    }
+    let const_false = if has_columns {
+        false
+    } else {
+        match bind(e, &BindContext::new(vec![]), &[]) {
+            Ok(b) => !b.eval_predicate(&[]),
+            Err(_) => {
+                fallback = true;
+                false
+            }
+        }
+    };
+    CompiledConjunct {
+        expr: e.clone(),
+        occ_mask: if fallback { u64::MAX } else { mask },
+        has_columns,
+        const_false,
+    }
+}
+
 /// Pre-resolved information about one query instance, reused across all
 /// delta tuples of a batch.
 pub struct BoundInstance {
@@ -73,6 +148,8 @@ pub struct BoundInstance {
     pub select: Select,
     /// Binding context of the FROM list.
     pub ctx: BindContext,
+    /// WHERE conjuncts with per-conjunct occurrence masks, compiled once.
+    conjuncts: Vec<CompiledConjunct>,
 }
 
 impl BoundInstance {
@@ -85,9 +162,19 @@ impl BoundInstance {
                 .ok_or_else(|| DbError::UnknownTable(tref.table.clone()))?;
             tables.push((tref.binding().to_string(), schema));
         }
+        let ctx = BindContext::new(tables);
+        let conjuncts = match &select.where_clause {
+            Some(w) => w
+                .conjuncts()
+                .into_iter()
+                .map(|c| compile_conjunct(c, &ctx))
+                .collect(),
+            None => Vec::new(),
+        };
         Ok(BoundInstance {
             select,
-            ctx: BindContext::new(tables),
+            ctx,
+            conjuncts,
         })
     }
 
@@ -203,19 +290,35 @@ fn tuple_residual(
     tuple: &Row,
 ) -> DbResult<Option<Vec<Expr>>> {
     let ctx = &inst.ctx;
+    let bit = if occurrence < 64 { 1u64 << occurrence } else { 0 };
     let mut residual: Vec<Expr> = Vec::new();
-    if let Some(w) = &inst.select.where_clause {
-        for conjunct in w.conjuncts() {
-            let substituted = substitute_occurrence(conjunct, ctx, occurrence, tuple)?;
-            if has_columns(&substituted) {
-                residual.push(substituted);
-            } else {
-                // Fully bound: decide locally with the engine's evaluator
-                // (empty context — no columns remain by construction).
-                let bound = bind(&substituted, &BindContext::new(vec![]), &[])?;
-                if !bound.eval_predicate(&[]) {
-                    return Ok(None);
-                }
+    for compiled in &inst.conjuncts {
+        if compiled.const_false {
+            // A constant-false conjunct rules out every tuple; decided at
+            // compile time, no per-tuple work at all.
+            return Ok(None);
+        }
+        let must_walk = occurrence >= 64
+            || compiled.occ_mask == u64::MAX
+            || (compiled.occ_mask & bit) != 0;
+        if !must_walk {
+            // Substituting this occurrence cannot change the conjunct:
+            // constant-true conjuncts drop out, column-bearing ones pass to
+            // the residual verbatim — no transform walk, no re-evaluation.
+            if compiled.has_columns {
+                residual.push(compiled.expr.clone());
+            }
+            continue;
+        }
+        let substituted = substitute_occurrence(&compiled.expr, ctx, occurrence, tuple)?;
+        if has_columns(&substituted) {
+            residual.push(substituted);
+        } else {
+            // Fully bound: decide locally with the engine's evaluator
+            // (empty context — no columns remain by construction).
+            let bound = bind(&substituted, &BindContext::new(vec![]), &[])?;
+            if !bound.eval_predicate(&[]) {
+                return Ok(None);
             }
         }
     }
@@ -256,10 +359,7 @@ fn build_poll(inst: &BoundInstance, occurrence: usize, residual: Option<Expr>) -
         .collect();
     other_tables.sort();
     other_tables.dedup();
-    PollingQuery {
-        sql: Statement::Select(poll).to_sql(),
-        other_tables,
-    }
+    PollingQuery::new(Statement::Select(poll).to_sql(), other_tables)
 }
 
 /// Replace every column of FROM-occurrence `occurrence` with the tuple's

@@ -141,13 +141,71 @@ pub struct InvalidationReport {
     pub analysis_micros: u64,
     /// Stage timing: page collection + policy discovery bookkeeping.
     pub collect_micros: u64,
+    /// Worker threads the analysis stage ran with (1 = sequential).
+    pub workers: u64,
+    /// Per-shard analysis wall-clock, microseconds, in shard order. Empty
+    /// when the sync point consumed no records.
+    pub shard_micros: Vec<u64>,
+    /// Times a shard blocked on a dedup stripe held by another shard
+    /// (scheduling-dependent; excluded from the equivalence guarantee).
+    pub poll_lock_contended: u64,
 }
 
 /// Invalidator configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InvalidatorConfig {
     /// Policy configuration (defaults, budget, discovery rules).
     pub policy: PolicyConfig,
+    /// Worker threads for the affected-instance analysis stage. Query types
+    /// are sharded round-robin across workers; `1` (the default) runs the
+    /// sequential path. Values above the candidate-type count are clamped.
+    pub workers: usize,
+    /// Modeled DBMS round-trip time per *issued* polling query, in
+    /// microseconds. The paper's invalidator polls a remote DBMS over the
+    /// network; setting this reproduces that regime (each issued poll
+    /// sleeps this long), which is what concurrent polling overlaps.
+    /// `0` (the default) disables the model entirely.
+    pub poll_rtt_micros: u64,
+}
+
+impl Default for InvalidatorConfig {
+    fn default() -> Self {
+        InvalidatorConfig {
+            policy: PolicyConfig::default(),
+            workers: 1,
+            poll_rtt_micros: 0,
+        }
+    }
+}
+
+/// Per-shard tallies of the analysis-stage counters, merged into the
+/// [`InvalidationReport`] after all shards join.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    checked_instances: u64,
+    tuples_analyzed: u64,
+    local_decisions: u64,
+    degraded_by_budget: u64,
+    bind_failures: u64,
+}
+
+/// One analyzed query type's results, tagged with its position in the
+/// sorted candidate-type order so the merge is deterministic regardless of
+/// which shard ran it.
+struct TypeOutcome {
+    order: usize,
+    ty_id: QueryTypeId,
+    affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)>,
+    /// Analysis wall-clock to record into the type's stats; `None` for
+    /// table-level types (the sequential path never recorded those).
+    record_micros: Option<u64>,
+}
+
+/// Everything one shard worker produced.
+struct ShardOutcome {
+    types: Vec<TypeOutcome>,
+    counters: ShardCounters,
+    elapsed_micros: u64,
 }
 
 /// The CachePortal invalidator.
@@ -170,7 +228,7 @@ pub struct InvalidatorConfig {
 ///
 /// // A backend update lands; the next sync point names the stale page.
 /// db.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)").unwrap();
-/// let report = inv.run_sync_point(&mut db, &map).unwrap();
+/// let report = inv.run_sync_point(&db, &map).unwrap();
 /// assert!(report.pages.contains(&PageKey::raw("URL1")));
 /// ```
 pub struct Invalidator {
@@ -250,13 +308,20 @@ impl Invalidator {
     /// Run one synchronization point against the database and the sniffer's
     /// QI/URL map. Returns the invalidation report; the caller delivers
     /// `report.pages` to the caches as eject messages.
+    ///
+    /// Takes `&Database`: the sync point only *reads* the DBMS (update
+    /// log + read-only polling queries), so with `workers > 1` the
+    /// analysis stage fans out across threads that poll concurrently.
     pub fn run_sync_point(
         &mut self,
-        db: &mut Database,
+        db: &Database,
         map: &QiUrlMap,
     ) -> DbResult<InvalidationReport> {
         let started = std::time::Instant::now();
-        let mut report = InvalidationReport::default();
+        let mut report = InvalidationReport {
+            workers: self.config.workers.max(1) as u64,
+            ..InvalidationReport::default()
+        };
 
         // (1) Online registration scan of the QI/URL map (§4.1.2).
         let (entries, cursor) = map.entries_since(self.map_cursor);
@@ -272,16 +337,18 @@ impl Invalidator {
         }
         report.registration_micros = started.elapsed().as_micros() as u64;
 
-        // (2) Pull the update log and build deltas (§4.2.1).
+        // (2) Pull the update log and build deltas (§4.2.1). The log hands
+        // out a borrowed slice; DeltaSet::from_records clones only the rows
+        // it groups, so the records themselves are never copied.
         let delta_started = std::time::Instant::now();
-        let records: Vec<cacheportal_db::LogRecord> =
-            db.update_log().pull_since(self.consumed_lsn).to_vec();
+        let records: &[cacheportal_db::LogRecord] =
+            db.update_log().pull_since(self.consumed_lsn);
         if records.is_empty() {
             report.delta_micros = delta_started.elapsed().as_micros() as u64;
             report.elapsed = started.elapsed();
             return Ok(report);
         }
-        let mut deltas = DeltaSet::from_records(&records);
+        let mut deltas = DeltaSet::from_records(records);
         if self.config.policy.compact_deltas {
             deltas = deltas.compacted();
         }
@@ -365,17 +432,26 @@ impl Invalidator {
 
     /// Analyze one delta batch; returns affected (type, params, verdict)
     /// triples.
+    ///
+    /// Candidate query types are sharded round-robin (in stable type-id
+    /// order) across `config.workers` scoped threads. Each shard analyzes
+    /// its types independently against the shared read-only database and a
+    /// shared [`PollRunner`] whose lock-striped dedup cache guarantees
+    /// identical polls execute exactly once across shards. Per-shard results
+    /// are merged back in candidate-type order, so the affected list — and
+    /// therefore verdicts, pages, and provenance — is identical whatever
+    /// the worker count.
     fn analyze_batch(
         &mut self,
-        db: &mut Database,
+        db: &Database,
         deltas: &DeltaSet,
         report: &mut InvalidationReport,
     ) -> DbResult<Vec<(QueryTypeId, Vec<Value>, VerdictCause)>> {
-        let mut runner = PollRunner::new(&self.info, deltas);
-        let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
-        let mut affected_set: HashSet<(QueryTypeId, Vec<Value>)> = HashSet::new();
-        // Bound instances are reused across tuples and tables.
-        let mut bound_cache: HashMap<(QueryTypeId, Vec<Value>), BoundInstance> = HashMap::new();
+        let runner = PollRunner::with_rtt(
+            &self.info,
+            deltas,
+            std::time::Duration::from_micros(self.config.poll_rtt_micros),
+        );
 
         let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
         let mut candidate_types: Vec<QueryTypeId> = touched
@@ -385,19 +461,122 @@ impl Invalidator {
         candidate_types.sort_unstable();
         candidate_types.dedup();
 
-        for ty_id in candidate_types {
+        let workers = self
+            .config
+            .workers
+            .max(1)
+            .min(candidate_types.len().max(1));
+        let shards: Vec<Vec<(usize, QueryTypeId)>> = {
+            let mut shards = vec![Vec::new(); workers];
+            for (order, ty_id) in candidate_types.iter().copied().enumerate() {
+                shards[order % workers].push((order, ty_id));
+            }
+            shards
+        };
+
+        let registry = &self.registry;
+        let policies = &self.policies;
+        let policy_cfg = &self.config.policy;
+        let info = &self.info;
+        let runner_ref = &runner;
+
+        let shard_results: Vec<DbResult<ShardOutcome>> = if workers == 1 {
+            vec![Self::analyze_types_shard(
+                registry, policies, policy_cfg, info, runner_ref, db, deltas, &shards[0],
+            )]
+        } else {
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|types| {
+                        s.spawn(move |_| {
+                            Self::analyze_types_shard(
+                                registry, policies, policy_cfg, info, runner_ref, db, deltas,
+                                types,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("invalidator shard worker panicked"))
+                    .collect()
+            })
+            .expect("invalidator shard worker panicked")
+        };
+
+        // Deterministic merge: flatten per-type outcomes and restore the
+        // candidate-type order they were assigned from.
+        let mut type_outcomes: Vec<TypeOutcome> = Vec::with_capacity(candidate_types.len());
+        for (shard_idx, result) in shard_results.into_iter().enumerate() {
+            let outcome = result?;
+            debug_assert!(shard_idx < workers);
+            report.shard_micros.push(outcome.elapsed_micros);
+            report.checked_instances += outcome.counters.checked_instances;
+            report.tuples_analyzed += outcome.counters.tuples_analyzed;
+            report.local_decisions += outcome.counters.local_decisions;
+            report.degraded_by_budget += outcome.counters.degraded_by_budget;
+            report.bind_failures += outcome.counters.bind_failures;
+            type_outcomes.extend(outcome.types);
+        }
+        type_outcomes.sort_unstable_by_key(|t| t.order);
+
+        let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
+        for outcome in type_outcomes {
+            affected.extend(outcome.affected);
+            if let Some(micros) = outcome.record_micros {
+                self.registry
+                    .get_mut(outcome.ty_id)
+                    .stats
+                    .record_analysis(micros);
+            }
+        }
+        report.polls = runner.stats();
+        report.poll_lock_contended = runner.contended();
+        Ok(affected)
+    }
+
+    /// Analyze one shard's query types. Runs on a worker thread (or inline
+    /// for `workers == 1`); everything it touches is either shard-local or
+    /// a shared `&` reference (`Registry`, `PolicyStore`, `InfoManager`,
+    /// `PollRunner`, `Database`, `DeltaSet`).
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_types_shard(
+        registry: &Registry,
+        policies: &PolicyStore,
+        policy_cfg: &crate::policy::PolicyConfig,
+        info: &InfoManager,
+        runner: &PollRunner,
+        db: &Database,
+        deltas: &DeltaSet,
+        types: &[(usize, QueryTypeId)],
+    ) -> DbResult<ShardOutcome> {
+        let shard_started = std::time::Instant::now();
+        let mut counters = ShardCounters::default();
+        let mut out_types: Vec<TypeOutcome> = Vec::with_capacity(types.len());
+        // Bound instances are compiled once per (type, params) and reused
+        // across every delta tuple the shard analyzes.
+        let mut bound_cache: HashMap<(QueryTypeId, Vec<Value>), BoundInstance> = HashMap::new();
+
+        for &(order, ty_id) in types {
             let type_started = std::time::Instant::now();
-            let policy = self.policies.policy_for(ty_id, &self.config.policy);
-            let ty = self.registry.get(ty_id);
+            let policy = policies.policy_for(ty_id, policy_cfg);
+            let ty = registry.get(ty_id);
             let ty_select = ty.select.clone();
-            let instances: Vec<Vec<Value>> = self
-                .registry
+            let mut instances: Vec<Vec<Value>> = registry
                 .instances_of(ty_id)
                 .map(|(params, _)| params.clone())
                 .collect();
             if instances.is_empty() {
                 continue;
             }
+            // The registry's instance map iterates in hash order; sort so
+            // the affected list (and poll-source attribution within a type)
+            // is deterministic run to run and across worker counts.
+            instances.sort_unstable();
+
+            let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
+            let mut affected_set: HashSet<Vec<Value>> = HashSet::new();
 
             if policy == InvalidationPolicy::TableLevel {
                 let read_touched: Vec<String> = ty_select
@@ -411,8 +590,8 @@ impl Invalidator {
                     read_touched.join(", ")
                 );
                 for params in instances {
-                    report.checked_instances += 1;
-                    if affected_set.insert((ty_id, params.clone())) {
+                    counters.checked_instances += 1;
+                    if affected_set.insert(params.clone()) {
                         affected.push((
                             ty_id,
                             params,
@@ -423,16 +602,22 @@ impl Invalidator {
                         ));
                     }
                 }
+                out_types.push(TypeOutcome {
+                    order,
+                    ty_id,
+                    affected,
+                    record_micros: None,
+                });
                 continue;
             }
 
             'instances: for params in instances {
-                report.checked_instances += 1;
-                let key = (ty_id, params.clone());
-                if affected_set.contains(&key) {
+                counters.checked_instances += 1;
+                if affected_set.contains(&params) {
                     continue;
                 }
-                let inst = match bound_cache.entry(key.clone()) {
+                let key = (ty_id, params.clone());
+                let inst = match bound_cache.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
                         // Binding can fail if the schema changed under the
@@ -441,15 +626,15 @@ impl Invalidator {
                         // ejected and the next regeneration re-registers it
                         // against the current schema (or 500s honestly).
                         let bound = substitute_params(&ty_select, &params)
-                            .and_then(|sel| BoundInstance::new(sel, &*db));
+                            .and_then(|sel| BoundInstance::new(sel, db));
                         match bound {
                             Ok(inst) => e.insert(inst),
                             Err(err) => {
-                                report.bind_failures += 1;
-                                affected_set.insert(key.clone());
+                                counters.bind_failures += 1;
+                                affected_set.insert(params.clone());
                                 affected.push((
-                                    key.0,
-                                    key.1,
+                                    ty_id,
+                                    params,
                                     VerdictCause {
                                         kind: VerdictKind::BindFailure,
                                         detail: format!(
@@ -466,45 +651,50 @@ impl Invalidator {
                     let Some(delta) = deltas.for_table(&tref.table) else {
                         continue;
                     };
-                    let cause = if self.config.policy.batch_polls {
+                    let cause = if policy_cfg.batch_polls {
                         Self::decide_batched(
-                            &self.config.policy,
-                            &self.info,
-                            &mut runner,
+                            policy_cfg,
+                            info,
+                            runner,
                             db,
                             inst,
                             occ,
                             delta,
                             policy,
-                            report,
+                            &mut counters,
                         )?
                     } else {
                         Self::decide_per_tuple(
-                            &self.config.policy,
-                            &self.info,
-                            &mut runner,
+                            policy_cfg,
+                            info,
+                            runner,
                             db,
                             inst,
                             occ,
                             delta,
                             policy,
-                            report,
+                            &mut counters,
                         )?
                     };
                     if let Some(cause) = cause {
-                        affected_set.insert(key.clone());
-                        affected.push((key.0, key.1.clone(), cause));
+                        affected_set.insert(params.clone());
+                        affected.push((ty_id, params, cause));
                         continue 'instances;
                     }
                 }
             }
-            self.registry
-                .get_mut(ty_id)
-                .stats
-                .record_analysis(type_started.elapsed().as_micros() as u64);
+            out_types.push(TypeOutcome {
+                order,
+                ty_id,
+                affected,
+                record_micros: Some(type_started.elapsed().as_micros() as u64),
+            });
         }
-        report.polls = runner.stats;
-        Ok(affected)
+        Ok(ShardOutcome {
+            types: out_types,
+            counters,
+            elapsed_micros: shard_started.elapsed().as_micros() as u64,
+        })
     }
 
     /// Per-tuple decision loop (grouping disabled): one poll per surviving
@@ -513,25 +703,25 @@ impl Invalidator {
     fn decide_per_tuple(
         policy_cfg: &crate::policy::PolicyConfig,
         info: &InfoManager,
-        runner: &mut PollRunner,
-        db: &mut Database,
+        runner: &PollRunner,
+        db: &Database,
         inst: &BoundInstance,
         occ: usize,
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
-        report: &mut InvalidationReport,
+        counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
         let table = &inst.select.from[occ].table;
         for (tuple, is_insert) in delta.tuples() {
-            report.tuples_analyzed += 1;
+            counters.tuples_analyzed += 1;
             let impact = analyze_tuple(inst, occ, tuple)?;
             let hit = match impact {
                 TupleImpact::NoImpact => {
-                    report.local_decisions += 1;
+                    counters.local_decisions += 1;
                     None
                 }
                 TupleImpact::Affected => {
-                    report.local_decisions += 1;
+                    counters.local_decisions += 1;
                     Some(VerdictCause {
                         kind: VerdictKind::LocalPredicate,
                         detail: format!(
@@ -541,7 +731,7 @@ impl Invalidator {
                     })
                 }
                 TupleImpact::NeedsPoll(poll) => Self::run_poll(
-                    policy_cfg, info, runner, db, &poll, !is_insert, policy, report,
+                    policy_cfg, info, runner, db, &poll, !is_insert, policy, counters,
                 )?,
             };
             if hit.is_some() {
@@ -558,13 +748,13 @@ impl Invalidator {
     fn decide_batched(
         policy_cfg: &crate::policy::PolicyConfig,
         info: &InfoManager,
-        runner: &mut PollRunner,
-        db: &mut Database,
+        runner: &PollRunner,
+        db: &Database,
         inst: &BoundInstance,
         occ: usize,
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
-        report: &mut InvalidationReport,
+        counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
         let table = &inst.select.from[occ].table;
         let groups: [(&[cacheportal_db::table::Row], bool); 2] =
@@ -573,7 +763,7 @@ impl Invalidator {
             if rows.is_empty() {
                 continue;
             }
-            report.tuples_analyzed += rows.len() as u64;
+            counters.tuples_analyzed += rows.len() as u64;
             let refs: Vec<&cacheportal_db::table::Row> = rows.iter().collect();
             let (impact, _survivors) = analyze_tuple_batch(
                 inst,
@@ -583,11 +773,11 @@ impl Invalidator {
             )?;
             let hit = match impact {
                 BatchImpact::NoImpact => {
-                    report.local_decisions += 1;
+                    counters.local_decisions += 1;
                     None
                 }
                 BatchImpact::Affected => {
-                    report.local_decisions += 1;
+                    counters.local_decisions += 1;
                     Some(VerdictCause {
                         kind: VerdictKind::LocalPredicate,
                         detail: format!(
@@ -601,7 +791,7 @@ impl Invalidator {
                     let mut any = None;
                     for poll in &polls {
                         if let Some(cause) = Self::run_poll(
-                            policy_cfg, info, runner, db, poll, was_delete, policy, report,
+                            policy_cfg, info, runner, db, poll, was_delete, policy, counters,
                         )? {
                             any = Some(cause);
                             break;
@@ -618,16 +808,22 @@ impl Invalidator {
     }
 
     /// Execute one polling decision under the policy and budget.
+    ///
+    /// With `workers > 1` the budget check reads a cross-shard atomic, so
+    /// degradation kicks in *approximately* at the configured budget (a few
+    /// polls may race past it). That only trades poll volume against
+    /// precision in the direction the budget already trades it; outcome
+    /// equivalence is guaranteed for the default unbudgeted configuration.
     #[allow(clippy::too_many_arguments)]
     fn run_poll(
         policy_cfg: &crate::policy::PolicyConfig,
         info: &InfoManager,
-        runner: &mut PollRunner,
-        db: &mut Database,
+        runner: &PollRunner,
+        db: &Database,
         poll: &crate::analysis::PollingQuery,
         tuple_was_delete: bool,
         policy: InvalidationPolicy,
-        report: &mut InvalidationReport,
+        counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
         match policy {
             InvalidationPolicy::Conservative => Ok(Some(VerdictCause {
@@ -637,11 +833,11 @@ impl Invalidator {
             InvalidationPolicy::Exact => {
                 let over_budget = policy_cfg
                     .poll_budget_per_sync
-                    .is_some_and(|b| runner.stats.issued >= b);
+                    .is_some_and(|b| runner.stats().issued >= b);
                 if over_budget && info.try_answer(poll).is_none() {
                     // Budget exhausted and no free answer: degrade to
                     // Conservative (§4.2.2's quality/real-time trade-off).
-                    report.degraded_by_budget += 1;
+                    counters.degraded_by_budget += 1;
                     Ok(Some(VerdictCause {
                         kind: VerdictKind::BudgetDegraded,
                         detail: format!("poll budget exhausted; assumed affected instead of polling: {}", poll.sql),
@@ -691,8 +887,8 @@ mod tests {
         );
         let mut inv = Invalidator::new(InvalidatorConfig::default());
         // Consume the seeding inserts so tests start from a clean slate.
-        let mut report_db = db;
-        inv.run_sync_point(&mut report_db, &map).unwrap();
+        let report_db = db;
+        inv.run_sync_point(&report_db, &map).unwrap();
         (report_db, map, inv)
     }
 
@@ -704,7 +900,7 @@ mod tests {
         // invalidation, and no polling needed.
         db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.polls.issued, 0, "decided locally");
 
@@ -712,7 +908,7 @@ mod tests {
         // Mileage for 'Avalon' finds a row → URL1 invalidated.
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")));
         assert_eq!(r.polls.issued, 1);
 
@@ -720,7 +916,7 @@ mod tests {
         // poll comes back empty → no invalidation.
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.polls.issued, 1);
     }
@@ -731,7 +927,7 @@ mod tests {
         // Poll-decided invalidation: the verdict names the polling query.
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts.len(), 1);
         let v = &r.verdicts[0];
         assert_eq!(v.type_id, QueryTypeId(0));
@@ -750,7 +946,7 @@ mod tests {
         // A negative sync point produces no verdicts and a fresh LSN range.
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',99999)")
             .unwrap();
-        let r2 = inv.run_sync_point(&mut db, &map).unwrap();
+        let r2 = inv.run_sync_point(&db, &map).unwrap();
         assert!(r2.verdicts.is_empty());
         assert_eq!(r2.lsn_range.unwrap().0, last + 1);
     }
@@ -761,14 +957,14 @@ mod tests {
         let (mut db, map, mut inv) = setup();
         inv.set_policy(QueryTypeId(0), InvalidationPolicy::Conservative);
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts[0].cause.kind, VerdictKind::Conservative);
 
         // Table-level: any touch of a read table.
         let (mut db, map, mut inv) = setup();
         inv.set_policy(QueryTypeId(0), InvalidationPolicy::TableLevel);
         db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts[0].cause.kind, VerdictKind::TableLevel);
         assert!(r.verdicts[0].cause.detail.contains("car"));
 
@@ -776,14 +972,14 @@ mod tests {
         let (mut db, map, mut inv) = setup();
         inv.config.policy.poll_budget_per_sync = Some(0);
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts[0].cause.kind, VerdictKind::BudgetDegraded);
 
         // Maintained index answering the poll affirmatively.
         let (mut db, map, mut inv) = setup();
         inv.maintain_index(&db, "Mileage", "model").unwrap();
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts[0].cause.kind, VerdictKind::MaintainedIndex);
 
         // Local predicate only: deleting a Mileage partner row decides via
@@ -792,7 +988,7 @@ mod tests {
         db.execute("DROP TABLE Mileage").unwrap();
         db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
         db.execute("INSERT INTO Car VALUES ('m','x',1)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.verdicts[0].cause.kind, VerdictKind::BindFailure);
     }
 
@@ -803,7 +999,7 @@ mod tests {
         inv.set_policy(id, InvalidationPolicy::Conservative);
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")), "over-invalidated");
         assert_eq!(r.polls.issued, 0);
     }
@@ -814,7 +1010,7 @@ mod tests {
         inv.set_policy(QueryTypeId(0), InvalidationPolicy::TableLevel);
         db.execute("INSERT INTO Car VALUES ('Mitsubishi','Eclipse',20000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(
             r.pages.contains(&PageKey::raw("URL1")),
             "even a non-matching tuple invalidates at table level"
@@ -827,7 +1023,7 @@ mod tests {
         inv.maintain_index(&db, "Mileage", "model").unwrap();
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.polls.issued, 0);
         assert_eq!(r.polls.from_index, 1);
@@ -839,7 +1035,7 @@ mod tests {
         inv.config.policy.poll_budget_per_sync = Some(0);
         db.execute("INSERT INTO Car VALUES ('Dodge','Viper',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")));
         assert_eq!(r.polls.issued, 0);
         assert_eq!(r.degraded_by_budget, 1);
@@ -851,7 +1047,7 @@ mod tests {
         // Mileage side: deleting Civic's row changes URL1's join result.
         db.execute("DELETE FROM Mileage WHERE model = 'Civic'")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")));
     }
 
@@ -860,20 +1056,20 @@ mod tests {
         let (mut db, map, mut inv) = setup();
         db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
         db.execute("INSERT INTO Unrelated VALUES (1)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.checked_instances, 0);
     }
 
     #[test]
     fn no_updates_means_empty_report_but_registration_happens() {
-        let (mut db, map, mut inv) = setup();
+        let (db, map, mut inv) = setup();
         map.insert(
             "SELECT * FROM Car WHERE price < 99".to_string(),
             PageKey::raw("URL2"),
             "s".to_string(),
         );
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.registered, 1);
         assert!(r.pages.is_empty());
         assert_eq!(r.records_consumed, 0);
@@ -893,7 +1089,7 @@ mod tests {
         );
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")));
         assert!(r.pages.contains(&PageKey::raw("URL3")));
         assert_eq!(r.polls.issued, 1, "identical residuals deduplicated");
@@ -910,7 +1106,7 @@ mod tests {
             db.execute(&format!("INSERT INTO Car VALUES ('m','ghost{i}',15000)"))
                 .unwrap();
         }
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.is_empty());
         assert_eq!(r.polls.issued, 1, "one poll for the whole burst");
         assert_eq!(r.tuples_analyzed, 10);
@@ -923,7 +1119,7 @@ mod tests {
         }
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
             .unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(r.pages.contains(&PageKey::raw("URL1")));
         assert_eq!(r.polls.issued, 1);
     }
@@ -939,7 +1135,7 @@ mod tests {
             }
             db.execute("INSERT INTO Car VALUES ('x','Civic',19999)").unwrap();
             db.execute("DELETE FROM Mileage WHERE model = 'Avalon'").unwrap();
-            let r = inv.run_sync_point(&mut db, &map).unwrap();
+            let r = inv.run_sync_point(&db, &map).unwrap();
             assert!(
                 r.pages.contains(&PageKey::raw("URL1")),
                 "batch={batch}: Civic insert affects URL1"
@@ -959,7 +1155,7 @@ mod tests {
             db.execute(&format!("INSERT INTO Car VALUES ('m','zz{i}',15000)"))
                 .unwrap();
         }
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.polls.issued, 3);
         assert!(r.pages.is_empty());
     }
@@ -972,7 +1168,7 @@ mod tests {
         db.execute("CREATE TABLE Unrelated (x INT)").unwrap();
         // Any update to Car forces analysis of URL1's instance.
         db.execute("INSERT INTO Car VALUES ('m','x',1)").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.bind_failures, 1);
         assert!(
             r.pages.contains(&PageKey::raw("URL1")),
@@ -988,7 +1184,7 @@ mod tests {
         // compaction the batch nets to nothing and no analysis work happens.
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
         db.execute("DELETE FROM Car WHERE model = 'Avalon' AND price = 15000").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert_eq!(r.records_consumed, 2);
         assert_eq!(r.tuples_analyzed, 0);
         assert!(r.pages.is_empty());
@@ -997,7 +1193,7 @@ mod tests {
         let (mut db2, map2, mut inv2) = setup();
         db2.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
         db2.execute("DELETE FROM Car WHERE model = 'Avalon' AND price = 15000").unwrap();
-        let r2 = inv2.run_sync_point(&mut db2, &map2).unwrap();
+        let r2 = inv2.run_sync_point(&db2, &map2).unwrap();
         assert!(r2.tuples_analyzed > 0);
         assert!(r2.pages.contains(&PageKey::raw("URL1")), "conservative endpoint");
     }
@@ -1009,7 +1205,7 @@ mod tests {
         // post-state polls find nothing; the guard must still invalidate.
         db.execute("DELETE FROM Car WHERE model = 'Civic'").unwrap();
         db.execute("DELETE FROM Mileage WHERE model = 'Civic'").unwrap();
-        let r = inv.run_sync_point(&mut db, &map).unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
         assert!(
             r.pages.contains(&PageKey::raw("URL1")),
             "correlated same-batch deletes must invalidate"
@@ -1021,13 +1217,13 @@ mod tests {
         let (mut db, map, mut inv) = setup();
         // setup() already consumed the seeding batch (update_batches == 1).
         db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)").unwrap();
-        inv.run_sync_point(&mut db, &map).unwrap();
+        inv.run_sync_point(&db, &map).unwrap();
         let stats = &inv.registry().get(QueryTypeId(0)).stats;
         assert_eq!(stats.update_batches, 2);
         assert!(stats.max_analysis_micros >= stats.avg_analysis_micros() as u64);
         // A further batch accumulates.
         db.execute("INSERT INTO Car VALUES ('Honda','Fit',12000)").unwrap();
-        inv.run_sync_point(&mut db, &map).unwrap();
+        inv.run_sync_point(&db, &map).unwrap();
         let stats = &inv.registry().get(QueryTypeId(0)).stats;
         assert_eq!(stats.update_batches, 3);
         assert!(stats.total_analysis_micros >= stats.max_analysis_micros);
@@ -1044,7 +1240,7 @@ mod tests {
                 1000 + i
             ))
             .unwrap();
-            inv.run_sync_point(&mut db, &map).unwrap();
+            inv.run_sync_point(&db, &map).unwrap();
         }
         let ty = inv.registry().get(QueryTypeId(0));
         assert!(!ty.cacheable, "every batch invalidated the only instance");

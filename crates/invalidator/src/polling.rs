@@ -14,7 +14,10 @@ use crate::delta::DeltaSet;
 use cacheportal_db::sql::ast::{CmpOp, Expr, Statement};
 use cacheportal_db::sql::parser::parse;
 use cacheportal_db::{Database, DbResult, Value};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// One maintained join-attribute index.
 #[derive(Debug)]
@@ -188,32 +191,80 @@ pub enum PollAnswer {
     DeleteGuard,
 }
 
+/// Number of dedup-cache stripes. Polls hash across stripes, so two shards
+/// only contend when their polls share a stripe; 64 stripes keep that rare
+/// even with the full worker fan-out while bounding memory.
+const DEDUP_STRIPES: usize = 64;
+
 /// Executes polls for one synchronization point, with dedup and the
 /// correlated-delete guard.
+///
+/// The runner is shared by reference across the invalidator's shard workers:
+/// the dedup cache is lock-striped on the poll's structural [`PollingQuery::key`]
+/// and all counters are atomics, so every method takes `&self`. A stripe's
+/// lock is held across poll *execution* (not just the map probe), which is
+/// what makes identical polls execute **exactly once** across shards — the
+/// second shard blocks on the stripe and then reads the first shard's
+/// answer from the cache.
 pub struct PollRunner<'a> {
     info: &'a InfoManager,
     deltas: &'a DeltaSet,
-    cache: HashMap<String, bool>,
-    /// Counters for this sync point.
-    pub stats: PollStats,
+    stripes: Vec<Mutex<HashMap<u64, bool>>>,
+    issued: AtomicU64,
+    from_cache: AtomicU64,
+    from_index: AtomicU64,
+    delete_guard_hits: AtomicU64,
+    contended: AtomicU64,
+    poll_rtt: Duration,
 }
 
 impl<'a> PollRunner<'a> {
     /// Create the module/runner.
     pub fn new(info: &'a InfoManager, deltas: &'a DeltaSet) -> Self {
+        Self::with_rtt(info, deltas, Duration::ZERO)
+    }
+
+    /// Like [`PollRunner::new`], with a modeled per-poll round-trip time.
+    /// In the paper's deployment the invalidator polls a *remote* DBMS over
+    /// the network; `poll_rtt` injects that latency on every issued poll so
+    /// benchmarks reproduce the regime where concurrent polling pays off.
+    /// `Duration::ZERO` (the default) leaves the hot path untouched.
+    pub fn with_rtt(info: &'a InfoManager, deltas: &'a DeltaSet, poll_rtt: Duration) -> Self {
         PollRunner {
             info,
             deltas,
-            cache: HashMap::new(),
-            stats: PollStats::default(),
+            stripes: (0..DEDUP_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            issued: AtomicU64::new(0),
+            from_cache: AtomicU64::new(0),
+            from_index: AtomicU64::new(0),
+            delete_guard_hits: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            poll_rtt,
         }
+    }
+
+    /// Snapshot of this sync point's poll counters.
+    pub fn stats(&self) -> PollStats {
+        PollStats {
+            issued: self.issued.load(Ordering::Relaxed),
+            from_cache: self.from_cache.load(Ordering::Relaxed),
+            from_index: self.from_index.load(Ordering::Relaxed),
+            delete_guard_hits: self.delete_guard_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Times a shard found a dedup stripe already locked by another shard
+    /// (kept out of [`PollStats`]: it is scheduling-dependent, and the
+    /// equivalence guarantee covers `PollStats` exactly).
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
     }
 
     /// Decide whether the polled instance is affected. `tuple_was_delete`
     /// enables the correlated-delete guard (see `analysis` module docs).
     pub fn is_affected(
-        &mut self,
-        db: &mut Database,
+        &self,
+        db: &Database,
         poll: &PollingQuery,
         tuple_was_delete: bool,
     ) -> DbResult<bool> {
@@ -223,34 +274,46 @@ impl<'a> PollRunner<'a> {
     /// Like [`PollRunner::is_affected`], but reports *how* an affirmative
     /// answer was reached (`None` = not affected).
     pub fn decide(
-        &mut self,
-        db: &mut Database,
+        &self,
+        db: &Database,
         poll: &PollingQuery,
         tuple_was_delete: bool,
     ) -> DbResult<Option<PollAnswer>> {
-        let (base, source) = match self.cache.get(&poll.sql) {
+        let stripe = &self.stripes[(poll.key % DEDUP_STRIPES as u64) as usize];
+        let mut cache = match stripe.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+                stripe.lock()
+            }
+        };
+        let (base, source) = match cache.get(&poll.key) {
             Some(hit) => {
-                self.stats.from_cache += 1;
+                self.from_cache.fetch_add(1, Ordering::Relaxed);
                 (*hit, PollAnswer::FromCache)
             }
             None => {
                 let (answer, source) = match self.info.try_answer(poll) {
                     Some(ans) => {
-                        self.stats.from_index += 1;
+                        self.from_index.fetch_add(1, Ordering::Relaxed);
                         (ans, PollAnswer::FromIndex)
                     }
                     None => {
-                        self.stats.issued += 1;
+                        self.issued.fetch_add(1, Ordering::Relaxed);
+                        if !self.poll_rtt.is_zero() {
+                            std::thread::sleep(self.poll_rtt);
+                        }
                         let r = db.query(&poll.sql)?;
                         let ans = matches!(r.rows.first().and_then(|row| row.first()),
                                  Some(Value::Int(n)) if *n > 0);
                         (ans, PollAnswer::Issued)
                     }
                 };
-                self.cache.insert(poll.sql.clone(), answer);
+                cache.insert(poll.key, answer);
                 (answer, source)
             }
         };
+        drop(cache);
         if base {
             return Ok(Some(source));
         }
@@ -258,7 +321,7 @@ impl<'a> PollRunner<'a> {
             // A join partner may have been deleted in the same batch:
             // re-check the residual against the other tables' Δ⁻ rows.
             if self.residual_hits_deleted_rows(db, poll)? {
-                self.stats.delete_guard_hits += 1;
+                self.delete_guard_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Some(PollAnswer::DeleteGuard));
             }
         }
@@ -313,10 +376,7 @@ mod tests {
     }
 
     fn poll(sql: &str) -> PollingQuery {
-        PollingQuery {
-            sql: sql.to_string(),
-            other_tables: vec!["mileage".to_string()],
-        }
+        PollingQuery::new(sql.to_string(), vec!["mileage".to_string()])
     }
 
     #[test]
@@ -401,15 +461,36 @@ mod tests {
 
     #[test]
     fn runner_dedups_identical_polls() {
-        let mut database = db();
+        let database = db();
         let info = InfoManager::new();
         let deltas = DeltaSet::default();
-        let mut runner = PollRunner::new(&info, &deltas);
+        let runner = PollRunner::new(&info, &deltas);
         let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon'");
-        assert!(runner.is_affected(&mut database, &p, false).unwrap());
-        assert!(runner.is_affected(&mut database, &p, false).unwrap());
-        assert_eq!(runner.stats.issued, 1);
-        assert_eq!(runner.stats.from_cache, 1);
+        assert!(runner.is_affected(&database, &p, false).unwrap());
+        assert!(runner.is_affected(&database, &p, false).unwrap());
+        assert_eq!(runner.stats().issued, 1);
+        assert_eq!(runner.stats().from_cache, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_polls_issue_exactly_once() {
+        let database = db();
+        let info = InfoManager::new();
+        let deltas = DeltaSet::default();
+        // A visible RTT widens the race window: without the stripe lock held
+        // across execution, several threads would all miss the cache and
+        // issue the same poll.
+        let runner =
+            PollRunner::with_rtt(&info, &deltas, std::time::Duration::from_millis(2));
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.EPA > 1");
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| assert!(runner.is_affected(&database, &p, false).unwrap()));
+            }
+        })
+        .unwrap();
+        assert_eq!(runner.stats().issued, 1, "exactly-once across threads");
+        assert_eq!(runner.stats().from_cache, 7);
     }
 
     #[test]
@@ -423,42 +504,42 @@ mod tests {
         let recs: Vec<LogRecord> = database.update_log().pull_since(0).to_vec();
         let deltas = DeltaSet::from_records(&recs);
         let info = InfoManager::new();
-        let mut runner = PollRunner::new(&info, &deltas);
+        let runner = PollRunner::new(&info, &deltas);
         let p = poll("SELECT COUNT(*) FROM Mileage WHERE 'Avalon' = Mileage.model");
         assert!(
-            runner.is_affected(&mut database, &p, true).unwrap(),
+            runner.is_affected(&database, &p, true).unwrap(),
             "deleted partner must still count for a deleted tuple"
         );
-        assert_eq!(runner.stats.delete_guard_hits, 1);
+        assert_eq!(runner.stats().delete_guard_hits, 1);
         // For an *inserted* tuple the guard must not fire.
-        let mut runner2 = PollRunner::new(&info, &deltas);
-        assert!(!runner2.is_affected(&mut database, &p, false).unwrap());
+        let runner2 = PollRunner::new(&info, &deltas);
+        assert!(!runner2.is_affected(&database, &p, false).unwrap());
     }
 
     #[test]
     fn decide_reports_the_answer_source() {
-        let mut database = db();
+        let database = db();
         let mut info = InfoManager::new();
         info.maintain_index(&database, "Mileage", "model").unwrap();
         let deltas = DeltaSet::default();
-        let mut runner = PollRunner::new(&info, &deltas);
+        let runner = PollRunner::new(&info, &deltas);
         // Index answers the sole-equality poll without touching the DBMS.
         let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.model = 'Avalon'");
         assert_eq!(
-            runner.decide(&mut database, &p, false).unwrap(),
+            runner.decide(&database, &p, false).unwrap(),
             Some(PollAnswer::FromIndex)
         );
         assert_eq!(
-            runner.decide(&mut database, &p, false).unwrap(),
+            runner.decide(&database, &p, false).unwrap(),
             Some(PollAnswer::FromCache)
         );
         // Undecidable by index → issued against the DBMS.
         let q = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.EPA > 1");
         assert_eq!(
-            runner.decide(&mut database, &q, false).unwrap(),
+            runner.decide(&database, &q, false).unwrap(),
             Some(PollAnswer::Issued)
         );
-        assert_eq!(runner.stats.issued, 1);
+        assert_eq!(runner.stats().issued, 1);
     }
 
     #[test]
@@ -470,9 +551,9 @@ mod tests {
         let recs: Vec<LogRecord> = database.update_log().pull_since(0).to_vec();
         let deltas = DeltaSet::from_records(&recs);
         let info = InfoManager::new();
-        let mut runner = PollRunner::new(&info, &deltas);
+        let runner = PollRunner::new(&info, &deltas);
         let p = poll("SELECT COUNT(*) FROM Mileage WHERE 'Edsel' = Mileage.model");
-        assert!(!runner.is_affected(&mut database, &p, true).unwrap());
+        assert!(!runner.is_affected(&database, &p, true).unwrap());
     }
 
     #[test]

@@ -102,7 +102,7 @@ fn run_oracle(
     let mut inv = Invalidator::new(cfg);
     inv.start_from(db.high_water());
     // Register everything (no updates yet).
-    inv.run_sync_point(&mut db, &map).unwrap();
+    inv.run_sync_point(&db, &map).unwrap();
 
     // Snapshot, mutate, snapshot.
     let before: Vec<QueryResult> = queries
@@ -112,7 +112,7 @@ fn run_oracle(
     for u in &updates {
         apply(&mut db, u);
     }
-    let report = inv.run_sync_point(&mut db, &map).unwrap();
+    let report = inv.run_sync_point(&db, &map).unwrap();
     let after: Vec<QueryResult> = queries
         .iter()
         .map(|(_, sql)| db.query(sql).unwrap())

@@ -41,7 +41,10 @@ impl DbConnection {
 
 impl Connection for DbConnection {
     fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
-        self.db.write().query_with_params(sql, params)
+        // SELECTs go through the engine's read-only path: a shared read
+        // lock suffices, so connections never serialize behind each other
+        // (or behind the invalidator's pollers) on reads.
+        self.db.read().query_with_params(sql, params)
     }
 
     fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {

@@ -14,6 +14,12 @@ cargo test -q --offline --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
 
+echo "== sync-point scaling smoke test (sync_scale --smoke) =="
+# Small burst at 1 vs 2 workers; the binary asserts identical verdicts,
+# ejected pages, and poll counts across worker counts and writes
+# BENCH_sync_scale.json (uploaded as a CI artifact).
+./target/release/sync_scale --smoke
+
 echo "== admin endpoint smoke test (obsctl demo) =="
 # Start the demo workload with a live admin server on an ephemeral port,
 # writing the JSONL provenance export CI uploads as an artifact.

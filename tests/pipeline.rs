@@ -93,8 +93,8 @@ fn logs_flow_into_map_and_registry() {
     assert!(rows[0].sql.contains("price < 20000"));
 
     let inv_report = {
-        let mut db = d.db.write();
-        d.invalidator.run_sync_point(&mut db, &d.map).unwrap()
+        let db = d.db.write();
+        d.invalidator.run_sync_point(&db, &d.map).unwrap()
     };
     assert_eq!(inv_report.registered, 2);
     let reg = d.invalidator.registry();
@@ -112,8 +112,8 @@ fn update_through_pipeline_names_the_right_page() {
         .handle(&HttpRequest::get("h", "/cars", &[("maxprice", "15000")]));
     d.mapper.run_once();
     {
-        let mut db = d.db.write();
-        d.invalidator.run_sync_point(&mut db, &d.map).unwrap();
+        let db = d.db.write();
+        d.invalidator.run_sync_point(&db, &d.map).unwrap();
     }
 
     // 17000 affects the 20000 page but not the 15000 page.
@@ -122,8 +122,8 @@ fn update_through_pipeline_names_the_right_page() {
         .execute("INSERT INTO Car VALUES ('Kia','Rio',17000)")
         .unwrap();
     let report = {
-        let mut db = d.db.write();
-        d.invalidator.run_sync_point(&mut db, &d.map).unwrap()
+        let db = d.db.write();
+        d.invalidator.run_sync_point(&db, &d.map).unwrap()
     };
     assert_eq!(report.pages.len(), 1);
     let page = report.pages.iter().next().unwrap();

@@ -94,8 +94,8 @@ fn invalidator_runs_from_shipped_json_snapshots() {
     // ... bytes travel ...
     let remote_map = QiUrlMap::from_json(&wire_bytes).unwrap();
     {
-        let mut db = sdb.write();
-        let r = invalidator.run_sync_point(&mut db, &remote_map).unwrap();
+        let db = sdb.write();
+        let r = invalidator.run_sync_point(&db, &remote_map).unwrap();
         assert_eq!(r.registered, 2);
     }
 
@@ -108,8 +108,8 @@ fn invalidator_runs_from_shipped_json_snapshots() {
     let wire_bytes = web.snapshot();
     let remote_map = QiUrlMap::from_json(&wire_bytes).unwrap();
     let report = {
-        let mut db = sdb.write();
-        invalidator.run_sync_point(&mut db, &remote_map).unwrap()
+        let db = sdb.write();
+        invalidator.run_sync_point(&db, &remote_map).unwrap()
     };
     assert_eq!(report.pages.len(), 1);
     assert!(
@@ -141,8 +141,8 @@ fn snapshots_are_idempotent_across_intervals() {
     // round trip.
     for round in 0..2 {
         let remote = QiUrlMap::from_json(&web.snapshot()).unwrap();
-        let mut db = sdb.write();
-        let r = invalidator.run_sync_point(&mut db, &remote).unwrap();
+        let db = sdb.write();
+        let r = invalidator.run_sync_point(&db, &remote).unwrap();
         if round == 0 {
             assert_eq!(r.registered, 1);
         } else {

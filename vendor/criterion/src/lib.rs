@@ -449,13 +449,13 @@ mod tests {
     use super::*;
 
     fn fast_config() -> Criterion {
-        let mut c = Criterion::default();
-        c.test_mode = false;
-        c.filter = None;
-        c.sample_size = 5;
-        c.measurement_time = Duration::from_millis(10);
-        c.warm_up_time = Duration::from_millis(1);
-        c
+        Criterion {
+            test_mode: false,
+            filter: None,
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        }
     }
 
     #[test]
