@@ -224,6 +224,7 @@ fn run_config(w: &Workload, workers: usize) -> (ConfigResult, u64) {
         },
         workers,
         poll_rtt_micros: w.poll_rtt_micros,
+        ..InvalidatorConfig::default()
     });
     inv.start_from(db.high_water());
 

@@ -216,6 +216,7 @@ impl CachePortalCluster {
             mapper: mapper_report,
             invalidation,
             ejected,
+            fault_ejected: 0,
         })
     }
 

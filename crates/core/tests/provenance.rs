@@ -120,6 +120,7 @@ fn every_eject_is_explained_with_the_full_chain() {
                     "conservative",
                     "table-level",
                     "bind-failure",
+                    "poll-fault",
                 ]
                 .contains(&verdict),
                 "unknown verdict {verdict}"
@@ -434,6 +435,65 @@ fn parallel_analysis_keeps_eject_provenance_complete() {
     let sequential = run(1);
     let parallel = run(4);
     assert_eq!(sequential, parallel, "parallel provenance diverged");
+}
+
+/// A failing polling query must degrade conservatively *and leave a trail*:
+/// the eject's provenance names the fault as its verdict, so an operator can
+/// distinguish "page invalidated because the DBMS said so" from "page
+/// invalidated because we could not ask".
+#[test]
+fn poll_fault_ejects_carry_poll_fault_provenance() {
+    // No maintained indexes: the residual polling query must go to the
+    // DBMS, which is the only site poll faults can hit.
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)").unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT)").unwrap();
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .unwrap();
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .unwrap();
+
+    let p = CachePortal::builder(db)
+        .fault_plan(cacheportal::db::FaultPlan::new(cacheportal::db::FaultSpec {
+            seed: 9,
+            poll_error: 1.0,
+            ..cacheportal::db::FaultSpec::default()
+        }))
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    let out = p.request(&req(30000));
+    let url = out.key.unwrap().as_str().to_string();
+    p.sync_point().unwrap();
+
+    p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").unwrap();
+    p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").unwrap();
+    let r = p.sync_point().unwrap();
+    assert!(r.ejected >= 1, "conservative fallback must still eject");
+    assert!(r.invalidation.poll_faults > 0, "p=1.0 must fault the poll");
+
+    let doc = p.explain_invalidation(&url);
+    let matches = doc["matches"].as_array().unwrap();
+    assert!(!matches.is_empty(), "faulted eject left no provenance");
+    let fault_causes: Vec<&serde_json::Value> = matches
+        .iter()
+        .flat_map(|m| m["causes"].as_array().unwrap())
+        .filter(|c| c["verdict"].as_str() == Some("poll-fault"))
+        .collect();
+    assert!(!fault_causes.is_empty(), "no cause carries the poll-fault verdict");
+    for c in &fault_causes {
+        let detail = c["detail"].as_str().unwrap();
+        assert!(
+            detail.contains("conservative fallback"),
+            "detail must explain the degradation: {detail}"
+        );
+        assert!(detail.contains("poll"), "detail must name the failed poll: {detail}");
+    }
+
+    // The fault is also visible on the metrics surface.
+    let m = &p.obs().metrics;
+    assert!(m.counter_value("invalidator.polls.faulted") > 0);
+    assert!(m.counter_value("invalidator.poll_fault_verdicts") > 0);
 }
 
 /// Minimal blocking HTTP/1.1 GET against the admin server.

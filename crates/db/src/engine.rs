@@ -131,6 +131,7 @@ pub struct Database {
     catalog: Catalog,
     log: UpdateLog,
     stats: StatsCells,
+    fault: crate::fault::FaultPlan,
 }
 
 impl Database {
@@ -162,6 +163,18 @@ impl Database {
     /// Cumulative statistics (a consistent-enough relaxed snapshot).
     pub fn stats(&self) -> DbStats {
         self.stats.snapshot()
+    }
+
+    /// Install a fault-injection plan (harness only; the default plan is
+    /// inert). Transactions consult it for injected mid-stream aborts.
+    pub fn set_fault_plan(&mut self, plan: crate::fault::FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The installed fault plan (inert unless [`Database::set_fault_plan`]
+    /// was called).
+    pub fn fault_plan(&self) -> &crate::fault::FaultPlan {
+        &self.fault
     }
 
     /// Same-crate instrumentation hooks: the transaction guard counts

@@ -37,6 +37,8 @@ pub enum DbError {
     UnboundParameter(usize),
     /// Statement kind not supported by the executor (kept for forward compat).
     Unsupported(String),
+    /// An injected fault fired at this site (fault-injection harness only).
+    Faulted(String),
 }
 
 impl fmt::Display for DbError {
@@ -60,6 +62,7 @@ impl fmt::Display for DbError {
             ),
             DbError::UnboundParameter(i) => write!(f, "unbound parameter ${i}"),
             DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DbError::Faulted(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

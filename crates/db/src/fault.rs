@@ -1,0 +1,277 @@
+//! Deterministic fault injection for the correctness harness.
+//!
+//! A [`FaultPlan`] is a seeded, shareable oracle that components consult at
+//! well-defined *fault sites*: the sniffer's query logger (drop / duplicate /
+//! reorder log records), the invalidator's poll runner (a polling query
+//! errors or times out), and the transaction guard (an injected abort
+//! mid-stream). Every decision is a pure hash of `(seed, site, key)` — the
+//! same plan over the same workload injects the same faults, which is what
+//! makes fuzz failures replayable — and every injection is counted, so tests
+//! can assert that the system both *saw* the fault and degraded
+//! conservatively.
+//!
+//! The default plan is inert: a `FaultPlan::default()` carries no
+//! configuration, every probe answers "no fault", and the hot paths pay one
+//! `Option` check.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fault-site probabilities and modes. All probabilities are in `[0, 1]`.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultSpec {
+    /// Seed for the per-decision hash (independent of workload seeds).
+    pub seed: u64,
+    /// Probability the sniffer's query logger drops a record entirely.
+    pub sniffer_drop: f64,
+    /// Probability the sniffer's query logger duplicates a record.
+    pub sniffer_dup: f64,
+    /// Deterministically reorder the query log on every drain.
+    pub sniffer_reorder: bool,
+    /// Probability an issued polling query fails with an error.
+    pub poll_error: f64,
+    /// Probability an issued polling query times out (after the modeled
+    /// round trip, if one is configured).
+    pub poll_timeout: f64,
+    /// Probability a transaction statement aborts mid-stream.
+    pub txn_abort: f64,
+}
+
+impl FaultSpec {
+    /// True when no fault site can ever fire.
+    pub fn is_inert(&self) -> bool {
+        self.sniffer_drop == 0.0
+            && self.sniffer_dup == 0.0
+            && !self.sniffer_reorder
+            && self.poll_error == 0.0
+            && self.poll_timeout == 0.0
+            && self.txn_abort == 0.0
+    }
+}
+
+/// How an injected poll fault presents to the invalidator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollFault {
+    /// The DBMS rejected the polling query.
+    Error,
+    /// The polling query timed out.
+    Timeout,
+}
+
+/// Cumulative injection counters (what the plan actually did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Query-log records dropped.
+    pub sniffer_dropped: u64,
+    /// Query-log records duplicated.
+    pub sniffer_duplicated: u64,
+    /// Polling queries failed with an injected error.
+    pub poll_errors: u64,
+    /// Polling queries failed with an injected timeout.
+    pub poll_timeouts: u64,
+    /// Transaction statements aborted.
+    pub txn_aborts: u64,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    spec: FaultSpec,
+    sniffer_dropped: AtomicU64,
+    sniffer_duplicated: AtomicU64,
+    poll_errors: AtomicU64,
+    poll_timeouts: AtomicU64,
+    txn_aborts: AtomicU64,
+    /// Keys transaction-abort decisions (one per statement executed).
+    txn_stmt_seq: AtomicU64,
+}
+
+/// Shareable handle to one fault configuration; clones observe the same
+/// counters. `FaultPlan::default()` injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    state: Option<Arc<FaultState>>,
+}
+
+/// splitmix64 — a strong 64-bit mixer; decisions are uniform per key.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// A plan from the given spec. An inert spec yields the no-op plan.
+    pub fn new(spec: FaultSpec) -> Self {
+        if spec.is_inert() {
+            return FaultPlan::default();
+        }
+        FaultPlan {
+            state: Some(Arc::new(FaultState {
+                spec,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// The inert plan (never injects).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when at least one fault site can fire.
+    pub fn is_active(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The configured spec (the inert default for a no-op plan).
+    pub fn spec(&self) -> FaultSpec {
+        self.state
+            .as_ref()
+            .map(|s| s.spec.clone())
+            .unwrap_or_default()
+    }
+
+    /// What the plan has injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        match &self.state {
+            None => FaultCounts::default(),
+            Some(s) => FaultCounts {
+                sniffer_dropped: s.sniffer_dropped.load(Ordering::Relaxed),
+                sniffer_duplicated: s.sniffer_duplicated.load(Ordering::Relaxed),
+                poll_errors: s.poll_errors.load(Ordering::Relaxed),
+                poll_timeouts: s.poll_timeouts.load(Ordering::Relaxed),
+                txn_aborts: s.txn_aborts.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    fn roll(state: &FaultState, site: u64, key: u64, p: f64) -> bool {
+        p > 0.0 && unit(mix(state.spec.seed ^ site.wrapping_mul(0xa076_1d64_78bd_642f) ^ key)) < p
+    }
+
+    /// Sniffer site: should the query record with this id be dropped?
+    /// Counts the injection when it fires.
+    pub fn drop_query_record(&self, record_id: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(s, 1, record_id, s.spec.sniffer_drop);
+        if hit {
+            s.sniffer_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Sniffer site: should the query record with this id be duplicated?
+    pub fn duplicate_query_record(&self, record_id: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(s, 2, record_id, s.spec.sniffer_dup);
+        if hit {
+            s.sniffer_duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Sniffer site: reorder the query log on drain?
+    pub fn reorder_query_records(&self) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.spec.sniffer_reorder)
+    }
+
+    /// Invalidator site: does the poll with this structural key fault?
+    /// Keyed on the poll's content (not a sequence counter) so the decision
+    /// is identical across worker counts and across replays.
+    pub fn poll_fault(&self, poll_key: u64) -> Option<PollFault> {
+        let s = self.state.as_ref()?;
+        if Self::roll(s, 3, poll_key, s.spec.poll_error) {
+            s.poll_errors.fetch_add(1, Ordering::Relaxed);
+            return Some(PollFault::Error);
+        }
+        if Self::roll(s, 4, poll_key, s.spec.poll_timeout) {
+            s.poll_timeouts.fetch_add(1, Ordering::Relaxed);
+            return Some(PollFault::Timeout);
+        }
+        None
+    }
+
+    /// Database site: should this transaction statement abort? Keyed on a
+    /// monotone per-plan statement sequence (deterministic for a
+    /// deterministic workload).
+    pub fn txn_abort(&self) -> bool {
+        let Some(s) = &self.state else { return false };
+        let seq = s.txn_stmt_seq.fetch_add(1, Ordering::Relaxed);
+        let hit = Self::roll(s, 5, seq, s.spec.txn_abort);
+        if hit {
+            s.txn_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let p = FaultPlan::default();
+        assert!(!p.is_active());
+        assert!(!p.drop_query_record(7));
+        assert!(!p.duplicate_query_record(7));
+        assert!(!p.reorder_query_records());
+        assert_eq!(p.poll_fault(42), None);
+        assert!(!p.txn_abort());
+        assert_eq!(p.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn inert_spec_collapses_to_noop() {
+        assert!(!FaultPlan::new(FaultSpec::default()).is_active());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_key() {
+        let spec = FaultSpec {
+            seed: 99,
+            sniffer_drop: 0.5,
+            poll_error: 0.5,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        for key in 0..200 {
+            assert_eq!(a.drop_query_record(key), b.drop_query_record(key));
+            assert_eq!(a.poll_fault(key), b.poll_fault(key));
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().sniffer_dropped > 0, "p=0.5 over 200 keys fires");
+        assert!(a.counts().poll_errors > 0);
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let p = FaultPlan::new(FaultSpec {
+            txn_abort: 1.0,
+            ..FaultSpec::default()
+        });
+        assert!(p.txn_abort());
+        assert!(p.txn_abort());
+        assert_eq!(p.counts().txn_aborts, 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let p = FaultPlan::new(FaultSpec {
+            sniffer_drop: 1.0,
+            ..FaultSpec::default()
+        });
+        let q = p.clone();
+        assert!(q.drop_query_record(1));
+        assert_eq!(p.counts().sniffer_dropped, 1);
+    }
+}

@@ -24,6 +24,7 @@
 pub mod engine;
 pub mod error;
 pub mod eval;
+pub mod fault;
 pub mod exec;
 pub mod log;
 pub mod schema;
@@ -33,6 +34,7 @@ pub mod txn;
 pub mod value;
 
 pub use engine::{Database, ExecOutcome, PreparedStatement};
+pub use fault::{FaultCounts, FaultPlan, FaultSpec, PollFault};
 pub use txn::Transaction;
 pub use error::{DbError, DbResult};
 pub use exec::QueryResult;

@@ -39,13 +39,28 @@ impl Database {
 }
 
 impl Transaction<'_> {
+    /// Consult the database's fault plan before a statement runs. An
+    /// injected abort surfaces as [`DbError::Faulted`]; the caller is
+    /// expected to roll back (or drop the guard, which rolls back), so the
+    /// update log never exposes the partial transaction.
+    fn check_injected_abort(&self) -> DbResult<()> {
+        if self.db.fault_plan().txn_abort() {
+            return Err(crate::error::DbError::Faulted(
+                "transaction aborted mid-stream".into(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Execute a statement inside the transaction.
     pub fn execute(&mut self, sql: &str) -> DbResult<ExecOutcome> {
+        self.check_injected_abort()?;
         self.db.execute(sql)
     }
 
     /// Execute with positional parameters.
     pub fn execute_with_params(&mut self, sql: &str, params: &[Value]) -> DbResult<ExecOutcome> {
+        self.check_injected_abort()?;
         self.db.execute_with_params(sql, params)
     }
 
@@ -196,6 +211,26 @@ mod tests {
             .query("SELECT * FROM Car WHERE model = 'CivicX'")
             .unwrap();
         assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn injected_abort_rolls_back_cleanly() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut db = db();
+        let hw = db.high_water();
+        db.set_fault_plan(FaultPlan::new(FaultSpec {
+            txn_abort: 1.0,
+            ..FaultSpec::default()
+        }));
+        {
+            let mut tx = db.begin();
+            let err = tx.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)");
+            assert!(matches!(err, Err(crate::error::DbError::Faulted(_))));
+            // dropped → rollback
+        }
+        assert_eq!(db.fault_plan().counts().txn_aborts, 1);
+        assert_eq!(db.high_water(), hw, "log never exposed the aborted txn");
+        assert_eq!(db.query("SELECT * FROM Car").unwrap().rows.len(), 1);
     }
 
     #[test]

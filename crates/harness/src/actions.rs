@@ -1,0 +1,88 @@
+//! The interleaved action stream a fuzz run drives through a portal.
+//!
+//! Actions are fully serializable (they are the body of a reproducer file)
+//! and deliberately low-level: indexes into the scenario's table/servlet
+//! lists plus small integers, so a shrunk trace stays readable.
+
+use crate::gen::{Scenario, GROUPS, KEYS};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One statement inside a generated transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Insert `(k, g, payload ordinal)` into table `idx`.
+    Insert(usize, i64, i64, i64),
+    /// Delete group `g` from table `idx`.
+    Delete(usize, i64),
+    /// Rewrite `v` for group `g` of table `idx` to payload ordinal `n`.
+    Update(usize, i64, i64),
+}
+
+impl Stmt {
+    /// Render against the scenario's schema.
+    pub fn sql(&self, sc: &Scenario) -> String {
+        let t = |i: usize| &sc.tables[i % sc.tables.len()];
+        match self {
+            Stmt::Insert(i, k, g, n) => t(*i).insert_sql(*k, *g, *n),
+            Stmt::Delete(i, g) => t(*i).delete_sql(*g),
+            Stmt::Update(i, g, n) => t(*i).update_sql(*g, *n),
+        }
+    }
+}
+
+/// One workload action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Request servlet `idx` for group `g` (serves from cache or generates).
+    Request(usize, i64),
+    /// One autocommit mutation.
+    Mutate(Stmt),
+    /// Multi-statement transaction (atomic: all or nothing).
+    Txn(Vec<Stmt>),
+    /// Run a synchronization point; the oracle fires right after.
+    Sync,
+    /// Flip the default invalidation policy — and every registered type's
+    /// override — to policy code `p` (0 = Exact, 1 = Conservative,
+    /// 2 = TableLevel).
+    SetPolicy(u8),
+}
+
+fn gen_stmt(rng: &mut StdRng, n_tables: usize) -> Stmt {
+    let i = rng.gen_range(0..n_tables);
+    match rng.gen_range(0..4u8) {
+        0 | 1 => Stmt::Insert(
+            i,
+            rng.gen_range(0..KEYS),
+            rng.gen_range(0..GROUPS),
+            rng.gen_range(0..50i64),
+        ),
+        2 => Stmt::Delete(i, rng.gen_range(0..GROUPS)),
+        _ => Stmt::Update(i, rng.gen_range(0..GROUPS), rng.gen_range(0..50i64)),
+    }
+}
+
+/// Generate `n` actions for the scenario, deterministically from its seed.
+pub fn gen_actions(sc: &Scenario, n: usize) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(sc.seed ^ 0xac71_0057_2ea3_0002);
+    let n_tables = sc.tables.len();
+    let n_servlets = sc.servlets.len();
+    let mut actions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.gen_range(0..100u8);
+        let action = if roll < 35 {
+            Action::Request(rng.gen_range(0..n_servlets), rng.gen_range(0..GROUPS))
+        } else if roll < 68 {
+            Action::Mutate(gen_stmt(&mut rng, n_tables))
+        } else if roll < 76 {
+            let len = rng.gen_range(2..=4usize);
+            Action::Txn((0..len).map(|_| gen_stmt(&mut rng, n_tables)).collect())
+        } else if roll < 80 {
+            Action::SetPolicy(rng.gen_range(0..3u8))
+        } else {
+            Action::Sync
+        };
+        actions.push(action);
+    }
+    actions
+}

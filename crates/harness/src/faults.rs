@@ -1,0 +1,87 @@
+//! The fault taxonomy the harness sweeps: every injection site the
+//! [`FaultPlan`](cacheportal::db::FaultPlan) hooks, one class per site,
+//! plus a mixed class firing all of them at once.
+
+use cacheportal::db::FaultSpec;
+
+/// One fault class (what the smoke matrix and the soak report pivot on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Inert plan — the baseline.
+    None,
+    /// Sniffer drops query-log records.
+    SnifferDrop,
+    /// Sniffer duplicates query-log records.
+    SnifferDup,
+    /// Sniffer reorders each drained batch.
+    SnifferReorder,
+    /// Polling queries fail with an error.
+    PollError,
+    /// Polling queries time out.
+    PollTimeout,
+    /// Transactions abort mid-stream.
+    TxnAbort,
+    /// All of the above at once.
+    Mixed,
+}
+
+/// Every class, in sweep order.
+pub const ALL_CLASSES: [FaultClass; 8] = [
+    FaultClass::None,
+    FaultClass::SnifferDrop,
+    FaultClass::SnifferDup,
+    FaultClass::SnifferReorder,
+    FaultClass::PollError,
+    FaultClass::PollTimeout,
+    FaultClass::TxnAbort,
+    FaultClass::Mixed,
+];
+
+impl FaultClass {
+    /// Stable kebab-case name (report keys, CLI argument).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultClass::None => "none",
+            FaultClass::SnifferDrop => "sniffer-drop",
+            FaultClass::SnifferDup => "sniffer-dup",
+            FaultClass::SnifferReorder => "sniffer-reorder",
+            FaultClass::PollError => "poll-error",
+            FaultClass::PollTimeout => "poll-timeout",
+            FaultClass::TxnAbort => "txn-abort",
+            FaultClass::Mixed => "mixed",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<FaultClass> {
+        ALL_CLASSES.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The concrete plan for this class, seeded for determinism. The rates
+    /// are moderate on purpose — high enough to fire on a 40-action trace,
+    /// low enough that the workload still exercises the normal paths.
+    pub fn spec(&self, seed: u64) -> FaultSpec {
+        let mut spec = FaultSpec {
+            seed,
+            ..FaultSpec::default()
+        };
+        match self {
+            FaultClass::None => {}
+            FaultClass::SnifferDrop => spec.sniffer_drop = 0.25,
+            FaultClass::SnifferDup => spec.sniffer_dup = 0.25,
+            FaultClass::SnifferReorder => spec.sniffer_reorder = true,
+            FaultClass::PollError => spec.poll_error = 0.4,
+            FaultClass::PollTimeout => spec.poll_timeout = 0.4,
+            FaultClass::TxnAbort => spec.txn_abort = 0.35,
+            FaultClass::Mixed => {
+                spec.sniffer_drop = 0.15;
+                spec.sniffer_dup = 0.1;
+                spec.sniffer_reorder = true;
+                spec.poll_error = 0.2;
+                spec.poll_timeout = 0.1;
+                spec.txn_abort = 0.2;
+            }
+        }
+        spec
+    }
+}

@@ -1,0 +1,264 @@
+//! Drive a scenario's action stream through a full [`CachePortal`] while a
+//! shadow always-recompute oracle checks the safety contract.
+//!
+//! The oracle is [`CachePortal::stale_pages`]: after *every* synchronization
+//! point it regenerates each cached page and compares bodies — the paper's
+//! contract says the difference must be empty. The runner additionally
+//! cross-checks the observability surfaces (fault counters may only be
+//! non-zero when the plan can fire; sync counters must agree with the
+//! actions driven) and accounts over-invalidation so precision per policy
+//! and per fault class is reported, not just asserted away.
+
+use crate::actions::{Action, Stmt};
+use crate::gen::{policy_of, Scenario};
+use cacheportal::db::DbError;
+use cacheportal::{CachePortal, Served};
+use serde::{Deserialize, Serialize};
+
+/// A violated invariant: the index of the action that exposed it plus a
+/// machine-stable kind and a human-readable detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Index into the action trace (`usize::MAX` = the final audit).
+    pub action_index: usize,
+    /// Stable kind: `stale-page`, `workload-error`, `metrics-incoherent`.
+    pub kind: String,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.action_index == usize::MAX {
+            write!(f, "[{}] at final audit: {}", self.kind, self.detail)
+        } else {
+            write!(f, "[{}] at action {}: {}", self.kind, self.action_index, self.detail)
+        }
+    }
+}
+
+/// Aggregated run accounting (precision inputs for the soak report).
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests answered from the page cache.
+    pub cache_hits: u64,
+    /// Synchronization points driven (incl. the final audit sync).
+    pub syncs: u64,
+    /// Pages actually ejected from the cache.
+    pub ejected: u64,
+    /// Ejects that were pure over-invalidation (page was not stale).
+    pub over_invalidations: u64,
+    /// Pages ejected conservatively because the sniffer lost records.
+    pub fault_ejected: u64,
+    /// Polling queries failed by the fault plan.
+    pub polls_faulted: u64,
+    /// Query-log records dropped by the fault plan.
+    pub records_lost: u64,
+    /// Query-log records duplicated by the fault plan.
+    pub records_duplicated: u64,
+    /// Transaction statements aborted by the fault plan.
+    pub txn_aborts: u64,
+}
+
+/// Outcome of one run: accounting plus the first violated invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Aggregated accounting.
+    pub stats: RunStats,
+    /// First violation, if the run failed.
+    pub violation: Option<Violation>,
+}
+
+impl RunOutcome {
+    fn fail(stats: RunStats, action_index: usize, kind: &str, detail: String) -> RunOutcome {
+        RunOutcome {
+            stats,
+            violation: Some(Violation {
+                action_index,
+                kind: kind.to_string(),
+                detail,
+            }),
+        }
+    }
+}
+
+/// Apply one mutation statement; injected aborts are expected, anything
+/// else is a workload error.
+fn apply_stmt(portal: &CachePortal, sc: &Scenario, s: &Stmt) -> Result<(), String> {
+    match portal.update(&s.sql(sc)) {
+        Ok(_) | Err(DbError::Faulted(_)) => Ok(()),
+        Err(e) => Err(format!("{} failed: {e}", s.sql(sc))),
+    }
+}
+
+/// Run the scenario's action stream end to end. Deterministic: the same
+/// scenario and actions always produce the same [`RunOutcome`].
+pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
+    let portal = sc.build_portal();
+    portal.set_invalidation_audit(true);
+    let fault_active = portal.fault_plan().is_active();
+    let mut stats = RunStats::default();
+
+    let sync = |portal: &CachePortal, stats: &mut RunStats, idx: usize| -> Option<Violation> {
+        let report = match portal.sync_point() {
+            Ok(r) => r,
+            Err(e) => {
+                return Some(Violation {
+                    action_index: idx,
+                    kind: "workload-error".into(),
+                    detail: format!("sync point failed: {e}"),
+                })
+            }
+        };
+        stats.syncs += 1;
+        stats.ejected += report.ejected as u64;
+        stats.fault_ejected += report.fault_ejected as u64;
+        // THE safety contract: no cached page differs from regeneration.
+        let stale = portal.stale_pages();
+        if !stale.is_empty() {
+            let urls: Vec<&str> = stale.iter().map(|k| k.as_str()).collect();
+            return Some(Violation {
+                action_index: idx,
+                kind: "stale-page".into(),
+                detail: format!("stale after sync under {:?}: {urls:?}", policy_of(sc.policy)),
+            });
+        }
+        // Conservative degradation only: an inert plan must show zero fault
+        // effects anywhere on the sync report.
+        if !fault_active
+            && (report.mapper.lost > 0
+                || report.invalidation.poll_faults > 0
+                || report.fault_ejected > 0)
+        {
+            return Some(Violation {
+                action_index: idx,
+                kind: "metrics-incoherent".into(),
+                detail: format!(
+                    "inert fault plan but lost={} poll_faults={} fault_ejected={}",
+                    report.mapper.lost, report.invalidation.poll_faults, report.fault_ejected
+                ),
+            });
+        }
+        None
+    };
+
+    for (idx, action) in actions.iter().enumerate() {
+        match action {
+            Action::Request(s, g) => {
+                let out = portal.request(&sc.request(*s, *g));
+                stats.requests += 1;
+                if out.served == Served::CacheHit {
+                    stats.cache_hits += 1;
+                }
+                if out.response.status.code() != 200 {
+                    return RunOutcome::fail(
+                        stats,
+                        idx,
+                        "workload-error",
+                        format!("request {:?} returned {}", action, out.response.status.code()),
+                    );
+                }
+            }
+            Action::Mutate(s) => {
+                if let Err(detail) = apply_stmt(&portal, sc, s) {
+                    return RunOutcome::fail(stats, idx, "workload-error", detail);
+                }
+            }
+            Action::Txn(stmts) => {
+                let r = portal.update_txn(|tx| {
+                    for s in stmts {
+                        tx.execute(&s.sql(sc))?;
+                    }
+                    Ok(())
+                });
+                match r {
+                    Ok(()) => {}
+                    // Injected mid-stream abort: the rollback must be
+                    // invisible — checked by the oracle at the next sync.
+                    Err(DbError::Faulted(_)) => {}
+                    Err(e) => {
+                        return RunOutcome::fail(
+                            stats,
+                            idx,
+                            "workload-error",
+                            format!("transaction failed: {e}"),
+                        )
+                    }
+                }
+            }
+            Action::Sync => {
+                if let Some(v) = sync(&portal, &mut stats, idx) {
+                    return RunOutcome { stats, violation: Some(v) };
+                }
+            }
+            Action::SetPolicy(p) => {
+                let policy = policy_of(*p);
+                portal.with_invalidator(|inv| {
+                    inv.config_mut().policy.default_policy = policy;
+                    let ids: Vec<_> = inv.registry().types().iter().map(|t| t.id).collect();
+                    for id in ids {
+                        inv.set_policy(id, policy);
+                    }
+                });
+            }
+        }
+    }
+
+    // Final audit: one more sync must always restore full freshness.
+    if let Some(v) = sync(&portal, &mut stats, usize::MAX) {
+        return RunOutcome { stats, violation: Some(v) };
+    }
+
+    // Fold the portal's counters into the accounting and cross-check the
+    // observability surfaces against what the runner drove.
+    let m = &portal.obs().metrics;
+    stats.over_invalidations = m.counter_value("invalidator.over_invalidations");
+    stats.polls_faulted = m.counter_value("invalidator.polls.faulted");
+    let counts = portal.fault_plan().counts();
+    stats.records_lost = counts.sniffer_dropped;
+    stats.records_duplicated = counts.sniffer_duplicated;
+    stats.txn_aborts = counts.txn_aborts;
+
+    let mut incoherent = Vec::new();
+    if m.counter_value("invalidator.sync_points") != stats.syncs {
+        incoherent.push(format!(
+            "sync_points counter {} != driven {}",
+            m.counter_value("invalidator.sync_points"),
+            stats.syncs
+        ));
+    }
+    if m.counter_value("invalidator.pages.ejected") != stats.ejected {
+        incoherent.push(format!(
+            "pages.ejected counter {} != summed reports {}",
+            m.counter_value("invalidator.pages.ejected"),
+            stats.ejected
+        ));
+    }
+    if m.counter_value("sniffer.records.lost") != counts.sniffer_dropped {
+        incoherent.push(format!(
+            "records.lost counter {} != injected drops {}",
+            m.counter_value("sniffer.records.lost"),
+            counts.sniffer_dropped
+        ));
+    }
+    if m.counter_value("core.fault.ejected_conservative") != stats.fault_ejected {
+        incoherent.push(format!(
+            "fault.ejected counter {} != summed reports {}",
+            m.counter_value("core.fault.ejected_conservative"),
+            stats.fault_ejected
+        ));
+    }
+    if stats.polls_faulted > 0 && sc.fault.poll_error == 0.0 && sc.fault.poll_timeout == 0.0 {
+        incoherent.push(format!(
+            "{} polls faulted under a plan with no poll faults",
+            stats.polls_faulted
+        ));
+    }
+    if !incoherent.is_empty() {
+        return RunOutcome::fail(stats, usize::MAX, "metrics-incoherent", incoherent.join("; "));
+    }
+
+    RunOutcome { stats, violation: None }
+}

@@ -1,0 +1,79 @@
+//! Trace minimization: once a run violates an invariant, cut the action
+//! trace down to something a human can read before emitting the reproducer.
+//!
+//! Delta-debugging lite: chunked removal with halving granularity, then a
+//! single-action sweep, then structural simplification of the survivors
+//! (transactions shortened statement by statement). Every candidate is
+//! re-run in full — the predicate is "still violates *some* invariant",
+//! not byte-identical failure text, which keeps shrinking effective when
+//! the minimal trace fails slightly differently than the original.
+
+use crate::actions::Action;
+use crate::gen::Scenario;
+use crate::runner::run_scenario;
+
+/// Cap on re-runs during shrinking so a pathological trace cannot stall CI.
+const MAX_RUNS: usize = 400;
+
+fn still_fails(sc: &Scenario, actions: &[Action], runs: &mut usize) -> bool {
+    if *runs >= MAX_RUNS {
+        return false;
+    }
+    *runs += 1;
+    run_scenario(sc, actions).violation.is_some()
+}
+
+/// Shrink a failing trace. Returns the minimized trace (never empty unless
+/// the empty trace itself fails) — callers should re-run it to obtain the
+/// violation it reproduces.
+pub fn shrink(sc: &Scenario, actions: &[Action]) -> Vec<Action> {
+    let mut best: Vec<Action> = actions.to_vec();
+    let mut runs = 0usize;
+
+    // Phase 1: chunked removal, halving the chunk size each pass.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && runs < MAX_RUNS {
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            let end = (i + chunk).min(candidate.len());
+            candidate.drain(i..end);
+            if !candidate.is_empty() && still_fails(sc, &candidate, &mut runs) {
+                best = candidate; // keep the cut, retry same offset
+            } else {
+                i += chunk;
+            }
+            if runs >= MAX_RUNS {
+                break;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Phase 2: shorten surviving transactions one statement at a time.
+    let mut i = 0;
+    while i < best.len() && runs < MAX_RUNS {
+        if let Action::Txn(stmts) = &best[i] {
+            let mut j = 0;
+            let mut stmts = stmts.clone();
+            while j < stmts.len() && stmts.len() > 1 && runs < MAX_RUNS {
+                let mut shorter = stmts.clone();
+                shorter.remove(j);
+                let mut candidate = best.clone();
+                candidate[i] = Action::Txn(shorter.clone());
+                if still_fails(sc, &candidate, &mut runs) {
+                    best = candidate;
+                    stmts = shorter;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    best
+}

@@ -1,0 +1,156 @@
+//! The harness's own acceptance tests: the CI smoke matrix, per-class
+//! fault coverage, reproducer round-tripping, and (feature-gated) the
+//! canary proving a broken invalidator is actually caught.
+
+use cacheportal_harness::{
+    gen_actions, run_scenario, sweep, FaultClass, Reproducer, Scenario, SweepConfig, ALL_CLASSES,
+};
+use std::collections::BTreeSet;
+
+/// Acceptance: ≥50 seeds × ≥40 actions, zero staleness violations, with
+/// all three policies, workers ∈ {1, 4}, and every fault class covered.
+/// (Gated off under the canary feature: with invalidation deliberately
+/// broken, this matrix is *supposed* to fail — that is the canary test.)
+#[cfg(not(feature = "canary"))]
+#[test]
+fn smoke_matrix_has_zero_staleness_violations() {
+    let cfg = SweepConfig::smoke();
+    assert!(cfg.seeds >= 50 && cfg.actions >= 40, "smoke config below the floor");
+
+    // The matrix really covers what it claims: policies and workers cycle
+    // with the seed, classes with seed mod class-count.
+    let mut policies = BTreeSet::new();
+    let mut workers = BTreeSet::new();
+    let mut classes = BTreeSet::new();
+    for seed in 0..cfg.seeds {
+        let (sc, class) = cacheportal_harness::sweep_scenario(seed, &cfg.classes);
+        policies.insert(sc.policy);
+        workers.insert(sc.workers);
+        classes.insert(class.as_str());
+    }
+    assert_eq!(policies.len(), 3, "all three policies in the matrix");
+    assert_eq!(workers, BTreeSet::from([1, 4]));
+    assert_eq!(classes.len(), ALL_CLASSES.len(), "every fault class in the matrix");
+
+    let outcome = sweep(&cfg, None);
+    if let Some(repro) = &outcome.failure {
+        panic!(
+            "smoke violation (shrunk to {} actions): {}\n{}",
+            repro.actions.len(),
+            repro.violation,
+            repro.to_json()
+        );
+    }
+    assert_eq!(outcome.runs, cfg.seeds);
+}
+
+/// Every fault class degrades conservatively: zero staleness, and the
+/// class's injections demonstrably fired somewhere in the batch (a fault
+/// plan that never fires tests nothing). Runs under the Exact policy so
+/// polling — the only site poll faults can hit — actually happens.
+#[cfg(not(feature = "canary"))]
+#[test]
+fn every_fault_class_fires_and_stays_fresh() {
+    for class in ALL_CLASSES {
+        let mut lost = 0u64;
+        let mut dup = 0u64;
+        let mut faulted = 0u64;
+        let mut aborts = 0u64;
+        for seed in 0..10u64 {
+            let sc = Scenario::generate(seed)
+                .with_policy_workers(0, if seed % 2 == 0 { 1 } else { 4 })
+                .with_fault(class.spec(seed));
+            let actions = gen_actions(&sc, 50);
+            let outcome = run_scenario(&sc, &actions);
+            assert!(
+                outcome.violation.is_none(),
+                "class {} seed {seed}: {}",
+                class.as_str(),
+                outcome.violation.unwrap()
+            );
+            lost += outcome.stats.records_lost;
+            dup += outcome.stats.records_duplicated;
+            faulted += outcome.stats.polls_faulted;
+            aborts += outcome.stats.txn_aborts;
+        }
+        match class {
+            FaultClass::None => {
+                assert_eq!(lost + dup + faulted + aborts, 0, "inert class injected something")
+            }
+            FaultClass::SnifferDrop => assert!(lost > 0, "drop class never dropped"),
+            FaultClass::SnifferDup => assert!(dup > 0, "dup class never duplicated"),
+            // Reordering has no counter (it permutes, it does not count);
+            // the zero-staleness assertion above is the whole check.
+            FaultClass::SnifferReorder => {}
+            FaultClass::PollError | FaultClass::PollTimeout => {
+                assert!(faulted > 0, "{} class never faulted a poll", class.as_str())
+            }
+            FaultClass::TxnAbort => assert!(aborts > 0, "abort class never aborted"),
+            FaultClass::Mixed => assert!(
+                lost > 0 && faulted > 0 && aborts > 0,
+                "mixed class must hit every site (lost={lost} faulted={faulted} aborts={aborts})"
+            ),
+        }
+    }
+}
+
+/// Reproducer files are self-contained and replay deterministically: the
+/// JSON round-trips losslessly and two runs of the same trace produce the
+/// identical outcome (stats and all), including with 4 analysis workers.
+#[test]
+fn reproducer_roundtrip_and_determinism() {
+    let sc = Scenario::generate(7)
+        .with_policy_workers(0, 4)
+        .with_fault(FaultClass::Mixed.spec(7));
+    let actions = gen_actions(&sc, 60);
+
+    let repro = Reproducer {
+        version: cacheportal_harness::repro::REPRO_VERSION,
+        scenario: sc.clone(),
+        actions: actions.clone(),
+        violation: String::new(),
+    };
+    let parsed = Reproducer::from_json(&repro.to_json()).unwrap();
+    assert_eq!(parsed, repro, "JSON round-trip must be lossless");
+
+    let a = run_scenario(&sc, &actions);
+    let b = parsed.replay();
+    assert_eq!(a, b, "replay must be bit-deterministic");
+
+    // Version gate: a future-format file is rejected, not misread.
+    let future = repro.to_json().replacen("\"version\": 1", "\"version\": 99", 1);
+    assert!(Reproducer::from_json(&future).is_err());
+}
+
+/// The harness catches a deliberately broken invalidator (the feature-gated
+/// canary drops every other affected instance) and produces a replayable,
+/// shrunk reproducer. Run via `cargo test -p cacheportal-harness
+/// --features canary`.
+#[cfg(feature = "canary")]
+#[test]
+fn canary_is_caught_and_shrunk_reproducer_replays() {
+    let cfg = SweepConfig {
+        seeds: 50,
+        actions: 40,
+        classes: vec![FaultClass::None],
+    };
+    let outcome = sweep(&cfg, None);
+    let repro = outcome
+        .failure
+        .expect("a broken invalidator must be caught by the smoke matrix");
+    assert!(
+        repro.violation.contains("stale-page"),
+        "the canary's symptom is staleness: {}",
+        repro.violation
+    );
+    let original = gen_actions(&repro.scenario, cfg.actions);
+    assert!(
+        repro.actions.len() <= original.len(),
+        "shrinking may never grow the trace"
+    );
+    let replayed = repro.replay();
+    assert!(
+        replayed.violation.is_some(),
+        "the shrunk reproducer must still reproduce"
+    );
+}

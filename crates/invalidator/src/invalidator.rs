@@ -36,6 +36,10 @@ pub enum VerdictKind {
     TableLevel,
     /// The instance's SQL no longer binds against the schema; failed safe.
     BindFailure,
+    /// A polling query failed (error or timeout); the instance was assumed
+    /// affected rather than risk a stale page. The conservative fallback
+    /// for poll faults — faults may only over-invalidate.
+    PollFault,
 }
 
 impl VerdictKind {
@@ -51,6 +55,7 @@ impl VerdictKind {
             VerdictKind::Conservative => "conservative",
             VerdictKind::TableLevel => "table-level",
             VerdictKind::BindFailure => "bind-failure",
+            VerdictKind::PollFault => "poll-fault",
         }
     }
 }
@@ -149,6 +154,9 @@ pub struct InvalidationReport {
     /// Times a shard blocked on a dedup stripe held by another shard
     /// (scheduling-dependent; excluded from the equivalence guarantee).
     pub poll_lock_contended: u64,
+    /// Poll decisions that fell back to [`VerdictKind::PollFault`] because
+    /// the polling query errored or timed out.
+    pub poll_faults: u64,
 }
 
 /// Invalidator configuration.
@@ -166,6 +174,9 @@ pub struct InvalidatorConfig {
     /// sleeps this long), which is what concurrent polling overlaps.
     /// `0` (the default) disables the model entirely.
     pub poll_rtt_micros: u64,
+    /// Fault-injection plan for polling queries (harness only; the default
+    /// plan is inert). Installed into every sync point's [`PollRunner`].
+    pub fault: cacheportal_db::FaultPlan,
 }
 
 impl Default for InvalidatorConfig {
@@ -174,6 +185,7 @@ impl Default for InvalidatorConfig {
             policy: PolicyConfig::default(),
             workers: 1,
             poll_rtt_micros: 0,
+            fault: cacheportal_db::FaultPlan::default(),
         }
     }
 }
@@ -187,6 +199,7 @@ struct ShardCounters {
     local_decisions: u64,
     degraded_by_budget: u64,
     bind_failures: u64,
+    poll_faults: u64,
 }
 
 /// One analyzed query type's results, tagged with its position in the
@@ -271,6 +284,12 @@ impl Invalidator {
     /// The active configuration.
     pub fn config(&self) -> &InvalidatorConfig {
         &self.config
+    }
+
+    /// Mutable configuration access: the harness flips policies, worker
+    /// counts, and fault plans between sync points.
+    pub fn config_mut(&mut self) -> &mut InvalidatorConfig {
+        &mut self.config
     }
 
     /// Update-log position consumed so far.
@@ -451,7 +470,8 @@ impl Invalidator {
             &self.info,
             deltas,
             std::time::Duration::from_micros(self.config.poll_rtt_micros),
-        );
+        )
+        .with_fault_plan(self.config.fault.clone());
 
         let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
         let mut candidate_types: Vec<QueryTypeId> = touched
@@ -517,6 +537,7 @@ impl Invalidator {
             report.local_decisions += outcome.counters.local_decisions;
             report.degraded_by_budget += outcome.counters.degraded_by_budget;
             report.bind_failures += outcome.counters.bind_failures;
+            report.poll_faults += outcome.counters.poll_faults;
             type_outcomes.extend(outcome.types);
         }
         type_outcomes.sort_unstable_by_key(|t| t.order);
@@ -530,6 +551,18 @@ impl Invalidator {
                     .stats
                     .record_analysis(micros);
             }
+        }
+        // Deliberately broken invalidation for harness acceptance: drop
+        // every other affected instance so some stale pages survive sync
+        // points. MUST never be enabled in a real build — the feature
+        // exists to prove the fuzzer catches safety violations.
+        #[cfg(feature = "canary")]
+        {
+            let mut keep = false;
+            affected.retain(|_| {
+                keep = !keep;
+                keep
+            });
         }
         report.polls = runner.stats();
         report.poll_lock_contended = runner.contended();
@@ -843,9 +876,8 @@ impl Invalidator {
                         detail: format!("poll budget exhausted; assumed affected instead of polling: {}", poll.sql),
                     }))
                 } else {
-                    Ok(runner
-                        .decide(db, poll, tuple_was_delete)?
-                        .map(|answer| VerdictCause {
+                    match runner.decide(db, poll, tuple_was_delete) {
+                        Ok(answer) => Ok(answer.map(|answer| VerdictCause {
                             kind: answer.into(),
                             detail: match answer {
                                 PollAnswer::Issued => format!("polling query found matching rows: {}", poll.sql),
@@ -853,7 +885,22 @@ impl Invalidator {
                                 PollAnswer::FromIndex => format!("maintained index answered the poll: {}", poll.sql),
                                 PollAnswer::DeleteGuard => format!("correlated same-batch deletion of a join partner; poll was: {}", poll.sql),
                             },
-                        }))
+                        })),
+                        // A failed poll left the question unanswered; the
+                        // only safe answer is "affected". Never converts a
+                        // would-be Invalidate to NoInvalidate — the fault
+                        // can only add invalidations.
+                        Err(cacheportal_db::DbError::Faulted(msg)) => {
+                            counters.poll_faults += 1;
+                            Ok(Some(VerdictCause {
+                                kind: VerdictKind::PollFault,
+                                detail: format!(
+                                    "poll failed ({msg}); assumed affected as the conservative fallback"
+                                ),
+                            }))
+                        }
+                        Err(other) => Err(other),
+                    }
                 }
             }
             InvalidationPolicy::TableLevel => unreachable!("handled before analysis"),

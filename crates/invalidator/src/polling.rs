@@ -13,7 +13,7 @@ use crate::analysis::{analyze_tuple, BoundInstance, PollingQuery, TupleImpact};
 use crate::delta::DeltaSet;
 use cacheportal_db::sql::ast::{CmpOp, Expr, Statement};
 use cacheportal_db::sql::parser::parse;
-use cacheportal_db::{Database, DbResult, Value};
+use cacheportal_db::{Database, DbError, DbResult, FaultPlan, PollFault, Value};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,6 +53,11 @@ pub struct PollStats {
     pub from_index: u64,
     /// Poll results flipped to "affected" by the correlated-delete guard.
     pub delete_guard_hits: u64,
+    /// Polls that failed with an injected fault (error or timeout). Each
+    /// failed attempt counts; faulted answers are never cached, so the
+    /// count is a pure function of the workload — identical across worker
+    /// counts.
+    pub faulted: u64,
 }
 
 /// The information management module: maintained indexes + poll statistics.
@@ -215,7 +220,9 @@ pub struct PollRunner<'a> {
     from_index: AtomicU64,
     delete_guard_hits: AtomicU64,
     contended: AtomicU64,
+    faulted: AtomicU64,
     poll_rtt: Duration,
+    fault: FaultPlan,
 }
 
 impl<'a> PollRunner<'a> {
@@ -239,8 +246,19 @@ impl<'a> PollRunner<'a> {
             from_index: AtomicU64::new(0),
             delete_guard_hits: AtomicU64::new(0),
             contended: AtomicU64::new(0),
+            faulted: AtomicU64::new(0),
             poll_rtt,
+            fault: FaultPlan::default(),
         }
+    }
+
+    /// Install a fault plan: issued polls may then fail (error) or time out.
+    /// Fault decisions key on the poll's structural [`PollingQuery::key`],
+    /// so the same polls fault no matter how instances are sharded across
+    /// workers — the parallel-equivalence guarantee extends to faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = plan;
+        self
     }
 
     /// Snapshot of this sync point's poll counters.
@@ -250,6 +268,7 @@ impl<'a> PollRunner<'a> {
             from_cache: self.from_cache.load(Ordering::Relaxed),
             from_index: self.from_index.load(Ordering::Relaxed),
             delete_guard_hits: self.delete_guard_hits.load(Ordering::Relaxed),
+            faulted: self.faulted.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +318,21 @@ impl<'a> PollRunner<'a> {
                         (ans, PollAnswer::FromIndex)
                     }
                     None => {
+                        // The DBMS interaction is the fault site: local
+                        // index answers and cache hits cannot fault. A
+                        // faulted poll is *not* cached — every retry of the
+                        // same poll faults again (deterministically, by
+                        // key), so fault counts are shard-independent.
+                        if let Some(kind) = self.fault.poll_fault(poll.key) {
+                            self.faulted.fetch_add(1, Ordering::Relaxed);
+                            if kind == PollFault::Timeout && !self.poll_rtt.is_zero() {
+                                std::thread::sleep(self.poll_rtt);
+                            }
+                            return Err(DbError::Faulted(match kind {
+                                PollFault::Error => format!("poll rejected: {}", poll.sql),
+                                PollFault::Timeout => format!("poll timed out: {}", poll.sql),
+                            }));
+                        }
                         self.issued.fetch_add(1, Ordering::Relaxed);
                         if !self.poll_rtt.is_zero() {
                             std::thread::sleep(self.poll_rtt);

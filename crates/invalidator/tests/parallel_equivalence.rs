@@ -95,7 +95,7 @@ fn run_with_workers(
     let mut inv = Invalidator::new(InvalidatorConfig {
         policy: PolicyConfig::default(),
         workers,
-        poll_rtt_micros: 0,
+        ..InvalidatorConfig::default()
     });
     inv.start_from(db.high_water());
     inv.run_sync_point(&db, &map).unwrap();

@@ -33,6 +33,10 @@ pub struct MapperReport {
     /// SELECTs that could not be canonicalized (unparseable by the
     /// invalidator's dialect) and were skipped.
     pub unparseable: u64,
+    /// Records the query logger lost (injected drops) since the previous
+    /// run. Nonzero means some page admitted since then may be missing a
+    /// dependency edge — the portal must eject those pages conservatively.
+    pub lost: u64,
     /// Wall-clock microseconds this run took (mapping latency).
     pub elapsed_micros: u64,
 }
@@ -73,6 +77,8 @@ pub struct Mapper {
     pending: Vec<(QueryRecord, u8)>,
     /// How many runs an unmatched query survives before being dropped.
     max_retention: u8,
+    /// Cumulative `QueryLog::lost` already reported in earlier runs.
+    lost_cursor: u64,
 }
 
 impl Mapper {
@@ -84,6 +90,7 @@ impl Mapper {
             map,
             pending: Vec::new(),
             max_retention: 2,
+            lost_cursor: 0,
         }
     }
 
@@ -102,6 +109,9 @@ impl Mapper {
     pub fn run_once(&mut self) -> MapperReport {
         let start = std::time::Instant::now();
         let mut report = MapperReport::default();
+        let lost_total = self.queries.lost();
+        report.lost = lost_total - self.lost_cursor;
+        self.lost_cursor = lost_total;
         let requests = self.requests.drain();
         let mut queries: Vec<(QueryRecord, u8)> =
             std::mem::take(&mut self.pending);

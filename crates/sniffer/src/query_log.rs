@@ -7,7 +7,7 @@
 //! application obtained the connection — the paper's argument for wrapping
 //! at the driver.
 
-use cacheportal_db::{DbResult, ExecOutcome, QueryResult, Value};
+use cacheportal_db::{DbResult, ExecOutcome, FaultPlan, QueryResult, Value};
 use cacheportal_web::clock::{Clock, Micros};
 use cacheportal_web::Connection;
 use parking_lot::Mutex;
@@ -32,9 +32,18 @@ pub struct QueryRecord {
 }
 
 /// Append-only query log shared by all logged connections.
+///
+/// An installed [`FaultPlan`] models a lossy sniffer: records may be
+/// dropped (never reach the mapper), duplicated, or delivered out of order.
+/// The log counts what it lost so the sync-point pipeline can compensate —
+/// a dropped SELECT means some cached page may be missing a dependency
+/// edge, which downstream turns into a conservative eject.
 pub struct QueryLog {
     records: Mutex<Vec<QueryRecord>>,
     next_id: AtomicU64,
+    fault: Mutex<FaultPlan>,
+    lost: AtomicU64,
+    duplicated: AtomicU64,
 }
 
 impl QueryLog {
@@ -43,7 +52,27 @@ impl QueryLog {
         Arc::new(QueryLog {
             records: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            fault: Mutex::new(FaultPlan::default()),
+            lost: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
         })
+    }
+
+    /// Install a fault plan (harness only; the default plan is inert).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault.lock() = plan;
+    }
+
+    /// SELECT records the sniffer lost to injected drops, cumulatively.
+    /// The mapper reports the per-run delta so the portal can eject
+    /// conservatively.
+    pub fn lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Records duplicated by injected faults, cumulatively.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
     }
 
     /// Append one query record.
@@ -63,12 +92,32 @@ impl QueryLog {
             received,
             delivered,
         };
-        self.records.lock().push(rec);
+        let fault = self.fault.lock().clone();
+        if fault.drop_query_record(rec.id) {
+            // Only SELECT drops threaten safety (non-SELECTs never map to
+            // pages), but count every loss — the portal over-compensates
+            // rather than reason about which kind vanished.
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let duplicate = fault.duplicate_query_record(rec.id);
+        let mut guard = self.records.lock();
+        if duplicate {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            guard.push(rec.clone());
+        }
+        guard.push(rec);
     }
 
-    /// Take every record currently in the log.
+    /// Take every record currently in the log. Under an injected reorder
+    /// fault the batch comes out in a deterministic shuffle (reversed) —
+    /// the mapper must not depend on log order.
     pub fn drain(&self) -> Vec<QueryRecord> {
-        std::mem::take(&mut *self.records.lock())
+        let mut records = std::mem::take(&mut *self.records.lock());
+        if self.fault.lock().reorder_query_records() {
+            records.reverse();
+        }
+        records
     }
 
     /// Put unconsumed records back (the mapper retains queries whose

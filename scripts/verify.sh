@@ -14,6 +14,18 @@ cargo test -q --offline --workspace
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
 
+echo "== fuzz harness smoke (safety contract, all policies x fault classes) =="
+# The acceptance matrix: 50 seeds x 40 actions cycling all three
+# invalidation policies, workers {1,4}, and every fault class. Exit 1 on
+# any staleness violation, with the shrunk reproducer JSON under
+# target/harness-repros/ (uploaded as a CI artifact).
+./target/release/harness smoke --out target/harness-repros
+
+echo "== fuzz harness canary (a broken invalidator must be caught) =="
+# Compile the deliberately-unsound invalidator (feature `canary`) and prove
+# the harness detects it and emits a replayable shrunk reproducer.
+cargo test -q --offline -p cacheportal-harness --features canary
+
 echo "== sync-point scaling smoke test (sync_scale --smoke) =="
 # Small burst at 1 vs 2 workers; the binary asserts identical verdicts,
 # ejected pages, and poll counts across worker counts and writes

@@ -1,204 +1,147 @@
-//! The paper's core safety contract, property-tested: **after every
-//! synchronization point, no cached page differs from a fresh
-//! regeneration** — under random data, random page requests, random
-//! interleavings of inserts/deletes/updates, and every invalidation policy.
+//! The paper's core safety contract, property-tested through the fuzz
+//! harness: **after every synchronization point, no cached page differs
+//! from a fresh regeneration** — under generated schemas, generated query
+//! types, random interleavings of requests/mutations/transactions/policy
+//! flips, every invalidation policy, and every fault class.
 //!
-//! Also checks the precision contract of the Exact policy: a page ejected
-//! by Exact (for plain select-project-join pages) really did change, unless
-//! the engine over-approximated via the correlated-delete guard.
+//! The hand-written two-table schema this file used to carry lives on as a
+//! pinned regression scenario (same tables, same three page families),
+//! driven through the same harness runner instead of a private action enum.
 
-use cacheportal::cache::{EvictionPolicy, PageCacheConfig};
-use cacheportal::db::schema::ColType;
-use cacheportal::db::Database;
-use cacheportal::invalidator::{InvalidationPolicy, InvalidatorConfig};
-use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
-use cacheportal::{CachePortal, Served};
+use cacheportal_harness::{
+    gen_actions, run_scenario, Scenario, ServletGen, ServletKind, TableGen,
+};
 use proptest::prelude::*;
-use std::sync::Arc;
 
-/// One workload action.
-#[derive(Debug, Clone)]
-enum Action {
-    /// Request a page: (servlet 0..3, group 0..6).
-    Request(u8, i64),
-    /// Insert into table (0 = R, 1 = S): (table, grp, val).
-    Insert(u8, i64, i64),
-    /// Delete from table by grp.
-    DeleteGrp(u8, i64),
-    /// Update val for a grp.
-    UpdateVal(u8, i64, i64),
-    /// Run a synchronization point.
-    Sync,
-}
-
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        4 => (0u8..3, 0i64..6).prop_map(|(s, g)| Action::Request(s, g)),
-        2 => (0u8..2, 0i64..6, 0i64..50).prop_map(|(t, g, v)| Action::Insert(t, g, v)),
-        1 => (0u8..2, 0i64..6).prop_map(|(t, g)| Action::DeleteGrp(t, g)),
-        1 => (0u8..2, 0i64..6, 0i64..50).prop_map(|(t, g, v)| Action::UpdateVal(t, g, v)),
-        2 => Just(Action::Sync),
-    ]
-}
-
-fn build_portal(policy: InvalidationPolicy, rows: &[(u8, i64, i64)]) -> CachePortal {
-    let mut db = Database::new();
-    db.execute("CREATE TABLE R (grp INT, val INT, INDEX(grp))").unwrap();
-    db.execute("CREATE TABLE S (grp INT, val INT, INDEX(grp))").unwrap();
-    for (t, g, v) in rows {
-        let table = if *t == 0 { "R" } else { "S" };
-        db.insert_row(table, vec![(*g).into(), (*v).into()]).unwrap();
-    }
-    let mut cfg = InvalidatorConfig::default();
-    cfg.policy.default_policy = policy;
-    let portal = CachePortal::builder(db)
-        .invalidator_config(cfg)
-        .cache_config(PageCacheConfig {
-            capacity: 64,
-            policy: EvictionPolicy::Lru,
-            ttl_micros: None,
-        })
-        .build()
-        .unwrap();
-
-    // Three page families: single-table select, join, aggregate.
-    portal.register_servlet(Arc::new(SqlServlet::new(
-        ServletSpec::new("r").with_key_get_params(&["grp"]),
-        "R page",
-        vec![QueryTemplate::new(
-            "SELECT grp, val FROM R WHERE grp = $1 ORDER BY val",
-            vec![ParamSource::Get("grp".into(), ColType::Int)],
-        )],
-    )));
-    portal.register_servlet(Arc::new(SqlServlet::new(
-        ServletSpec::new("join").with_key_get_params(&["grp"]),
-        "Join page",
-        vec![QueryTemplate::new(
-            "SELECT R.val, S.val FROM R, S \
-             WHERE R.grp = $1 AND R.val = S.val ORDER BY R.val, S.val",
-            vec![ParamSource::Get("grp".into(), ColType::Int)],
-        )],
-    )));
-    portal.register_servlet(Arc::new(SqlServlet::new(
-        ServletSpec::new("agg").with_key_get_params(&["grp"]),
-        "Aggregate page",
-        vec![QueryTemplate::new(
-            "SELECT COUNT(*), SUM(val) FROM S WHERE grp = $1",
-            vec![ParamSource::Get("grp".into(), ColType::Int)],
-        )],
-    )));
-    portal
-}
-
-fn apply(portal: &CachePortal, action: &Action) {
-    match action {
-        Action::Request(s, g) => {
-            let path = ["/r", "/join", "/agg"][*s as usize % 3];
-            let req = HttpRequest::get("h", path, &[("grp", &g.to_string())]);
-            portal.request(&req);
-        }
-        Action::Insert(t, g, v) => {
-            let table = if *t == 0 { "R" } else { "S" };
-            portal
-                .update(&format!("INSERT INTO {table} VALUES ({g}, {v})"))
-                .unwrap();
-        }
-        Action::DeleteGrp(t, g) => {
-            let table = if *t == 0 { "R" } else { "S" };
-            portal
-                .update(&format!("DELETE FROM {table} WHERE grp = {g}"))
-                .unwrap();
-        }
-        Action::UpdateVal(t, g, v) => {
-            let table = if *t == 0 { "R" } else { "S" };
-            portal
-                .update(&format!("UPDATE {table} SET val = {v} WHERE grp = {g}"))
-                .unwrap();
-        }
-        Action::Sync => {
-            portal.sync_point().unwrap();
-        }
+/// The old fixed-schema case, as a harness scenario: two all-Int tables
+/// with indexed group columns and the three original page families
+/// (single-table select, join, aggregate).
+fn pinned_scenario(policy: u8, workers: usize) -> Scenario {
+    let table = |name: &str| TableGen {
+        name: name.into(),
+        v_type: 0, // Int
+        w_type: None,
+        indexed: true,
+        maintained_index: false,
+    };
+    Scenario {
+        seed: 0xcafe,
+        tables: vec![table("r"), table("s")],
+        servlets: vec![
+            ServletGen { name: "single".into(), kind: ServletKind::Select(0) },
+            ServletGen { name: "join".into(), kind: ServletKind::Join(0, 1) },
+            ServletGen { name: "agg".into(), kind: ServletKind::Agg(1) },
+        ],
+        policy,
+        workers,
+        fault: Default::default(),
+        initial_rows: 25,
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// SAFETY: for every policy, after a sync point no cached page is stale.
+    /// SAFETY: for every policy and worker count, over generated schemas
+    /// and workloads, after a sync point no cached page is stale — the
+    /// harness runner asserts the oracle after every sync and once more at
+    /// the end, and cross-checks metrics coherence.
     #[test]
     fn no_stale_page_after_sync(
-        rows in prop::collection::vec((0u8..2, 0i64..6, 0i64..50), 0..30),
-        actions in prop::collection::vec(action_strategy(), 1..60),
-        policy_pick in 0u8..3,
+        seed in 0u64..1_000_000,
+        policy in 0u8..3,
+        workers_pick in 0usize..2,
+        n_actions in 30usize..70,
     ) {
-        let policy = [
-            InvalidationPolicy::Exact,
-            InvalidationPolicy::Conservative,
-            InvalidationPolicy::TableLevel,
-        ][policy_pick as usize];
-        let portal = build_portal(policy, &rows);
-        for action in &actions {
-            apply(&portal, action);
-            if matches!(action, Action::Sync) {
-                let stale = portal.stale_pages();
-                prop_assert!(
-                    stale.is_empty(),
-                    "stale pages under {policy:?}: {stale:?}"
-                );
-            }
-        }
-        // Final sync must always restore freshness.
-        portal.sync_point().unwrap();
-        let stale = portal.stale_pages();
-        prop_assert!(stale.is_empty(), "stale at end under {policy:?}: {stale:?}");
+        let sc = Scenario::generate(seed)
+            .with_policy_workers(policy, [1, 4][workers_pick]);
+        let actions = gen_actions(&sc, n_actions);
+        let outcome = run_scenario(&sc, &actions);
+        prop_assert!(
+            outcome.violation.is_none(),
+            "seed {seed}: {}",
+            outcome.violation.unwrap()
+        );
     }
 
-    /// LIVENESS/PRECISION: with Exact, a page that survives a sync point is
-    /// correct AND a page ejected by a pure-insert batch truly changed or a
-    /// poll justified it. (Delete batches may over-invalidate via the
-    /// correlated-delete guard; insert-only batches must be precise for the
-    /// single-table and join pages here.)
+    /// SAFETY under failure: same contract with every fault class active —
+    /// faults may only over-invalidate, never leave a stale page.
     #[test]
-    fn exact_is_precise_for_insert_only_batches(
-        rows in prop::collection::vec((0u8..2, 0i64..6, 0i64..50), 0..30),
-        inserts in prop::collection::vec((0u8..2, 0i64..6, 0i64..50), 1..10),
-        grp in 0i64..6,
+    fn no_stale_page_under_faults(
+        seed in 0u64..1_000_000,
+        class_pick in 0usize..cacheportal_harness::ALL_CLASSES.len(),
+        n_actions in 30usize..60,
     ) {
-        let portal = build_portal(InvalidationPolicy::Exact, &rows);
-        // Cache one page of each family and record bodies.
-        let reqs: Vec<HttpRequest> = ["/r", "/join", "/agg"]
-            .iter()
-            .map(|p| HttpRequest::get("h", p, &[("grp", &grp.to_string())]))
-            .collect();
-        let mut bodies = Vec::new();
-        for req in &reqs {
-            bodies.push(portal.request(req).response.body.clone());
-        }
-        portal.sync_point().unwrap();
-
-        for (t, g, v) in &inserts {
-            let table = if *t == 0 { "R" } else { "S" };
-            portal
-                .update(&format!("INSERT INTO {table} VALUES ({g}, {v})"))
-                .unwrap();
-        }
-        portal.sync_point().unwrap();
-
-        for (req, old_body) in reqs.iter().zip(&bodies) {
-            let out = portal.request(req);
-            match out.served {
-                // Survived in cache: must still be correct (checked by the
-                // oracle inside stale_pages).
-                Served::CacheHit => prop_assert_eq!(&out.response.body, old_body),
-                // Ejected: content must actually differ (no over-invalidation
-                // for insert-only batches on these monotone pages).
-                Served::Generated => prop_assert_ne!(
-                    &out.response.body,
-                    old_body,
-                    "over-invalidation by insert-only batch"
-                ),
-            }
-        }
-        prop_assert!(portal.stale_pages().is_empty());
+        let class = cacheportal_harness::ALL_CLASSES[class_pick];
+        let sc = Scenario::generate(seed)
+            .with_policy_workers((seed % 3) as u8, if seed % 2 == 0 { 1 } else { 4 })
+            .with_fault(class.spec(seed));
+        let actions = gen_actions(&sc, n_actions);
+        let outcome = run_scenario(&sc, &actions);
+        prop_assert!(
+            outcome.violation.is_none(),
+            "seed {seed} class {}: {}",
+            class.as_str(),
+            outcome.violation.unwrap()
+        );
     }
+}
+
+/// Pinned regression: the original fixed two-table schema, every policy,
+/// sequential and sharded.
+#[test]
+fn pinned_fixed_schema_stays_fresh() {
+    for policy in 0u8..3 {
+        for workers in [1usize, 4] {
+            let sc = pinned_scenario(policy, workers);
+            let actions = gen_actions(&sc, 80);
+            let outcome = run_scenario(&sc, &actions);
+            assert!(
+                outcome.violation.is_none(),
+                "policy {policy} workers {workers}: {}",
+                outcome.violation.unwrap()
+            );
+            assert!(outcome.stats.syncs > 0, "the pinned trace must sync");
+        }
+    }
+}
+
+/// LIVENESS/PRECISION: with Exact, a page that survives a sync point is
+/// correct AND a page ejected by an insert-only batch truly changed (no
+/// over-invalidation for the pinned monotone page families).
+#[test]
+fn exact_is_precise_for_insert_only_batches() {
+    use cacheportal::Served;
+    let sc = pinned_scenario(0 /* Exact */, 1);
+    let portal = sc.build_portal();
+
+    let grp = 2i64;
+    let reqs: Vec<_> = (0..sc.servlets.len()).map(|i| sc.request(i, grp)).collect();
+    let mut bodies = Vec::new();
+    for req in &reqs {
+        bodies.push(portal.request(req).response.body.clone());
+    }
+    portal.sync_point().unwrap();
+
+    for (i, k, g, n) in [(0usize, 1i64, 2i64, 60i64), (1, 3, 4, 61), (0, 5, 2, 62)] {
+        let t = &sc.tables[i % sc.tables.len()];
+        portal.update(&t.insert_sql(k, g, n)).unwrap();
+    }
+    portal.sync_point().unwrap();
+
+    for (req, old_body) in reqs.iter().zip(&bodies) {
+        let out = portal.request(req);
+        match out.served {
+            // Survived in cache: must still be byte-identical.
+            Served::CacheHit => assert_eq!(&out.response.body, old_body),
+            // Ejected: content must actually differ — insert-only batches
+            // on these monotone pages must be precise under Exact.
+            Served::Generated => assert_ne!(
+                &out.response.body,
+                old_body,
+                "over-invalidation by insert-only batch"
+            ),
+        }
+    }
+    assert!(portal.stale_pages().is_empty());
 }

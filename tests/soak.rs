@@ -1,84 +1,69 @@
-//! Soak test: the four-node cluster under sustained concurrent load —
-//! readers, a writer issuing single statements and transactions, and a
-//! synchronizer — followed by a full-system freshness audit.
+//! Soak tests: sustained load through harness-generated schemas.
+//!
+//! 1. The four-node cluster under concurrent readers, a writer mixing
+//!    single statements and transactions, and a synchronizer — schema,
+//!    servlets, and workload all produced by the harness generators —
+//!    followed by a full-system freshness audit.
+//! 2. A single-portal generative soak: longer seeded traces with the mixed
+//!    fault class active, through the harness runner's full oracle.
 
-use cacheportal::db::schema::ColType;
-use cacheportal::db::Database;
 use cacheportal::cache::PageCacheConfig;
 use cacheportal::invalidator::InvalidatorConfig;
-use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
 use cacheportal::{CachePortalCluster, Served};
+use cacheportal_harness::{gen_actions, run_scenario, Action, FaultClass, Scenario};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-fn build_farm() -> CachePortalCluster {
-    let mut db = Database::new();
-    db.execute(
-        "CREATE TABLE products (sku INT, category INT, price INT, INDEX(sku), INDEX(category))",
-    )
-    .unwrap();
-    db.execute("CREATE TABLE stock (sku INT, qty INT, INDEX(sku))").unwrap();
-    for sku in 0..150i64 {
-        db.insert_row("products", vec![sku.into(), (sku % 6).into(), (10 + sku).into()])
-            .unwrap();
-        db.insert_row("stock", vec![sku.into(), ((sku * 3) % 40).into()])
-            .unwrap();
-    }
-    let farm = CachePortalCluster::new(
-        db,
-        4,
-        PageCacheConfig::default(),
-        InvalidatorConfig::default(),
-    )
-    .unwrap();
-    farm.register_servlet(Arc::new(SqlServlet::new(
-        ServletSpec::new("category").with_key_get_params(&["id"]),
-        "Category",
-        vec![QueryTemplate::new(
-            "SELECT sku, price FROM products WHERE category = $1 ORDER BY sku",
-            vec![ParamSource::Get("id".into(), ColType::Int)],
-        )],
-    )));
-    farm.register_servlet(Arc::new(SqlServlet::new(
-        ServletSpec::new("detail").with_key_get_params(&["sku"]),
-        "Detail",
-        vec![QueryTemplate::new(
-            "SELECT products.price, stock.qty FROM products, stock \
-             WHERE products.sku = $1 AND products.sku = stock.sku",
-            vec![ParamSource::Get("sku".into(), ColType::Int)],
-        )],
-    )));
-    farm
+/// A seed whose generated scenario exercises the cluster well: picked (and
+/// pinned) for having several tables and at least two servlets including a
+/// join. The assertions below re-check those properties so a generator
+/// change cannot silently hollow out the test.
+const CLUSTER_SEED: u64 = 25;
+
+fn cluster_scenario() -> Scenario {
+    let sc = Scenario::generate(CLUSTER_SEED);
+    assert!(sc.tables.len() >= 2, "pinned seed must generate a multi-table schema");
+    assert!(sc.servlets.len() >= 2, "pinned seed must generate several page families");
+    sc
 }
 
 #[test]
 fn cluster_soak_under_concurrent_load() {
-    let farm = Arc::new(build_farm());
+    let sc = Arc::new(cluster_scenario());
+    let farm = Arc::new(
+        CachePortalCluster::new(
+            sc.build_database(),
+            4,
+            PageCacheConfig::default(),
+            InvalidatorConfig::default(),
+        )
+        .unwrap(),
+    );
+    for s in &sc.servlets {
+        farm.register_servlet(s.build(&sc.tables));
+    }
+    // The mutation half of a generated trace is the writer's script.
+    let script: Vec<Action> = gen_actions(&sc, 600)
+        .into_iter()
+        .filter(|a| matches!(a, Action::Mutate(_) | Action::Txn(_)))
+        .collect();
+    assert!(script.len() >= 100, "the generated trace must carry real write load");
+
     let served = AtomicU64::new(0);
     let hits = AtomicU64::new(0);
 
     crossbeam::scope(|scope| {
-        // Six reader threads across both page families.
+        // Six reader threads across the generated page families.
         for t in 0..6u64 {
             let farm = Arc::clone(&farm);
+            let sc = Arc::clone(&sc);
             let served = &served;
             let hits = &hits;
             scope.spawn(move |_| {
                 for i in 0..200u64 {
-                    let req = if (i + t) % 3 == 0 {
-                        HttpRequest::get(
-                            "shop",
-                            "/detail",
-                            &[("sku", &((i * 7 + t) % 150).to_string())],
-                        )
-                    } else {
-                        HttpRequest::get(
-                            "shop",
-                            "/category",
-                            &[("id", &((i + t) % 6).to_string())],
-                        )
-                    };
-                    let out = farm.request(&req);
+                    let servlet = ((i + t) % sc.servlets.len() as u64) as usize;
+                    let g = ((i * 7 + t) % cacheportal_harness::gen::GROUPS as u64) as i64;
+                    let out = farm.request(&sc.request(servlet, g));
                     assert_eq!(out.response.status.code(), 200, "no 5xx under load");
                     served.fetch_add(1, Ordering::Relaxed);
                     if out.served == Served::CacheHit {
@@ -87,32 +72,27 @@ fn cluster_soak_under_concurrent_load() {
                 }
             });
         }
-        // A writer mixing plain updates and atomic transactions.
+        // A writer replaying the generated mutation script — transactions
+        // stay atomic through the shared database handle.
         {
             let farm = Arc::clone(&farm);
+            let sc = Arc::clone(&sc);
+            let script = &script;
             scope.spawn(move |_| {
-                for i in 0..80i64 {
-                    if i % 4 == 0 {
-                        // Atomic restock: price change + stock change together.
-                        let sku = (i * 11) % 150;
-                        let mut db = farm.db().write();
-                        let mut tx = db.begin();
-                        tx.execute(&format!(
-                            "UPDATE products SET price = (price + 1) WHERE sku = {sku}"
-                        ))
-                        .unwrap();
-                        tx.execute(&format!(
-                            "UPDATE stock SET qty = (qty + 5) WHERE sku = {sku}"
-                        ))
-                        .unwrap();
-                        tx.commit();
-                    } else {
-                        farm.update(&format!(
-                            "UPDATE stock SET qty = {} WHERE sku = {}",
-                            i % 50,
-                            (i * 13) % 150
-                        ))
-                        .unwrap();
+                for action in script {
+                    match action {
+                        Action::Mutate(s) => {
+                            farm.update(&s.sql(&sc)).unwrap();
+                        }
+                        Action::Txn(stmts) => {
+                            let mut db = farm.db().write();
+                            let mut tx = db.begin();
+                            for s in stmts {
+                                tx.execute(&s.sql(&sc)).unwrap();
+                            }
+                            tx.commit();
+                        }
+                        _ => unreachable!("filtered to mutations"),
                     }
                 }
             });
@@ -142,4 +122,23 @@ fn cluster_soak_under_concurrent_load() {
     // Load was spread across all four nodes.
     let loads = farm.node_loads();
     assert!(loads.iter().all(|&l| l > 0), "every node served: {loads:?}");
+}
+
+/// Single-portal generative soak: longer traces than the smoke matrix,
+/// with every fault site active at once, through the full oracle.
+#[test]
+fn generative_soak_with_mixed_faults() {
+    for seed in 100..106u64 {
+        let sc = Scenario::generate(seed)
+            .with_policy_workers((seed % 3) as u8, if seed % 2 == 0 { 4 } else { 1 })
+            .with_fault(FaultClass::Mixed.spec(seed));
+        let actions = gen_actions(&sc, 250);
+        let outcome = run_scenario(&sc, &actions);
+        assert!(
+            outcome.violation.is_none(),
+            "seed {seed}: {}",
+            outcome.violation.unwrap()
+        );
+        assert!(outcome.stats.syncs >= 10, "a 250-action trace must sync often");
+    }
 }
