@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! obsctl metrics --addr 127.0.0.1:9184
+//! obsctl health  --addr 127.0.0.1:9184
 //! obsctl explain --addr 127.0.0.1:9184 --url 'http://shop/carSearch?maxprice=30000'
 //! obsctl explain --file obs-export.jsonl --lsn 5
 //! obsctl diff before.json after.json
@@ -9,6 +10,9 @@
 //! ```
 //!
 //! * `metrics` — fetch `/metrics` (Prometheus text exposition) and print it.
+//! * `health` — fetch `/healthz` and print the verdict; exits 0 only when
+//!   the portal reports healthy (open breakers, recovery in progress, or
+//!   WAL errors all turn this non-zero, so scripts can gate on it).
 //! * `explain` — fetch `/explain?url=…` / `/explain?lsn=…` from a live admin
 //!   endpoint, or reconstruct the same answer offline from a JSONL export,
 //!   and pretty-print the eject chains.
@@ -30,12 +34,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: obsctl <metrics|explain|diff|demo> [options]");
+            eprintln!("usage: obsctl <metrics|health|explain|diff|demo> [options]");
             eprintln!("  metrics --addr HOST:PORT");
+            eprintln!("  health  --addr HOST:PORT");
             eprintln!("  explain (--addr HOST:PORT | --file EXPORT.jsonl) (--url URL | --lsn N)");
             eprintln!("  diff BEFORE.json AFTER.json");
             eprintln!("  demo --serve HOST:PORT [--hold-secs N] [--export FILE]");
@@ -69,6 +75,27 @@ fn cmd_metrics(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("GET /metrics failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_health(args: &[String]) -> i32 {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("obsctl health: --addr HOST:PORT required");
+        return 2;
+    };
+    match http_get(addr, "/healthz") {
+        Ok((code, body)) => {
+            let verdict = if code == 200 { "healthy" } else { "UNHEALTHY" };
+            print!("{verdict} (HTTP {code})\n{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
+            i32::from(code != 200)
+        }
+        Err(e) => {
+            eprintln!("GET /healthz failed: {e}");
             1
         }
     }

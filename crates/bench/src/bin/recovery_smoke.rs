@@ -1,0 +1,210 @@
+//! `recovery_smoke` — crash-recovery smoke test and checkpoint-interval
+//! sweep.
+//!
+//! ```text
+//! recovery_smoke            # CI smoke: one crash, assert the recovery contract
+//! recovery_smoke --table    # EXPERIMENTS sweep: recovery cost vs checkpoint interval
+//! ```
+//!
+//! The smoke mode builds a durable portal, makes some pages durable and
+//! leaves one page plus two updates in the durability gap, "crashes"
+//! (drops the portal while the DBMS and page cache survive), recovers, and
+//! asserts the paper's safety contract end to end: the gap page is
+//! conservatively ejected with recovery-gap provenance, the replayed
+//! update tail re-ejects what it must, and the freshness oracle finds zero
+//! stale pages afterwards. `--table` sweeps the checkpoint interval and
+//! prints the recovery-time / WAL-replay / over-ejection table that
+//! EXPERIMENTS.md quotes.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{
+    shared, HttpRequest, ParamSource, QueryTemplate, ServletSpec, SharedDb, SqlServlet,
+};
+use cacheportal::{CachePortal, Served};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => smoke(),
+        Some("--table") => table(),
+        Some(other) => {
+            eprintln!("usage: recovery_smoke [--table] (got {other:?})");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cp-recovery-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create durable dir");
+    d
+}
+
+fn car_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .expect("schema");
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .expect("schema");
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .expect("seed");
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .expect("seed");
+    db
+}
+
+fn register(portal: &CachePortal) {
+    portal.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    )));
+}
+
+fn req(maxprice: i64) -> HttpRequest {
+    HttpRequest::get("shop.example.com", "/carSearch", &[("maxprice", &maxprice.to_string())])
+}
+
+fn build(db: SharedDb, dir: &Path, interval: u64) -> CachePortal {
+    let p = CachePortal::builder_shared(db)
+        .durable(dir)
+        .checkpoint_interval(interval)
+        .build()
+        .expect("build durable portal");
+    register(&p);
+    p
+}
+
+fn check(cond: bool, what: &str) {
+    if cond {
+        println!("  ok: {what}");
+    } else {
+        eprintln!("recovery smoke FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn smoke() {
+    let dir = temp_dir("smoke");
+    let db = shared(car_db());
+    let p = build(db.clone(), &dir, 4);
+
+    // Two pages made durable by the sync point…
+    p.request(&req(20000));
+    p.request(&req(30000));
+    p.sync_point().expect("sync");
+    // …one page and two updates left in the durability gap.
+    p.request(&req(26000));
+    p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").expect("update");
+    p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").expect("update");
+    let cache = p.page_cache().clone();
+    let gap_key = p.request(&req(26000)).key.expect("cached page has a key");
+    drop(p); // crash: sniffer logs, invalidator, and metrics die here
+
+    let t0 = Instant::now();
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .checkpoint_interval(4)
+        .surviving_cache(cache.clone())
+        .recover()
+        .expect("recover from durable journal");
+    let recover_us = t0.elapsed().as_micros();
+    register(&p2);
+
+    let stats = p2.recovery_stats().expect("recovered portal has stats").clone();
+    println!(
+        "recovered in {recover_us}us: {} map entries, {} origins, {} WAL records, \
+         resumed at LSN {} / sync #{}",
+        stats.map_entries, stats.origins, stats.wal_records, stats.resumed_consumed,
+        stats.resumed_sync_seq,
+    );
+    check(stats.gap_ejected == 1, "exactly the gap page is conservatively ejected");
+    check(!cache.contains(&gap_key), "gap page is out of the surviving cache");
+    check(
+        serde_json::to_string(&p2.explain_invalidation(gap_key.as_str()))
+            .expect("explain serializes")
+            .contains("recovery-gap"),
+        "gap eject carries recovery-gap provenance",
+    );
+    check(p2.obs().health.snapshot().recoveries == 1, "health reports the recovery");
+
+    // The replayed update tail must re-eject the affected durable pages…
+    let report = p2.sync_point().expect("post-recovery sync");
+    check(report.ejected >= 1, "replayed tail re-ejects the update's victims");
+    // …after which the always-recompute oracle finds nothing stale.
+    check(p2.stale_pages().is_empty(), "zero stale pages after recovery + sync");
+    check(
+        p2.request(&req(30000)).response.body.contains("Camry"),
+        "regenerated page sees the update applied in the gap",
+    );
+    check(
+        p2.request(&req(20000)).served == Served::CacheHit,
+        "untouched durable page still serves from the surviving cache",
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("recovery smoke OK");
+}
+
+/// One sweep cell: populate `pages` pages across `syncs` sync points with
+/// an update per round, crash, and measure what recovery costs.
+fn cell(interval: u64, pages: i64, syncs: u64) -> (u128, u64, u64, usize) {
+    let dir = temp_dir(&format!("table-{interval}"));
+    let db = shared(car_db());
+    let p = build(db.clone(), &dir, interval);
+    let per_round = (pages / syncs as i64).max(1);
+    let mut price = 15000;
+    for round in 0..syncs {
+        for _ in 0..per_round {
+            p.request(&req(price));
+            price += 500;
+        }
+        p.update(&format!(
+            "UPDATE Car SET price = {} WHERE model = 'Civic'",
+            17000 + round as i64
+        ))
+        .expect("update");
+        p.sync_point().expect("sync");
+    }
+    // Leave two admissions in the gap so over-ejection is visible.
+    p.request(&req(price));
+    p.request(&req(price + 500));
+    let cache = p.page_cache().clone();
+    drop(p);
+
+    let t0 = Instant::now();
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .checkpoint_interval(interval)
+        .surviving_cache(cache)
+        .recover()
+        .expect("recover");
+    let us = t0.elapsed().as_micros();
+    register(&p2);
+    let stats = p2.recovery_stats().expect("stats").clone();
+    p2.sync_point().expect("post-recovery sync");
+    assert!(p2.stale_pages().is_empty(), "interval {interval}: stale after recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    (us, stats.wal_records, stats.gap_ejected as u64, stats.map_entries)
+}
+
+fn table() {
+    println!(
+        "| checkpoint interval | recovery time (µs) | WAL records replayed | \
+         gap ejects | map entries recovered |"
+    );
+    println!("|---:|---:|---:|---:|---:|");
+    for interval in [1u64, 2, 4, 8, 16, 32] {
+        let (us, wal, gap, map) = cell(interval, 54, 18);
+        println!("| {interval} | {us} | {wal} | {gap} | {map} |");
+    }
+}

@@ -1,0 +1,425 @@
+//! Crash-safe persistence of the portal's recoverable state.
+//!
+//! The portal's in-memory state splits into two halves. The *derivable*
+//! half (page cache contents, maintained indexes, policy statistics) can
+//! always be rebuilt or safely discarded. The *load-bearing* half cannot:
+//!
+//! * the sniffer's **QI/URL map** — losing a row means a cached page whose
+//!   dependencies are unknown, i.e. a page that can silently go stale;
+//! * each cached page's **origin request** — the freshness oracle and the
+//!   recovery gap scan both need to know which request produced a page;
+//! * the invalidator's **sync cursor** — the last-processed LSN (claiming
+//!   too much means unprocessed updates are skipped: staleness), the sync
+//!   ordinal, and per-relation delta-group watermarks.
+//!
+//! This module journals that half through `cacheportal-durable`'s
+//! checksummed WAL with periodic snapshot compaction. The ordering
+//! invariant that keeps crashes sound lives in `CachePortal::sync_point`:
+//! **ejects are delivered before the cursor is made durable, and the
+//! cursor is durable before the update log is truncated.** A crash in any
+//! window therefore re-processes (and re-ejects) a suffix of updates —
+//! pure over-invalidation, never staleness.
+//!
+//! Record and snapshot payloads are JSON (versioned by the durable layer's
+//! frame format); WAL replay is idempotent — map rows deduplicate, origin
+//! rows are last-write-wins, and the cursor takes the maximum.
+
+use cacheportal_sniffer::{QiUrlEntry, QiUrlMap};
+use cacheportal_web::{HttpRequest, PageKey};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A cached page's origin: the request whose regeneration proves (or
+/// disproves) freshness.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OriginRecord {
+    /// The page's cache key.
+    pub page: PageKey,
+    /// The request that generated it.
+    pub request: HttpRequest,
+}
+
+/// The invalidator's durable position in the update stream.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CursorRecord {
+    /// One past the last update-log LSN fully processed (ejects delivered).
+    pub consumed: u64,
+    /// Sync-point ordinal of the portal (continues across restarts; also
+    /// the poll-flap fault epoch, so burst phase survives a crash).
+    pub sync_seq: u64,
+    /// Per-relation high-water marks: the largest LSN consumed for each
+    /// table, from the last sync point's delta groups.
+    pub watermarks: Vec<(String, u64)>,
+}
+
+/// One WAL frame's payload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DurableRecord {
+    /// A new QI/URL map row.
+    MapEntry(QiUrlEntry),
+    /// A page admission's origin request.
+    Origin(OriginRecord),
+    /// The cursor after a completed sync point.
+    Cursor(CursorRecord),
+}
+
+/// Snapshot payload: the full recoverable state at checkpoint time.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SnapshotDoc {
+    /// Every QI/URL map row.
+    pub map: Vec<QiUrlEntry>,
+    /// Every live cached page's origin.
+    pub origins: Vec<OriginRecord>,
+    /// The cursor as of the checkpoint.
+    pub cursor: CursorRecord,
+}
+
+/// State reconstructed from disk by [`Durability::load`].
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// QI/URL rows, snapshot-then-WAL order (duplicates possible — the
+    /// map's insert dedups).
+    pub map_entries: Vec<QiUrlEntry>,
+    /// Origins, last-write-wins per page.
+    pub origins: HashMap<PageKey, HttpRequest>,
+    /// The highest durable cursor.
+    pub cursor: CursorRecord,
+    /// Snapshot sequence number found, if any.
+    pub snapshot_seq: Option<u64>,
+    /// WAL frames replayed past the snapshot.
+    pub wal_records: u64,
+    /// Torn/corrupt tail bytes truncated during replay.
+    pub torn_bytes: u64,
+}
+
+/// Counters one persist/checkpoint pass produced (folded into metrics by
+/// the caller; this module never touches the registry directly).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PersistOutcome {
+    /// WAL frames appended.
+    pub appended: u64,
+    /// Whether a checkpoint (snapshot + WAL reset) ran.
+    pub checkpointed: bool,
+    /// I/O errors swallowed (state possibly not durable — the caller must
+    /// mark health).
+    pub errors: u64,
+}
+
+/// The live durability pipeline owned by a portal.
+pub struct Durability {
+    dir: PathBuf,
+    wal: cacheportal_durable::Wal,
+    checkpoint_interval: u64,
+    syncs_since_checkpoint: u64,
+    /// QI/URL map rows with id below this are already durable.
+    map_cursor: u64,
+    /// Snapshot sequence for the next checkpoint.
+    next_snapshot_seq: u64,
+}
+
+impl Durability {
+    /// Open (or create) the durable directory and its WAL, continuing any
+    /// existing journal. `checkpoint_interval` is the number of persisted
+    /// sync points between snapshot compactions (minimum 1).
+    pub fn open(dir: &Path, checkpoint_interval: u64) -> io::Result<Durability> {
+        std::fs::create_dir_all(dir)?;
+        let wal = cacheportal_durable::Wal::open(&cacheportal_durable::wal_path(dir))?;
+        let next_snapshot_seq = cacheportal_durable::Checkpoint::read(dir)?
+            .map(|(seq, _)| seq + 1)
+            .unwrap_or(1);
+        Ok(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            checkpoint_interval: checkpoint_interval.max(1),
+            syncs_since_checkpoint: 0,
+            map_cursor: 0,
+            next_snapshot_seq,
+        })
+    }
+
+    /// The durable directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Raw WAL statistics (appends/bytes/syncs/resets) for metrics export.
+    pub fn wal_stats(&self) -> cacheportal_durable::WalStats {
+        self.wal.stats()
+    }
+
+    /// Mark every map row below `cursor` as already durable (recovery sets
+    /// this to the recovered map's high id after its compacting checkpoint).
+    pub fn set_map_cursor(&mut self, cursor: u64) {
+        self.map_cursor = cursor;
+    }
+
+    /// Replay the durable directory into a [`RecoveredState`]. Missing
+    /// files yield the empty state; torn WAL tails are truncated by the
+    /// durable layer and reported, never mis-replayed. Unparseable JSON in
+    /// an intact frame is an error — checksums passed, so it indicates a
+    /// version mismatch rather than a crash artifact.
+    pub fn load(dir: &Path) -> io::Result<RecoveredState> {
+        let recovery = cacheportal_durable::Recovery::replay(dir)?;
+        let mut state = RecoveredState {
+            snapshot_seq: recovery.snapshot_seq,
+            wal_records: recovery.wal_records.len() as u64,
+            torn_bytes: recovery.wal_torn_bytes,
+            ..RecoveredState::default()
+        };
+        if let Some(snapshot) = &recovery.snapshot {
+            let text = std::str::from_utf8(snapshot)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let doc: SnapshotDoc = serde_json::from_str(text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            state.map_entries = doc.map;
+            for o in doc.origins {
+                state.origins.insert(o.page, o.request);
+            }
+            state.cursor = doc.cursor;
+        }
+        for frame in &recovery.wal_records {
+            let text = std::str::from_utf8(frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let record: DurableRecord = serde_json::from_str(text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            match record {
+                DurableRecord::MapEntry(e) => state.map_entries.push(e),
+                DurableRecord::Origin(o) => {
+                    state.origins.insert(o.page, o.request);
+                }
+                DurableRecord::Cursor(c) => {
+                    // Idempotent replay: a crash between snapshot rename
+                    // and WAL reset can leave older cursors behind — take
+                    // the maximum, never step backwards.
+                    if c.consumed >= state.cursor.consumed {
+                        state.cursor = c;
+                    }
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Persist one completed sync point: new QI/URL rows since the durable
+    /// map cursor, the window's admissions' origins, and the new cursor —
+    /// then fsync. Runs a checkpoint (full snapshot + WAL reset) every
+    /// `checkpoint_interval` persisted syncs. I/O errors are counted, not
+    /// propagated: the portal stays available, the caller flags health.
+    pub fn persist_sync(
+        &mut self,
+        map: &QiUrlMap,
+        new_origins: &[(PageKey, HttpRequest)],
+        origins_full: &HashMap<PageKey, HttpRequest>,
+        cursor: CursorRecord,
+    ) -> PersistOutcome {
+        let mut out = PersistOutcome::default();
+        let (new_entries, next_cursor) = map.entries_since(self.map_cursor);
+        for entry in new_entries {
+            out.errors += self.append(&DurableRecord::MapEntry(entry), &mut out.appended);
+        }
+        self.map_cursor = next_cursor;
+        for (page, request) in new_origins {
+            out.errors += self.append(
+                &DurableRecord::Origin(OriginRecord {
+                    page: page.clone(),
+                    request: request.clone(),
+                }),
+                &mut out.appended,
+            );
+        }
+        out.errors += self.append(&DurableRecord::Cursor(cursor.clone()), &mut out.appended);
+        if let Err(_e) = self.wal.sync() {
+            out.errors += 1;
+        }
+
+        self.syncs_since_checkpoint += 1;
+        if self.syncs_since_checkpoint >= self.checkpoint_interval {
+            match self.checkpoint(map, origins_full, cursor) {
+                Ok(()) => out.checkpointed = true,
+                Err(_) => out.errors += 1,
+            }
+        }
+        out
+    }
+
+    /// Write a full snapshot and reset the WAL. A crash between the
+    /// snapshot rename and the WAL reset leaves snapshot + stale WAL tail:
+    /// replay re-applies the tail on top, which is why records must be
+    /// idempotent.
+    pub fn checkpoint(
+        &mut self,
+        map: &QiUrlMap,
+        origins_full: &HashMap<PageKey, HttpRequest>,
+        cursor: CursorRecord,
+    ) -> io::Result<()> {
+        let mut origins: Vec<OriginRecord> = origins_full
+            .iter()
+            .map(|(page, request)| OriginRecord {
+                page: page.clone(),
+                request: request.clone(),
+            })
+            .collect();
+        // HashMap order is nondeterministic; keep snapshots byte-stable.
+        origins.sort_by(|a, b| a.page.cmp(&b.page));
+        let doc = SnapshotDoc {
+            map: map.all(),
+            origins,
+            cursor,
+        };
+        let payload = serde_json::to_string(&doc)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        cacheportal_durable::Checkpoint::write(&self.dir, self.next_snapshot_seq, payload.as_bytes())?;
+        self.next_snapshot_seq += 1;
+        self.wal.reset()?;
+        self.syncs_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn append(&mut self, record: &DurableRecord, appended: &mut u64) -> u64 {
+        let payload = match serde_json::to_string(record) {
+            Ok(p) => p,
+            Err(_) => return 1,
+        };
+        match self.wal.append(payload.as_bytes()) {
+            Ok(()) => {
+                *appended += 1;
+                0
+            }
+            Err(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cp-core-durability-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn entry_map() -> QiUrlMap {
+        let map = QiUrlMap::new();
+        map.insert("SELECT 1".into(), PageKey::raw("p1"), "s".into());
+        map.insert("SELECT 2".into(), PageKey::raw("p2"), "s".into());
+        map
+    }
+
+    #[test]
+    fn persist_then_load_round_trips() {
+        let dir = temp_dir();
+        let map = entry_map();
+        let req = HttpRequest::get("h", "/s", &[("k", "v")]);
+        let origins_full: HashMap<PageKey, HttpRequest> =
+            [(PageKey::raw("p1"), req.clone())].into_iter().collect();
+        let mut d = Durability::open(&dir, 100).unwrap();
+        let out = d.persist_sync(
+            &map,
+            &[(PageKey::raw("p1"), req.clone())],
+            &origins_full,
+            CursorRecord {
+                consumed: 7,
+                sync_seq: 3,
+                watermarks: vec![("car".into(), 6)],
+            },
+        );
+        assert_eq!(out.errors, 0);
+        assert!(!out.checkpointed);
+        assert_eq!(out.appended, 4, "2 map rows + 1 origin + 1 cursor");
+        drop(d);
+
+        let state = Durability::load(&dir).unwrap();
+        assert_eq!(state.map_entries.len(), 2);
+        assert_eq!(state.origins.get(&PageKey::raw("p1")), Some(&req));
+        assert_eq!(state.cursor.consumed, 7);
+        assert_eq!(state.cursor.sync_seq, 3);
+        assert_eq!(state.cursor.watermarks, vec![("car".to_string(), 6)]);
+        assert_eq!(state.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_replay_is_idempotent() {
+        let dir = temp_dir();
+        let map = entry_map();
+        let req = HttpRequest::get("h", "/s", &[]);
+        let origins_full: HashMap<PageKey, HttpRequest> =
+            [(PageKey::raw("p1"), req.clone())].into_iter().collect();
+        let mut d = Durability::open(&dir, 2).unwrap();
+        for sync in 0..5u64 {
+            let out = d.persist_sync(
+                &map,
+                &[(PageKey::raw("p1"), req.clone())],
+                &origins_full,
+                CursorRecord {
+                    consumed: sync + 1,
+                    sync_seq: sync,
+                    watermarks: vec![],
+                },
+            );
+            assert_eq!(out.errors, 0);
+            assert_eq!(out.checkpointed, sync % 2 == 1, "every 2nd sync snapshots");
+        }
+        drop(d);
+        let state = Durability::load(&dir).unwrap();
+        // Duplicate origins/map rows collapsed; cursor is the latest.
+        assert_eq!(state.cursor.consumed, 5);
+        assert_eq!(state.origins.len(), 1);
+        assert!(state.snapshot_seq.is_some());
+        // Map rows may repeat across snapshot + WAL — dedup is the map's
+        // job; ensure both distinct rows survived.
+        let sqls: std::collections::HashSet<&str> =
+            state.map_entries.iter().map(|e| e.sql.as_str()).collect();
+        assert_eq!(sqls.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_of_empty_dir_is_empty_state() {
+        let dir = temp_dir();
+        let state = Durability::load(&dir).unwrap();
+        assert_eq!(state.map_entries.len(), 0);
+        assert_eq!(state.cursor, CursorRecord::default());
+        assert!(state.snapshot_seq.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_continues_the_journal() {
+        let dir = temp_dir();
+        let map = entry_map();
+        let origins_full = HashMap::new();
+        let mut d = Durability::open(&dir, 100).unwrap();
+        d.persist_sync(
+            &map,
+            &[],
+            &origins_full,
+            CursorRecord { consumed: 1, sync_seq: 0, watermarks: vec![] },
+        );
+        drop(d);
+        // A second incarnation appends to the same WAL.
+        let mut d = Durability::open(&dir, 100).unwrap();
+        d.set_map_cursor(2);
+        d.persist_sync(
+            &map,
+            &[],
+            &origins_full,
+            CursorRecord { consumed: 9, sync_seq: 1, watermarks: vec![] },
+        );
+        drop(d);
+        let state = Durability::load(&dir).unwrap();
+        assert_eq!(state.cursor.consumed, 9);
+        assert_eq!(state.map_entries.len(), 2, "second pass skipped durable rows");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -48,10 +48,15 @@
 //! ```
 
 pub mod cluster;
+pub mod durability;
 pub mod system;
 
 pub use cluster::CachePortalCluster;
-pub use system::{CachePortal, CachePortalBuilder, RequestOutcome, Served, SyncReport};
+pub use durability::{
+    CursorRecord, Durability, DurableRecord, OriginRecord, PersistOutcome, RecoveredState,
+    SnapshotDoc,
+};
+pub use system::{CachePortal, CachePortalBuilder, RecoveryStats, RequestOutcome, Served, SyncReport};
 
 /// Re-export: the relational engine substrate.
 pub use cacheportal_db as db;

@@ -1,0 +1,241 @@
+//! Crash-recovery integration tests: a portal journals its QI/URL map,
+//! page origins, and sync cursor to a durable directory; "crashing" drops
+//! the portal (the simulated DBMS process and, optionally, the page cache
+//! survive) and `recover()` rebuilds it from disk.
+//!
+//! The safety property under test: after recovery plus one sync point the
+//! freshness oracle finds **zero** stale pages, with any uncertainty
+//! resolved by conservative ejection (recovery-gap), never by serving
+//! stale content.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{shared, HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::{CachePortal, Served};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "cp-recovery-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn example_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',25000), ('Honda','Civic',18000)")
+        .unwrap();
+    db.execute("INSERT INTO Mileage VALUES ('Avalon', 28.0), ('Civic', 36.5)")
+        .unwrap();
+    db
+}
+
+fn search_servlet() -> Arc<dyn cacheportal::web::Servlet> {
+    Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    ))
+}
+
+fn req(maxprice: i64) -> HttpRequest {
+    HttpRequest::get(
+        "shop.example.com",
+        "/carSearch",
+        &[("maxprice", &maxprice.to_string())],
+    )
+}
+
+#[test]
+fn recovery_restores_map_origins_and_cursor() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let p = CachePortal::builder_shared(db.clone())
+        .durable(&dir)
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    assert_eq!(p.request(&req(20000)).served, Served::Generated);
+    assert_eq!(p.request(&req(30000)).served, Served::Generated);
+    p.sync_point().unwrap(); // map rows + origins + cursor now durable
+    let cache = p.page_cache().clone();
+    let map_len = p.qi_url_map().len();
+    drop(p); // crash
+
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .surviving_cache(cache)
+        .recover()
+        .unwrap();
+    p2.register_servlet(search_servlet());
+    let stats = p2.recovery_stats().expect("built via recover()").clone();
+    assert_eq!(stats.gap_ejected, 0, "everything was durable before the crash");
+    assert_eq!(stats.map_entries, map_len);
+    assert_eq!(stats.origins, 2);
+    assert_eq!(stats.resumed_sync_seq, 1);
+
+    // Both pages survived and are still fresh.
+    assert!(p2.stale_pages().is_empty());
+    assert_eq!(p2.request(&req(20000)).served, Served::CacheHit);
+    assert_eq!(p2.request(&req(30000)).served, Served::CacheHit);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gap_admissions_are_conservatively_ejected() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let p = CachePortal::builder_shared(db.clone())
+        .durable(&dir)
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    p.request(&req(20000));
+    p.sync_point().unwrap(); // page A durable
+    p.request(&req(30000)); // page B admitted, NOT yet durable
+    let cache = p.page_cache().clone();
+    let key_a = p.request(&req(20000)).key.unwrap();
+    let key_b = p.request(&req(30000)).key.unwrap();
+    drop(p); // crash before the sync that would persist B's origin
+
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .surviving_cache(cache.clone())
+        .recover()
+        .unwrap();
+    p2.register_servlet(search_servlet());
+    let stats = p2.recovery_stats().unwrap().clone();
+    assert_eq!(stats.gap_ejected, 1, "B was admitted in the durability gap");
+    assert!(cache.contains(&key_a), "durable page survives");
+    assert!(!cache.contains(&key_b), "gap page conservatively ejected");
+
+    // The gap eject carries recovery-gap provenance.
+    let doc = p2.explain_invalidation(key_b.as_str());
+    assert!(
+        serde_json::to_string(&doc).unwrap().contains("recovery-gap"),
+        "provenance must name the recovery gap: {doc:?}"
+    );
+
+    // Health remembers the recovery and the gap ejects.
+    let h = p2.obs().health.snapshot();
+    assert_eq!(h.recoveries, 1);
+    assert_eq!(h.recovery_gap_ejects, 1);
+
+    assert!(p2.stale_pages().is_empty());
+    assert_eq!(p2.request(&req(30000)).served, Served::Generated);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unsynced_updates_are_reanalyzed_after_recovery() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let p = CachePortal::builder_shared(db.clone())
+        .durable(&dir)
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    p.request(&req(30000));
+    p.sync_point().unwrap();
+    // Updates land in the shared log; the portal crashes before the sync
+    // point that would process them (cursor on disk predates them).
+    p.update("INSERT INTO Mileage VALUES ('Camry', 30.0)").unwrap();
+    p.update("INSERT INTO Car VALUES ('Toyota','Camry',22000)").unwrap();
+    let cache = p.page_cache().clone();
+    drop(p);
+
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .surviving_cache(cache)
+        .recover()
+        .unwrap();
+    p2.register_servlet(search_servlet());
+    // The page is stale until the first post-recovery sync point…
+    assert_eq!(p2.stale_pages().len(), 1);
+    let report = p2.sync_point().unwrap();
+    assert_eq!(report.ejected, 1, "replayed tail ejects the affected page");
+    // …and never after it.
+    assert!(p2.stale_pages().is_empty());
+    assert!(p2.request(&req(30000)).response.body.contains("Camry"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_interval_is_configurable() {
+    let run = |interval: u64, syncs: u64| -> u64 {
+        let dir = temp_dir();
+        let db = shared(example_db());
+        let p = CachePortal::builder_shared(db)
+            .durable(&dir)
+            .checkpoint_interval(interval)
+            .build()
+            .unwrap();
+        p.register_servlet(search_servlet());
+        p.request(&req(20000));
+        for _ in 0..syncs {
+            p.sync_point().unwrap();
+        }
+        let snap = p.metrics_snapshot();
+        let checkpoints = snap["metrics"]["counters"]["durable.checkpoints"]
+            .as_u64()
+            .unwrap_or(0);
+        std::fs::remove_dir_all(&dir).unwrap();
+        checkpoints
+    };
+    assert_eq!(run(1, 4), 4, "interval 1 snapshots every sync");
+    assert_eq!(run(2, 4), 2, "interval 2 snapshots every other sync");
+    assert_eq!(run(100, 4), 0, "interval above the sync count never snapshots");
+}
+
+#[test]
+fn recovery_survives_repeated_crashes() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let mut cache = None;
+    let mut prices = vec![19000, 26000, 40000];
+    for round in 0..3 {
+        let builder = CachePortal::builder_shared(db.clone())
+            .durable(&dir)
+            .checkpoint_interval(2);
+        let builder = match cache.take() {
+            Some(c) => builder.surviving_cache(c),
+            None => builder,
+        };
+        let p = if round == 0 {
+            builder.build().unwrap()
+        } else {
+            builder.recover().unwrap()
+        };
+        p.register_servlet(search_servlet());
+        for price in &prices {
+            p.request(&req(*price));
+        }
+        p.sync_point().unwrap();
+        p.update(&format!(
+            "UPDATE Car SET price = {} WHERE model = 'Avalon'",
+            24000 + round * 100
+        ))
+        .unwrap();
+        p.sync_point().unwrap();
+        assert!(p.stale_pages().is_empty(), "round {round} went stale");
+        prices.push(21000 + round * 1000);
+        cache = Some(p.page_cache().clone());
+        // crash at end of round
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -35,6 +35,14 @@ pub struct FaultSpec {
     pub poll_timeout: f64,
     /// Probability a transaction statement aborts mid-stream.
     pub txn_abort: f64,
+    /// Probability the portal process "crashes" before an action (the
+    /// harness kills the portal and recovers it from the durable state).
+    pub crash_restart: f64,
+    /// Poll-flap burst cycle length in sync points (`0` disables flapping).
+    pub poll_flap_period: u64,
+    /// Leading sync points of each cycle during which *every* poll faults
+    /// with an error — the bursty outage that should trip the breaker.
+    pub poll_flap_burst: u64,
 }
 
 impl FaultSpec {
@@ -46,6 +54,8 @@ impl FaultSpec {
             && self.poll_error == 0.0
             && self.poll_timeout == 0.0
             && self.txn_abort == 0.0
+            && self.crash_restart == 0.0
+            && (self.poll_flap_period == 0 || self.poll_flap_burst == 0)
     }
 }
 
@@ -71,6 +81,8 @@ pub struct FaultCounts {
     pub poll_timeouts: u64,
     /// Transaction statements aborted.
     pub txn_aborts: u64,
+    /// Portal crash/restarts injected.
+    pub crashes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -81,8 +93,12 @@ struct FaultState {
     poll_errors: AtomicU64,
     poll_timeouts: AtomicU64,
     txn_aborts: AtomicU64,
+    crashes: AtomicU64,
     /// Keys transaction-abort decisions (one per statement executed).
     txn_stmt_seq: AtomicU64,
+    /// Current sync-point ordinal; phases the poll-flap burst windows.
+    /// Survives restarts because the portal persists its sync sequence.
+    poll_epoch: AtomicU64,
 }
 
 /// Shareable handle to one fault configuration; clones observe the same
@@ -147,6 +163,7 @@ impl FaultPlan {
                 poll_errors: s.poll_errors.load(Ordering::Relaxed),
                 poll_timeouts: s.poll_timeouts.load(Ordering::Relaxed),
                 txn_aborts: s.txn_aborts.load(Ordering::Relaxed),
+                crashes: s.crashes.load(Ordering::Relaxed),
             },
         }
     }
@@ -183,20 +200,53 @@ impl FaultPlan {
             .is_some_and(|s| s.spec.sniffer_reorder)
     }
 
-    /// Invalidator site: does the poll with this structural key fault?
-    /// Keyed on the poll's content (not a sequence counter) so the decision
-    /// is identical across worker counts and across replays.
-    pub fn poll_fault(&self, poll_key: u64) -> Option<PollFault> {
+    /// Invalidator site: does this poll attempt fault? Keyed on the poll's
+    /// structural key (not a sequence counter) so the decision is identical
+    /// across worker counts and across replays, plus the retry attempt
+    /// number so a transient fault can clear on a later attempt. During a
+    /// poll-flap burst window every attempt faults regardless of key — the
+    /// sustained outage retries cannot paper over.
+    pub fn poll_fault(&self, poll_key: u64, attempt: u32) -> Option<PollFault> {
         let s = self.state.as_ref()?;
-        if Self::roll(s, 3, poll_key, s.spec.poll_error) {
+        if s.spec.poll_flap_period > 0
+            && s.poll_epoch.load(Ordering::Relaxed) % s.spec.poll_flap_period
+                < s.spec.poll_flap_burst
+        {
             s.poll_errors.fetch_add(1, Ordering::Relaxed);
             return Some(PollFault::Error);
         }
-        if Self::roll(s, 4, poll_key, s.spec.poll_timeout) {
+        // Attempt 0 keys exactly as before; retries re-roll under a
+        // distinct derived key.
+        let key = poll_key.wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if Self::roll(s, 3, key, s.spec.poll_error) {
+            s.poll_errors.fetch_add(1, Ordering::Relaxed);
+            return Some(PollFault::Error);
+        }
+        if Self::roll(s, 4, key, s.spec.poll_timeout) {
             s.poll_timeouts.fetch_add(1, Ordering::Relaxed);
             return Some(PollFault::Timeout);
         }
         None
+    }
+
+    /// Advance the poll-flap phase. The portal calls this with its durable
+    /// sync-point ordinal at the start of every sync point, so burst
+    /// windows line up across restarts and worker counts.
+    pub fn set_poll_epoch(&self, epoch: u64) {
+        if let Some(s) = &self.state {
+            s.poll_epoch.store(epoch, Ordering::Relaxed);
+        }
+    }
+
+    /// Harness site: should the portal crash before this action? Keyed on
+    /// the action index so a trace replays with identical crash points.
+    pub fn crash_before_action(&self, action_index: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(s, 6, action_index, s.spec.crash_restart);
+        if hit {
+            s.crashes.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
     }
 
     /// Database site: should this transaction statement abort? Keyed on a
@@ -224,8 +274,9 @@ mod tests {
         assert!(!p.drop_query_record(7));
         assert!(!p.duplicate_query_record(7));
         assert!(!p.reorder_query_records());
-        assert_eq!(p.poll_fault(42), None);
+        assert_eq!(p.poll_fault(42, 0), None);
         assert!(!p.txn_abort());
+        assert!(!p.crash_before_action(0));
         assert_eq!(p.counts(), FaultCounts::default());
     }
 
@@ -246,11 +297,66 @@ mod tests {
         let b = FaultPlan::new(spec);
         for key in 0..200 {
             assert_eq!(a.drop_query_record(key), b.drop_query_record(key));
-            assert_eq!(a.poll_fault(key), b.poll_fault(key));
+            assert_eq!(a.poll_fault(key, 0), b.poll_fault(key, 0));
+            assert_eq!(a.poll_fault(key, 1), b.poll_fault(key, 1));
         }
         assert_eq!(a.counts(), b.counts());
         assert!(a.counts().sniffer_dropped > 0, "p=0.5 over 200 keys fires");
         assert!(a.counts().poll_errors > 0);
+    }
+
+    #[test]
+    fn retry_attempts_reroll_transient_faults() {
+        let p = FaultPlan::new(FaultSpec {
+            seed: 7,
+            poll_error: 0.5,
+            ..FaultSpec::default()
+        });
+        // With p=0.5 over 200 keys some poll must fault on attempt 0 and
+        // clear on a retry — that is the transience retries exploit.
+        let cleared = (0..200u64).any(|k| {
+            p.poll_fault(k, 0).is_some() && p.poll_fault(k, 1).is_none()
+        });
+        assert!(cleared, "no fault cleared on retry");
+    }
+
+    #[test]
+    fn poll_flap_faults_exactly_in_burst_windows() {
+        let p = FaultPlan::new(FaultSpec {
+            poll_flap_period: 4,
+            poll_flap_burst: 2,
+            ..FaultSpec::default()
+        });
+        assert!(p.is_active());
+        for epoch in 0..12u64 {
+            p.set_poll_epoch(epoch);
+            let in_burst = epoch % 4 < 2;
+            assert_eq!(
+                p.poll_fault(99, 0).is_some(),
+                in_burst,
+                "epoch {epoch} burst expectation"
+            );
+            // Retries cannot dodge a burst: the whole window faults.
+            if in_burst {
+                assert!(p.poll_fault(99, 3).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn crash_decisions_are_deterministic_and_counted() {
+        let spec = FaultSpec {
+            seed: 3,
+            crash_restart: 0.3,
+            ..FaultSpec::default()
+        };
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        let hits: Vec<u64> = (0..100).filter(|&i| a.crash_before_action(i)).collect();
+        let hits_b: Vec<u64> = (0..100).filter(|&i| b.crash_before_action(i)).collect();
+        assert_eq!(hits, hits_b);
+        assert!(!hits.is_empty());
+        assert_eq!(a.counts().crashes, hits.len() as u64);
     }
 
     #[test]

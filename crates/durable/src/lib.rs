@@ -1,0 +1,597 @@
+//! Crash-safe persistence primitives for CachePortal: an append-only,
+//! checksummed, fsync-batched write-ahead log plus atomic snapshot
+//! checkpoints, with a versioned on-disk format.
+//!
+//! The portal persists two things across restarts (paper §3–§4: the
+//! sniffer's URL↔QI map and the invalidator's position in the DBMS update
+//! log). Both are small and append-mostly, so the design is deliberately
+//! simple and auditable:
+//!
+//! * **WAL** (`wal.log`): an 8-byte header (`CPWAL\0` magic + `u16`
+//!   version) followed by frames `[len: u32 LE][crc32: u32 LE][payload]`.
+//!   Appends are buffered by the OS and flushed with an explicit
+//!   [`Wal::sync`] at each durability point (one fsync covers the whole
+//!   batch of records appended since the last sync). A torn tail — a
+//!   partial frame from a crash mid-write — is detected by length/checksum
+//!   and **truncated**, never replayed.
+//! * **Snapshot** (`snapshot.bin`): the full serialized state, written to a
+//!   temp file, fsynced, then atomically renamed over the previous snapshot
+//!   (and the directory fsynced). Header: `CPSNP\0` magic, `u16` version,
+//!   `u64` sequence number, `u32` payload length, `u32` crc32.
+//!
+//! Recovery ([`Recovery::replay`]) loads the latest snapshot (if any) and
+//! then every complete WAL frame. Because a crash can land *between* the
+//! snapshot rename and the WAL reset, replay may surface WAL records that
+//! are already folded into the snapshot — callers must apply records
+//! idempotently (the portal's map inserts are deduplicated and its cursor
+//! records take the maximum).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// On-disk format version for the WAL. Bump on incompatible changes.
+pub const WAL_VERSION: u16 = 1;
+/// On-disk format version for snapshots. Bump on incompatible changes.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const WAL_MAGIC: &[u8; 6] = b"CPWAL\0";
+const SNAP_MAGIC: &[u8; 6] = b"CPSNP\0";
+const WAL_HEADER_LEN: u64 = 8;
+const FRAME_HEADER_LEN: u64 = 8;
+const SNAP_HEADER_LEN: usize = 24;
+/// Upper bound on a single frame; anything larger is treated as corruption.
+const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), the checksum used by every frame and
+/// snapshot in this crate.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Path of the WAL inside a durability directory.
+pub fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.log")
+}
+
+/// Path of the current snapshot inside a durability directory.
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.bin")
+}
+
+/// Plain accounting the embedding layer exports as `durable.*` metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Payload + frame-header bytes written since open.
+    pub bytes: u64,
+    /// Explicit fsync batches issued.
+    pub syncs: u64,
+    /// Times the log was reset after a snapshot.
+    pub resets: u64,
+}
+
+/// Result of scanning a WAL file: every complete record, the byte length of
+/// the valid prefix, and how many torn-tail bytes follow it.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Payloads of all complete, checksum-valid frames, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length in bytes of the valid prefix (header + complete frames).
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (partial frame or failed checksum).
+    pub torn_bytes: u64,
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Scan a WAL file without modifying it. A missing file is an empty log.
+///
+/// Torn tails (partial header, partial frame, checksum mismatch, or an
+/// implausible length) terminate the scan: everything before them is
+/// returned, everything after is reported as `torn_bytes`. A file whose
+/// *complete* 8-byte header carries the wrong magic or an unknown version
+/// is not a crash artifact and yields an error instead.
+pub fn replay_wal(path: &Path) -> io::Result<WalReplay> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(WalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut out = WalReplay::default();
+    if (bytes.len() as u64) < WAL_HEADER_LEN {
+        // Crash while writing the very first header: nothing durable yet.
+        out.torn_bytes = bytes.len() as u64;
+        return Ok(out);
+    }
+    if &bytes[..6] != WAL_MAGIC {
+        return Err(corrupt("wal: bad magic"));
+    }
+    let version = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if version != WAL_VERSION {
+        return Err(corrupt(format!("wal: unsupported version {version}")));
+    }
+    let mut off = WAL_HEADER_LEN as usize;
+    out.valid_len = WAL_HEADER_LEN;
+    while off < bytes.len() {
+        if bytes.len() - off < FRAME_HEADER_LEN as usize {
+            break; // torn frame header
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            break; // implausible length: treat as torn garbage
+        }
+        let start = off + FRAME_HEADER_LEN as usize;
+        let end = match start.checked_add(len as usize) {
+            Some(e) if e <= bytes.len() => e,
+            _ => break, // torn payload
+        };
+        if crc32(&bytes[start..end]) != crc {
+            break; // checksum failed: torn or corrupted, never replay
+        }
+        out.records.push(bytes[start..end].to_vec());
+        off = end;
+        out.valid_len = off as u64;
+    }
+    out.torn_bytes = bytes.len() as u64 - out.valid_len;
+    Ok(out)
+}
+
+/// An open append-only log. Opening truncates any torn tail so appends
+/// always continue from the last complete frame.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    sync_every: usize,
+    pending: usize,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Open (creating if absent) with explicit-only fsync batching: records
+    /// accumulate until [`Wal::sync`] is called at the durability point.
+    pub fn open(path: &Path) -> io::Result<Wal> {
+        Wal::open_with(path, 0)
+    }
+
+    /// Open with an automatic fsync every `sync_every` appends
+    /// (`0` = only on explicit [`Wal::sync`]).
+    pub fn open_with(path: &Path, sync_every: usize) -> io::Result<Wal> {
+        let replay = replay_wal(path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        let disk_len = file.metadata()?.len();
+        if replay.valid_len == 0 {
+            // Empty or torn-header file: start fresh.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = [0u8; WAL_HEADER_LEN as usize];
+            header[..6].copy_from_slice(WAL_MAGIC);
+            header[6..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+            file.write_all(&header)?;
+            file.sync_all()?;
+        } else {
+            if disk_len != replay.valid_len {
+                file.set_len(replay.valid_len)?;
+                file.sync_all()?;
+            }
+            file.seek(SeekFrom::Start(replay.valid_len))?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            sync_every,
+            pending: 0,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Append one record. Durable only after the next [`Wal::sync`] (or
+    /// automatic batch flush when `sync_every > 0`).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN as usize + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.stats.appends += 1;
+        self.stats.bytes += frame.len() as u64;
+        self.pending += 1;
+        if self.sync_every > 0 && self.pending >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush every pending append with a single fsync (the batch boundary).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.file.sync_all()?;
+        self.pending = 0;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncate the log back to an empty header — called right after a
+    /// snapshot makes every logged record redundant.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.file.sync_all()?;
+        self.pending = 0;
+        self.stats.resets += 1;
+        Ok(())
+    }
+
+    /// Accounting since open.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The file this log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Atomic snapshot checkpoints.
+pub struct Checkpoint;
+
+impl Checkpoint {
+    /// Durably replace the snapshot: write header + payload to a temp file,
+    /// fsync it, rename over `snapshot.bin`, fsync the directory. A crash
+    /// at any point leaves either the old or the new snapshot intact.
+    pub fn write(dir: &Path, seq: u64, payload: &[u8]) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut buf = Vec::with_capacity(SNAP_HEADER_LEN + payload.len());
+        buf.extend_from_slice(SNAP_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let tmp = dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, snapshot_path(dir))?;
+        // Make the rename itself durable.
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Load the current snapshot: `None` if absent, `Err` if present but
+    /// failing magic/version/length/checksum validation (the atomic rename
+    /// protocol means a damaged snapshot is disk corruption, not a torn
+    /// write, so it is refused rather than silently dropped).
+    pub fn read(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let bytes = match fs::read(snapshot_path(dir)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < SNAP_HEADER_LEN {
+            return Err(corrupt("snapshot: truncated header"));
+        }
+        if &bytes[..6] != SNAP_MAGIC {
+            return Err(corrupt("snapshot: bad magic"));
+        }
+        let version = u16::from_le_bytes([bytes[6], bytes[7]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt(format!("snapshot: unsupported version {version}")));
+        }
+        let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let payload = &bytes[SNAP_HEADER_LEN..];
+        if payload.len() != len {
+            return Err(corrupt("snapshot: length mismatch"));
+        }
+        if crc32(payload) != crc {
+            return Err(corrupt("snapshot: checksum mismatch"));
+        }
+        Ok(Some((seq, payload.to_vec())))
+    }
+}
+
+/// Everything recovery can reconstruct from a durability directory.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Sequence number of the snapshot, if one exists.
+    pub snapshot_seq: Option<u64>,
+    /// Snapshot payload, if one exists.
+    pub snapshot: Option<Vec<u8>>,
+    /// Complete WAL records, in append order. May overlap the snapshot if
+    /// the crash hit between snapshot rename and WAL reset — apply
+    /// idempotently.
+    pub wal_records: Vec<Vec<u8>>,
+    /// Torn-tail bytes the WAL scan discarded.
+    pub wal_torn_bytes: u64,
+}
+
+impl Recovery {
+    /// Load snapshot + WAL from a durability directory. A missing
+    /// directory or empty files yield an empty (but valid) recovery image.
+    pub fn replay(dir: &Path) -> io::Result<Recovery> {
+        let snap = Checkpoint::read(dir)?;
+        let wal = replay_wal(&wal_path(dir))?;
+        let (snapshot_seq, snapshot) = match snap {
+            Some((seq, payload)) => (Some(seq), Some(payload)),
+            None => (None, None),
+        };
+        Ok(Recovery {
+            snapshot_seq,
+            snapshot,
+            wal_records: wal.records,
+            wal_torn_bytes: wal.torn_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cp-durable-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_append_sync_replay_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = wal_path(&dir);
+        let payloads: Vec<Vec<u8>> = vec![b"alpha".to_vec(), vec![], vec![0u8; 1000], b"z".to_vec()];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.sync().unwrap();
+            assert_eq!(wal.stats().appends, 4);
+            assert_eq!(wal.stats().syncs, 1);
+        }
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, payloads);
+        assert_eq!(replay.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_reopen_appends_after_existing_records() {
+        let dir = temp_dir("reopen");
+        let path = wal_path(&dir);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"one").unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"two").unwrap();
+            wal.sync().unwrap();
+        }
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_open_truncates_torn_tail() {
+        let dir = temp_dir("torn-open");
+        let path = wal_path(&dir);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"keep me").unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: half a frame header.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0x55, 0x55, 0x55]).unwrap();
+        drop(f);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"after crash").unwrap();
+            wal.sync().unwrap();
+        }
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, vec![b"keep me".to_vec(), b"after crash".to_vec()]);
+        assert_eq!(replay.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_corrupted_payload_byte_drops_only_last_frame() {
+        let dir = temp_dir("bitflip");
+        let path = wal_path(&dir);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"good").unwrap();
+            wal.append(b"mangled").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, vec![b"good".to_vec()]);
+        assert!(replay.torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_bad_magic_is_an_error_not_a_torn_tail() {
+        let dir = temp_dir("magic");
+        let path = wal_path(&dir);
+        fs::write(&path, b"NOTWAL\0\0extra-bytes").unwrap();
+        assert!(replay_wal(&path).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_reset_clears_records() {
+        let dir = temp_dir("reset");
+        let path = wal_path(&dir);
+        let mut wal = Wal::open(&path).unwrap();
+        wal.append(b"pre-snapshot").unwrap();
+        wal.sync().unwrap();
+        wal.reset().unwrap();
+        wal.append(b"post-snapshot").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let replay = replay_wal(&path).unwrap();
+        assert_eq!(replay.records, vec![b"post-snapshot".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_atomic_replace() {
+        let dir = temp_dir("snap");
+        assert_eq!(Checkpoint::read(&dir).unwrap(), None);
+        Checkpoint::write(&dir, 7, b"state v7").unwrap();
+        assert_eq!(Checkpoint::read(&dir).unwrap(), Some((7, b"state v7".to_vec())));
+        Checkpoint::write(&dir, 8, b"state v8 bigger").unwrap();
+        assert_eq!(
+            Checkpoint::read(&dir).unwrap(),
+            Some((8, b"state v8 bigger".to_vec()))
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_corruption_is_refused() {
+        let dir = temp_dir("snapcorrupt");
+        Checkpoint::write(&dir, 1, b"payload-bytes").unwrap();
+        let p = snapshot_path(&dir);
+        let mut bytes = fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&p, &bytes).unwrap();
+        assert!(Checkpoint::read(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_combines_snapshot_and_wal() {
+        let dir = temp_dir("recover");
+        Checkpoint::write(&dir, 3, b"snapshot-state").unwrap();
+        let mut wal = Wal::open(&wal_path(&dir)).unwrap();
+        wal.append(b"delta-1").unwrap();
+        wal.append(b"delta-2").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let r = Recovery::replay(&dir).unwrap();
+        assert_eq!(r.snapshot_seq, Some(3));
+        assert_eq!(r.snapshot, Some(b"snapshot-state".to_vec()));
+        assert_eq!(r.wal_records, vec![b"delta-1".to_vec(), b"delta-2".to_vec()]);
+        assert_eq!(r.wal_torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_of_empty_dir_is_empty() {
+        let dir = temp_dir("empty");
+        let r = Recovery::replay(&dir).unwrap();
+        assert!(r.snapshot.is_none());
+        assert!(r.wal_records.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The acceptance-criteria property, exhaustively for a fixed log:
+    /// truncating the WAL file at EVERY byte boundary recovers exactly the
+    /// frames that are complete within the prefix — never garbage, never an
+    /// error.
+    #[test]
+    fn wal_truncation_at_every_byte_prefix_is_safe() {
+        let dir = temp_dir("every-byte");
+        let path = wal_path(&dir);
+        let payloads: Vec<Vec<u8>> =
+            vec![b"first".to_vec(), b"second-record".to_vec(), vec![9u8; 37], b"x".to_vec()];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        // Frame boundaries: header, then header+frames cumulatively.
+        let mut boundaries = vec![WAL_HEADER_LEN as usize];
+        for p in &payloads {
+            boundaries.push(boundaries.last().unwrap() + FRAME_HEADER_LEN as usize + p.len());
+        }
+        for cut in 0..=full.len() {
+            let prefix_path = dir.join("prefix.log");
+            fs::write(&prefix_path, &full[..cut]).unwrap();
+            let replay = replay_wal(&prefix_path).unwrap();
+            let expect_n = boundaries.iter().filter(|&&b| b <= cut).count().saturating_sub(1);
+            assert_eq!(
+                replay.records.len(),
+                expect_n,
+                "cut at byte {cut}: expected {expect_n} records, got {}",
+                replay.records.len()
+            );
+            assert_eq!(&replay.records[..], &payloads[..expect_n], "cut at byte {cut}");
+            // And a Wal reopened on the prefix keeps accepting appends.
+            let mut wal = Wal::open(&prefix_path).unwrap();
+            wal.append(b"resumed").unwrap();
+            wal.sync().unwrap();
+            drop(wal);
+            let resumed = replay_wal(&prefix_path).unwrap();
+            assert_eq!(resumed.records.len(), expect_n + 1, "cut at byte {cut}");
+            assert_eq!(resumed.records.last().unwrap(), b"resumed", "cut at byte {cut}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

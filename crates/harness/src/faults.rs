@@ -23,10 +23,17 @@ pub enum FaultClass {
     TxnAbort,
     /// All of the above at once.
     Mixed,
+    /// The portal crashes at random actions and recovers from its durable
+    /// journal (shared DBMS and page cache survive the crash).
+    CrashRestart,
+    /// Bursty poll failures: every poll in a burst window fails, tripping
+    /// the per-query-type circuit breaker, then the window closes and the
+    /// breaker re-probes its way shut.
+    PollFlap,
 }
 
 /// Every class, in sweep order.
-pub const ALL_CLASSES: [FaultClass; 8] = [
+pub const ALL_CLASSES: [FaultClass; 10] = [
     FaultClass::None,
     FaultClass::SnifferDrop,
     FaultClass::SnifferDup,
@@ -35,6 +42,8 @@ pub const ALL_CLASSES: [FaultClass; 8] = [
     FaultClass::PollTimeout,
     FaultClass::TxnAbort,
     FaultClass::Mixed,
+    FaultClass::CrashRestart,
+    FaultClass::PollFlap,
 ];
 
 impl FaultClass {
@@ -49,6 +58,8 @@ impl FaultClass {
             FaultClass::PollTimeout => "poll-timeout",
             FaultClass::TxnAbort => "txn-abort",
             FaultClass::Mixed => "mixed",
+            FaultClass::CrashRestart => "crash-restart",
+            FaultClass::PollFlap => "poll-flap",
         }
     }
 
@@ -80,6 +91,11 @@ impl FaultClass {
                 spec.poll_error = 0.2;
                 spec.poll_timeout = 0.1;
                 spec.txn_abort = 0.2;
+            }
+            FaultClass::CrashRestart => spec.crash_restart = 0.08,
+            FaultClass::PollFlap => {
+                spec.poll_flap_period = 4;
+                spec.poll_flap_burst = 2;
             }
         }
         spec

@@ -8,15 +8,17 @@
 //! fully serializable so a reproducer file is self-contained — replay never
 //! depends on the generator staying bit-identical across versions.
 
+use cacheportal::cache::PageCache;
 use cacheportal::db::schema::ColType;
 use cacheportal::db::{Database, FaultPlan, FaultSpec};
 use cacheportal::invalidator::{InvalidationPolicy, InvalidatorConfig};
 use cacheportal::web::{
-    HttpRequest, ParamSource, QueryTemplate, Servlet, ServletSpec, SqlServlet,
+    HttpRequest, ParamSource, QueryTemplate, Servlet, ServletSpec, SharedDb, SqlServlet,
 };
-use cacheportal::CachePortal;
+use cacheportal::{CachePortal, CachePortalBuilder};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Serializable stand-in for [`ColType`] (the db crate's enum does not
@@ -291,25 +293,79 @@ impl Scenario {
         db
     }
 
-    /// Assemble the full portal: database, servlets, policy, workers, fault
-    /// plan, and maintained indexes.
-    pub fn build_portal(&self) -> CachePortal {
-        let db = self.build_database();
+    /// Apply the scenario's policy, worker count, maintained indexes, and
+    /// the given fault plan to a builder (shared by every assembly path).
+    fn configure(&self, mut builder: CachePortalBuilder, plan: FaultPlan) -> CachePortalBuilder {
         let mut cfg = InvalidatorConfig::default();
         cfg.policy.default_policy = policy_of(self.policy);
         cfg.workers = self.workers;
-        let mut builder = CachePortal::builder(db)
-            .invalidator_config(cfg)
-            .fault_plan(FaultPlan::new(self.fault.clone()));
+        builder = builder.invalidator_config(cfg).fault_plan(plan);
         for t in &self.tables {
             if t.maintained_index {
                 builder = builder.maintain_index(&t.name, "k");
             }
         }
-        let portal = builder.build().expect("generated scenario must assemble");
+        builder
+    }
+
+    /// Register every generated servlet on a freshly assembled portal.
+    fn register(&self, portal: &CachePortal) {
         for s in &self.servlets {
             portal.register_servlet(s.build(&self.tables));
         }
+    }
+
+    /// Assemble the full portal: database, servlets, policy, workers, fault
+    /// plan, and maintained indexes.
+    pub fn build_portal(&self) -> CachePortal {
+        let db = self.build_database();
+        let portal = self
+            .configure(CachePortal::builder(db), FaultPlan::new(self.fault.clone()))
+            .build()
+            .expect("generated scenario must assemble");
+        self.register(&portal);
+        portal
+    }
+
+    /// Crash-mode assembly: the database is shared (it outlives the portal,
+    /// like a real DBMS outlives a crashed cache server) and the QI/URL map
+    /// plus sync cursor are journaled to `dir` so the runner can kill the
+    /// portal mid-trace and [`Scenario::recover_portal`] it.
+    pub fn build_portal_durable(
+        &self,
+        db: SharedDb,
+        dir: &Path,
+        plan: FaultPlan,
+    ) -> CachePortal {
+        let portal = self
+            .configure(CachePortal::builder_shared(db), plan)
+            .durable(dir)
+            .checkpoint_interval(3)
+            .build()
+            .expect("generated scenario must assemble");
+        self.register(&portal);
+        portal
+    }
+
+    /// Rebuild a crashed portal from its durable directory. The page cache
+    /// is the surviving one (a cache tier outlives the portal process);
+    /// recovery conservatively ejects anything admitted in the durability
+    /// gap.
+    pub fn recover_portal(
+        &self,
+        db: SharedDb,
+        cache: Arc<PageCache>,
+        dir: &Path,
+        plan: FaultPlan,
+    ) -> CachePortal {
+        let portal = self
+            .configure(CachePortal::builder_shared(db), plan)
+            .durable(dir)
+            .checkpoint_interval(3)
+            .surviving_cache(cache)
+            .recover()
+            .expect("recovery from the durable journal must assemble");
+        self.register(&portal);
         portal
     }
 

@@ -11,9 +11,12 @@
 
 use crate::actions::{Action, Stmt};
 use crate::gen::{policy_of, Scenario};
-use cacheportal::db::DbError;
+use cacheportal::db::{DbError, FaultPlan};
+use cacheportal::web::{shared, SharedDb};
 use cacheportal::{CachePortal, Served};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A violated invariant: the index of the action that exposed it plus a
 /// machine-stable kind and a human-readable detail.
@@ -60,6 +63,11 @@ pub struct RunStats {
     pub records_duplicated: u64,
     /// Transaction statements aborted by the fault plan.
     pub txn_aborts: u64,
+    /// Portal crashes injected by the fault plan (crash-restart class).
+    pub crashes: u64,
+    /// Pages conservatively ejected at recovery because they were admitted
+    /// in the durability gap.
+    pub gap_ejected: u64,
 }
 
 /// Outcome of one run: accounting plus the first violated invariant.
@@ -93,13 +101,81 @@ fn apply_stmt(portal: &CachePortal, sc: &Scenario, s: &Stmt) -> Result<(), Strin
     }
 }
 
+/// Per-incarnation observability counters accumulated across crashes: each
+/// recovered portal starts a fresh metrics registry, so the end-of-run
+/// cross-checks compare `base + current` against what the runner drove.
+#[derive(Default)]
+struct CounterBases {
+    sync_points: u64,
+    pages_ejected: u64,
+    records_lost: u64,
+    fault_ejected: u64,
+    over_invalidations: u64,
+    polls_faulted: u64,
+    gap_ejected: u64,
+}
+
+impl CounterBases {
+    fn fold(&mut self, portal: &CachePortal) {
+        let m = &portal.obs().metrics;
+        self.sync_points += m.counter_value("invalidator.sync_points");
+        self.pages_ejected += m.counter_value("invalidator.pages.ejected");
+        self.records_lost += m.counter_value("sniffer.records.lost");
+        self.fault_ejected += m.counter_value("core.fault.ejected_conservative");
+        self.over_invalidations += m.counter_value("invalidator.over_invalidations");
+        self.polls_faulted += m.counter_value("invalidator.polls.faulted");
+        self.gap_ejected += m.counter_value("durable.recovery.gap_ejected");
+    }
+}
+
+/// Crash-mode context: the pieces that survive a portal crash — the shared
+/// DBMS, the durable journal directory, and the fault plan (whose counters
+/// are shared by every portal incarnation).
+struct CrashCtx {
+    db: SharedDb,
+    dir: PathBuf,
+    plan: FaultPlan,
+}
+
+/// Removes the run's durable scratch directory on every exit path.
+struct DirCleanup(Option<PathBuf>);
+
+impl Drop for DirCleanup {
+    fn drop(&mut self) {
+        if let Some(d) = self.0.take() {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Run the scenario's action stream end to end. Deterministic: the same
 /// scenario and actions always produce the same [`RunOutcome`].
 pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
-    let portal = sc.build_portal();
+    let crash_ctx = if sc.fault.crash_restart > 0.0 {
+        let dir = std::env::temp_dir().join(format!(
+            "cp-harness-crash-{}-{}",
+            std::process::id(),
+            RUN_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Some(CrashCtx {
+            db: shared(sc.build_database()),
+            dir,
+            plan: FaultPlan::new(sc.fault.clone()),
+        })
+    } else {
+        None
+    };
+    let _cleanup = DirCleanup(crash_ctx.as_ref().map(|c| c.dir.clone()));
+    let mut portal = match &crash_ctx {
+        Some(c) => sc.build_portal_durable(c.db.clone(), &c.dir, c.plan.clone()),
+        None => sc.build_portal(),
+    };
     portal.set_invalidation_audit(true);
     let fault_active = portal.fault_plan().is_active();
     let mut stats = RunStats::default();
+    let mut bases = CounterBases::default();
 
     let sync = |portal: &CachePortal, stats: &mut RunStats, idx: usize| -> Option<Violation> {
         let report = match portal.sync_point() {
@@ -145,6 +221,19 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
     };
 
     for (idx, action) in actions.iter().enumerate() {
+        // Crash-restart: kill the portal (its in-memory sniffer logs,
+        // invalidator, and metrics die with it), then recover from the
+        // durable journal with the surviving DBMS and page cache.
+        if let Some(c) = &crash_ctx {
+            if c.plan.crash_before_action(idx as u64) {
+                stats.crashes += 1;
+                bases.fold(&portal);
+                let cache = portal.page_cache().clone();
+                drop(portal);
+                portal = sc.recover_portal(c.db.clone(), cache, &c.dir, c.plan.clone());
+                portal.set_invalidation_audit(true);
+            }
+        }
         match action {
             Action::Request(s, g) => {
                 let out = portal.request(&sc.request(*s, *g));
@@ -211,49 +300,65 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
         return RunOutcome { stats, violation: Some(v) };
     }
 
-    // Fold the portal's counters into the accounting and cross-check the
-    // observability surfaces against what the runner drove.
-    let m = &portal.obs().metrics;
-    stats.over_invalidations = m.counter_value("invalidator.over_invalidations");
-    stats.polls_faulted = m.counter_value("invalidator.polls.faulted");
+    // Fold the last incarnation's counters into the accumulated bases and
+    // cross-check the observability surfaces against what the runner drove.
+    // (In crash mode every recovered portal starts a fresh registry, so the
+    // totals are base + last; the fault plan's counters are shared by all
+    // incarnations and need no such accumulation.)
+    bases.fold(&portal);
+    stats.over_invalidations = bases.over_invalidations;
+    stats.polls_faulted = bases.polls_faulted;
+    stats.gap_ejected = bases.gap_ejected;
     let counts = portal.fault_plan().counts();
     stats.records_lost = counts.sniffer_dropped;
     stats.records_duplicated = counts.sniffer_duplicated;
     stats.txn_aborts = counts.txn_aborts;
 
     let mut incoherent = Vec::new();
-    if m.counter_value("invalidator.sync_points") != stats.syncs {
+    if bases.sync_points != stats.syncs {
         incoherent.push(format!(
             "sync_points counter {} != driven {}",
-            m.counter_value("invalidator.sync_points"),
-            stats.syncs
+            bases.sync_points, stats.syncs
         ));
     }
-    if m.counter_value("invalidator.pages.ejected") != stats.ejected {
+    if bases.pages_ejected != stats.ejected {
         incoherent.push(format!(
             "pages.ejected counter {} != summed reports {}",
-            m.counter_value("invalidator.pages.ejected"),
-            stats.ejected
+            bases.pages_ejected, stats.ejected
         ));
     }
-    if m.counter_value("sniffer.records.lost") != counts.sniffer_dropped {
+    if bases.records_lost != counts.sniffer_dropped {
         incoherent.push(format!(
             "records.lost counter {} != injected drops {}",
-            m.counter_value("sniffer.records.lost"),
-            counts.sniffer_dropped
+            bases.records_lost, counts.sniffer_dropped
         ));
     }
-    if m.counter_value("core.fault.ejected_conservative") != stats.fault_ejected {
+    if bases.fault_ejected != stats.fault_ejected {
         incoherent.push(format!(
             "fault.ejected counter {} != summed reports {}",
-            m.counter_value("core.fault.ejected_conservative"),
-            stats.fault_ejected
+            bases.fault_ejected, stats.fault_ejected
         ));
     }
-    if stats.polls_faulted > 0 && sc.fault.poll_error == 0.0 && sc.fault.poll_timeout == 0.0 {
+    if stats.polls_faulted > 0
+        && sc.fault.poll_error == 0.0
+        && sc.fault.poll_timeout == 0.0
+        && sc.fault.poll_flap_period == 0
+    {
         incoherent.push(format!(
             "{} polls faulted under a plan with no poll faults",
             stats.polls_faulted
+        ));
+    }
+    if stats.crashes != counts.crashes {
+        incoherent.push(format!(
+            "runner drove {} crashes but the plan counted {}",
+            stats.crashes, counts.crashes
+        ));
+    }
+    if stats.gap_ejected > 0 && sc.fault.crash_restart == 0.0 {
+        incoherent.push(format!(
+            "{} recovery-gap ejects without a crash-restart plan",
+            stats.gap_ejected
         ));
     }
     if !incoherent.is_empty() {

@@ -57,6 +57,8 @@ impl CellAgg {
         self.stats.records_lost += s.records_lost;
         self.stats.records_duplicated += s.records_duplicated;
         self.stats.txn_aborts += s.txn_aborts;
+        self.stats.crashes += s.crashes;
+        self.stats.gap_ejected += s.gap_ejected;
     }
 }
 
@@ -118,8 +120,8 @@ pub fn sweep(cfg: &SweepConfig, mut progress: Option<&mut dyn FnMut(u64)>) -> Sw
 pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
     let mut out = String::from(
         "| policy | fault class | runs | actions | syncs | ejected | over-inv | over-inv % | \
-         fault-ejected | polls faulted | records lost | txn aborts |\n\
-         |---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+         fault-ejected | polls faulted | records lost | txn aborts | crashes | gap-ejected |\n\
+         |---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
     );
     for ((policy, class), agg) in cells {
         let s = &agg.stats;
@@ -129,7 +131,7 @@ pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
             "–".to_string()
         };
         out.push_str(&format!(
-            "| {policy} | {class} | {} | {} | {} | {} | {} | {pct} | {} | {} | {} | {} |\n",
+            "| {policy} | {class} | {} | {} | {} | {} | {} | {pct} | {} | {} | {} | {} | {} | {} |\n",
             agg.runs,
             agg.actions,
             s.syncs,
@@ -139,6 +141,8 @@ pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
             s.polls_faulted,
             s.records_lost,
             s.txn_aborts,
+            s.crashes,
+            s.gap_ejected,
         ));
     }
     out

@@ -56,6 +56,8 @@ fn every_fault_class_fires_and_stays_fresh() {
         let mut dup = 0u64;
         let mut faulted = 0u64;
         let mut aborts = 0u64;
+        let mut crashes = 0u64;
+        let mut gaps = 0u64;
         for seed in 0..10u64 {
             let sc = Scenario::generate(seed)
                 .with_policy_workers(0, if seed % 2 == 0 { 1 } else { 4 })
@@ -72,6 +74,8 @@ fn every_fault_class_fires_and_stays_fresh() {
             dup += outcome.stats.records_duplicated;
             faulted += outcome.stats.polls_faulted;
             aborts += outcome.stats.txn_aborts;
+            crashes += outcome.stats.crashes;
+            gaps += outcome.stats.gap_ejected;
         }
         match class {
             FaultClass::None => {
@@ -89,6 +93,14 @@ fn every_fault_class_fires_and_stays_fresh() {
             FaultClass::Mixed => assert!(
                 lost > 0 && faulted > 0 && aborts > 0,
                 "mixed class must hit every site (lost={lost} faulted={faulted} aborts={aborts})"
+            ),
+            FaultClass::CrashRestart => assert!(
+                crashes > 0 && gaps > 0,
+                "crash class must crash and force gap ejects (crashes={crashes} gaps={gaps})"
+            ),
+            FaultClass::PollFlap => assert!(
+                faulted > 0,
+                "flap class never faulted a poll in a burst window"
             ),
         }
     }

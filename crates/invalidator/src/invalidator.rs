@@ -5,6 +5,7 @@
 //! set of page keys to eject from the caches.
 
 use crate::analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, TupleImpact};
+use crate::breaker::{BreakerConfig, BreakerDecision, CircuitBreaker, TypeObservation};
 use crate::delta::{DeltaGroupStat, DeltaSet};
 use crate::policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
 use crate::polling::{InfoManager, PollAnswer, PollRunner, PollStats};
@@ -40,6 +41,14 @@ pub enum VerdictKind {
     /// affected rather than risk a stale page. The conservative fallback
     /// for poll faults — faults may only over-invalidate.
     PollFault,
+    /// The circuit breaker is open for this query type: the polling path
+    /// was judged unhealthy, so the type was degraded to the paper's
+    /// no-polling conservative policy until a half-open probe succeeds.
+    BreakerDegraded,
+    /// Recovery ejected this page conservatively: it was cached inside the
+    /// gap between the last durable checkpoint and the crash, so its
+    /// dependencies cannot be proven — eject rather than risk staleness.
+    RecoveryGap,
 }
 
 impl VerdictKind {
@@ -56,6 +65,8 @@ impl VerdictKind {
             VerdictKind::TableLevel => "table-level",
             VerdictKind::BindFailure => "bind-failure",
             VerdictKind::PollFault => "poll-fault",
+            VerdictKind::BreakerDegraded => "breaker-degraded",
+            VerdictKind::RecoveryGap => "recovery-gap",
         }
     }
 }
@@ -155,8 +166,20 @@ pub struct InvalidationReport {
     /// (scheduling-dependent; excluded from the equivalence guarantee).
     pub poll_lock_contended: u64,
     /// Poll decisions that fell back to [`VerdictKind::PollFault`] because
-    /// the polling query errored or timed out.
+    /// the polling query errored or timed out (after exhausting retries).
     pub poll_faults: u64,
+    /// Verdicts forced to the conservative policy by an open breaker.
+    pub breaker_degraded: u64,
+    /// Breaker transitions this sync point: types that tripped open.
+    pub breaker_opened: u64,
+    /// Breaker transitions this sync point: open → half-open probes.
+    pub breaker_half_opened: u64,
+    /// Breaker transitions this sync point: successful probes that closed.
+    pub breaker_closed: u64,
+    /// Types currently open (degraded) after this sync point.
+    pub breaker_open_types: u64,
+    /// Types currently half-open (probing) after this sync point.
+    pub breaker_half_open_types: u64,
 }
 
 /// Invalidator configuration.
@@ -177,6 +200,20 @@ pub struct InvalidatorConfig {
     /// Fault-injection plan for polling queries (harness only; the default
     /// plan is inert). Installed into every sync point's [`PollRunner`].
     pub fault: cacheportal_db::FaultPlan,
+    /// Retries allowed per poll after a transient fault (0 = fail on the
+    /// first fault, the pre-retry behavior).
+    pub poll_max_retries: u32,
+    /// Base of the bounded exponential retry backoff, microseconds. `0`
+    /// (the default) models the backoff without sleeping — tests and the
+    /// harness stay fast and deterministic.
+    pub poll_backoff_base_micros: u64,
+    /// Retry budget per query type per sync point: once a type has spent
+    /// this many retries, its remaining polls fail on first fault. Keeps a
+    /// flapping DBMS from multiplying sync-point latency. Shard-local and
+    /// deterministic (each type is analyzed wholly within one shard).
+    pub poll_retry_budget_per_type: u64,
+    /// Circuit-breaker configuration for adaptive poll degradation.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for InvalidatorConfig {
@@ -186,6 +223,10 @@ impl Default for InvalidatorConfig {
             workers: 1,
             poll_rtt_micros: 0,
             fault: cacheportal_db::FaultPlan::default(),
+            poll_max_retries: 2,
+            poll_backoff_base_micros: 0,
+            poll_retry_budget_per_type: 32,
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -200,6 +241,8 @@ struct ShardCounters {
     degraded_by_budget: u64,
     bind_failures: u64,
     poll_faults: u64,
+    polls_attempted: u64,
+    breaker_degraded: u64,
 }
 
 /// One analyzed query type's results, tagged with its position in the
@@ -212,6 +255,17 @@ struct TypeOutcome {
     /// Analysis wall-clock to record into the type's stats; `None` for
     /// table-level types (the sequential path never recorded those).
     record_micros: Option<u64>,
+    /// Poll-fault verdicts this type produced (breaker evidence).
+    poll_faults: u64,
+    /// Poll decisions that reached the DBMS fault site for this type.
+    polls_attempted: u64,
+}
+
+/// Per-call retry settings handed to the shard workers.
+#[derive(Debug, Clone, Copy)]
+struct RetrySettings {
+    max_retries: u32,
+    budget_per_type: u64,
 }
 
 /// Everything one shard worker produced.
@@ -251,6 +305,12 @@ pub struct Invalidator {
     config: InvalidatorConfig,
     consumed_lsn: Lsn,
     map_cursor: u64,
+    breaker: CircuitBreaker,
+    /// After crash recovery: update records at or below this LSN are
+    /// already reflected in the re-bootstrapped maintained indexes, so the
+    /// first overlapping batch must not re-apply their deltas to the
+    /// indexes (analysis still sees them and re-ejects conservatively).
+    index_floor: Lsn,
 }
 
 impl Invalidator {
@@ -263,7 +323,21 @@ impl Invalidator {
             config,
             consumed_lsn: 0,
             map_cursor: 0,
+            breaker: CircuitBreaker::new(),
+            index_floor: 0,
         }
+    }
+
+    /// The poll-path circuit breaker (read-only view for metrics/health).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Declare that maintained indexes were bootstrapped from a database
+    /// state that already includes every update record at or below `lsn`.
+    /// Used by crash recovery, where the recovered cursor trails the log.
+    pub fn set_index_floor(&mut self, lsn: Lsn) {
+        self.index_floor = lsn;
     }
 
     /// The query-type/instance registry.
@@ -364,6 +438,8 @@ impl Invalidator {
             db.update_log().pull_since(self.consumed_lsn);
         if records.is_empty() {
             report.delta_micros = delta_started.elapsed().as_micros() as u64;
+            report.breaker_open_types = self.breaker.open_count();
+            report.breaker_half_open_types = self.breaker.half_open_count();
             report.elapsed = started.elapsed();
             return Ok(report);
         }
@@ -380,8 +456,30 @@ impl Invalidator {
         self.consumed_lsn = deltas.next_lsn.max(self.consumed_lsn);
 
         // Maintained indexes must reflect the post-batch state before any
-        // poll is answered from them.
-        self.info.apply_deltas(&deltas);
+        // poll is answered from them. After recovery the first batch can
+        // overlap `index_floor`: those records were already in the base
+        // tables when the indexes were re-bootstrapped, so only the fresh
+        // tail is applied (double-applying would corrupt index counts).
+        if self.index_floor == 0 {
+            self.info.apply_deltas(&deltas);
+        } else {
+            let floor = self.index_floor;
+            let fresh: Vec<cacheportal_db::LogRecord> = records
+                .iter()
+                .filter(|r| r.lsn > floor)
+                .cloned()
+                .collect();
+            if !fresh.is_empty() {
+                let mut fresh_deltas = DeltaSet::from_records(&fresh);
+                if self.config.policy.compact_deltas {
+                    fresh_deltas = fresh_deltas.compacted();
+                }
+                self.info.apply_deltas(&fresh_deltas);
+            }
+            if self.consumed_lsn > floor {
+                self.index_floor = 0;
+            }
+        }
         report.delta_micros = delta_started.elapsed().as_micros() as u64;
 
         // (3) Decide affected instances.
@@ -471,7 +569,11 @@ impl Invalidator {
             deltas,
             std::time::Duration::from_micros(self.config.poll_rtt_micros),
         )
-        .with_fault_plan(self.config.fault.clone());
+        .with_fault_plan(self.config.fault.clone())
+        .with_retry(
+            self.config.poll_max_retries,
+            std::time::Duration::from_micros(self.config.poll_backoff_base_micros),
+        );
 
         let touched: Vec<String> = deltas.touched_tables().map(str::to_string).collect();
         let mut candidate_types: Vec<QueryTypeId> = touched
@@ -480,6 +582,19 @@ impl Invalidator {
             .collect();
         candidate_types.sort_unstable();
         candidate_types.dedup();
+
+        // Breaker decisions are taken up front, before the fan-out: every
+        // shard sees the same per-type decision regardless of worker count
+        // or scheduling, preserving parallel equivalence.
+        let breaker_cfg = self.config.breaker.clone();
+        let decisions: HashMap<QueryTypeId, BreakerDecision> = candidate_types
+            .iter()
+            .map(|&id| (id, self.breaker.decision(id, &breaker_cfg)))
+            .collect();
+        let retry = RetrySettings {
+            max_retries: self.config.poll_max_retries,
+            budget_per_type: self.config.poll_retry_budget_per_type,
+        };
 
         let workers = self
             .config
@@ -499,10 +614,20 @@ impl Invalidator {
         let policy_cfg = &self.config.policy;
         let info = &self.info;
         let runner_ref = &runner;
+        let decisions_ref = &decisions;
 
         let shard_results: Vec<DbResult<ShardOutcome>> = if workers == 1 {
             vec![Self::analyze_types_shard(
-                registry, policies, policy_cfg, info, runner_ref, db, deltas, &shards[0],
+                registry,
+                policies,
+                policy_cfg,
+                info,
+                runner_ref,
+                db,
+                deltas,
+                decisions_ref,
+                retry,
+                &shards[0],
             )]
         } else {
             crossbeam::scope(|s| {
@@ -511,7 +636,15 @@ impl Invalidator {
                     .map(|types| {
                         s.spawn(move |_| {
                             Self::analyze_types_shard(
-                                registry, policies, policy_cfg, info, runner_ref, db, deltas,
+                                registry,
+                                policies,
+                                policy_cfg,
+                                info,
+                                runner_ref,
+                                db,
+                                deltas,
+                                decisions_ref,
+                                retry,
                                 types,
                             )
                         })
@@ -538,12 +671,17 @@ impl Invalidator {
             report.degraded_by_budget += outcome.counters.degraded_by_budget;
             report.bind_failures += outcome.counters.bind_failures;
             report.poll_faults += outcome.counters.poll_faults;
+            report.breaker_degraded += outcome.counters.breaker_degraded;
             type_outcomes.extend(outcome.types);
         }
         type_outcomes.sort_unstable_by_key(|t| t.order);
 
         let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
+        let mut observations: HashMap<QueryTypeId, TypeObservation> = HashMap::new();
         for outcome in type_outcomes {
+            let obs = observations.entry(outcome.ty_id).or_default();
+            obs.poll_faults += outcome.poll_faults;
+            obs.polls_attempted += outcome.polls_attempted;
             affected.extend(outcome.affected);
             if let Some(micros) = outcome.record_micros {
                 self.registry
@@ -552,6 +690,15 @@ impl Invalidator {
                     .record_analysis(micros);
             }
         }
+
+        // Advance the breaker with the sync point's aggregated evidence —
+        // per-type sums, independent of shard assignment and join order.
+        let events = self.breaker.observe_sync(&breaker_cfg, &observations);
+        report.breaker_opened = events.opened;
+        report.breaker_half_opened = events.half_opened;
+        report.breaker_closed = events.closed;
+        report.breaker_open_types = self.breaker.open_count();
+        report.breaker_half_open_types = self.breaker.half_open_count();
         // Deliberately broken invalidation for harness acceptance: drop
         // every other affected instance so some stale pages survive sync
         // points. MUST never be enabled in a real build — the feature
@@ -582,6 +729,8 @@ impl Invalidator {
         runner: &PollRunner,
         db: &Database,
         deltas: &DeltaSet,
+        decisions: &HashMap<QueryTypeId, BreakerDecision>,
+        retry: RetrySettings,
         types: &[(usize, QueryTypeId)],
     ) -> DbResult<ShardOutcome> {
         let shard_started = std::time::Instant::now();
@@ -594,6 +743,13 @@ impl Invalidator {
         for &(order, ty_id) in types {
             let type_started = std::time::Instant::now();
             let policy = policies.policy_for(ty_id, policy_cfg);
+            let breaker_degraded = decisions.get(&ty_id).copied()
+                == Some(BreakerDecision::Degrade);
+            // Retry budget is per type per sync point; a type lives wholly
+            // within one shard, so the budget is shard-local state.
+            let mut retry_budget = retry.budget_per_type;
+            let faults_before = counters.poll_faults;
+            let attempts_before = counters.polls_attempted;
             let ty = registry.get(ty_id);
             let ty_select = ty.select.clone();
             let mut instances: Vec<Vec<Value>> = registry
@@ -640,6 +796,8 @@ impl Invalidator {
                     ty_id,
                     affected,
                     record_micros: None,
+                    poll_faults: 0,
+                    polls_attempted: 0,
                 });
                 continue;
             }
@@ -694,6 +852,9 @@ impl Invalidator {
                             occ,
                             delta,
                             policy,
+                            breaker_degraded,
+                            retry,
+                            &mut retry_budget,
                             &mut counters,
                         )?
                     } else {
@@ -706,6 +867,9 @@ impl Invalidator {
                             occ,
                             delta,
                             policy,
+                            breaker_degraded,
+                            retry,
+                            &mut retry_budget,
                             &mut counters,
                         )?
                     };
@@ -721,6 +885,8 @@ impl Invalidator {
                 ty_id,
                 affected,
                 record_micros: Some(type_started.elapsed().as_micros() as u64),
+                poll_faults: counters.poll_faults - faults_before,
+                polls_attempted: counters.polls_attempted - attempts_before,
             });
         }
         Ok(ShardOutcome {
@@ -742,6 +908,9 @@ impl Invalidator {
         occ: usize,
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
+        breaker_degraded: bool,
+        retry: RetrySettings,
+        retry_budget: &mut u64,
         counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
         let table = &inst.select.from[occ].table;
@@ -764,7 +933,17 @@ impl Invalidator {
                     })
                 }
                 TupleImpact::NeedsPoll(poll) => Self::run_poll(
-                    policy_cfg, info, runner, db, &poll, !is_insert, policy, counters,
+                    policy_cfg,
+                    info,
+                    runner,
+                    db,
+                    &poll,
+                    !is_insert,
+                    policy,
+                    breaker_degraded,
+                    retry,
+                    retry_budget,
+                    counters,
                 )?,
             };
             if hit.is_some() {
@@ -787,6 +966,9 @@ impl Invalidator {
         occ: usize,
         delta: &crate::delta::TableDelta,
         policy: InvalidationPolicy,
+        breaker_degraded: bool,
+        retry: RetrySettings,
+        retry_budget: &mut u64,
         counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
         let table = &inst.select.from[occ].table;
@@ -824,7 +1006,17 @@ impl Invalidator {
                     let mut any = None;
                     for poll in &polls {
                         if let Some(cause) = Self::run_poll(
-                            policy_cfg, info, runner, db, poll, was_delete, policy, counters,
+                            policy_cfg,
+                            info,
+                            runner,
+                            db,
+                            poll,
+                            was_delete,
+                            policy,
+                            breaker_degraded,
+                            retry,
+                            retry_budget,
+                            counters,
                         )? {
                             any = Some(cause);
                             break;
@@ -856,8 +1048,25 @@ impl Invalidator {
         poll: &crate::analysis::PollingQuery,
         tuple_was_delete: bool,
         policy: InvalidationPolicy,
+        breaker_degraded: bool,
+        retry: RetrySettings,
+        retry_budget: &mut u64,
         counters: &mut ShardCounters,
     ) -> DbResult<Option<VerdictCause>> {
+        if breaker_degraded {
+            // Open breaker: the polling path is judged unhealthy, so the
+            // type runs the paper's no-polling conservative policy — local
+            // checks still decided NoImpact/Affected above; anything that
+            // would need the DBMS is assumed affected.
+            counters.breaker_degraded += 1;
+            return Ok(Some(VerdictCause {
+                kind: VerdictKind::BreakerDegraded,
+                detail: format!(
+                    "circuit breaker open for this query type; assumed affected without polling: {}",
+                    poll.sql
+                ),
+            }));
+        }
         match policy {
             InvalidationPolicy::Conservative => Ok(Some(VerdictCause {
                 kind: VerdictKind::Conservative,
@@ -876,21 +1085,29 @@ impl Invalidator {
                         detail: format!("poll budget exhausted; assumed affected instead of polling: {}", poll.sql),
                     }))
                 } else {
-                    match runner.decide(db, poll, tuple_was_delete) {
-                        Ok(answer) => Ok(answer.map(|answer| VerdictCause {
-                            kind: answer.into(),
-                            detail: match answer {
-                                PollAnswer::Issued => format!("polling query found matching rows: {}", poll.sql),
-                                PollAnswer::FromCache => format!("deduplicated poll already answered yes this sync point: {}", poll.sql),
-                                PollAnswer::FromIndex => format!("maintained index answered the poll: {}", poll.sql),
-                                PollAnswer::DeleteGuard => format!("correlated same-batch deletion of a join partner; poll was: {}", poll.sql),
-                            },
-                        })),
+                    // Retries come out of the type's per-sync budget: once
+                    // it is spent, remaining polls fail on the first fault.
+                    let allowance = (retry.max_retries as u64).min(*retry_budget) as u32;
+                    counters.polls_attempted += 1;
+                    match runner.decide_with_allowance(db, poll, tuple_was_delete, allowance) {
+                        Ok((answer, retries_spent)) => {
+                            *retry_budget = retry_budget.saturating_sub(retries_spent as u64);
+                            Ok(answer.map(|answer| VerdictCause {
+                                kind: answer.into(),
+                                detail: match answer {
+                                    PollAnswer::Issued => format!("polling query found matching rows: {}", poll.sql),
+                                    PollAnswer::FromCache => format!("deduplicated poll already answered yes this sync point: {}", poll.sql),
+                                    PollAnswer::FromIndex => format!("maintained index answered the poll: {}", poll.sql),
+                                    PollAnswer::DeleteGuard => format!("correlated same-batch deletion of a join partner; poll was: {}", poll.sql),
+                                },
+                            }))
+                        }
                         // A failed poll left the question unanswered; the
                         // only safe answer is "affected". Never converts a
                         // would-be Invalidate to NoInvalidate — the fault
                         // can only add invalidations.
                         Err(cacheportal_db::DbError::Faulted(msg)) => {
+                            *retry_budget = retry_budget.saturating_sub(allowance as u64);
                             counters.poll_faults += 1;
                             Ok(Some(VerdictCause {
                                 kind: VerdictKind::PollFault,
@@ -1291,5 +1508,98 @@ mod tests {
         }
         let ty = inv.registry().get(QueryTypeId(0));
         assert!(!ty.cacheable, "every batch invalidated the only instance");
+    }
+
+    /// End-to-end breaker walk through real sync points: a fully faulty
+    /// DBMS trips the type open, the next sync degrades without touching
+    /// the poll path, and once the DBMS heals the half-open probe closes
+    /// the breaker again.
+    #[test]
+    fn breaker_degrades_and_recovers_across_sync_points() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.breaker = crate::breaker::BreakerConfig {
+            enabled: true,
+            fault_threshold: 1,
+            cooldown_syncs: 1,
+        };
+        inv.config.fault = cacheportal_db::FaultPlan::new(cacheportal_db::FaultSpec {
+            poll_error: 1.0,
+            ..cacheportal_db::FaultSpec::default()
+        });
+
+        // Sync 1: the poll faults on every attempt (retries included), the
+        // instance fails safe, and the breaker trips open.
+        db.execute("INSERT INTO Car VALUES ('Toyota','Avalon',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert_eq!(r.poll_faults, 1);
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::PollFault);
+        assert!(r.pages.contains(&PageKey::raw("URL1")));
+        assert_eq!((r.breaker_opened, r.breaker_open_types), (1, 1));
+
+        // Sync 2: degraded — no poll reaches the DBMS, the verdict says so,
+        // and the elapsed cooldown moves the breaker to half-open.
+        db.execute("INSERT INTO Car VALUES ('Honda','Fit',12000)")
+            .unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::BreakerDegraded);
+        assert_eq!(r.breaker_degraded, 1);
+        assert_eq!((r.polls.issued, r.polls.faulted), (0, 0));
+        assert_eq!(r.breaker_half_opened, 1);
+        assert_eq!(r.breaker_half_open_types, 1);
+
+        // Sync 3: the DBMS healed; the half-open probe polls cleanly and
+        // the breaker closes.
+        inv.config.fault = cacheportal_db::FaultPlan::none();
+        db.execute("INSERT INTO Car VALUES ('Toyota','Camry',14000)")
+            .unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert_eq!(r.breaker_closed, 1);
+        assert_eq!((r.breaker_open_types, r.breaker_half_open_types), (0, 0));
+        assert_eq!(r.poll_faults, 0);
+        assert!(r.polls.issued >= 1, "probe actually reached the DBMS");
+    }
+
+    /// Breaker verdicts and transitions are identical across worker counts
+    /// (the PR 3 parallel-equivalence property extends to degradation).
+    #[test]
+    fn breaker_behavior_is_worker_count_independent() {
+        let runs: Vec<Vec<(u64, u64, u64, usize)>> = [1usize, 4]
+            .iter()
+            .map(|&workers| {
+                let (mut db, map, mut inv) = setup();
+                inv.config.workers = workers;
+                inv.config.breaker = crate::breaker::BreakerConfig {
+                    enabled: true,
+                    fault_threshold: 1,
+                    cooldown_syncs: 1,
+                };
+                inv.config.fault =
+                    cacheportal_db::FaultPlan::new(cacheportal_db::FaultSpec {
+                        poll_error: 1.0,
+                        ..cacheportal_db::FaultSpec::default()
+                    });
+                let mut trace = Vec::new();
+                for i in 0..4 {
+                    if i == 2 {
+                        inv.config.fault = cacheportal_db::FaultPlan::none();
+                    }
+                    db.execute(&format!(
+                        "INSERT INTO Car VALUES ('Toyota','Avalon',{})",
+                        1000 + i
+                    ))
+                    .unwrap();
+                    let r = inv.run_sync_point(&db, &map).unwrap();
+                    trace.push((
+                        r.breaker_opened,
+                        r.breaker_closed,
+                        r.breaker_degraded,
+                        r.pages.len(),
+                    ));
+                }
+                trace
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
     }
 }

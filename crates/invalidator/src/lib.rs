@@ -14,10 +14,13 @@
 //!   join-attribute indexes (information management module, §4.3).
 //! * [`policy`] — Exact / Conservative / TableLevel policies, the polling
 //!   budget, and policy discovery (§4.1.3–§4.1.4).
+//! * [`breaker`] — per-query-type circuit breaker that degrades flaky
+//!   polling paths to the conservative no-polling policy.
 //! * [`invalidator`] — the orchestrator: one `run_sync_point` per
 //!   synchronization interval, producing the pages to eject.
 
 pub mod analysis;
+pub mod breaker;
 pub mod delta;
 pub mod invalidator;
 pub mod policy;
@@ -25,6 +28,7 @@ pub mod polling;
 pub mod query_type;
 
 pub use analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, PollingQuery, SchemaProvider, TupleImpact};
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerEvents, CircuitBreaker, TypeObservation};
 pub use delta::{DeltaGroupStat, DeltaSet, TableDelta};
 pub use invalidator::{
     InstanceVerdict, InvalidationReport, Invalidator, InvalidatorConfig, VerdictCause, VerdictKind,

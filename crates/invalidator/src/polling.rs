@@ -58,6 +58,9 @@ pub struct PollStats {
     /// count is a pure function of the workload — identical across worker
     /// counts.
     pub faulted: u64,
+    /// Retry attempts made after a transient poll fault. A poll only
+    /// surfaces as failed once its retry allowance is exhausted.
+    pub retries: u64,
 }
 
 /// The information management module: maintained indexes + poll statistics.
@@ -221,8 +224,11 @@ pub struct PollRunner<'a> {
     delete_guard_hits: AtomicU64,
     contended: AtomicU64,
     faulted: AtomicU64,
+    retries: AtomicU64,
     poll_rtt: Duration,
     fault: FaultPlan,
+    max_retries: u32,
+    backoff_base: Duration,
 }
 
 impl<'a> PollRunner<'a> {
@@ -247,8 +253,11 @@ impl<'a> PollRunner<'a> {
             delete_guard_hits: AtomicU64::new(0),
             contended: AtomicU64::new(0),
             faulted: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             poll_rtt,
             fault: FaultPlan::default(),
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
         }
     }
 
@@ -261,6 +270,18 @@ impl<'a> PollRunner<'a> {
         self
     }
 
+    /// Configure the default retry policy: up to `max_retries` re-attempts
+    /// after a transient poll fault, with bounded exponential backoff from
+    /// `backoff_base` (doubling per attempt, capped at 64×) plus a
+    /// deterministic jitter derived from the poll key — no wall-clock or
+    /// OS randomness, so replays sleep identically. `Duration::ZERO`
+    /// models the backoff without sleeping (the test/harness default).
+    pub fn with_retry(mut self, max_retries: u32, backoff_base: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_base = backoff_base;
+        self
+    }
+
     /// Snapshot of this sync point's poll counters.
     pub fn stats(&self) -> PollStats {
         PollStats {
@@ -269,6 +290,7 @@ impl<'a> PollRunner<'a> {
             from_index: self.from_index.load(Ordering::Relaxed),
             delete_guard_hits: self.delete_guard_hits.load(Ordering::Relaxed),
             faulted: self.faulted.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 
@@ -298,6 +320,24 @@ impl<'a> PollRunner<'a> {
         poll: &PollingQuery,
         tuple_was_delete: bool,
     ) -> DbResult<Option<PollAnswer>> {
+        self.decide_with_allowance(db, poll, tuple_was_delete, self.max_retries)
+            .map(|(answer, _)| answer)
+    }
+
+    /// Like [`PollRunner::decide`], with an explicit retry allowance for
+    /// this call (the invalidator passes the remaining per-query-type
+    /// budget) and the number of retries actually spent. Fault decisions
+    /// key on `(poll key, attempt)`, so both the faults seen *and* the
+    /// retries spent are pure functions of the workload — the
+    /// parallel-equivalence property survives retries.
+    pub fn decide_with_allowance(
+        &self,
+        db: &Database,
+        poll: &PollingQuery,
+        tuple_was_delete: bool,
+        max_retries: u32,
+    ) -> DbResult<(Option<PollAnswer>, u32)> {
+        let mut retries_spent: u32 = 0;
         let stripe = &self.stripes[(poll.key % DEDUP_STRIPES as u64) as usize];
         let mut cache = match stripe.try_lock() {
             Some(guard) => guard,
@@ -320,18 +360,39 @@ impl<'a> PollRunner<'a> {
                     None => {
                         // The DBMS interaction is the fault site: local
                         // index answers and cache hits cannot fault. A
-                        // faulted poll is *not* cached — every retry of the
-                        // same poll faults again (deterministically, by
-                        // key), so fault counts are shard-independent.
-                        if let Some(kind) = self.fault.poll_fault(poll.key) {
-                            self.faulted.fetch_add(1, Ordering::Relaxed);
-                            if kind == PollFault::Timeout && !self.poll_rtt.is_zero() {
-                                std::thread::sleep(self.poll_rtt);
+                        // transient fault is retried (up to the allowance)
+                        // with bounded exponential backoff; only an
+                        // exhausted allowance surfaces as an error. Faulted
+                        // answers are *not* cached, and fault decisions key
+                        // on (poll key, attempt), so fault and retry counts
+                        // are shard-independent.
+                        let mut attempt: u32 = 0;
+                        loop {
+                            if let Some(kind) = self.fault.poll_fault(poll.key, attempt) {
+                                self.faulted.fetch_add(1, Ordering::Relaxed);
+                                if kind == PollFault::Timeout && !self.poll_rtt.is_zero() {
+                                    std::thread::sleep(self.poll_rtt);
+                                }
+                                if attempt >= max_retries {
+                                    return Err(DbError::Faulted(match kind {
+                                        PollFault::Error => {
+                                            format!("poll rejected: {}", poll.sql)
+                                        }
+                                        PollFault::Timeout => {
+                                            format!("poll timed out: {}", poll.sql)
+                                        }
+                                    }));
+                                }
+                                self.retries.fetch_add(1, Ordering::Relaxed);
+                                retries_spent += 1;
+                                attempt += 1;
+                                let delay = self.backoff_delay(poll.key, attempt);
+                                if !delay.is_zero() {
+                                    std::thread::sleep(delay);
+                                }
+                                continue;
                             }
-                            return Err(DbError::Faulted(match kind {
-                                PollFault::Error => format!("poll rejected: {}", poll.sql),
-                                PollFault::Timeout => format!("poll timed out: {}", poll.sql),
-                            }));
+                            break;
                         }
                         self.issued.fetch_add(1, Ordering::Relaxed);
                         if !self.poll_rtt.is_zero() {
@@ -349,17 +410,32 @@ impl<'a> PollRunner<'a> {
         };
         drop(cache);
         if base {
-            return Ok(Some(source));
+            return Ok((Some(source), retries_spent));
         }
         if tuple_was_delete {
             // A join partner may have been deleted in the same batch:
             // re-check the residual against the other tables' Δ⁻ rows.
             if self.residual_hits_deleted_rows(db, poll)? {
                 self.delete_guard_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(PollAnswer::DeleteGuard));
+                return Ok((Some(PollAnswer::DeleteGuard), retries_spent));
             }
         }
-        Ok(None)
+        Ok((None, retries_spent))
+    }
+
+    /// Bounded exponential backoff with deterministic jitter: base × 2^min(attempt,6),
+    /// plus up to 50% jitter hashed from `(key, attempt)` — the "seeded
+    /// RNG" here is splitmix64 over stable inputs, so replays are exact.
+    fn backoff_delay(&self, key: u64, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.backoff_base * (1u32 << attempt.min(6));
+        let mut z = key ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let jitter_ns = (z ^ (z >> 31)) % (exp.as_nanos().max(2) as u64 / 2);
+        exp + Duration::from_nanos(jitter_ns)
     }
 
     /// Exact Δ⁻ re-check for single-other-table residuals; coarse guard
@@ -588,6 +664,49 @@ mod tests {
         let runner = PollRunner::new(&info, &deltas);
         let p = poll("SELECT COUNT(*) FROM Mileage WHERE 'Edsel' = Mileage.model");
         assert!(!runner.is_affected(&database, &p, true).unwrap());
+    }
+
+    #[test]
+    fn retry_clears_transient_fault_and_counts() {
+        use cacheportal_db::{FaultPlan, FaultSpec};
+        let database = db();
+        let info = InfoManager::new();
+        let deltas = DeltaSet::default();
+        let p = poll("SELECT COUNT(*) FROM Mileage WHERE Mileage.EPA > 1");
+        // Find a seed where this poll faults on attempt 0 but clears on
+        // attempt 1 — a transient fault by construction.
+        let seed = (0..10_000u64)
+            .find(|&s| {
+                let probe = FaultPlan::new(FaultSpec {
+                    seed: s,
+                    poll_error: 0.5,
+                    ..FaultSpec::default()
+                });
+                probe.poll_fault(p.key, 0).is_some() && probe.poll_fault(p.key, 1).is_none()
+            })
+            .expect("a transient seed exists");
+        let spec = FaultSpec {
+            seed,
+            poll_error: 0.5,
+            ..FaultSpec::default()
+        };
+        // Without a retry allowance the poll permanently fails…
+        let runner =
+            PollRunner::new(&info, &deltas).with_fault_plan(FaultPlan::new(spec.clone()));
+        assert!(runner.decide(&database, &p, false).is_err());
+        assert_eq!(runner.stats().faulted, 1);
+        assert_eq!(runner.stats().retries, 0);
+        // …with one retry it recovers, and the accounting shows the failed
+        // attempt, the retry, and the eventually-issued poll.
+        let runner = PollRunner::new(&info, &deltas)
+            .with_fault_plan(FaultPlan::new(spec))
+            .with_retry(1, Duration::ZERO);
+        assert_eq!(
+            runner.decide(&database, &p, false).unwrap(),
+            Some(PollAnswer::Issued)
+        );
+        let s = runner.stats();
+        assert_eq!((s.faulted, s.retries, s.issued), (1, 1, 1));
     }
 
     #[test]

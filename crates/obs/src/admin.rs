@@ -28,6 +28,13 @@ pub trait AdminSource: Send + Sync {
     fn explain_url(&self, url: &str) -> serde_json::Value;
     /// Body for `GET /explain?lsn=…`.
     fn explain_lsn(&self, lsn: u64) -> serde_json::Value;
+    /// Reply for `GET /healthz`. The default keeps the legacy
+    /// always-healthy plain `ok`; real portals return their
+    /// [`crate::HealthSnapshot::to_response`] so open breakers, in-flight
+    /// recovery, and WAL errors surface as `503`.
+    fn health(&self) -> crate::HealthResponse {
+        crate::HealthResponse::ok()
+    }
 }
 
 /// A running admin endpoint. Dropping (or calling [`AdminServer::shutdown`])
@@ -108,7 +115,10 @@ fn handle_conn(stream: &mut TcpStream, source: &dyn AdminSource) -> std::io::Res
         None => (target, ""),
     };
     match path {
-        "/healthz" => respond(stream, 200, "text/plain; charset=utf-8", "ok\n"),
+        "/healthz" => {
+            let h = source.health();
+            respond(stream, h.status, h.content_type, &h.body)
+        }
         "/metrics" => respond(
             stream,
             200,
@@ -161,6 +171,7 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(
@@ -290,6 +301,35 @@ mod tests {
         let (status, _) = http_get(addr, "/nope");
         assert_eq!(status, 404);
 
+        server.shutdown();
+    }
+
+    struct SickSource(crate::HealthState);
+
+    impl AdminSource for SickSource {
+        fn prometheus(&self) -> String {
+            String::new()
+        }
+        fn explain_url(&self, _url: &str) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn explain_lsn(&self, _lsn: u64) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn health(&self) -> crate::HealthResponse {
+            self.0.snapshot().to_response()
+        }
+    }
+
+    #[test]
+    fn healthz_reflects_the_source_health_state() {
+        let state = crate::HealthState::new();
+        state.set_breaker(1, 0);
+        let server = AdminServer::serve("127.0.0.1:0", Arc::new(SickSource(state))).unwrap();
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.contains("\"status\": \"unhealthy\""));
+        assert!(body.contains("breaker-open"));
         server.shutdown();
     }
 

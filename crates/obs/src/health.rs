@@ -1,0 +1,268 @@
+//! Live health state behind the admin endpoint's `/healthz`.
+//!
+//! The portal's components publish their condition into a [`HealthState`]
+//! (lock-free atomics, cheap to update from the sync-point path); the admin
+//! endpoint renders a [`HealthSnapshot`] per request. The contract:
+//!
+//! * **healthy** — every breaker closed, no recovery in progress, no WAL
+//!   errors: `200` with the plain `ok` body probes expect.
+//! * **degraded** — breakers half-open (probing) but nothing worse: still
+//!   `200` (the portal serves correctly — conservatively), JSON body.
+//! * **unhealthy** — breakers open, recovery in progress, or the durable
+//!   layer reported write errors (crash safety is compromised): `503` with
+//!   a JSON body naming every reason.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared mutable health flags; one per portal, updated by the sync-point
+/// and recovery paths, read by `/healthz`.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    breaker_open: AtomicU64,
+    breaker_half_open: AtomicU64,
+    recovering: AtomicBool,
+    wal_errors: AtomicU64,
+    recovery_gap_ejects: AtomicU64,
+    recoveries: AtomicU64,
+}
+
+impl HealthState {
+    /// A fresh, healthy state.
+    pub fn new() -> Self {
+        HealthState::default()
+    }
+
+    /// Publish the breaker gauges after a sync point.
+    pub fn set_breaker(&self, open: u64, half_open: u64) {
+        self.breaker_open.store(open, Ordering::Relaxed);
+        self.breaker_half_open.store(half_open, Ordering::Relaxed);
+    }
+
+    /// Mark crash recovery as started (`true`) or finished (`false`).
+    pub fn set_recovering(&self, active: bool) {
+        self.recovering.store(active, Ordering::Relaxed);
+        if !active {
+            self.recoveries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Count a failed WAL append/sync/checkpoint. Durability errors are
+    /// sticky: once the crash-safety guarantee is gone, the portal stays
+    /// unhealthy until restarted.
+    pub fn record_wal_error(&self) {
+        self.wal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count pages ejected by the recovery gap scan (informational).
+    pub fn add_recovery_gap_ejects(&self, n: u64) {
+        self.recovery_gap_ejects.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for rendering.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            breaker_open: self.breaker_open.load(Ordering::Relaxed),
+            breaker_half_open: self.breaker_half_open.load(Ordering::Relaxed),
+            recovering: self.recovering.load(Ordering::Relaxed),
+            wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            recovery_gap_ejects: self.recovery_gap_ejects.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time health flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Query types whose poll-path breaker is open (degraded).
+    pub breaker_open: u64,
+    /// Query types half-open (probing).
+    pub breaker_half_open: u64,
+    /// Crash recovery currently rebuilding state.
+    pub recovering: bool,
+    /// Durable-layer write failures since start (sticky).
+    pub wal_errors: u64,
+    /// Pages conservatively ejected by recovery gap scans.
+    pub recovery_gap_ejects: u64,
+    /// Completed crash recoveries since start.
+    pub recoveries: u64,
+}
+
+/// Overall status bucket a snapshot maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Everything nominal.
+    Healthy,
+    /// Serving correctly but conservatively (half-open breakers).
+    Degraded,
+    /// Open breakers, in-flight recovery, or lost durability.
+    Unhealthy,
+}
+
+impl HealthStatus {
+    /// Lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// A rendered `/healthz` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthResponse {
+    /// HTTP status code (`200` or `503`).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HealthResponse {
+    /// The legacy always-healthy reply (used by sources with no health
+    /// signal — keeps plain probes working).
+    pub fn ok() -> Self {
+        HealthResponse {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: "ok\n".to_string(),
+        }
+    }
+}
+
+impl HealthSnapshot {
+    /// Classify the snapshot.
+    pub fn status(&self) -> HealthStatus {
+        if self.breaker_open > 0 || self.recovering || self.wal_errors > 0 {
+            HealthStatus::Unhealthy
+        } else if self.breaker_half_open > 0 {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Healthy
+        }
+    }
+
+    /// Render the `/healthz` reply. Healthy keeps the exact plain `ok`
+    /// body existing probes and scripts match on; anything else is a JSON
+    /// document naming the reasons, with `503` when unhealthy.
+    pub fn to_response(&self) -> HealthResponse {
+        let status = self.status();
+        if status == HealthStatus::Healthy {
+            return HealthResponse::ok();
+        }
+        let mut reasons: Vec<serde_json::Value> = Vec::new();
+        if self.breaker_open > 0 {
+            reasons.push(serde_json::Value::String(format!(
+                "{} query type(s) breaker-open (polling degraded to conservative)",
+                self.breaker_open
+            )));
+        }
+        if self.recovering {
+            reasons.push(serde_json::Value::String(
+                "crash recovery in progress".to_string(),
+            ));
+        }
+        if self.wal_errors > 0 {
+            reasons.push(serde_json::Value::String(format!(
+                "{} durable-layer write error(s); crash safety compromised",
+                self.wal_errors
+            )));
+        }
+        if self.breaker_half_open > 0 {
+            reasons.push(serde_json::Value::String(format!(
+                "{} query type(s) half-open (probing)",
+                self.breaker_half_open
+            )));
+        }
+        let doc = serde_json::Value::Object(vec![
+            (
+                "status".to_string(),
+                serde_json::Value::String(status.as_str().to_string()),
+            ),
+            ("reasons".to_string(), serde_json::Value::Array(reasons)),
+            (
+                "breaker_open_types".to_string(),
+                serde_json::Value::UInt(self.breaker_open),
+            ),
+            (
+                "breaker_half_open_types".to_string(),
+                serde_json::Value::UInt(self.breaker_half_open),
+            ),
+            (
+                "recovering".to_string(),
+                serde_json::Value::Bool(self.recovering),
+            ),
+            (
+                "wal_errors".to_string(),
+                serde_json::Value::UInt(self.wal_errors),
+            ),
+            (
+                "recovery_gap_ejects".to_string(),
+                serde_json::Value::UInt(self.recovery_gap_ejects),
+            ),
+            (
+                "recoveries".to_string(),
+                serde_json::Value::UInt(self.recoveries),
+            ),
+        ]);
+        HealthResponse {
+            status: if status == HealthStatus::Unhealthy {
+                503
+            } else {
+                200
+            },
+            content_type: "application/json",
+            body: serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_state_keeps_the_plain_ok_contract() {
+        let h = HealthState::new();
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "ok\n");
+    }
+
+    #[test]
+    fn open_breakers_flip_to_503_and_back() {
+        let h = HealthState::new();
+        h.set_breaker(2, 0);
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("breaker-open"));
+        assert_eq!(h.snapshot().status(), HealthStatus::Unhealthy);
+
+        h.set_breaker(0, 1);
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 200, "half-open still serves correctly");
+        assert!(resp.body.contains("half-open"));
+        assert_eq!(h.snapshot().status(), HealthStatus::Degraded);
+
+        h.set_breaker(0, 0);
+        assert_eq!(h.snapshot().to_response().body, "ok\n");
+    }
+
+    #[test]
+    fn recovery_and_wal_errors_are_unhealthy() {
+        let h = HealthState::new();
+        h.set_recovering(true);
+        assert_eq!(h.snapshot().status(), HealthStatus::Unhealthy);
+        h.set_recovering(false);
+        assert_eq!(h.snapshot().status(), HealthStatus::Healthy);
+        assert_eq!(h.snapshot().recoveries, 1);
+
+        h.record_wal_error();
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 503);
+        assert!(resp.body.contains("crash safety compromised"));
+    }
+}

@@ -27,6 +27,7 @@
 
 mod admin;
 mod export;
+pub mod health;
 mod histogram;
 pub mod provenance;
 mod registry;
@@ -35,6 +36,7 @@ mod trace;
 
 pub use admin::{AdminServer, AdminSource};
 pub use export::{ExportStats, JsonlExporter};
+pub use health::{HealthResponse, HealthSnapshot, HealthState, HealthStatus};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use provenance::{Cause, DeltaGroup, EjectRecord, Explanation, ProvenanceLog};
 pub use registry::{prometheus_name, Counter, Gauge, MetricsRegistry};
@@ -53,6 +55,8 @@ pub struct Obs {
     pub staleness: StalenessProbe,
     /// Invalidation provenance ring (why was each page ejected?).
     pub provenance: ProvenanceLog,
+    /// Live health flags behind `/healthz` (breakers, recovery, WAL).
+    pub health: HealthState,
 }
 
 impl Default for Obs {
@@ -70,6 +74,7 @@ impl Obs {
             tracer: Tracer::default(),
             staleness: StalenessProbe::new(),
             provenance: ProvenanceLog::default(),
+            health: HealthState::new(),
         }
     }
 
@@ -81,6 +86,7 @@ impl Obs {
             tracer: Tracer::new(trace_events),
             staleness: StalenessProbe::new(),
             provenance: ProvenanceLog::new(provenance_records),
+            health: HealthState::new(),
         }
     }
 

@@ -8,7 +8,7 @@
 use std::fmt;
 
 /// HTTP method; the model only distinguishes GET/POST semantics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Method {
     /// HTTP GET.
     Get,
@@ -17,7 +17,10 @@ pub enum Method {
 }
 
 /// An incoming request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable: the durable layer persists each cached page's origin
+/// request so crash recovery can rebuild the freshness oracle.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HttpRequest {
     /// Request method.
     pub method: Method,

@@ -16,10 +16,18 @@ cargo clippy --workspace --offline -- -D warnings
 
 echo "== fuzz harness smoke (safety contract, all policies x fault classes) =="
 # The acceptance matrix: 50 seeds x 40 actions cycling all three
-# invalidation policies, workers {1,4}, and every fault class. Exit 1 on
-# any staleness violation, with the shrunk reproducer JSON under
-# target/harness-repros/ (uploaded as a CI artifact).
+# invalidation policies, workers {1,4}, and every fault class — including
+# crash-restart (portal killed mid-trace, recovered from its durable
+# journal) and poll-flap (bursty poll failures tripping the circuit
+# breaker). Exit 1 on any staleness violation, with the shrunk reproducer
+# JSON under target/harness-repros/ (uploaded as a CI artifact).
 ./target/release/harness smoke --out target/harness-repros
+
+echo "== crash-recovery smoke (durable journal, gap ejection, provenance) =="
+# One scripted crash: durable pages survive, the gap page is ejected with
+# recovery-gap provenance, the replayed update tail re-ejects its victims,
+# and the freshness oracle finds zero stale pages afterwards.
+./target/release/recovery_smoke
 
 echo "== fuzz harness canary (a broken invalidator must be caught) =="
 # Compile the deliberately-unsound invalidator (feature `canary`) and prove
@@ -50,6 +58,9 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [ -n "$ADDR" ] || { echo "admin server never came up"; cat "$DEMO_LOG"; exit 1; }
+
+# A live healthy portal must pass the health gate (exit 0 on HTTP 200).
+./target/release/obsctl health --addr "$ADDR" || { echo "obsctl health failed"; exit 1; }
 
 # curl where available; fall back to obsctl's built-in HTTP client.
 if command -v curl >/dev/null 2>&1; then
