@@ -18,6 +18,14 @@
 //!   and pretty-print the eject chains.
 //! * `diff` — compare the `metrics.counters` sections of two
 //!   `metrics_snapshot()` documents.
+//! * `trace` — fetch `/trace` and print the recent events with their causal
+//!   ids (trace/span/parent) as a table, or raw with `--json`.
+//! * `timeline` — fetch the per-sync-point phase timeline from `/timeline`
+//!   (tabular or `--json`; `--stable` zeroes wall-clock fields for
+//!   byte-stable output; `--chrome FILE` writes Chrome `trace_event` JSON
+//!   loadable in `chrome://tracing` / Perfetto).
+//! * `scorecard` — fetch the per-query-type cost/benefit scorecards from
+//!   `/scorecards` and render them as a table, or raw with `--json`.
 //! * `demo` — run a small car-search workload, start the admin endpoint,
 //!   write a JSONL export, print one explain chain, and hold the server open
 //!   (CI smoke-tests `/metrics` and `/healthz` against it).
@@ -36,13 +44,22 @@ fn main() {
         Some("metrics") => cmd_metrics(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("scorecard") => cmd_scorecard(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
-            eprintln!("usage: obsctl <metrics|health|explain|diff|demo> [options]");
-            eprintln!("  metrics --addr HOST:PORT");
-            eprintln!("  health  --addr HOST:PORT");
-            eprintln!("  explain (--addr HOST:PORT | --file EXPORT.jsonl) (--url URL | --lsn N)");
+            eprintln!(
+                "usage: obsctl <metrics|health|explain|trace|timeline|scorecard|diff|demo> \
+                 [options]"
+            );
+            eprintln!("  metrics   --addr HOST:PORT");
+            eprintln!("  health    --addr HOST:PORT");
+            eprintln!("  explain   (--addr HOST:PORT | --file EXPORT.jsonl) (--url URL | --lsn N)");
+            eprintln!("  trace     --addr HOST:PORT [-n N] [--json]");
+            eprintln!("  timeline  --addr HOST:PORT [--stable] [--json] [--chrome FILE]");
+            eprintln!("  scorecard --addr HOST:PORT [--json]");
             eprintln!("  diff BEFORE.json AFTER.json");
             eprintln!("  demo --serve HOST:PORT [--hold-secs N] [--export FILE]");
             2
@@ -251,6 +268,198 @@ fn render_explanation(doc: &serde_json::Value) -> String {
         ));
     }
     out
+}
+
+/// Fetch `path` from `--addr` and parse the JSON body; prints errors and
+/// returns `None` on any failure (caller exits non-zero).
+fn fetch_json(args: &[String], cmd: &str, path: &str) -> Option<serde_json::Value> {
+    let Some(addr) = flag(args, "--addr") else {
+        eprintln!("obsctl {cmd}: --addr HOST:PORT required");
+        return None;
+    };
+    match http_get(addr, path) {
+        Ok((200, body)) => match serde_json::from_str(&body) {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("invalid JSON from {path}: {e}");
+                None
+            }
+        },
+        Ok((code, body)) => {
+            eprintln!("GET {path} -> {code}\n{body}");
+            None
+        }
+        Err(e) => {
+            eprintln!("GET {path} failed: {e}");
+            None
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let n: u64 = flag(args, "-n").and_then(|s| s.parse().ok()).unwrap_or(64);
+    let Some(doc) = fetch_json(args, "trace", &format!("/trace?n={n}")) else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return 0;
+    }
+    let empty = Vec::new();
+    let mut rows = vec![vec![
+        "seq".to_string(),
+        "ts_us".to_string(),
+        "trace".to_string(),
+        "span".to_string(),
+        "parent".to_string(),
+        "dur_us".to_string(),
+        "scope".to_string(),
+        "name".to_string(),
+        "detail".to_string(),
+    ]];
+    for e in doc["recent"].as_array().unwrap_or(&empty) {
+        let id = |k: &str| match e[k].as_u64() {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
+        rows.push(vec![
+            e["seq"].as_u64().unwrap_or(0).to_string(),
+            e["ts"].as_u64().unwrap_or(0).to_string(),
+            id("trace_id"),
+            id("span_id"),
+            id("parent_span"),
+            id("duration_micros"),
+            e["scope"].as_str().unwrap_or("?").to_string(),
+            e["name"].as_str().unwrap_or("?").to_string(),
+            e["detail"].as_str().unwrap_or("").to_string(),
+        ]);
+    }
+    print!("{}", cacheportal_bench::render_table(&rows));
+    println!(
+        "{} recorded, {} dropped{}",
+        doc["recorded"].as_u64().unwrap_or(0),
+        doc["dropped"].as_u64().unwrap_or(0),
+        if doc["truncated"].as_bool() == Some(true) {
+            " (ring truncated — older events are gone)"
+        } else {
+            ""
+        }
+    );
+    0
+}
+
+fn cmd_timeline(args: &[String]) -> i32 {
+    if let Some(path) = flag(args, "--chrome") {
+        let Some(doc) = fetch_json(args, "timeline", "/timeline?format=chrome") else {
+            return if flag(args, "--addr").is_none() { 2 } else { 1 };
+        };
+        let json = serde_json::to_string(&doc).expect("render");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        let n = doc["traceEvents"].as_array().map(Vec::len).unwrap_or(0);
+        println!("wrote {n} trace events to {path} (open in chrome://tracing or Perfetto)");
+        return 0;
+    }
+    let stable = args.iter().any(|a| a == "--stable");
+    let path = if stable { "/timeline?stable=1" } else { "/timeline" };
+    let Some(doc) = fetch_json(args, "timeline", path) else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return 0;
+    }
+    let empty = Vec::new();
+    for t in doc["sync_points"].as_array().unwrap_or(&empty) {
+        println!(
+            "sync #{} (trace {}): lsns {}..={}, {} records, {} polls, {} ejected, wall {}us",
+            t["sync_seq"].as_u64().unwrap_or(0),
+            t["trace_id"].as_u64().unwrap_or(0),
+            t["lsn_first"].as_u64().unwrap_or(0),
+            t["lsn_last"].as_u64().unwrap_or(0),
+            t["records"].as_u64().unwrap_or(0),
+            t["polls"].as_u64().unwrap_or(0),
+            t["ejected"].as_u64().unwrap_or(0),
+            t["wall_micros"].as_u64().unwrap_or(0),
+        );
+        for s in t["stages"].as_array().unwrap_or(&empty) {
+            println!(
+                "  {:<12} {:>8} us  work={}",
+                s["name"].as_str().unwrap_or("?"),
+                s["micros"].as_u64().unwrap_or(0),
+                s["work"].as_u64().unwrap_or(0),
+            );
+        }
+    }
+    println!(
+        "{} sync points recorded, {} dropped{}",
+        doc["recorded"].as_u64().unwrap_or(0),
+        doc["dropped"].as_u64().unwrap_or(0),
+        if doc["truncated"].as_bool() == Some(true) {
+            " (truncated — older entries or trace events are gone)"
+        } else {
+            ""
+        }
+    );
+    0
+}
+
+fn cmd_scorecard(args: &[String]) -> i32 {
+    let Some(doc) = fetch_json(args, "scorecard", "/scorecards") else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return 0;
+    }
+    let empty = Vec::new();
+    let cards = doc["scorecards"].as_array().unwrap_or(&empty);
+    if cards.is_empty() {
+        println!("no scorecards yet (no query types attributed)");
+        return 0;
+    }
+    let mut rows = vec![vec![
+        "type".to_string(),
+        "hits".to_string(),
+        "misses".to_string(),
+        "hit_rate".to_string(),
+        "cost/render".to_string(),
+        "inval".to_string(),
+        "ejects".to_string(),
+        "polls".to_string(),
+        "poll_us".to_string(),
+        "stale_us".to_string(),
+    ]];
+    for c in cards {
+        rows.push(vec![
+            format!("#{}", c["type_id"].as_u64().unwrap_or(0)),
+            c["hits"].as_u64().unwrap_or(0).to_string(),
+            c["misses"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.3}", c["hit_rate"].as_f64().unwrap_or(0.0)),
+            format!("{:.1}", c["avg_render_cost"].as_f64().unwrap_or(0.0)),
+            c["invalidations"].as_u64().unwrap_or(0).to_string(),
+            c["pages_ejected"].as_u64().unwrap_or(0).to_string(),
+            c["polls"].as_u64().unwrap_or(0).to_string(),
+            c["poll_spend_micros"].as_u64().unwrap_or(0).to_string(),
+            c["staleness_micros"].as_u64().unwrap_or(0).to_string(),
+        ]);
+    }
+    print!("{}", cacheportal_bench::render_table(&rows));
+    for c in cards {
+        println!(
+            "type #{}: {}",
+            c["type_id"].as_u64().unwrap_or(0),
+            c["sql"].as_str().unwrap_or("?")
+        );
+    }
+    println!(
+        "version {}, {} urls pending attribution",
+        doc["version"].as_u64().unwrap_or(0),
+        doc["pending_urls"].as_u64().unwrap_or(0),
+    );
+    0
 }
 
 fn cmd_diff(args: &[String]) -> i32 {

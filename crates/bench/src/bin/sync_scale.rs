@@ -15,7 +15,9 @@
 //! cargo run --release -p cacheportal-bench --bin sync_scale -- --smoke # CI
 //! ```
 //!
-//! Writes `BENCH_sync_scale.json` in the working directory.
+//! Appends one run record to the `BENCH_sync_scale.json` trajectory
+//! (`{"history": [...]}`) in the working directory, so repeated runs keep
+//! the perf history instead of overwriting it.
 
 use cacheportal_db::Database;
 use cacheportal_invalidator::{Invalidator, InvalidatorConfig, PolicyConfig};
@@ -24,7 +26,6 @@ use cacheportal_web::PageKey;
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::io::Write;
 use std::time::Instant;
 
 /// Deterministic xorshift generator so every worker count replays the
@@ -369,10 +370,7 @@ fn main() {
         speedup_vs_1w,
         configs,
     };
-    let json = serde_json::to_string_pretty(&artifact).expect("serializable");
     let path = "BENCH_sync_scale.json";
-    let mut f = std::fs::File::create(path).expect("create artifact");
-    f.write_all(json.as_bytes()).expect("write artifact");
-    f.write_all(b"\n").expect("write artifact");
-    println!("artifact: {path}");
+    let runs = cacheportal_bench::append_history(path, &artifact).expect("write artifact");
+    println!("artifact: {path} ({runs} runs in history)");
 }

@@ -24,6 +24,35 @@ pub fn write_artifact<T: Serialize>(name: &str, value: &T) -> std::io::Result<st
     Ok(path)
 }
 
+/// Append one run record to a JSON trajectory file at `path`: the file
+/// holds `{"history": [run, run, ...]}` so successive bench runs accumulate
+/// a perf trajectory instead of overwriting each other (CI uploads the file
+/// as an artifact). A legacy single-run artifact already at `path` is
+/// adopted as the first history entry; an unreadable file starts a fresh
+/// history rather than failing the bench. Returns the new history length.
+pub fn append_history<T: Serialize>(path: &str, run: &T) -> std::io::Result<usize> {
+    use serde::Value;
+    let run_val = run.serialize_value();
+    let mut history: Vec<Value> = match std::fs::read_to_string(path) {
+        Ok(text) => match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Object(fields)) => match fields.iter().find(|(k, _)| k == "history") {
+                Some((_, Value::Array(runs))) => runs.clone(),
+                _ => vec![Value::Object(fields)],
+            },
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    history.push(run_val);
+    let runs = history.len();
+    let doc = Value::Object(vec![("history".to_string(), Value::Array(history))]);
+    let mut f = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(&doc).expect("serializable");
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(runs)
+}
+
 /// Render a fixed-width text table (first row = header).
 pub fn render_table(rows: &[Vec<String>]) -> String {
     if rows.is_empty() {

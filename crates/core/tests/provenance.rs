@@ -315,6 +315,9 @@ fn snapshot_surfaces_ring_overflow_instead_of_hiding_it() {
             url: format!("/p{i}"),
             resident: false,
             causes: vec![],
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
         });
     }
     let snap = p.metrics_snapshot();
@@ -358,7 +361,10 @@ fn jsonl_export_streams_without_duplicates() {
     let first = parse(&buf);
     let second = parse(&buf2);
     for line in first.iter().chain(&second) {
-        assert!(matches!(line["kind"].as_str(), Some("trace") | Some("eject")));
+        assert!(matches!(
+            line["kind"].as_str(),
+            Some("trace") | Some("eject") | Some("scorecard")
+        ));
     }
     let max_trace_seq_first = first
         .iter()

@@ -365,5 +365,17 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
         return RunOutcome::fail(stats, usize::MAX, "metrics-incoherent", incoherent.join("; "));
     }
 
+    // Causal-trace coherence: every traced eject must walk back to its
+    // sync-point phase and to commit trace roots covering its LSN range.
+    // Skipped after crash-restarts (commits before a crash rooted their
+    // traces in the dead incarnation, so the chain legitimately breaks) —
+    // and the check itself degrades to a no-op when any bounded ring
+    // dropped entries (truncation, not incoherence).
+    if stats.crashes == 0 {
+        if let Err(detail) = portal.verify_causal_chains() {
+            return RunOutcome::fail(stats, usize::MAX, "trace-incoherent", detail);
+        }
+    }
+
     RunOutcome { stats, violation: None }
 }

@@ -14,7 +14,7 @@ use cacheportal_db::sql::rewrite::substitute_params;
 use cacheportal_db::{Database, DbResult, Lsn, Value};
 use cacheportal_sniffer::QiUrlMap;
 use cacheportal_web::PageKey;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// How an instance was judged affected (the provenance verdict).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +180,26 @@ pub struct InvalidationReport {
     pub breaker_open_types: u64,
     /// Types currently half-open (probing) after this sync point.
     pub breaker_half_open_types: u64,
+    /// Per-query-type outcome of this sync point, sorted by type id.
+    /// Built in the deterministic merge, so it is identical across worker
+    /// counts (except `analysis_micros`, which is wall-clock); feeds the
+    /// portal's cost/benefit scorecards.
+    pub per_type: Vec<TypeSyncStat>,
+}
+
+/// One query type's share of a sync point (see
+/// [`InvalidationReport::per_type`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TypeSyncStat {
+    /// The query type.
+    pub id: QueryTypeId,
+    /// Polling queries attempted for this type (issued + answered from the
+    /// poll cache/index); deterministic across worker counts.
+    pub polls_attempted: u64,
+    /// Polls that faulted after retries.
+    pub poll_faults: u64,
+    /// Wall-clock analysis time, microseconds (nondeterministic).
+    pub analysis_micros: u64,
 }
 
 /// Invalidator configuration.
@@ -678,18 +698,25 @@ impl Invalidator {
 
         let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
         let mut observations: HashMap<QueryTypeId, TypeObservation> = HashMap::new();
+        let mut per_type: BTreeMap<QueryTypeId, TypeSyncStat> = BTreeMap::new();
         for outcome in type_outcomes {
             let obs = observations.entry(outcome.ty_id).or_default();
             obs.poll_faults += outcome.poll_faults;
             obs.polls_attempted += outcome.polls_attempted;
+            let stat = per_type.entry(outcome.ty_id).or_default();
+            stat.id = outcome.ty_id;
+            stat.polls_attempted += outcome.polls_attempted;
+            stat.poll_faults += outcome.poll_faults;
             affected.extend(outcome.affected);
             if let Some(micros) = outcome.record_micros {
+                stat.analysis_micros += micros;
                 self.registry
                     .get_mut(outcome.ty_id)
                     .stats
                     .record_analysis(micros);
             }
         }
+        report.per_type = per_type.into_values().collect();
 
         // Advance the breaker with the sync point's aggregated evidence —
         // per-type sums, independent of shard assignment and join order.

@@ -31,7 +31,8 @@ pub use analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstanc
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerEvents, CircuitBreaker, TypeObservation};
 pub use delta::{DeltaGroupStat, DeltaSet, TableDelta};
 pub use invalidator::{
-    InstanceVerdict, InvalidationReport, Invalidator, InvalidatorConfig, VerdictCause, VerdictKind,
+    InstanceVerdict, InvalidationReport, Invalidator, InvalidatorConfig, TypeSyncStat, VerdictCause,
+    VerdictKind,
 };
 pub use policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
 pub use polling::{InfoManager, MaintainedIndex, PollAnswer, PollRunner, PollStats};

@@ -15,7 +15,7 @@ use cacheportal_web::PageKey;
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of a registered query type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryTypeId(pub u32);
 
 /// Per-type bookkeeping statistics (§4.1.1's self-tuning inputs).
@@ -240,6 +240,22 @@ impl Registry {
         self.instances.get(&id).and_then(|m| m.get(params))
     }
 
+    /// Query types with at least one instance feeding `page`, sorted by id
+    /// (deterministic). The reverse of `pages_of`: it answers "which cached
+    /// query results does this URL depend on?", which the scorecard board
+    /// uses to attribute request-side hit/miss/render-cost tallies. A full
+    /// instance scan — call at sync-point cadence, not per request.
+    pub fn types_of_page(&self, page: &PageKey) -> Vec<QueryTypeId> {
+        let mut out: Vec<QueryTypeId> = self
+            .instances
+            .iter()
+            .filter(|(_, by_params)| by_params.values().any(|d| d.pages.contains(page)))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Remove page associations (pages ejected and no longer tracked);
     /// instances left with no pages are dropped. Returns dropped instances.
     pub fn remove_pages(&mut self, pages: &HashSet<PageKey>) -> usize {
@@ -334,6 +350,31 @@ mod tests {
         assert_eq!(reg.remove_pages(&gone), 1);
         assert!(reg.pages_of(id, &params).is_none());
         assert_eq!(reg.instance_count(id), 0);
+    }
+
+    #[test]
+    fn types_of_page_is_sorted_reverse_lookup() {
+        let mut reg = Registry::new();
+        let (t_car, _) = reg
+            .register_instance("SELECT * FROM Car WHERE price < 20000", PageKey::raw("p1"))
+            .unwrap();
+        let (t_epa, _) = reg
+            .register_instance("SELECT EPA FROM Mileage", PageKey::raw("p1"))
+            .unwrap();
+        reg.register_instance("SELECT * FROM Car WHERE price < 30000", PageKey::raw("p2"))
+            .unwrap();
+
+        let p1_types = reg.types_of_page(&PageKey::raw("p1"));
+        assert_eq!(p1_types, vec![t_car.min(t_epa), t_car.max(t_epa)]);
+        assert_eq!(reg.types_of_page(&PageKey::raw("p2")), vec![t_car]);
+        assert!(reg.types_of_page(&PageKey::raw("p3")).is_empty());
+
+        // Ejecting p1 removes it from the reverse lookup.
+        let mut gone = HashSet::new();
+        gone.insert(PageKey::raw("p1"));
+        reg.remove_pages(&gone);
+        assert!(reg.types_of_page(&PageKey::raw("p1")).is_empty());
+        assert_eq!(reg.types_of_page(&PageKey::raw("p2")), vec![t_car]);
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! * `GET /metrics` — Prometheus text exposition (version 0.0.4).
 //! * `GET /explain?url=<percent-encoded url>` — eject provenance as JSON.
 //! * `GET /explain?lsn=<n>` — update provenance as JSON.
+//! * `GET /trace[?n=<limit>]` — recent causal trace events as JSON.
+//! * `GET /timeline[?stable=1][?format=chrome]` — per-sync-point stage
+//!   timeline; `format=chrome` renders Chrome `trace_event` JSON for
+//!   chrome://tracing, `stable=1` zeroes wall-clock fields for byte-stable
+//!   output.
+//! * `GET /scorecards` — per-query-type cost/benefit scorecards as JSON.
 //!
 //! The server is decoupled from `CachePortal` through [`AdminSource`]; the
 //! core crate implements it over the live registry + provenance log and
@@ -34,6 +40,25 @@ pub trait AdminSource: Send + Sync {
     /// recovery, and WAL errors surface as `503`.
     fn health(&self) -> crate::HealthResponse {
         crate::HealthResponse::ok()
+    }
+    /// Body for `GET /trace` — the `n` most recent causal trace events.
+    /// Default: no tracer wired.
+    fn trace(&self, _limit: usize) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /timeline`. `stable` zeroes wall-clock fields so the
+    /// document is byte-stable for a fixed seed. Default: no timeline wired.
+    fn timeline(&self, _stable: bool) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /timeline?format=chrome` (Chrome `trace_event` JSON).
+    /// Default: no timeline wired.
+    fn timeline_chrome(&self) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /scorecards`. Default: no scorecards wired.
+    fn scorecards(&self) -> serde_json::Value {
+        serde_json::Value::Null
     }
 }
 
@@ -142,6 +167,29 @@ fn handle_conn(stream: &mut TcpStream, source: &dyn AdminSource) -> std::io::Res
                     "expected ?url=<url> or ?lsn=<n>\n",
                 )
             }
+        }
+        "/trace" => {
+            let limit = query_param(query, "n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(256);
+            let body = serde_json::to_string_pretty(&source.trace(limit))
+                .unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
+        }
+        "/timeline" => {
+            let doc = if query_param(query, "format").as_deref() == Some("chrome") {
+                source.timeline_chrome()
+            } else {
+                let stable = query_param(query, "stable").as_deref() == Some("1");
+                source.timeline(stable)
+            };
+            let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
+        }
+        "/scorecards" => {
+            let body = serde_json::to_string_pretty(&source.scorecards())
+                .unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
         }
         _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -300,6 +348,83 @@ mod tests {
         assert_eq!(status, 400);
         let (status, _) = http_get(addr, "/nope");
         assert_eq!(status, 404);
+
+        // New endpoints fall back to the default (null) trait impls, so
+        // sources written before tracing existed keep working.
+        for path in ["/trace", "/timeline", "/scorecards"] {
+            let (status, body) = http_get(addr, path);
+            assert_eq!(status, 200, "{path}");
+            assert_eq!(body.trim(), "null", "{path}");
+        }
+
+        server.shutdown();
+    }
+
+    struct TracedSource;
+
+    impl AdminSource for TracedSource {
+        fn prometheus(&self) -> String {
+            String::new()
+        }
+        fn explain_url(&self, _url: &str) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn explain_lsn(&self, _lsn: u64) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn trace(&self, limit: usize) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "limit".to_string(),
+                serde_json::Value::UInt(limit as u64),
+            )])
+        }
+        fn timeline(&self, stable: bool) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "stable".to_string(),
+                serde_json::Value::Bool(stable),
+            )])
+        }
+        fn timeline_chrome(&self) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "traceEvents".to_string(),
+                serde_json::Value::Array(Vec::new()),
+            )])
+        }
+        fn scorecards(&self) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "scorecards".to_string(),
+                serde_json::Value::Array(Vec::new()),
+            )])
+        }
+    }
+
+    #[test]
+    fn serves_trace_timeline_and_scorecards() {
+        let server = AdminServer::serve("127.0.0.1:0", Arc::new(TracedSource)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/trace?n=42");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["limit"].as_u64(), Some(42));
+        let (_, body) = http_get(addr, "/trace");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["limit"].as_u64(), Some(256));
+
+        let (_, body) = http_get(addr, "/timeline");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["stable"].as_bool(), Some(false));
+        let (_, body) = http_get(addr, "/timeline?stable=1");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["stable"].as_bool(), Some(true));
+        let (_, body) = http_get(addr, "/timeline?format=chrome");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(doc["traceEvents"].as_array().is_some());
+
+        let (status, body) = http_get(addr, "/scorecards");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(doc["scorecards"].as_array().is_some());
 
         server.shutdown();
     }

@@ -2,12 +2,18 @@
 //! `io::Write` for offline analysis.
 //!
 //! The exporter is cursor-based: each call emits only events recorded since
-//! the previous call, one JSON object per line. Two kinds of lines:
+//! the previous call, one JSON object per line. Three kinds of lines:
 //!
 //! ```json
-//! {"kind":"trace","seq":3,"ts":120,"scope":"core","name":"sync.point","detail":"...","duration_micros":17}
+//! {"kind":"trace","seq":3,"ts":120,"scope":"core","name":"sync.point","detail":"...","duration_micros":17,"trace_id":2,"span_id":5,"parent_span":0}
 //! {"kind":"eject","seq":0,"sync_seq":1,"lsn_first":0,...,"url":"...","causes":[...]}
+//! {"kind":"scorecard","version":4,"type_id":0,"hits":12,"hit_rate":0.75,...}
 //! ```
+//!
+//! Trace lines carry causal ids when present, and scorecard lines are a
+//! full snapshot of every per-query-type row, re-emitted only when the
+//! board's version counter moved — downstream admission-policy tooling can
+//! keep the latest version per `type_id`.
 //!
 //! Because both rings are bounded, events that rotate out between calls are
 //! lost; the per-call [`ExportStats`] reports how many were skipped so the
@@ -24,6 +30,8 @@ pub struct ExportStats {
     pub trace_events: u64,
     /// Eject-record lines written.
     pub eject_records: u64,
+    /// Scorecard rows written.
+    pub scorecard_rows: u64,
     /// Events that rotated out of the bounded rings before this call and
     /// were therefore never written.
     pub skipped: u64,
@@ -34,6 +42,7 @@ pub struct ExportStats {
 pub struct JsonlExporter {
     next_trace_seq: u64,
     next_eject_seq: u64,
+    last_scorecard_version: u64,
 }
 
 impl JsonlExporter {
@@ -64,6 +73,11 @@ impl JsonlExporter {
             if let Some(d) = e.duration_micros {
                 obj.push(("duration_micros".to_string(), serde_json::Value::UInt(d)));
             }
+            if e.trace_id != 0 {
+                obj.push(("trace_id".to_string(), serde_json::Value::UInt(e.trace_id)));
+                obj.push(("span_id".to_string(), serde_json::Value::UInt(e.span_id)));
+                obj.push(("parent_span".to_string(), serde_json::Value::UInt(e.parent_span)));
+            }
             let line = serde_json::to_string(&serde_json::Value::Object(obj))
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             writeln!(w, "{line}")?;
@@ -88,6 +102,27 @@ impl JsonlExporter {
             writeln!(w, "{line}")?;
             stats.eject_records += 1;
             self.next_eject_seq = r.seq + 1;
+        }
+
+        let version = obs.scorecards.version();
+        if version != self.last_scorecard_version {
+            for row in obs.scorecards.rows() {
+                let mut obj = vec![
+                    (
+                        "kind".to_string(),
+                        serde_json::Value::String("scorecard".to_string()),
+                    ),
+                    ("version".to_string(), serde_json::Value::UInt(version)),
+                ];
+                if let serde_json::Value::Object(fields) = crate::ScorecardBoard::row_to_json(&row) {
+                    obj.extend(fields);
+                }
+                let line = serde_json::to_string(&serde_json::Value::Object(obj))
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                writeln!(w, "{line}")?;
+                stats.scorecard_rows += 1;
+            }
+            self.last_scorecard_version = version;
         }
 
         w.flush()?;
@@ -121,6 +156,9 @@ mod tests {
                 verdict: "local-predicate".into(),
                 detail: "".into(),
             }],
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
         }
     }
 
@@ -160,6 +198,53 @@ mod tests {
         let stats3 = exporter.export(&obs, &mut out3).unwrap();
         assert_eq!(stats3.trace_events, 1);
         assert_eq!(stats3.eject_records, 0);
+    }
+
+    #[test]
+    fn exports_causal_ids_and_scorecard_snapshots() {
+        let obs = Obs::new();
+        let root = obs.tracer.start_trace("core", "sync.point", 5, "sync#0");
+        obs.tracer.child_event(root, "cache", "eject", 6, "page:a");
+        obs.scorecards.note_sync(&[crate::TypeSyncOutcome {
+            type_id: 2,
+            sql: "SELECT 1".into(),
+            invalidations: 1,
+            ..Default::default()
+        }]);
+
+        let mut exporter = JsonlExporter::new();
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        assert_eq!(stats.trace_events, 2);
+        assert_eq!(stats.scorecard_rows, 1);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["trace_id"].as_u64(), Some(root.trace_id));
+        assert_eq!(lines[0]["parent_span"].as_u64(), Some(0));
+        assert_eq!(lines[1]["parent_span"].as_u64(), Some(root.span_id));
+        let card = &lines[2];
+        assert_eq!(card["kind"].as_str(), Some("scorecard"));
+        assert_eq!(card["type_id"].as_u64(), Some(2));
+        assert_eq!(card["invalidations"].as_u64(), Some(1));
+
+        // Unchanged board: no scorecard re-emission.
+        let mut out2 = Vec::new();
+        let stats2 = exporter.export(&obs, &mut out2).unwrap();
+        assert_eq!(stats2.scorecard_rows, 0);
+        assert!(out2.is_empty());
+
+        // Board moved: the full snapshot is re-emitted at the new version.
+        obs.scorecards.note_sync(&[crate::TypeSyncOutcome {
+            type_id: 3,
+            ..Default::default()
+        }]);
+        let mut out3 = Vec::new();
+        let stats3 = exporter.export(&obs, &mut out3).unwrap();
+        assert_eq!(stats3.scorecard_rows, 2);
     }
 
     #[test]

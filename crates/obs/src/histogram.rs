@@ -240,6 +240,45 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_accurate_under_concurrent_writers() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads = 8u64;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    // Each thread writes the full 1..=per_thread range, so
+                    // the combined distribution equals the single-writer one
+                    // and every quantile has a known exact answer.
+                    for v in 1..=per_thread {
+                        h.record(v.wrapping_mul(2654435761).wrapping_add(t) % per_thread + 1);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // No lost updates: count and max are exact despite racing writers.
+        assert_eq!(h.count(), threads * per_thread);
+        assert_eq!(h.max(), per_thread);
+        assert_eq!(h.min(), 1);
+        // The values written are a (mixed) permutation-ish resampling of
+        // 1..=per_thread, uniform enough that quantiles must land within
+        // the documented 1/SUB relative error plus a small sampling slack.
+        for (q, expect) in [(0.50, 5_000f64), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(
+                err <= 1.0 / SUB as f64 + 0.05,
+                "q={q}: got {got}, want ~{expect}"
+            );
+        }
+    }
+
+    #[test]
     fn empty_histogram_is_all_zeros() {
         let h = Histogram::new();
         let s = h.snapshot();

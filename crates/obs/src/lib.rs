@@ -31,7 +31,9 @@ pub mod health;
 mod histogram;
 pub mod provenance;
 mod registry;
+pub mod scorecard;
 mod staleness;
+pub mod timeline;
 mod trace;
 
 pub use admin::{AdminServer, AdminSource};
@@ -40,8 +42,10 @@ pub use health::{HealthResponse, HealthSnapshot, HealthState, HealthStatus};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use provenance::{Cause, DeltaGroup, EjectRecord, Explanation, ProvenanceLog};
 pub use registry::{prometheus_name, Counter, Gauge, MetricsRegistry};
+pub use scorecard::{PageTally, ScorecardBoard, TypeScore, TypeSyncOutcome};
 pub use staleness::{Lsn, StalenessProbe};
-pub use trace::{TraceEvent, Tracer};
+pub use timeline::{StageSample, SyncTimeline, TimelineLog};
+pub use trace::{CommitIndex, CommitRoot, TraceContext, TraceEvent, Tracer};
 
 use std::sync::Arc;
 
@@ -57,6 +61,12 @@ pub struct Obs {
     pub provenance: ProvenanceLog,
     /// Live health flags behind `/healthz` (breakers, recovery, WAL).
     pub health: HealthState,
+    /// Commit LSN range → update-commit trace root (causal chain anchor).
+    pub commits: CommitIndex,
+    /// Per-sync-point stage timeline behind `/timeline`.
+    pub timeline: TimelineLog,
+    /// Per-query-type cost/benefit scorecards behind `/scorecards`.
+    pub scorecards: ScorecardBoard,
 }
 
 impl Default for Obs {
@@ -75,11 +85,15 @@ impl Obs {
             staleness: StalenessProbe::new(),
             provenance: ProvenanceLog::default(),
             health: HealthState::new(),
+            commits: CommitIndex::default(),
+            timeline: TimelineLog::default(),
+            scorecards: ScorecardBoard::default(),
         }
     }
 
     /// Instruments with explicit ring capacities (trace events, provenance
-    /// records).
+    /// records). The commit index matches the trace ring's capacity so both
+    /// truncate together.
     pub fn with_capacity(trace_events: usize, provenance_records: usize) -> Self {
         Obs {
             metrics: MetricsRegistry::new(),
@@ -87,6 +101,9 @@ impl Obs {
             staleness: StalenessProbe::new(),
             provenance: ProvenanceLog::new(provenance_records),
             health: HealthState::new(),
+            commits: CommitIndex::new(trace_events),
+            timeline: TimelineLog::default(),
+            scorecards: ScorecardBoard::default(),
         }
     }
 
@@ -116,6 +133,11 @@ impl Obs {
             ("staleness".to_string(), self.staleness.to_json()),
             ("trace".to_string(), self.tracer.to_json(recent_events)),
             ("provenance".to_string(), self.provenance.to_json(8)),
+            (
+                "timeline".to_string(),
+                self.timeline.to_json(8, self.tracer.dropped(), false),
+            ),
+            ("scorecards".to_string(), self.scorecards.to_json()),
         ])
     }
 

@@ -102,6 +102,14 @@ pub struct EjectRecord {
     pub resident: bool,
     /// Affected query instances that named this URL, with their verdicts.
     pub causes: Vec<Cause>,
+    /// Lifecycle trace this eject belongs to (0 = untraced, e.g. recovery
+    /// ejects or tracing disabled).
+    pub trace_id: u64,
+    /// This eject's span id within the trace (allocated by the tracer; the
+    /// record itself is the span — no separate ring event per eject).
+    pub span_id: u64,
+    /// Parent span: the sync point's eject-phase span.
+    pub parent_span: u64,
 }
 
 impl EjectRecord {
@@ -124,6 +132,9 @@ impl EjectRecord {
                 "causes".to_string(),
                 Value::Array(self.causes.iter().map(|c| c.to_json()).collect()),
             ),
+            ("trace_id".to_string(), Value::UInt(self.trace_id)),
+            ("span_id".to_string(), Value::UInt(self.span_id)),
+            ("parent_span".to_string(), Value::UInt(self.parent_span)),
         ])
     }
 }
@@ -368,6 +379,9 @@ mod tests {
                 verdict: "polling-query".to_string(),
                 detail: "SELECT COUNT(*) ...".to_string(),
             }],
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
         }
     }
 

@@ -1,0 +1,462 @@
+//! Per-query-type cost/benefit scorecards behind the `/scorecards` admin
+//! endpoint.
+//!
+//! A cost-aware admission policy (ROADMAP item 5) needs, per cached query
+//! type: what caching *saves* (observed hit rate, recompute cost of a miss)
+//! and what it *costs* (invalidation churn, polling-query spend, staleness
+//! exposure). The portal feeds the board from two sides:
+//!
+//! * the request path calls [`ScorecardBoard::note_request`] per served URL
+//!   (hit/miss plus a deterministic render-cost measure — database rows
+//!   scanned while generating the page, NOT wall time, so scorecards are
+//!   byte-stable across seeded runs);
+//! * each sync point resolves pending URLs to their registered query types
+//!   via [`ScorecardBoard::attribute_pending`] and folds in that sync's
+//!   per-type invalidation/poll/staleness outcome via
+//!   [`ScorecardBoard::note_sync`].
+//!
+//! URLs served before their query types register (or that never register —
+//! non-cacheable paths) fold into the `unattributed` bucket instead of
+//! leaking memory. Rendering is sorted by type id and fully deterministic.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Request-side tallies for one URL, pending attribution to query types.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PageTally {
+    /// Cache hits served.
+    pub hits: u64,
+    /// Misses (page generated).
+    pub misses: u64,
+    /// Generations with a measured render cost.
+    pub renders: u64,
+    /// Deterministic render cost units (db rows scanned during generation).
+    pub render_cost_units: u64,
+}
+
+impl PageTally {
+    fn fold(&mut self, other: &PageTally) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.renders += other.renders;
+        self.render_cost_units += other.render_cost_units;
+    }
+}
+
+/// One sync point's outcome for one query type (built by the portal from
+/// the invalidation report's deterministic per-type stats).
+#[derive(Debug, Clone, Default)]
+pub struct TypeSyncOutcome {
+    /// Query type id.
+    pub type_id: u32,
+    /// Parameterized SQL template (kept current on the score row).
+    pub sql: String,
+    /// Instance verdicts naming this type this sync.
+    pub invalidations: u64,
+    /// Pages named by this type's verdicts (churn; overlapping pages count
+    /// once per naming type).
+    pub pages_ejected: u64,
+    /// Polling queries attempted for this type.
+    pub polls: u64,
+    /// Modeled poll spend: polls x configured poll RTT (deterministic).
+    pub poll_spend_micros: u64,
+    /// Commit→eject staleness window (logical micros) attributed to this
+    /// type this sync, summed over its invalidated instances.
+    pub staleness_micros: u64,
+    /// Staleness observations behind `staleness_micros`.
+    pub staleness_events: u64,
+}
+
+/// Cumulative cost/benefit score for one query type.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeScore {
+    /// Query type id.
+    pub type_id: u32,
+    /// Parameterized SQL template.
+    pub sql: String,
+    /// Request-side benefit measures.
+    pub pages: PageTally,
+    /// Update batches (sync points) that touched this type.
+    pub sync_touches: u64,
+    /// Instance invalidations across all syncs.
+    pub invalidations: u64,
+    /// Pages ejected on this type's behalf.
+    pub pages_ejected: u64,
+    /// Polling queries attempted.
+    pub polls: u64,
+    /// Modeled poll spend in (deterministic) microseconds.
+    pub poll_spend_micros: u64,
+    /// Cumulative attributed staleness, logical microseconds.
+    pub staleness_micros: u64,
+    /// Observations behind `staleness_micros`.
+    pub staleness_events: u64,
+}
+
+impl TypeScore {
+    /// Observed hit rate over requests attributed to this type.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.pages.hits + self.pages.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pages.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean render cost units per generation.
+    pub fn avg_render_cost(&self) -> f64 {
+        if self.pages.renders == 0 {
+            0.0
+        } else {
+            self.pages.render_cost_units as f64 / self.pages.renders as f64
+        }
+    }
+
+    /// Mean attributed staleness window per observation (logical micros).
+    pub fn avg_staleness_micros(&self) -> f64 {
+        if self.staleness_events == 0 {
+            0.0
+        } else {
+            self.staleness_micros as f64 / self.staleness_events as f64
+        }
+    }
+}
+
+/// The scorecard aggregation board. All methods take `&self`.
+pub struct ScorecardBoard {
+    /// URL → tallies accumulated since the last sync point.
+    pending: Mutex<HashMap<String, PageTally>>,
+    /// type id → cumulative score (BTreeMap: sorted, deterministic render).
+    scores: Mutex<BTreeMap<u32, TypeScore>>,
+    /// Tallies for URLs that never resolved to a query type.
+    unattributed: Mutex<PageTally>,
+    /// Bumped on every attribution/sync fold; lets exporters skip unchanged
+    /// boards.
+    version: AtomicU64,
+    pending_cap: usize,
+    pending_dropped: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl ScorecardBoard {
+    /// A board holding at most `pending_cap` distinct unattributed URLs
+    /// between sync points.
+    pub fn new(pending_cap: usize) -> Self {
+        ScorecardBoard {
+            pending: Mutex::new(HashMap::new()),
+            scores: Mutex::new(BTreeMap::new()),
+            unattributed: Mutex::new(PageTally::default()),
+            version: AtomicU64::new(0),
+            pending_cap: pending_cap.max(1),
+            pending_dropped: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turn request-side recording on or off (for overhead A/B benches).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record one served request for `url`. `render_cost` is the
+    /// deterministic unit count for a generated page (None for cache hits).
+    pub fn note_request(&self, url: &str, hit: bool, render_cost: Option<u64>) {
+        if !self.enabled() {
+            return;
+        }
+        let mut pending = self.pending.lock();
+        if !pending.contains_key(url) && pending.len() >= self.pending_cap {
+            self.pending_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let t = pending.entry(url.to_string()).or_default();
+        if hit {
+            t.hits += 1;
+        } else {
+            t.misses += 1;
+        }
+        if let Some(cost) = render_cost {
+            t.renders += 1;
+            t.render_cost_units += cost;
+        }
+    }
+
+    /// Drain pending URL tallies, attributing each to the query types
+    /// `resolve` reports for it (a URL feeding several types credits each).
+    /// Unresolvable URLs fold into the `unattributed` bucket.
+    pub fn attribute_pending(&self, mut resolve: impl FnMut(&str) -> Vec<(u32, String)>) {
+        let drained: Vec<(String, PageTally)> = {
+            let mut pending = self.pending.lock();
+            let mut items: Vec<_> = pending.drain().collect();
+            // Deterministic fold order regardless of hash iteration.
+            items.sort_by(|a, b| a.0.cmp(&b.0));
+            items
+        };
+        if drained.is_empty() {
+            return;
+        }
+        let mut scores = self.scores.lock();
+        for (url, tally) in drained {
+            let types = resolve(&url);
+            if types.is_empty() {
+                self.unattributed.lock().fold(&tally);
+                continue;
+            }
+            for (type_id, sql) in types {
+                let row = scores.entry(type_id).or_default();
+                row.type_id = type_id;
+                if row.sql.is_empty() {
+                    row.sql = sql;
+                }
+                row.pages.fold(&tally);
+            }
+        }
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one sync point's per-type outcomes into the board.
+    pub fn note_sync(&self, outcomes: &[TypeSyncOutcome]) {
+        if outcomes.is_empty() {
+            return;
+        }
+        let mut scores = self.scores.lock();
+        for o in outcomes {
+            let row = scores.entry(o.type_id).or_default();
+            row.type_id = o.type_id;
+            if row.sql.is_empty() {
+                row.sql = o.sql.clone();
+            }
+            row.sync_touches += 1;
+            row.invalidations += o.invalidations;
+            row.pages_ejected += o.pages_ejected;
+            row.polls += o.polls;
+            row.poll_spend_micros += o.poll_spend_micros;
+            row.staleness_micros += o.staleness_micros;
+            row.staleness_events += o.staleness_events;
+        }
+        self.version.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotone change counter (bumped by attribution and sync folds).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// URLs rejected by the pending-map bound.
+    pub fn pending_dropped(&self) -> u64 {
+        self.pending_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Current rows, sorted by type id.
+    pub fn rows(&self) -> Vec<TypeScore> {
+        self.scores.lock().values().cloned().collect()
+    }
+
+    /// Render one score row as a JSON object (used by `/scorecards` and the
+    /// JSONL exporter so both emit the identical shape).
+    pub fn row_to_json(row: &TypeScore) -> serde_json::Value {
+        use serde_json::Value;
+        Value::Object(vec![
+            ("type_id".to_string(), Value::UInt(row.type_id as u64)),
+            ("sql".to_string(), Value::String(row.sql.clone())),
+            ("hits".to_string(), Value::UInt(row.pages.hits)),
+            ("misses".to_string(), Value::UInt(row.pages.misses)),
+            ("hit_rate".to_string(), Value::Float(row.hit_rate())),
+            ("renders".to_string(), Value::UInt(row.pages.renders)),
+            (
+                "render_cost_units".to_string(),
+                Value::UInt(row.pages.render_cost_units),
+            ),
+            ("avg_render_cost".to_string(), Value::Float(row.avg_render_cost())),
+            ("sync_touches".to_string(), Value::UInt(row.sync_touches)),
+            ("invalidations".to_string(), Value::UInt(row.invalidations)),
+            ("pages_ejected".to_string(), Value::UInt(row.pages_ejected)),
+            ("polls".to_string(), Value::UInt(row.polls)),
+            (
+                "poll_spend_micros".to_string(),
+                Value::UInt(row.poll_spend_micros),
+            ),
+            (
+                "staleness_micros".to_string(),
+                Value::UInt(row.staleness_micros),
+            ),
+            (
+                "staleness_events".to_string(),
+                Value::UInt(row.staleness_events),
+            ),
+            (
+                "avg_staleness_micros".to_string(),
+                Value::Float(row.avg_staleness_micros()),
+            ),
+        ])
+    }
+
+    /// The `/scorecards` JSON document: sorted rows plus the unattributed
+    /// bucket and pending-map health. Fully deterministic for a fixed seed
+    /// (no wall-clock fields anywhere).
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let rows = self.rows().iter().map(Self::row_to_json).collect();
+        let un = self.unattributed.lock().clone();
+        Value::Object(vec![
+            ("version".to_string(), Value::UInt(self.version())),
+            (
+                "pending_urls".to_string(),
+                Value::UInt(self.pending.lock().len() as u64),
+            ),
+            (
+                "pending_dropped".to_string(),
+                Value::UInt(self.pending_dropped()),
+            ),
+            (
+                "unattributed".to_string(),
+                Value::Object(vec![
+                    ("hits".to_string(), Value::UInt(un.hits)),
+                    ("misses".to_string(), Value::UInt(un.misses)),
+                    ("renders".to_string(), Value::UInt(un.renders)),
+                    (
+                        "render_cost_units".to_string(),
+                        Value::UInt(un.render_cost_units),
+                    ),
+                ]),
+            ),
+            ("scorecards".to_string(), Value::Array(rows)),
+        ])
+    }
+}
+
+impl Default for ScorecardBoard {
+    /// 4096-URL pending bound.
+    fn default() -> Self {
+        ScorecardBoard::new(4096)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve_fixed(url: &str) -> Vec<(u32, String)> {
+        match url {
+            "page:a" => vec![(1, "SELECT x FROM t WHERE k = $1".to_string())],
+            "page:b" => vec![
+                (1, "SELECT x FROM t WHERE k = $1".to_string()),
+                (2, "SELECT y FROM u WHERE k = $1".to_string()),
+            ],
+            _ => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn request_tallies_attribute_to_types() {
+        let board = ScorecardBoard::default();
+        board.note_request("page:a", false, Some(12));
+        board.note_request("page:a", true, None);
+        board.note_request("page:b", true, None);
+        board.note_request("page:zzz", false, Some(5));
+        board.attribute_pending(resolve_fixed);
+
+        let rows = board.rows();
+        assert_eq!(rows.len(), 2);
+        let t1 = &rows[0];
+        assert_eq!(t1.type_id, 1);
+        assert_eq!(t1.pages.hits, 2); // page:a hit + page:b hit
+        assert_eq!(t1.pages.misses, 1);
+        assert_eq!(t1.pages.render_cost_units, 12);
+        assert!((t1.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        let t2 = &rows[1];
+        assert_eq!(t2.type_id, 2);
+        assert_eq!(t2.pages.hits, 1);
+
+        // Unresolvable URL landed in the unattributed bucket, not a row.
+        let j = board.to_json();
+        assert_eq!(j["unattributed"]["misses"].as_u64(), Some(1));
+        assert_eq!(j["unattributed"]["render_cost_units"].as_u64(), Some(5));
+        assert_eq!(j["pending_urls"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn sync_outcomes_fold_and_bump_version() {
+        let board = ScorecardBoard::default();
+        assert_eq!(board.version(), 0);
+        board.note_sync(&[TypeSyncOutcome {
+            type_id: 3,
+            sql: "SELECT 1".to_string(),
+            invalidations: 2,
+            pages_ejected: 4,
+            polls: 1,
+            poll_spend_micros: 400,
+            staleness_micros: 90,
+            staleness_events: 2,
+        }]);
+        assert_eq!(board.version(), 1);
+        board.note_sync(&[TypeSyncOutcome {
+            type_id: 3,
+            invalidations: 1,
+            ..Default::default()
+        }]);
+        let rows = board.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].invalidations, 3);
+        assert_eq!(rows[0].sync_touches, 2);
+        assert_eq!(rows[0].poll_spend_micros, 400);
+        assert!((rows[0].avg_staleness_micros() - 45.0).abs() < 1e-9);
+        // Empty outcome list does not bump the version.
+        let v = board.version();
+        board.note_sync(&[]);
+        assert_eq!(board.version(), v);
+    }
+
+    #[test]
+    fn rendering_is_sorted_and_byte_stable_across_insertion_order() {
+        let run = |ids: &[u32]| {
+            let board = ScorecardBoard::default();
+            for &id in ids {
+                board.note_sync(&[TypeSyncOutcome {
+                    type_id: id,
+                    sql: format!("SELECT {id}"),
+                    invalidations: id as u64,
+                    ..Default::default()
+                }]);
+            }
+            board.note_request("page:b", true, None);
+            board.note_request("page:a", false, Some(7));
+            board.attribute_pending(resolve_fixed);
+            serde_json::to_string(&board.to_json()).unwrap()
+        };
+        assert_eq!(run(&[5, 1, 9]), run(&[9, 5, 1]));
+        let doc: serde_json::Value = serde_json::from_str(&run(&[5, 1, 9])).unwrap();
+        let rows = doc["scorecards"].as_array().unwrap();
+        let ids: Vec<u64> = rows.iter().map(|r| r["type_id"].as_u64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn pending_bound_drops_new_urls_and_counts() {
+        let board = ScorecardBoard::new(2);
+        board.note_request("page:a", true, None);
+        board.note_request("page:b", true, None);
+        board.note_request("page:c", true, None); // over cap: dropped
+        board.note_request("page:a", true, None); // existing: still folds
+        assert_eq!(board.pending_dropped(), 1);
+        board.attribute_pending(resolve_fixed);
+        assert_eq!(board.rows()[0].pages.hits, 3);
+    }
+
+    #[test]
+    fn disabled_board_records_nothing() {
+        let board = ScorecardBoard::default();
+        board.set_enabled(false);
+        board.note_request("page:a", true, None);
+        board.attribute_pending(resolve_fixed);
+        assert!(board.rows().is_empty());
+        assert_eq!(board.version(), 0);
+    }
+}

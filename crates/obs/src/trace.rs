@@ -1,19 +1,45 @@
-//! Lightweight span/event tracer with a bounded ring buffer.
+//! Causal lifecycle tracer with a bounded ring buffer.
 //!
 //! Components emit [`TraceEvent`]s at pipeline milestones (request served,
-//! SQL executed, cache admission, sync point phases, page ejection). The
-//! tracer keeps only the most recent `capacity` events, so it is safe to
-//! leave enabled in long benchmarks; it can also be disabled entirely, which
+//! SQL executed, cache admission, sync point phases, page ejection). Events
+//! carry optional causal identity — a trace id shared by every event of one
+//! logical lifecycle plus span ids with parent links — so an eject can be
+//! walked back to the sync-point phase and commit that caused it. The tracer
+//! keeps only the most recent `capacity` events, so it is safe to leave
+//! enabled in long benchmarks; it can also be disabled entirely, which
 //! reduces `event` to one atomic load.
 //!
 //! Timestamps are the caller's logical clock (the portal's microsecond
-//! `ManualClock`), keeping traces deterministic under simulation; wall-clock
-//! durations for spans are measured separately with [`Tracer::span`].
+//! `ManualClock`), and trace/span ids are allocated from monotone counters
+//! under the portal's serialized orchestration, keeping traces deterministic
+//! under simulation; wall-clock durations for spans are measured separately
+//! with [`Tracer::span`] or supplied via [`Tracer::child_span`].
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Causal identity of a span: which lifecycle it belongs to and its own id.
+/// `TraceContext::NONE` (all zeros) means "uncorrelated" — the id counters
+/// start at 1, so 0 is never a real id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Lifecycle (trace) this span belongs to; 0 = none.
+    pub trace_id: u64,
+    /// This span's id within the trace; 0 = none.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The uncorrelated context (tracer disabled, or legacy events).
+    pub const NONE: TraceContext = TraceContext { trace_id: 0, span_id: 0 };
+
+    /// Does this context carry real causal identity?
+    pub fn is_some(&self) -> bool {
+        self.trace_id != 0
+    }
+}
 
 /// One pipeline milestone.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +57,19 @@ pub struct TraceEvent {
     /// Wall-clock duration in microseconds for span events, `None` for
     /// point events.
     pub duration_micros: Option<u64>,
+    /// Lifecycle this event belongs to; 0 = uncorrelated.
+    pub trace_id: u64,
+    /// This event's span id; 0 = uncorrelated.
+    pub span_id: u64,
+    /// Parent span within the same trace; 0 = trace root (or uncorrelated).
+    pub parent_span: u64,
+}
+
+impl TraceEvent {
+    /// This event's causal identity as a context for child spans.
+    pub fn context(&self) -> TraceContext {
+        TraceContext { trace_id: self.trace_id, span_id: self.span_id }
+    }
 }
 
 /// Bounded event recorder; all methods take `&self`.
@@ -40,6 +79,8 @@ pub struct Tracer {
     seq: AtomicU64,
     dropped: AtomicU64,
     enabled: AtomicBool,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
 }
 
 impl Tracer {
@@ -51,6 +92,8 @@ impl Tracer {
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
         }
     }
 
@@ -64,12 +107,13 @@ impl Tracer {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    /// Record a point event.
+    /// Record a point event with no causal identity.
     pub fn event(&self, scope: &'static str, name: &'static str, ts: u64, detail: impl Into<String>) {
-        self.push(scope, name, ts, detail.into(), None);
+        self.push(scope, name, ts, detail.into(), None, 0, 0, 0);
     }
 
-    /// Run `f`, recording a span event carrying its wall-clock duration.
+    /// Run `f`, recording a span event carrying its wall-clock duration
+    /// (no causal identity).
     pub fn span<R>(
         &self,
         scope: &'static str,
@@ -84,11 +128,133 @@ impl Tracer {
         let start = Instant::now();
         let out = f();
         let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        self.push(scope, name, ts, detail.into(), Some(micros));
+        self.push(scope, name, ts, detail.into(), Some(micros), 0, 0, 0);
         out
     }
 
-    fn push(&self, scope: &'static str, name: &'static str, ts: u64, detail: String, duration: Option<u64>) {
+    /// Begin a new lifecycle: allocate a trace id, record its root span, and
+    /// return the context children attach to. Returns [`TraceContext::NONE`]
+    /// (recording nothing) when disabled.
+    pub fn start_trace(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: impl Into<String>,
+    ) -> TraceContext {
+        if !self.enabled() {
+            return TraceContext::NONE;
+        }
+        let trace_id = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        let span_id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        self.push(scope, name, ts, detail.into(), None, trace_id, span_id, 0);
+        TraceContext { trace_id, span_id }
+    }
+
+    /// Record a point event as a child span of `parent`, returning the child's
+    /// context. With an uncorrelated parent (or disabled tracer) this degrades
+    /// to [`Tracer::event`] and returns [`TraceContext::NONE`].
+    pub fn child_event(
+        &self,
+        parent: TraceContext,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: impl Into<String>,
+    ) -> TraceContext {
+        self.child(parent, scope, name, ts, detail.into(), None)
+    }
+
+    /// Record a completed span (duration measured by the caller) as a child
+    /// of `parent`, returning the child's context.
+    pub fn child_span(
+        &self,
+        parent: TraceContext,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: impl Into<String>,
+        duration_micros: u64,
+    ) -> TraceContext {
+        self.child(parent, scope, name, ts, detail.into(), Some(duration_micros))
+    }
+
+    fn child(
+        &self,
+        parent: TraceContext,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: String,
+        duration: Option<u64>,
+    ) -> TraceContext {
+        if !self.enabled() {
+            return TraceContext::NONE;
+        }
+        if !parent.is_some() {
+            self.push(scope, name, ts, detail, duration, 0, 0, 0);
+            return TraceContext::NONE;
+        }
+        let span_id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        self.push(scope, name, ts, detail, duration, parent.trace_id, span_id, parent.span_id);
+        TraceContext { trace_id: parent.trace_id, span_id }
+    }
+
+    /// Allocate a span id under `parent` WITHOUT recording a ring event.
+    /// Used when the span's record lives elsewhere (e.g. an [`EjectRecord`]
+    /// in the provenance ring carries its own causal identity, avoiding one
+    /// ring event per ejected page).
+    ///
+    /// [`EjectRecord`]: crate::provenance::EjectRecord
+    pub fn alloc_span(&self, parent: TraceContext) -> TraceContext {
+        if !self.enabled() || !parent.is_some() {
+            return TraceContext::NONE;
+        }
+        let span_id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        TraceContext { trace_id: parent.trace_id, span_id }
+    }
+
+    /// Find a buffered event by causal identity (ring scan; `None` once the
+    /// event has rotated out — check [`Tracer::dropped`] to distinguish
+    /// "never existed" from "truncated").
+    pub fn find_span(&self, trace_id: u64, span_id: u64) -> Option<TraceEvent> {
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        let ring = self.ring.lock();
+        ring.iter().find(|e| e.trace_id == trace_id && e.span_id == span_id).cloned()
+    }
+
+    /// Walk parent links from `(trace_id, span_id)` up to the trace root,
+    /// returning the chain innermost-first. Stops early if a hop has rotated
+    /// out of the ring.
+    pub fn resolve_chain(&self, trace_id: u64, span_id: u64) -> Vec<TraceEvent> {
+        let mut chain = Vec::new();
+        let mut cursor = span_id;
+        while cursor != 0 {
+            match self.find_span(trace_id, cursor) {
+                Some(e) => {
+                    cursor = e.parent_span;
+                    chain.push(e);
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        scope: &'static str,
+        name: &'static str,
+        ts: u64,
+        detail: String,
+        duration: Option<u64>,
+        trace_id: u64,
+        span_id: u64,
+        parent_span: u64,
+    ) {
         if !self.enabled() {
             return;
         }
@@ -105,6 +271,9 @@ impl Tracer {
             name,
             detail,
             duration_micros: duration,
+            trace_id,
+            span_id,
+            parent_span,
         });
     }
 
@@ -131,6 +300,8 @@ impl Tracer {
     }
 
     /// JSON summary: totals plus the `recent_limit` most recent events.
+    /// Causal ids are emitted only when present, so legacy uncorrelated
+    /// events keep their original shape.
     pub fn to_json(&self, recent_limit: usize) -> serde_json::Value {
         use serde_json::Value;
         let events = self
@@ -147,12 +318,18 @@ impl Tracer {
                 if let Some(d) = e.duration_micros {
                     fields.push(("duration_micros".to_string(), Value::UInt(d)));
                 }
+                if e.trace_id != 0 {
+                    fields.push(("trace_id".to_string(), Value::UInt(e.trace_id)));
+                    fields.push(("span_id".to_string(), Value::UInt(e.span_id)));
+                    fields.push(("parent_span".to_string(), Value::UInt(e.parent_span)));
+                }
                 Value::Object(fields)
             })
             .collect();
         Value::Object(vec![
             ("recorded".to_string(), Value::UInt(self.recorded())),
             ("dropped".to_string(), Value::UInt(self.dropped())),
+            ("truncated".to_string(), Value::Bool(self.dropped() > 0)),
             ("recent".to_string(), Value::Array(events)),
         ])
     }
@@ -162,6 +339,92 @@ impl Default for Tracer {
     /// 1024-event ring, enabled.
     fn default() -> Self {
         Tracer::new(1024)
+    }
+}
+
+/// One committed update batch's trace root, keyed by its LSN range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRoot {
+    /// First LSN of the committed batch (inclusive).
+    pub lsn_first: u64,
+    /// Last LSN of the committed batch (inclusive).
+    pub lsn_last: u64,
+    /// Trace id of the `update.commit` root event.
+    pub trace_id: u64,
+    /// Span id of the `update.commit` root event.
+    pub span_id: u64,
+}
+
+/// Bounded map from committed LSN ranges to their trace roots, so a sync
+/// point's consumed range `[first, last]` resolves to the commit trace(s)
+/// that caused each eject. Oldest ranges are evicted first; evictions are
+/// counted so causal checks can tell truncation from corruption.
+pub struct CommitIndex {
+    inner: Mutex<BTreeMap<u64, CommitRoot>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl CommitIndex {
+    /// An index retaining the `capacity` most recent commit ranges.
+    pub fn new(capacity: usize) -> Self {
+        CommitIndex {
+            inner: Mutex::new(BTreeMap::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a committed batch `[lsn_first, lsn_last]` rooted at `ctx`.
+    /// No-op for uncorrelated contexts (tracer disabled).
+    pub fn note(&self, lsn_first: u64, lsn_last: u64, ctx: TraceContext) {
+        if !ctx.is_some() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if inner.len() == self.capacity {
+            if let Some(oldest) = inner.keys().next().copied() {
+                inner.remove(&oldest);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.insert(
+            lsn_first,
+            CommitRoot { lsn_first, lsn_last, trace_id: ctx.trace_id, span_id: ctx.span_id },
+        );
+    }
+
+    /// Every commit root whose LSN range overlaps `[lsn_first, lsn_last]`,
+    /// in ascending LSN order.
+    pub fn roots_covering(&self, lsn_first: u64, lsn_last: u64) -> Vec<CommitRoot> {
+        let inner = self.inner.lock();
+        inner
+            .values()
+            .filter(|r| r.lsn_first <= lsn_last && r.lsn_last >= lsn_first)
+            .copied()
+            .collect()
+    }
+
+    /// Commit ranges evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Ranges currently indexed.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+impl Default for CommitIndex {
+    /// 1024-range index.
+    fn default() -> Self {
+        CommitIndex::new(1024)
     }
 }
 
@@ -190,6 +453,10 @@ mod tests {
         t.event("db", "sql.exec", 1, "");
         let out = t.span("db", "sql.exec", 2, "", || 42);
         assert_eq!(out, 42);
+        let ctx = t.start_trace("web", "request", 3, "/p");
+        assert_eq!(ctx, TraceContext::NONE);
+        assert_eq!(t.child_event(ctx, "cache", "hit", 3, ""), TraceContext::NONE);
+        assert_eq!(t.alloc_span(ctx), TraceContext::NONE);
         assert_eq!(t.recorded(), 0);
         assert!(t.recent(8).is_empty());
     }
@@ -206,11 +473,82 @@ mod tests {
     }
 
     #[test]
+    fn causal_chain_resolves_to_root() {
+        let t = Tracer::new(16);
+        let root = t.start_trace("core", "sync.point", 10, "sync#0");
+        assert!(root.is_some());
+        let phase = t.child_span(root, "invalidator", "sync.phase.eject", 11, "pages=2", 7);
+        let leaf = t.child_event(phase, "cache", "eject", 12, "page:a");
+        assert_eq!(leaf.trace_id, root.trace_id);
+
+        let chain = t.resolve_chain(leaf.trace_id, leaf.span_id);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].name, "eject");
+        assert_eq!(chain[1].name, "sync.phase.eject");
+        assert_eq!(chain[1].duration_micros, Some(7));
+        assert_eq!(chain[2].name, "sync.point");
+        assert_eq!(chain[2].parent_span, 0);
+    }
+
+    #[test]
+    fn alloc_span_reserves_identity_without_event() {
+        let t = Tracer::new(16);
+        let root = t.start_trace("core", "sync.point", 1, "");
+        let before = t.recorded();
+        let eject = t.alloc_span(root);
+        assert_eq!(t.recorded(), before);
+        assert!(eject.is_some());
+        assert_eq!(eject.trace_id, root.trace_id);
+        assert_ne!(eject.span_id, root.span_id);
+        // The allocated span has no ring event, but its parent resolves.
+        assert!(t.find_span(root.trace_id, eject.span_id).is_none());
+        assert!(t.find_span(root.trace_id, root.span_id).is_some());
+    }
+
+    #[test]
+    fn ids_are_deterministic_across_tracers() {
+        let mk = || {
+            let t = Tracer::new(16);
+            let a = t.start_trace("web", "request", 1, "/a");
+            let b = t.child_event(a, "cache", "hit", 1, "k");
+            let c = t.start_trace("db", "update.commit", 2, "lsns 1..3");
+            (a, b, c)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn commit_index_overlap_and_eviction() {
+        let idx = CommitIndex::new(2);
+        idx.note(1, 3, TraceContext { trace_id: 7, span_id: 70 });
+        idx.note(4, 4, TraceContext { trace_id: 8, span_id: 80 });
+        let roots = idx.roots_covering(2, 4);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[0].trace_id, 7);
+        assert_eq!(roots[1].trace_id, 8);
+        assert!(idx.roots_covering(5, 9).is_empty());
+
+        // Third range evicts the oldest and counts the drop.
+        idx.note(5, 6, TraceContext { trace_id: 9, span_id: 90 });
+        assert_eq!(idx.dropped(), 1);
+        assert!(idx.roots_covering(1, 3).is_empty());
+        // Uncorrelated contexts are ignored.
+        idx.note(7, 8, TraceContext::NONE);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
     fn json_shape() {
         let t = Tracer::new(8);
         t.event("web", "request", 3, "/page");
+        let root = t.start_trace("core", "sync.point", 4, "sync#0");
         let j = t.to_json(8);
-        assert_eq!(j["recorded"].as_u64(), Some(1));
+        assert_eq!(j["recorded"].as_u64(), Some(2));
+        assert_eq!(j["truncated"].as_bool(), Some(false));
         assert_eq!(j["recent"][0]["scope"].as_str(), Some("web"));
+        // Uncorrelated events omit causal ids; correlated ones carry them.
+        assert!(j["recent"][0]["trace_id"].as_u64().is_none());
+        assert_eq!(j["recent"][1]["trace_id"].as_u64(), Some(root.trace_id));
+        assert_eq!(j["recent"][1]["parent_span"].as_u64(), Some(0));
     }
 }

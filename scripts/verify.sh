@@ -36,9 +36,19 @@ cargo test -q --offline -p cacheportal-harness --features canary
 
 echo "== sync-point scaling smoke test (sync_scale --smoke) =="
 # Small burst at 1 vs 2 workers; the binary asserts identical verdicts,
-# ejected pages, and poll counts across worker counts and writes
-# BENCH_sync_scale.json (uploaded as a CI artifact).
+# ejected pages, and poll counts across worker counts and appends a run
+# record to the BENCH_sync_scale.json history (uploaded as a CI artifact).
 ./target/release/sync_scale --smoke
+grep -q '"history"' BENCH_sync_scale.json \
+  || { echo "BENCH_sync_scale.json is not a history trajectory"; exit 1; }
+
+echo "== tracing-overhead smoke test (trace_overhead --smoke) =="
+# Exercises the portal-level tracing A/B path and appends to the
+# BENCH_trace_overhead.json history; the <=5% overhead target is enforced
+# only on full (non-smoke) runs, where the signal clears scheduler noise.
+./target/release/trace_overhead --smoke
+grep -q '"history"' BENCH_trace_overhead.json \
+  || { echo "BENCH_trace_overhead.json is not a history trajectory"; exit 1; }
 
 echo "== admin endpoint smoke test (obsctl demo) =="
 # Start the demo workload with a live admin server on an ephemeral port,
@@ -74,12 +84,44 @@ echo "$METRICS" | grep -q "^cacheportal_" || { echo "/metrics is not Prometheus 
 echo "$METRICS" | grep -q "^cacheportal_invalidator_pages_ejected_total 1$" \
   || { echo "/metrics missing expected eject counter"; exit 1; }
 
+# Causal-tracing surfaces: the demo's eject must be reachable through
+# /trace (sync-point phase spans), /timeline (per-sync stage timeline, with
+# a deterministic stable rendering), and /scorecards (per-query-type
+# cost/benefit rows). The chrome-format timeline is written as an artifact
+# loadable in chrome://tracing / Perfetto. Capture each surface once and
+# grep the variable — `cmd | grep -q` SIGPIPEs the writer under pipefail.
+TRACE_OUT=$(./target/release/obsctl trace --addr "$ADDR")
+echo "$TRACE_OUT" | grep -q "sync.phase.eject" \
+  || { echo "/trace carries no sync.phase.eject span"; exit 1; }
+echo "$TRACE_OUT" | grep -q "update.commit" \
+  || { echo "/trace carries no update.commit root"; exit 1; }
+TIMELINE_OUT=$(./target/release/obsctl timeline --addr "$ADDR" --json)
+echo "$TIMELINE_OUT" | grep -q '"stages"' \
+  || { echo "/timeline carries no stage samples"; exit 1; }
+TIMELINE_STABLE=$(./target/release/obsctl timeline --addr "$ADDR" --stable --json)
+echo "$TIMELINE_STABLE" | grep -q '"stable": true' \
+  || { echo "/timeline?stable=1 not marked stable"; exit 1; }
+CHROME=target/chrome-trace.json
+rm -f "$CHROME"
+./target/release/obsctl timeline --addr "$ADDR" --chrome "$CHROME"
+test -s "$CHROME" || { echo "chrome trace export missing or empty"; exit 1; }
+grep -q '"traceEvents"' "$CHROME" || { echo "chrome trace has no traceEvents"; exit 1; }
+SCORECARD_OUT=$(./target/release/obsctl scorecard --addr "$ADDR")
+echo "$SCORECARD_OUT" | grep -q "hit_rate" \
+  || { echo "scorecard table missing"; exit 1; }
+SCORECARD_JSON=$(./target/release/obsctl scorecard --addr "$ADDR" --json)
+echo "$SCORECARD_JSON" | grep -q '"render_cost_units"' \
+  || { echo "/scorecards missing cost fields"; exit 1; }
+
 kill "$DEMO_PID" 2>/dev/null || true
 wait "$DEMO_PID" 2>/dev/null || true
 trap - EXIT
 
 test -s "$EXPORT" || { echo "JSONL export missing or empty"; exit 1; }
 grep -q '"kind": *"eject"' "$EXPORT" || { echo "export carries no eject records"; exit 1; }
-echo "admin endpoint + JSONL export: OK"
+grep -q '"kind": *"scorecard"' "$EXPORT" \
+  || { echo "export carries no scorecard snapshots"; exit 1; }
+grep -q '"trace_id"' "$EXPORT" || { echo "export lines carry no causal ids"; exit 1; }
+echo "admin endpoint + JSONL export + tracing surfaces: OK"
 
 echo "verify: OK"
