@@ -26,6 +26,15 @@
 //!   loadable in `chrome://tracing` / Perfetto).
 //! * `scorecard` — fetch the per-query-type cost/benefit scorecards from
 //!   `/scorecards` and render them as a table, or raw with `--json`.
+//! * `slo` — fetch the freshness SLO document from `/slo` and render the
+//!   per-objective burn rates, firing alerts, and recent transitions
+//!   (`--json` for raw, `--stable` for the deterministic rendering); exits
+//!   non-zero when any burn-rate alert is firing, so scripts can gate on
+//!   the freshness contract exactly like they gate on `health`.
+//! * `blackbox` — trigger `/flightrecord?dump=1` on a live portal and write
+//!   the self-contained black-box bundle to `--out FILE` for offline
+//!   post-mortems (`--stable` for the byte-stable rendering, `--index` to
+//!   list the recorder's capture ring instead).
 //! * `demo` — run a small car-search workload, start the admin endpoint,
 //!   write a JSONL export, print one explain chain, and hold the server open
 //!   (CI smoke-tests `/metrics` and `/healthz` against it).
@@ -47,12 +56,14 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("scorecard") => cmd_scorecard(&args[1..]),
+        Some("slo") => cmd_slo(&args[1..]),
+        Some("blackbox") => cmd_blackbox(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
             eprintln!(
-                "usage: obsctl <metrics|health|explain|trace|timeline|scorecard|diff|demo> \
-                 [options]"
+                "usage: obsctl <metrics|health|explain|trace|timeline|scorecard|slo|blackbox|\
+                 diff|demo> [options]"
             );
             eprintln!("  metrics   --addr HOST:PORT");
             eprintln!("  health    --addr HOST:PORT");
@@ -60,6 +71,8 @@ fn main() {
             eprintln!("  trace     --addr HOST:PORT [-n N] [--json]");
             eprintln!("  timeline  --addr HOST:PORT [--stable] [--json] [--chrome FILE]");
             eprintln!("  scorecard --addr HOST:PORT [--json]");
+            eprintln!("  slo       --addr HOST:PORT [--stable] [--json]");
+            eprintln!("  blackbox  --addr HOST:PORT --out FILE [--stable] | --index");
             eprintln!("  diff BEFORE.json AFTER.json");
             eprintln!("  demo --serve HOST:PORT [--hold-secs N] [--export FILE]");
             2
@@ -458,6 +471,125 @@ fn cmd_scorecard(args: &[String]) -> i32 {
         "version {}, {} urls pending attribution",
         doc["version"].as_u64().unwrap_or(0),
         doc["pending_urls"].as_u64().unwrap_or(0),
+    );
+    0
+}
+
+/// `obsctl slo`: the freshness contract at a glance. Exit status mirrors
+/// the alert state — 0 quiet, 1 firing — so scripts can gate deploys on
+/// the error budget the same way they gate on `obsctl health`.
+fn cmd_slo(args: &[String]) -> i32 {
+    let stable = args.iter().any(|a| a == "--stable");
+    let path = if stable { "/slo?stable=1" } else { "/slo" };
+    let Some(doc) = fetch_json(args, "slo", path) else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    let fast = doc["firing"]["fast"].as_u64().unwrap_or(0);
+    let slow = doc["firing"]["slow"].as_u64().unwrap_or(0);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return i32::from(fast + slow > 0);
+    }
+    let empty = Vec::new();
+    let mut rows = vec![vec![
+        "objective".to_string(),
+        "goal".to_string(),
+        "good".to_string(),
+        "bad".to_string(),
+        "burn(fast)".to_string(),
+        "burn(slow)".to_string(),
+        "state".to_string(),
+    ]];
+    for o in doc["objectives"].as_array().unwrap_or(&empty) {
+        let mut burns = ["-".to_string(), "-".to_string()];
+        for b in o["burn"].as_array().unwrap_or(&empty) {
+            let cell = format!(
+                "{:.1}/{:.1}",
+                b["short"].as_f64().unwrap_or(0.0),
+                b["long"].as_f64().unwrap_or(0.0)
+            );
+            match b["pair"].as_str() {
+                Some("fast") => burns[0] = cell,
+                Some("slow") => burns[1] = cell,
+                _ => {}
+            }
+        }
+        rows.push(vec![
+            o["id"].as_str().unwrap_or("?").to_string(),
+            format!("{:.2}", o["goal"].as_f64().unwrap_or(0.0)),
+            o["good"].as_u64().unwrap_or(0).to_string(),
+            o["bad"].as_u64().unwrap_or(0).to_string(),
+            burns[0].clone(),
+            burns[1].clone(),
+            if o["firing"].as_u64().unwrap_or(0) > 0 {
+                "FIRING".to_string()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+    }
+    print!("{}", cacheportal_bench::render_table(&rows));
+    for a in doc["alerts"]["recent"].as_array().unwrap_or(&empty) {
+        println!(
+            "alert #{} t={}us {} {}/{} ({})",
+            a["seq"].as_u64().unwrap_or(0),
+            a["ts"].as_u64().unwrap_or(0),
+            a["state"].as_str().unwrap_or("?"),
+            a["objective"].as_str().unwrap_or("?"),
+            a["pair"].as_str().unwrap_or("?"),
+            a["severity"].as_str().unwrap_or("?"),
+        );
+    }
+    println!(
+        "firing: fast={fast} slow={slow} (alerts recorded={} dropped={})",
+        doc["alerts"]["recorded"].as_u64().unwrap_or(0),
+        doc["alerts"]["dropped"].as_u64().unwrap_or(0),
+    );
+    i32::from(fast + slow > 0)
+}
+
+/// `obsctl blackbox`: pull a flight-record dump off a live portal for an
+/// offline post-mortem, or list the recorder's capture index.
+fn cmd_blackbox(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--index") {
+        let Some(doc) = fetch_json(args, "blackbox", "/flightrecord") else {
+            return if flag(args, "--addr").is_none() { 2 } else { 1 };
+        };
+        if doc["schema"].as_str() != Some("cacheportal.flightrecord.v1.index") {
+            eprintln!("unexpected index schema: {:?}", doc["schema"].as_str());
+            return 1;
+        }
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return 0;
+    }
+    let Some(out) = flag(args, "--out") else {
+        eprintln!("obsctl blackbox: --out FILE required");
+        return 2;
+    };
+    let stable = args.iter().any(|a| a == "--stable");
+    let path = if stable {
+        "/flightrecord?dump=1&stable=1"
+    } else {
+        "/flightrecord?dump=1"
+    };
+    let Some(doc) = fetch_json(args, "blackbox", path) else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    if doc["schema"].as_str() != Some("cacheportal.flightrecord.v1") {
+        eprintln!("unexpected dump schema: {:?}", doc["schema"].as_str());
+        return 1;
+    }
+    let rendered = serde_json::to_string_pretty(&doc).expect("render");
+    if let Err(e) = std::fs::write(out, &rendered) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!(
+        "wrote {out}: {} bytes, reason {:?}, t={}us{}",
+        rendered.len(),
+        doc["reason"].as_str().unwrap_or("?"),
+        doc["ts"].as_u64().unwrap_or(0),
+        if stable { " (stable)" } else { "" },
     );
     0
 }

@@ -1,0 +1,240 @@
+//! SLO-engine overhead A/B benchmark: replays the identical portal
+//! workload (cache hits and misses, backend updates, sync points) twice —
+//! once with the freshness SLO engine armed (windowed counters fed on
+//! every request and sync, burn-rate evaluation each sync point, flight
+//! recorder ready) and once with it disabled — and reports the wall-clock
+//! cost of leaving the contract watched. Acceptance target: ≤5% median
+//! overhead.
+//!
+//! The enabled arm runs the whole subsystem, not a subset: the default
+//! policy's five objectives, both burn-rate window pairs, the health
+//! reason gauges, and an armed (but quiescent — the default policy never
+//! fires on this workload) flight recorder.
+//!
+//! ```text
+//! cargo run --release -p cacheportal-bench --bin slo_overhead            # full
+//! cargo run --release -p cacheportal-bench --bin slo_overhead -- --smoke # CI
+//! ```
+//!
+//! Appends one run record to the `BENCH_slo_overhead.json` trajectory
+//! (`{"history": [...]}`) in the working directory.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::CachePortal;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic xorshift generator: both arms replay the identical
+/// request/update sequence.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Workload {
+    /// Requests per iteration.
+    requests: u64,
+    /// Updates per iteration.
+    updates: u64,
+    /// Actions between sync points.
+    sync_every: u64,
+    /// A/B iterations (median reported).
+    iterations: usize,
+}
+
+#[derive(Serialize, Debug)]
+struct Artifact {
+    smoke: bool,
+    requests: u64,
+    updates: u64,
+    sync_points: u64,
+    iterations: usize,
+    disabled_secs_median: f64,
+    enabled_secs_median: f64,
+    overhead_pct: f64,
+    target_pct: f64,
+    within_target: bool,
+}
+
+fn seed_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT, INDEX(model))")
+        .unwrap();
+    db.execute("CREATE TABLE Mileage (model TEXT, EPA FLOAT, INDEX(model))")
+        .unwrap();
+    for i in 0..64u64 {
+        db.execute(&format!(
+            "INSERT INTO Car VALUES ('Maker{m}','Model{i}',{p})",
+            m = i % 8,
+            p = 10_000 + i * 500
+        ))
+        .unwrap();
+        db.execute(&format!("INSERT INTO Mileage VALUES ('Model{i}', {e}.0)", e = 20 + i % 20))
+            .unwrap();
+    }
+    db
+}
+
+fn portal(slo: bool, flight_dir: &std::path::Path) -> CachePortal {
+    let p = CachePortal::builder(seed_db())
+        .flight_dir(flight_dir.to_path_buf())
+        .build()
+        .unwrap();
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("carSearch").with_key_get_params(&["maxprice"]),
+        "Car search",
+        vec![QueryTemplate::new(
+            "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage \
+             WHERE Car.model = Mileage.model AND Car.price < $1",
+            vec![ParamSource::Get("maxprice".into(), ColType::Int)],
+        )],
+    )));
+    p.obs().slo.set_enabled(slo);
+    p
+}
+
+/// One full replay; returns (wall seconds, sync points driven).
+fn run_once(slo: bool, w: &Workload, flight_dir: &std::path::Path) -> (f64, u64) {
+    let p = portal(slo, flight_dir);
+    let mut rng = Rng(0x00c0ffee_d15ea5e5);
+    let mut syncs = 0u64;
+    let started = Instant::now();
+    let mut actions = 0u64;
+    let total = w.requests + w.updates;
+    let mut requests_left = w.requests;
+    let mut updates_left = w.updates;
+    for _ in 0..total {
+        // Interleave deterministically, requests-heavy.
+        let do_request = if updates_left == 0 {
+            true
+        } else if requests_left == 0 {
+            false
+        } else {
+            rng.below(8) != 0
+        };
+        if do_request {
+            // 16 distinct pages: repeats hit the cache between syncs.
+            let maxprice = 12_000 + rng.below(16) * 2_000;
+            let req = HttpRequest::get(
+                "shop.example.com",
+                "/carSearch",
+                &[("maxprice", &maxprice.to_string())],
+            );
+            p.request(&req);
+            requests_left -= 1;
+        } else {
+            let i = rng.below(64);
+            p.update(&format!(
+                "UPDATE Car SET price = {p} WHERE model = 'Model{i}'",
+                p = 10_000 + rng.below(64) * 500
+            ))
+            .unwrap();
+            updates_left -= 1;
+        }
+        actions += 1;
+        if actions.is_multiple_of(w.sync_every) {
+            p.sync_point().unwrap();
+            syncs += 1;
+        }
+    }
+    p.sync_point().unwrap();
+    syncs += 1;
+    let elapsed = started.elapsed().as_secs_f64();
+    // Sanity: the production policy must stay quiet on a healthy workload —
+    // a firing default policy would mean the overhead numbers measure
+    // flight-record dumps, not steady-state accounting.
+    if slo {
+        let (fast, slow) = p.obs().slo.firing_counts();
+        assert_eq!((fast, slow), (0, 0), "default policy fired on a healthy workload");
+    }
+    (elapsed, syncs)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload { requests: 400, updates: 80, sync_every: 24, iterations: 3 }
+    } else {
+        Workload { requests: 8_000, updates: 1_600, sync_every: 48, iterations: 7 }
+    };
+
+    println!(
+        "slo_overhead: {} requests + {} updates, sync every {} actions, {} iterations{}",
+        w.requests,
+        w.updates,
+        w.sync_every,
+        w.iterations,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let flight_dir = std::env::temp_dir().join(format!("cp-slo-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&flight_dir).expect("flight dir");
+
+    // Warm-up pass per arm (page-cache allocator, lazy statics) kept out of
+    // the measurement, then alternate arms so drift hits both equally.
+    run_once(false, &w, &flight_dir);
+    run_once(true, &w, &flight_dir);
+    let mut off = Vec::with_capacity(w.iterations);
+    let mut on = Vec::with_capacity(w.iterations);
+    let mut syncs = 0u64;
+    for i in 0..w.iterations {
+        let (t_off, s) = run_once(false, &w, &flight_dir);
+        let (t_on, _) = run_once(true, &w, &flight_dir);
+        syncs = s;
+        off.push(t_off);
+        on.push(t_on);
+        println!("  iter {i}: disabled {t_off:.4}s, enabled {t_on:.4}s");
+    }
+    let _ = std::fs::remove_dir_all(&flight_dir);
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+    let overhead_pct = (on_med - off_med) / off_med * 100.0;
+    let target_pct = 5.0;
+    // Smoke runs are too short to separate signal from scheduler noise;
+    // they exercise the path but don't enforce the target.
+    let within_target = overhead_pct <= target_pct;
+    println!(
+        "  median: disabled {off_med:.4}s, enabled {on_med:.4}s -> overhead {overhead_pct:+.2}% \
+         (target <= {target_pct}%)"
+    );
+
+    let artifact = Artifact {
+        smoke,
+        requests: w.requests,
+        updates: w.updates,
+        sync_points: syncs,
+        iterations: w.iterations,
+        disabled_secs_median: off_med,
+        enabled_secs_median: on_med,
+        overhead_pct,
+        target_pct,
+        within_target,
+    };
+    let path = "BENCH_slo_overhead.json";
+    let runs = cacheportal_bench::append_history(path, &artifact).expect("write artifact");
+    println!("artifact: {path} ({runs} runs in history)");
+    if !smoke && !within_target {
+        eprintln!("warning: SLO overhead {overhead_pct:.2}% exceeds the {target_pct}% target");
+        std::process::exit(1);
+    }
+}

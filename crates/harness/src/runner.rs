@@ -77,6 +77,10 @@ pub struct RunOutcome {
     pub stats: RunStats,
     /// First violation, if the run failed.
     pub violation: Option<Violation>,
+    /// Black-box flight record captured at the violation (rendered
+    /// `stable=1` bundle, so replays of the same trace produce the same
+    /// bytes and `PartialEq` still holds). `None` on clean runs.
+    pub flight_record: Option<String>,
 }
 
 impl RunOutcome {
@@ -88,7 +92,19 @@ impl RunOutcome {
                 kind: kind.to_string(),
                 detail,
             }),
+            flight_record: None,
         }
+    }
+
+    /// Attach the portal's black box to a failed outcome: the byte-stable
+    /// bundle rendering, captured while the rings still cover the violation
+    /// window. A clean outcome passes through untouched.
+    fn with_flight_record(mut self, portal: &CachePortal) -> RunOutcome {
+        if let Some(v) = &self.violation {
+            let bundle = portal.flight_record(&format!("harness:{}", v.kind), true);
+            self.flight_record = serde_json::to_string_pretty(&bundle).ok();
+        }
+        self
     }
 }
 
@@ -247,12 +263,14 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
                         idx,
                         "workload-error",
                         format!("request {:?} returned {}", action, out.response.status.code()),
-                    );
+                    )
+                    .with_flight_record(&portal);
                 }
             }
             Action::Mutate(s) => {
                 if let Err(detail) = apply_stmt(&portal, sc, s) {
-                    return RunOutcome::fail(stats, idx, "workload-error", detail);
+                    return RunOutcome::fail(stats, idx, "workload-error", detail)
+                        .with_flight_record(&portal);
                 }
             }
             Action::Txn(stmts) => {
@@ -274,12 +292,14 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
                             "workload-error",
                             format!("transaction failed: {e}"),
                         )
+                        .with_flight_record(&portal)
                     }
                 }
             }
             Action::Sync => {
                 if let Some(v) = sync(&portal, &mut stats, idx) {
-                    return RunOutcome { stats, violation: Some(v) };
+                    return RunOutcome { stats, violation: Some(v), flight_record: None }
+                        .with_flight_record(&portal);
                 }
             }
             Action::SetPolicy(p) => {
@@ -297,7 +317,8 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
 
     // Final audit: one more sync must always restore full freshness.
     if let Some(v) = sync(&portal, &mut stats, usize::MAX) {
-        return RunOutcome { stats, violation: Some(v) };
+        return RunOutcome { stats, violation: Some(v), flight_record: None }
+            .with_flight_record(&portal);
     }
 
     // Fold the last incarnation's counters into the accumulated bases and
@@ -362,7 +383,8 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
         ));
     }
     if !incoherent.is_empty() {
-        return RunOutcome::fail(stats, usize::MAX, "metrics-incoherent", incoherent.join("; "));
+        return RunOutcome::fail(stats, usize::MAX, "metrics-incoherent", incoherent.join("; "))
+            .with_flight_record(&portal);
     }
 
     // Causal-trace coherence: every traced eject must walk back to its
@@ -373,9 +395,10 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
     // dropped entries (truncation, not incoherence).
     if stats.crashes == 0 {
         if let Err(detail) = portal.verify_causal_chains() {
-            return RunOutcome::fail(stats, usize::MAX, "trace-incoherent", detail);
+            return RunOutcome::fail(stats, usize::MAX, "trace-incoherent", detail)
+                .with_flight_record(&portal);
         }
     }
 
-    RunOutcome { stats, violation: None }
+    RunOutcome { stats, violation: None, flight_record: None }
 }

@@ -13,6 +13,12 @@
 //!   chrome://tracing, `stable=1` zeroes wall-clock fields for byte-stable
 //!   output.
 //! * `GET /scorecards` — per-query-type cost/benefit scorecards as JSON.
+//! * `GET /slo[?stable=1]` — sliding-window SLO evaluation with burn
+//!   rates and the alert log; `stable=1` drops wall-fed objectives for
+//!   byte-stable output.
+//! * `GET /flightrecord` — flight-recorder dump index;
+//!   `?dump=1[&stable=1]` captures and returns an on-demand bundle,
+//!   `?seq=N` fetches a retained bundle.
 //!
 //! The server is decoupled from `CachePortal` through [`AdminSource`]; the
 //! core crate implements it over the live registry + provenance log and
@@ -58,6 +64,28 @@ pub trait AdminSource: Send + Sync {
     }
     /// Body for `GET /scorecards`. Default: no scorecards wired.
     fn scorecards(&self) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /slo`. `stable` drops wall-fed objectives so the
+    /// document is byte-stable for a fixed seed. Default: no SLO engine
+    /// wired.
+    fn slo(&self, _stable: bool) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /flightrecord` — the flight-recorder dump index.
+    /// Default: no recorder wired.
+    fn flightrecord_index(&self) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /flightrecord?dump=1` — capture an on-demand bundle
+    /// and return it (`stable` controls the returned rendering). Default:
+    /// no recorder wired.
+    fn flightrecord_dump(&self, _stable: bool) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /flightrecord?seq=N` — a retained bundle by capture
+    /// sequence number. Default: no recorder wired.
+    fn flightrecord_get(&self, _seq: u64) -> serde_json::Value {
         serde_json::Value::Null
     }
 }
@@ -189,6 +217,33 @@ fn handle_conn(stream: &mut TcpStream, source: &dyn AdminSource) -> std::io::Res
         "/scorecards" => {
             let body = serde_json::to_string_pretty(&source.scorecards())
                 .unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
+        }
+        "/slo" => {
+            let stable = query_param(query, "stable").as_deref() == Some("1");
+            let body = serde_json::to_string_pretty(&source.slo(stable))
+                .unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
+        }
+        "/flightrecord" => {
+            let doc = if query_param(query, "dump").as_deref() == Some("1") {
+                let stable = query_param(query, "stable").as_deref() == Some("1");
+                source.flightrecord_dump(stable)
+            } else if let Some(seq) = query_param(query, "seq").and_then(|v| v.parse::<u64>().ok())
+            {
+                source.flightrecord_get(seq)
+            } else {
+                source.flightrecord_index()
+            };
+            if doc == serde_json::Value::Null && query_param(query, "seq").is_some() {
+                return respond(
+                    stream,
+                    404,
+                    "text/plain; charset=utf-8",
+                    "bundle rotated out or never captured\n",
+                );
+            }
+            let body = serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string());
             respond(stream, 200, "application/json", &body)
         }
         _ => respond(stream, 404, "text/plain; charset=utf-8", "not found\n"),
@@ -351,7 +406,7 @@ mod tests {
 
         // New endpoints fall back to the default (null) trait impls, so
         // sources written before tracing existed keep working.
-        for path in ["/trace", "/timeline", "/scorecards"] {
+        for path in ["/trace", "/timeline", "/scorecards", "/slo", "/flightrecord"] {
             let (status, body) = http_get(addr, path);
             assert_eq!(status, 200, "{path}");
             assert_eq!(body.trim(), "null", "{path}");
@@ -425,6 +480,85 @@ mod tests {
         assert_eq!(status, 200);
         let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
         assert!(doc["scorecards"].as_array().is_some());
+
+        server.shutdown();
+    }
+
+    struct SloSource;
+
+    impl AdminSource for SloSource {
+        fn prometheus(&self) -> String {
+            String::new()
+        }
+        fn explain_url(&self, _url: &str) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn explain_lsn(&self, _lsn: u64) -> serde_json::Value {
+            serde_json::Value::Null
+        }
+        fn slo(&self, stable: bool) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "stable".to_string(),
+                serde_json::Value::Bool(stable),
+            )])
+        }
+        fn flightrecord_index(&self) -> serde_json::Value {
+            serde_json::Value::Object(vec![(
+                "dumps".to_string(),
+                serde_json::Value::Array(Vec::new()),
+            )])
+        }
+        fn flightrecord_dump(&self, stable: bool) -> serde_json::Value {
+            serde_json::Value::Object(vec![
+                (
+                    "schema".to_string(),
+                    serde_json::Value::String(crate::FLIGHT_RECORD_SCHEMA.to_string()),
+                ),
+                ("stable".to_string(), serde_json::Value::Bool(stable)),
+            ])
+        }
+        fn flightrecord_get(&self, seq: u64) -> serde_json::Value {
+            if seq == 3 {
+                serde_json::Value::Object(vec![(
+                    "seq".to_string(),
+                    serde_json::Value::UInt(seq),
+                )])
+            } else {
+                serde_json::Value::Null
+            }
+        }
+    }
+
+    #[test]
+    fn serves_slo_and_flightrecord() {
+        let server = AdminServer::serve("127.0.0.1:0", Arc::new(SloSource)).unwrap();
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/slo");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["stable"].as_bool(), Some(false));
+        let (_, body) = http_get(addr, "/slo?stable=1");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["stable"].as_bool(), Some(true));
+
+        let (status, body) = http_get(addr, "/flightrecord");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(doc["dumps"].as_array().is_some());
+
+        let (_, body) = http_get(addr, "/flightrecord?dump=1&stable=1");
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["schema"].as_str(), Some(crate::FLIGHT_RECORD_SCHEMA));
+        assert_eq!(doc["stable"].as_bool(), Some(true));
+
+        let (status, body) = http_get(addr, "/flightrecord?seq=3");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert_eq!(doc["seq"].as_u64(), Some(3));
+        // A rotated-out / never-captured seq is an explicit 404, not null.
+        let (status, _) = http_get(addr, "/flightrecord?seq=99");
+        assert_eq!(status, 404);
 
         server.shutdown();
     }

@@ -2,12 +2,14 @@
 //! `io::Write` for offline analysis.
 //!
 //! The exporter is cursor-based: each call emits only events recorded since
-//! the previous call, one JSON object per line. Three kinds of lines:
+//! the previous call, one JSON object per line. Five kinds of lines:
 //!
 //! ```json
 //! {"kind":"trace","seq":3,"ts":120,"scope":"core","name":"sync.point","detail":"...","duration_micros":17,"trace_id":2,"span_id":5,"parent_span":0}
 //! {"kind":"eject","seq":0,"sync_seq":1,"lsn_first":0,...,"url":"...","causes":[...]}
 //! {"kind":"scorecard","version":4,"type_id":0,"hits":12,"hit_rate":0.75,...}
+//! {"kind":"alert","seq":0,"ts":120,"objective":"staleness-p99","pair":"fast","severity":"page","state":"firing",...}
+//! {"kind":"flightrecord","seq":0,"ts":130,"reason":"slo-breach:...","bytes":4096,"path":"..."}
 //! ```
 //!
 //! Trace lines carry causal ids when present, and scorecard lines are a
@@ -32,6 +34,10 @@ pub struct ExportStats {
     pub eject_records: u64,
     /// Scorecard rows written.
     pub scorecard_rows: u64,
+    /// SLO alert-transition lines written.
+    pub alerts: u64,
+    /// Flight-record index lines written.
+    pub flight_records: u64,
     /// Events that rotated out of the bounded rings before this call and
     /// were therefore never written.
     pub skipped: u64,
@@ -43,6 +49,8 @@ pub struct JsonlExporter {
     next_trace_seq: u64,
     next_eject_seq: u64,
     last_scorecard_version: u64,
+    next_alert_seq: u64,
+    next_flight_seq: u64,
 }
 
 impl JsonlExporter {
@@ -123,6 +131,44 @@ impl JsonlExporter {
                 stats.scorecard_rows += 1;
             }
             self.last_scorecard_version = version;
+        }
+
+        let alerts = obs.slo.alerts_since(self.next_alert_seq);
+        if let Some(first) = alerts.first() {
+            stats.skipped += first.seq.saturating_sub(self.next_alert_seq);
+        }
+        for a in &alerts {
+            let mut obj = vec![(
+                "kind".to_string(),
+                serde_json::Value::String("alert".to_string()),
+            )];
+            if let serde_json::Value::Object(fields) = a.to_json() {
+                obj.extend(fields);
+            }
+            let line = serde_json::to_string(&serde_json::Value::Object(obj))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+            stats.alerts += 1;
+            self.next_alert_seq = a.seq + 1;
+        }
+
+        let dumps = obs.recorder.index_since(self.next_flight_seq);
+        if let Some(first) = dumps.first() {
+            stats.skipped += first.seq.saturating_sub(self.next_flight_seq);
+        }
+        for m in &dumps {
+            let mut obj = vec![(
+                "kind".to_string(),
+                serde_json::Value::String("flightrecord".to_string()),
+            )];
+            if let serde_json::Value::Object(fields) = m.to_json() {
+                obj.extend(fields);
+            }
+            let line = serde_json::to_string(&serde_json::Value::Object(obj))
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(w, "{line}")?;
+            stats.flight_records += 1;
+            self.next_flight_seq = m.seq + 1;
         }
 
         w.flush()?;
@@ -259,5 +305,111 @@ mod tests {
         // Ring holds the last 2 of 5; the first 3 rotated out unexported.
         assert_eq!(stats.eject_records, 2);
         assert_eq!(stats.skipped, 3);
+    }
+
+    #[test]
+    fn exports_alert_transitions_incrementally() {
+        use crate::slo::{Objective, SloKind, SloPolicy};
+        let obs = Obs::new();
+        obs.slo.configure(SloPolicy {
+            objectives: vec![Objective::new(SloKind::StalenessP99, 100, 0.99, true)],
+            pairs: SloPolicy::default_pairs(),
+            bucket_micros: 60_000_000,
+            alert_log_cap: 32,
+        });
+        obs.slo.observe_latency(SloKind::StalenessP99, 1_000, 5_000, 10);
+        obs.slo.evaluate(1_000);
+
+        let mut exporter = JsonlExporter::new();
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        assert_eq!(stats.alerts, 2, "fast + slow firing transitions");
+        let text = String::from_utf8(out).unwrap();
+        let first: serde_json::Value =
+            serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first["kind"].as_str(), Some("alert"));
+        assert_eq!(first["objective"].as_str(), Some("staleness-p99"));
+        assert_eq!(first["state"].as_str(), Some("firing"));
+        assert_eq!(first["severity"].as_str(), Some("page"));
+
+        // Steady firing: no new transitions, nothing re-exported.
+        obs.slo.evaluate(2_000);
+        let mut out2 = Vec::new();
+        let stats2 = exporter.export(&obs, &mut out2).unwrap();
+        assert_eq!(stats2.alerts, 0);
+        assert!(out2.is_empty());
+
+        // Resolution produces fresh lines past the cursor.
+        obs.slo.evaluate(2_000 + 8 * 3_600_000_000);
+        let mut out3 = Vec::new();
+        let stats3 = exporter.export(&obs, &mut out3).unwrap();
+        assert_eq!(stats3.alerts, 2);
+        let text3 = String::from_utf8(out3).unwrap();
+        assert!(text3.contains("\"resolved\""));
+    }
+
+    #[test]
+    fn reports_skipped_when_alert_log_overflows() {
+        use crate::slo::{Objective, SloKind, SloPolicy};
+        let obs = Obs::new();
+        obs.slo.configure(SloPolicy {
+            objectives: vec![Objective::new(SloKind::StalenessP99, 100, 0.99, true)],
+            pairs: SloPolicy::default_pairs(),
+            bucket_micros: 60_000_000,
+            alert_log_cap: 2,
+        });
+        // Flap 3×: fire (bad burst) then resolve (age out) = 12 transitions
+        // against a 2-entry log.
+        let mut now = 1_000u64;
+        for _ in 0..3 {
+            obs.slo.observe_latency(SloKind::StalenessP99, now, 5_000, 10);
+            obs.slo.evaluate(now);
+            now += 8 * 3_600_000_000;
+            obs.slo.evaluate(now);
+            now += 60_000_000;
+        }
+        let mut exporter = JsonlExporter::new();
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        assert_eq!(stats.alerts, 2, "only what survived the bounded log");
+        assert_eq!(stats.skipped, 10, "the truncation gap is visible");
+    }
+
+    #[test]
+    fn exports_flight_record_index_with_overflow_marker() {
+        let obs = Obs::new();
+        let doc = serde_json::Value::Object(vec![(
+            "schema".to_string(),
+            serde_json::Value::String(crate::FLIGHT_RECORD_SCHEMA.to_string()),
+        )]);
+        obs.recorder.record("on-demand", 10, &doc).unwrap();
+        obs.recorder.record("slo-breach:staleness-p99:fast", 20, &doc).unwrap();
+
+        let mut exporter = JsonlExporter::new();
+        let mut out = Vec::new();
+        let stats = exporter.export(&obs, &mut out).unwrap();
+        assert_eq!(stats.flight_records, 2);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<serde_json::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(lines[0]["kind"].as_str(), Some("flightrecord"));
+        assert_eq!(lines[1]["reason"].as_str(), Some("slo-breach:staleness-p99:fast"));
+        assert!(lines[0]["bytes"].as_u64().unwrap() > 0);
+
+        // Incremental: nothing new, nothing written.
+        let mut out2 = Vec::new();
+        assert_eq!(exporter.export(&obs, &mut out2).unwrap().flight_records, 0);
+
+        // Overflow the bounded index (default cap 64): the cursor reports
+        // the rotated-out rows as skipped instead of silently resuming.
+        for i in 0..70u64 {
+            obs.recorder.record(&format!("r{i}"), 100 + i, &doc).unwrap();
+        }
+        let mut out3 = Vec::new();
+        let stats3 = exporter.export(&obs, &mut out3).unwrap();
+        assert_eq!(stats3.flight_records, 64);
+        assert_eq!(stats3.skipped, 6);
     }
 }

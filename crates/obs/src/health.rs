@@ -5,14 +5,70 @@
 //! endpoint renders a [`HealthSnapshot`] per request. The contract:
 //!
 //! * **healthy** — every breaker closed, no recovery in progress, no WAL
-//!   errors: `200` with the plain `ok` body probes expect.
-//! * **degraded** — breakers half-open (probing) but nothing worse: still
-//!   `200` (the portal serves correctly — conservatively), JSON body.
-//! * **unhealthy** — breakers open, recovery in progress, or the durable
-//!   layer reported write errors (crash safety is compromised): `503` with
-//!   a JSON body naming every reason.
+//!   errors, no fast-burn SLO alert: `200` with the plain `ok` body probes
+//!   expect.
+//! * **degraded** — breakers half-open (probing) or a slow-burn SLO alert,
+//!   but nothing worse: still `200` (the portal serves correctly —
+//!   conservatively), JSON body.
+//! * **unhealthy** — breakers open, recovery in progress, lost durability
+//!   (crash safety compromised), or a fast-burn SLO alert firing: `503`
+//!   with a JSON body naming every reason.
+//!
+//! Every degradation cause is a [`Reason`] with one canonical kebab-case
+//! code — `/healthz`, `/slo` context, flight-record bundles, and the
+//! `health.reason.*` metric gauges all render the same strings, so
+//! dashboards, alert routes, and scripts key on a single vocabulary.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Canonical degradation causes. The `as_str` code is the single source
+/// of truth for every rendering (`/healthz` reasons, `/slo` context,
+/// `health.reason.*` gauges, flight-record bundles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reason {
+    /// Poll-path circuit breaker open for one or more query types.
+    BreakerOpen,
+    /// Breaker half-open (probing) for one or more query types.
+    BreakerHalfOpen,
+    /// Crash recovery rebuilding state.
+    CrashRecovery,
+    /// Durable-layer write errors (crash safety compromised, sticky).
+    WalError,
+    /// A fast-burn (page severity) SLO alert is firing.
+    SloFastBurn,
+    /// A slow-burn (ticket severity) SLO alert is firing.
+    SloSlowBurn,
+}
+
+impl Reason {
+    /// Every reason, in rendering order.
+    pub const ALL: [Reason; 6] = [
+        Reason::BreakerOpen,
+        Reason::CrashRecovery,
+        Reason::WalError,
+        Reason::SloFastBurn,
+        Reason::BreakerHalfOpen,
+        Reason::SloSlowBurn,
+    ];
+
+    /// The canonical kebab-case code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reason::BreakerOpen => "breaker-open",
+            Reason::BreakerHalfOpen => "breaker-half-open",
+            Reason::CrashRecovery => "crash-recovery",
+            Reason::WalError => "wal-error",
+            Reason::SloFastBurn => "slo-fast-burn",
+            Reason::SloSlowBurn => "slo-slow-burn",
+        }
+    }
+
+    /// Whether this reason alone makes the portal unhealthy (`503`) or
+    /// merely degraded (`200` + JSON).
+    pub fn unhealthy(self) -> bool {
+        !matches!(self, Reason::BreakerHalfOpen | Reason::SloSlowBurn)
+    }
+}
 
 /// Shared mutable health flags; one per portal, updated by the sync-point
 /// and recovery paths, read by `/healthz`.
@@ -24,6 +80,8 @@ pub struct HealthState {
     wal_errors: AtomicU64,
     recovery_gap_ejects: AtomicU64,
     recoveries: AtomicU64,
+    slo_fast_firing: AtomicU64,
+    slo_slow_firing: AtomicU64,
 }
 
 impl HealthState {
@@ -36,6 +94,12 @@ impl HealthState {
     pub fn set_breaker(&self, open: u64, half_open: u64) {
         self.breaker_open.store(open, Ordering::Relaxed);
         self.breaker_half_open.store(half_open, Ordering::Relaxed);
+    }
+
+    /// Publish the firing SLO alert counts after an evaluation pass.
+    pub fn set_slo(&self, fast_firing: u64, slow_firing: u64) {
+        self.slo_fast_firing.store(fast_firing, Ordering::Relaxed);
+        self.slo_slow_firing.store(slow_firing, Ordering::Relaxed);
     }
 
     /// Mark crash recovery as started (`true`) or finished (`false`).
@@ -67,6 +131,8 @@ impl HealthState {
             wal_errors: self.wal_errors.load(Ordering::Relaxed),
             recovery_gap_ejects: self.recovery_gap_ejects.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            slo_fast_firing: self.slo_fast_firing.load(Ordering::Relaxed),
+            slo_slow_firing: self.slo_slow_firing.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +152,10 @@ pub struct HealthSnapshot {
     pub recovery_gap_ejects: u64,
     /// Completed crash recoveries since start.
     pub recoveries: u64,
+    /// (objective, pair) combinations firing on a fast-burn pair.
+    pub slo_fast_firing: u64,
+    /// (objective, pair) combinations firing on a slow-burn pair.
+    pub slo_slow_firing: u64,
 }
 
 /// Overall status bucket a snapshot maps to.
@@ -93,9 +163,11 @@ pub struct HealthSnapshot {
 pub enum HealthStatus {
     /// Everything nominal.
     Healthy,
-    /// Serving correctly but conservatively (half-open breakers).
+    /// Serving correctly but conservatively (half-open breakers or a
+    /// slow-burn SLO alert).
     Degraded,
-    /// Open breakers, in-flight recovery, or lost durability.
+    /// Open breakers, in-flight recovery, lost durability, or a fast-burn
+    /// SLO alert.
     Unhealthy,
 }
 
@@ -134,80 +206,117 @@ impl HealthResponse {
 }
 
 impl HealthSnapshot {
-    /// Classify the snapshot.
-    pub fn status(&self) -> HealthStatus {
-        if self.breaker_open > 0 || self.recovering || self.wal_errors > 0 {
-            HealthStatus::Unhealthy
-        } else if self.breaker_half_open > 0 {
-            HealthStatus::Degraded
-        } else {
-            HealthStatus::Healthy
+    /// How many instances of `reason` the snapshot carries (0 = not
+    /// active). One shared accessor so `/healthz`, `/slo`, and the
+    /// `health.reason.*` gauges can never disagree.
+    pub fn reason_count(&self, reason: Reason) -> u64 {
+        match reason {
+            Reason::BreakerOpen => self.breaker_open,
+            Reason::BreakerHalfOpen => self.breaker_half_open,
+            Reason::CrashRecovery => u64::from(self.recovering),
+            Reason::WalError => self.wal_errors,
+            Reason::SloFastBurn => self.slo_fast_firing,
+            Reason::SloSlowBurn => self.slo_slow_firing,
         }
     }
 
+    /// Active reasons with their counts and a human detail line.
+    pub fn reasons(&self) -> Vec<(Reason, u64, String)> {
+        Reason::ALL
+            .iter()
+            .filter_map(|&r| {
+                let n = self.reason_count(r);
+                if n == 0 {
+                    return None;
+                }
+                let detail = match r {
+                    Reason::BreakerOpen => format!(
+                        "{n} query type(s) breaker-open (polling degraded to conservative)"
+                    ),
+                    Reason::BreakerHalfOpen => {
+                        format!("{n} query type(s) half-open (probing)")
+                    }
+                    Reason::CrashRecovery => "crash recovery in progress".to_string(),
+                    Reason::WalError => format!(
+                        "{n} durable-layer write error(s); crash safety compromised"
+                    ),
+                    Reason::SloFastBurn => format!(
+                        "{n} fast-burn SLO alert(s) firing (error budget burning at page rate)"
+                    ),
+                    Reason::SloSlowBurn => {
+                        format!("{n} slow-burn SLO alert(s) firing")
+                    }
+                };
+                Some((r, n, detail))
+            })
+            .collect()
+    }
+
+    /// Classify the snapshot.
+    pub fn status(&self) -> HealthStatus {
+        let reasons = self.reasons();
+        if reasons.iter().any(|(r, _, _)| r.unhealthy()) {
+            HealthStatus::Unhealthy
+        } else if reasons.is_empty() {
+            HealthStatus::Healthy
+        } else {
+            HealthStatus::Degraded
+        }
+    }
+
+    /// The snapshot as a JSON object (flight-record bundles, `/slo`
+    /// context). Reasons appear as `{code, count, detail}` rows using the
+    /// canonical [`Reason`] codes.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let reasons: Vec<Value> = self
+            .reasons()
+            .into_iter()
+            .map(|(r, n, detail)| {
+                Value::Object(vec![
+                    ("code".to_string(), Value::String(r.as_str().to_string())),
+                    ("count".to_string(), Value::UInt(n)),
+                    ("detail".to_string(), Value::String(detail)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            (
+                "status".to_string(),
+                Value::String(self.status().as_str().to_string()),
+            ),
+            ("reasons".to_string(), Value::Array(reasons)),
+            ("breaker_open_types".to_string(), Value::UInt(self.breaker_open)),
+            (
+                "breaker_half_open_types".to_string(),
+                Value::UInt(self.breaker_half_open),
+            ),
+            ("recovering".to_string(), Value::Bool(self.recovering)),
+            ("wal_errors".to_string(), Value::UInt(self.wal_errors)),
+            (
+                "recovery_gap_ejects".to_string(),
+                Value::UInt(self.recovery_gap_ejects),
+            ),
+            ("recoveries".to_string(), Value::UInt(self.recoveries)),
+            (
+                "slo_fast_firing".to_string(),
+                Value::UInt(self.slo_fast_firing),
+            ),
+            (
+                "slo_slow_firing".to_string(),
+                Value::UInt(self.slo_slow_firing),
+            ),
+        ])
+    }
+
     /// Render the `/healthz` reply. Healthy keeps the exact plain `ok`
-    /// body existing probes and scripts match on; anything else is a JSON
-    /// document naming the reasons, with `503` when unhealthy.
+    /// body existing probes and scripts match on; anything else is the
+    /// [`HealthSnapshot::to_json`] document, with `503` when unhealthy.
     pub fn to_response(&self) -> HealthResponse {
         let status = self.status();
         if status == HealthStatus::Healthy {
             return HealthResponse::ok();
         }
-        let mut reasons: Vec<serde_json::Value> = Vec::new();
-        if self.breaker_open > 0 {
-            reasons.push(serde_json::Value::String(format!(
-                "{} query type(s) breaker-open (polling degraded to conservative)",
-                self.breaker_open
-            )));
-        }
-        if self.recovering {
-            reasons.push(serde_json::Value::String(
-                "crash recovery in progress".to_string(),
-            ));
-        }
-        if self.wal_errors > 0 {
-            reasons.push(serde_json::Value::String(format!(
-                "{} durable-layer write error(s); crash safety compromised",
-                self.wal_errors
-            )));
-        }
-        if self.breaker_half_open > 0 {
-            reasons.push(serde_json::Value::String(format!(
-                "{} query type(s) half-open (probing)",
-                self.breaker_half_open
-            )));
-        }
-        let doc = serde_json::Value::Object(vec![
-            (
-                "status".to_string(),
-                serde_json::Value::String(status.as_str().to_string()),
-            ),
-            ("reasons".to_string(), serde_json::Value::Array(reasons)),
-            (
-                "breaker_open_types".to_string(),
-                serde_json::Value::UInt(self.breaker_open),
-            ),
-            (
-                "breaker_half_open_types".to_string(),
-                serde_json::Value::UInt(self.breaker_half_open),
-            ),
-            (
-                "recovering".to_string(),
-                serde_json::Value::Bool(self.recovering),
-            ),
-            (
-                "wal_errors".to_string(),
-                serde_json::Value::UInt(self.wal_errors),
-            ),
-            (
-                "recovery_gap_ejects".to_string(),
-                serde_json::Value::UInt(self.recovery_gap_ejects),
-            ),
-            (
-                "recoveries".to_string(),
-                serde_json::Value::UInt(self.recoveries),
-            ),
-        ]);
         HealthResponse {
             status: if status == HealthStatus::Unhealthy {
                 503
@@ -215,7 +324,8 @@ impl HealthSnapshot {
                 200
             },
             content_type: "application/json",
-            body: serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string()),
+            body: serde_json::to_string_pretty(&self.to_json())
+                .unwrap_or_else(|_| "{}".to_string()),
         }
     }
 }
@@ -264,5 +374,40 @@ mod tests {
         let resp = h.snapshot().to_response();
         assert_eq!(resp.status, 503);
         assert!(resp.body.contains("crash safety compromised"));
+    }
+
+    #[test]
+    fn slo_burns_map_to_status_like_breakers() {
+        let h = HealthState::new();
+        h.set_slo(0, 1);
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 200, "slow burn degrades, does not page");
+        assert!(resp.body.contains("slo-slow-burn"));
+        assert_eq!(h.snapshot().status(), HealthStatus::Degraded);
+
+        h.set_slo(2, 1);
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 503, "fast burn is unhealthy");
+        assert!(resp.body.contains("slo-fast-burn"));
+
+        h.set_slo(0, 0);
+        assert_eq!(h.snapshot().to_response().body, "ok\n");
+    }
+
+    #[test]
+    fn reasons_use_canonical_codes_everywhere() {
+        let h = HealthState::new();
+        h.set_breaker(1, 2);
+        h.set_slo(1, 0);
+        let snap = h.snapshot();
+        let codes: Vec<&str> = snap.reasons().iter().map(|(r, _, _)| r.as_str()).collect();
+        assert_eq!(codes, vec!["breaker-open", "slo-fast-burn", "breaker-half-open"]);
+        // The JSON rendering carries the same codes as {code, count, detail}.
+        let doc = snap.to_json();
+        assert_eq!(doc["reasons"][0]["code"].as_str(), Some("breaker-open"));
+        assert_eq!(doc["reasons"][0]["count"].as_u64(), Some(1));
+        // Counts come from the single shared accessor.
+        assert_eq!(snap.reason_count(Reason::BreakerHalfOpen), 2);
+        assert_eq!(snap.reason_count(Reason::CrashRecovery), 0);
     }
 }

@@ -30,19 +30,23 @@ mod export;
 pub mod health;
 mod histogram;
 pub mod provenance;
+pub mod recorder;
 mod registry;
 pub mod scorecard;
+pub mod slo;
 mod staleness;
 pub mod timeline;
 mod trace;
 
 pub use admin::{AdminServer, AdminSource};
 pub use export::{ExportStats, JsonlExporter};
-pub use health::{HealthResponse, HealthSnapshot, HealthState, HealthStatus};
+pub use health::{HealthResponse, HealthSnapshot, HealthState, HealthStatus, Reason};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use provenance::{Cause, DeltaGroup, EjectRecord, Explanation, ProvenanceLog};
+pub use recorder::{verify_flight_record, FlightRecordMeta, FlightRecorder, FLIGHT_RECORD_SCHEMA};
 pub use registry::{prometheus_name, Counter, Gauge, MetricsRegistry};
 pub use scorecard::{PageTally, ScorecardBoard, TypeScore, TypeSyncOutcome};
+pub use slo::{AlertEvent, BurnPair, EvalOutcome, Objective, SloEngine, SloKind, SloPolicy};
 pub use staleness::{Lsn, StalenessProbe};
 pub use timeline::{StageSample, SyncTimeline, TimelineLog};
 pub use trace::{CommitIndex, CommitRoot, TraceContext, TraceEvent, Tracer};
@@ -67,6 +71,10 @@ pub struct Obs {
     pub timeline: TimelineLog,
     /// Per-query-type cost/benefit scorecards behind `/scorecards`.
     pub scorecards: ScorecardBoard,
+    /// Sliding-window SLO evaluator with burn-rate alerting behind `/slo`.
+    pub slo: SloEngine,
+    /// Black-box flight recorder behind `/flightrecord`.
+    pub recorder: FlightRecorder,
 }
 
 impl Default for Obs {
@@ -88,6 +96,8 @@ impl Obs {
             commits: CommitIndex::default(),
             timeline: TimelineLog::default(),
             scorecards: ScorecardBoard::default(),
+            slo: SloEngine::default(),
+            recorder: FlightRecorder::default(),
         }
     }
 
@@ -104,6 +114,8 @@ impl Obs {
             commits: CommitIndex::new(trace_events),
             timeline: TimelineLog::default(),
             scorecards: ScorecardBoard::default(),
+            slo: SloEngine::default(),
+            recorder: FlightRecorder::default(),
         }
     }
 
@@ -138,6 +150,10 @@ impl Obs {
                 self.timeline.to_json(8, self.tracer.dropped(), false),
             ),
             ("scorecards".to_string(), self.scorecards.to_json()),
+            (
+                "slo".to_string(),
+                self.slo.to_json(self.slo.last_eval_ts(), false),
+            ),
         ])
     }
 
@@ -190,6 +206,16 @@ impl Obs {
                 r.causes.len()
             );
         }
+        let (fast, slow) = self.slo.firing_counts();
+        let _ = writeln!(
+            out,
+            "== slo ==\nfiring: fast={} slow={} (alert transitions recorded={} dropped={}; flight records={})",
+            fast,
+            slow,
+            self.slo.alerts_recorded(),
+            self.slo.alerts_dropped(),
+            self.recorder.recorded()
+        );
         out
     }
 }

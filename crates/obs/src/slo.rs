@@ -1,0 +1,746 @@
+//! Freshness SLO engine: declarative objectives evaluated over sliding
+//! windows, with Prometheus-style multi-window burn-rate alerting.
+//!
+//! Every objective is reduced to a good/bad event stream — a latency
+//! objective classifies each observation against its threshold, a ratio
+//! objective (hit rate, poll success) counts outcomes directly — so the
+//! burn-rate math is uniform:
+//!
+//! ```text
+//! burn(window) = bad_fraction(window) / (1 - goal)
+//! ```
+//!
+//! An alert pair fires when the burn rate exceeds its threshold in BOTH
+//! the short and the long window (the short window makes the alert fast to
+//! resolve, the long window keeps one bad minute from paging). The default
+//! pairs follow SRE practice: fast = 5m/1h at 14.4× (page severity),
+//! slow = 30m/6h at 6× (ticket severity).
+//!
+//! All windows run on the portal's *logical* clock, so evaluation is
+//! deterministic under a fixed seed. The one wall-clock-fed objective
+//! (sync-point latency) is marked `deterministic: false` and is skipped by
+//! the `stable=1` rendering that the flight recorder's byte-stability
+//! contract relies on.
+//!
+//! Firing/resolved transitions append to a bounded alert log (ring with a
+//! dropped counter) that the JSONL exporter cursors over, exactly like the
+//! trace and provenance rings.
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const MINUTE: u64 = 60_000_000;
+const HOUR: u64 = 60 * MINUTE;
+
+/// What a sliding-window objective measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Per-ejected-page commit→eject staleness window (weighted by pages).
+    StalenessP99,
+    /// Per-sync commit→eject latency (one sample per consuming sync point).
+    CommitEject,
+    /// Cache hit rate over routable (cacheable) requests.
+    HitRate,
+    /// Wall-clock sync-point latency (non-deterministic feed).
+    SyncLatency,
+    /// Poll success rate (faulted polls are the bad events).
+    PollErrors,
+}
+
+impl SloKind {
+    /// Stable kebab-case identifier (used as the objective id, in alert
+    /// lines, and in metric names).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloKind::StalenessP99 => "staleness-p99",
+            SloKind::CommitEject => "commit-eject",
+            SloKind::HitRate => "hit-rate",
+            SloKind::SyncLatency => "sync-latency-p95",
+            SloKind::PollErrors => "poll-error-rate",
+        }
+    }
+}
+
+/// One declarative objective: "`goal` of events must be good", where good
+/// is `value <= threshold_micros` for latency kinds and the positive
+/// outcome for ratio kinds.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Stable identifier (defaults to the kind's name).
+    pub id: &'static str,
+    /// Which event stream feeds this objective.
+    pub kind: SloKind,
+    /// Good/bad classification threshold for latency kinds (ignored by
+    /// ratio kinds).
+    pub threshold_micros: u64,
+    /// Required good fraction in [0, 1), e.g. 0.99.
+    pub goal: f64,
+    /// Whether the feed is purely logical-clock driven. Wall-fed
+    /// objectives are excluded from `stable=1` renderings.
+    pub deterministic: bool,
+}
+
+impl Objective {
+    /// Objective with the kind's canonical id.
+    pub fn new(kind: SloKind, threshold_micros: u64, goal: f64, deterministic: bool) -> Objective {
+        Objective { id: kind.as_str(), kind, threshold_micros, goal, deterministic }
+    }
+
+    /// Error budget: the tolerated bad fraction, floored so burn rates
+    /// stay finite even for goal=1.0 misconfigurations.
+    fn budget(&self) -> f64 {
+        (1.0 - self.goal).max(1e-4)
+    }
+}
+
+/// A short/long burn-rate window pair with its firing threshold.
+#[derive(Debug, Clone)]
+pub struct BurnPair {
+    /// Stable name ("fast" / "slow").
+    pub name: &'static str,
+    /// Alerting severity rendered in alert lines ("page" / "ticket").
+    pub severity: &'static str,
+    /// Short window (fast resolution) in logical micros.
+    pub short_micros: u64,
+    /// Long window (flap suppression) in logical micros.
+    pub long_micros: u64,
+    /// Burn-rate threshold that BOTH windows must exceed to fire.
+    pub threshold: f64,
+    /// Fast pairs drive `/healthz` to unhealthy; slow pairs to degraded.
+    pub fast: bool,
+}
+
+/// The full declarative policy: objectives, window pairs, and sizing.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Objectives, evaluated independently.
+    pub objectives: Vec<Objective>,
+    /// Burn-rate window pairs applied to every objective.
+    pub pairs: Vec<BurnPair>,
+    /// Window bucket width in logical micros (coarser = cheaper).
+    pub bucket_micros: u64,
+    /// Alert-log ring capacity.
+    pub alert_log_cap: usize,
+}
+
+impl Default for SloPolicy {
+    /// The shipped policy: the five objectives from the freshness contract
+    /// and the standard fast(5m/1h@14.4×)/slow(30m/6h@6×) pairs.
+    fn default() -> SloPolicy {
+        SloPolicy {
+            objectives: vec![
+                Objective::new(SloKind::StalenessP99, 1_000_000, 0.99, true),
+                Objective::new(SloKind::CommitEject, 2_000_000, 0.95, true),
+                Objective::new(SloKind::HitRate, 0, 0.50, true),
+                Objective::new(SloKind::SyncLatency, 250_000, 0.95, false),
+                Objective::new(SloKind::PollErrors, 0, 0.99, true),
+            ],
+            pairs: SloPolicy::default_pairs(),
+            bucket_micros: MINUTE,
+            alert_log_cap: 256,
+        }
+    }
+}
+
+impl SloPolicy {
+    /// The standard multi-window pairs (usable by custom policies).
+    pub fn default_pairs() -> Vec<BurnPair> {
+        vec![
+            BurnPair {
+                name: "fast",
+                severity: "page",
+                short_micros: 5 * MINUTE,
+                long_micros: HOUR,
+                threshold: 14.4,
+                fast: true,
+            },
+            BurnPair {
+                name: "slow",
+                severity: "ticket",
+                short_micros: 30 * MINUTE,
+                long_micros: 6 * HOUR,
+                threshold: 6.0,
+                fast: false,
+            },
+        ]
+    }
+
+    fn longest_window(&self) -> u64 {
+        self.pairs.iter().map(|p| p.long_micros).max().unwrap_or(6 * HOUR)
+    }
+}
+
+/// Time-bucketed good/bad counts; windows query a suffix of buckets.
+#[derive(Debug, Default)]
+struct WindowedCounter {
+    buckets: VecDeque<Bucket>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    start: u64,
+    good: u64,
+    bad: u64,
+}
+
+impl WindowedCounter {
+    fn add(&mut self, now: u64, width: u64, good: u64, bad: u64) {
+        let start = now - now % width.max(1);
+        match self.buckets.back_mut() {
+            // The logical clock is monotone, but fold clock regressions
+            // into the newest bucket rather than corrupting the order.
+            Some(b) if b.start >= start => {
+                b.good += good;
+                b.bad += bad;
+            }
+            _ => self.buckets.push_back(Bucket { start, good, bad }),
+        }
+    }
+
+    /// (good, bad) totals over `[now - window, now]`.
+    fn totals(&self, now: u64, width: u64, window: u64) -> (u64, u64) {
+        let cutoff = now.saturating_sub(window);
+        let mut good = 0;
+        let mut bad = 0;
+        for b in self.buckets.iter().rev() {
+            // A bucket contributes while any part of it overlaps the window.
+            if b.start + width.max(1) <= cutoff {
+                break;
+            }
+            good += b.good;
+            bad += b.bad;
+        }
+        (good, bad)
+    }
+
+    fn prune(&mut self, now: u64, width: u64, keep: u64) {
+        let cutoff = now.saturating_sub(keep);
+        while let Some(b) = self.buckets.front() {
+            if b.start + width.max(1) > cutoff {
+                break;
+            }
+            self.buckets.pop_front();
+        }
+    }
+}
+
+/// One firing/resolved transition in the bounded alert log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    /// Monotone sequence number (exporter cursor key).
+    pub seq: u64,
+    /// Logical timestamp of the evaluation that produced the transition.
+    pub ts: u64,
+    /// Objective id ([`SloKind::as_str`] by default).
+    pub objective: &'static str,
+    /// Window-pair name ("fast" / "slow").
+    pub pair: &'static str,
+    /// Severity ("page" / "ticket").
+    pub severity: &'static str,
+    /// "firing" or "resolved".
+    pub state: &'static str,
+    /// Burn rate in the short window at transition time.
+    pub burn_short: f64,
+    /// Burn rate in the long window at transition time.
+    pub burn_long: f64,
+    /// Copied from the objective; false for wall-fed objectives.
+    pub deterministic: bool,
+}
+
+impl AlertEvent {
+    /// JSON object (one exporter line body / alert-log entry).
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("ts".to_string(), Value::UInt(self.ts)),
+            ("objective".to_string(), Value::String(self.objective.to_string())),
+            ("pair".to_string(), Value::String(self.pair.to_string())),
+            ("severity".to_string(), Value::String(self.severity.to_string())),
+            ("state".to_string(), Value::String(self.state.to_string())),
+            ("burn_short".to_string(), Value::Float(self.burn_short)),
+            ("burn_long".to_string(), Value::Float(self.burn_long)),
+            ("deterministic".to_string(), Value::Bool(self.deterministic)),
+        ])
+    }
+}
+
+/// What one [`SloEngine::evaluate`] pass produced.
+#[derive(Debug, Default)]
+pub struct EvalOutcome {
+    /// Transitions that started firing this pass.
+    pub newly_fired: Vec<AlertEvent>,
+    /// Transitions that resolved this pass.
+    pub newly_resolved: Vec<AlertEvent>,
+    /// (objective, pair) combinations currently firing on a fast pair.
+    pub fast_firing: u64,
+    /// (objective, pair) combinations currently firing on a slow pair.
+    pub slow_firing: u64,
+}
+
+struct EngineInner {
+    policy: SloPolicy,
+    counters: Vec<WindowedCounter>,
+    firing: Vec<Vec<bool>>,
+    alerts: VecDeque<AlertEvent>,
+    alert_seq: u64,
+    alerts_dropped: u64,
+    last_eval_ts: u64,
+}
+
+impl EngineInner {
+    fn fresh(policy: SloPolicy) -> EngineInner {
+        let n = policy.objectives.len();
+        let pairs = policy.pairs.len();
+        EngineInner {
+            counters: (0..n).map(|_| WindowedCounter::default()).collect(),
+            firing: vec![vec![false; pairs]; n],
+            alerts: VecDeque::new(),
+            alert_seq: 0,
+            alerts_dropped: 0,
+            last_eval_ts: 0,
+            policy,
+        }
+    }
+
+    fn push_alert(&mut self, ev: AlertEvent) {
+        if self.alerts.len() >= self.policy.alert_log_cap.max(1) {
+            self.alerts.pop_front();
+            self.alerts_dropped += 1;
+        }
+        self.alerts.push_back(ev);
+    }
+}
+
+/// The sliding-window SLO evaluator. Shared via `Obs`; all methods take
+/// `&self`.
+pub struct SloEngine {
+    enabled: AtomicBool,
+    inner: Mutex<EngineInner>,
+}
+
+impl Default for SloEngine {
+    fn default() -> Self {
+        SloEngine::new(SloPolicy::default())
+    }
+}
+
+impl SloEngine {
+    /// Engine with an explicit policy.
+    pub fn new(policy: SloPolicy) -> SloEngine {
+        SloEngine {
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(EngineInner::fresh(policy)),
+        }
+    }
+
+    /// Toggle evaluation (the A/B arm of `slo_overhead` and an operator
+    /// kill switch). Disabling does not clear state; re-enabling resumes.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether observations and evaluation are live.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Replace the policy, resetting counters, firing state, and the
+    /// alert log.
+    pub fn configure(&self, policy: SloPolicy) {
+        *self.inner.lock() = EngineInner::fresh(policy);
+    }
+
+    /// Feed `count` observations of `value_micros` to every latency
+    /// objective of `kind`.
+    pub fn observe_latency(&self, kind: SloKind, now: u64, value_micros: u64, count: u64) {
+        if !self.enabled() || count == 0 {
+            return;
+        }
+        let inner = &mut *self.inner.lock();
+        let width = inner.policy.bucket_micros;
+        let keep = inner.policy.longest_window() + width;
+        for (o, c) in inner.policy.objectives.iter().zip(inner.counters.iter_mut()) {
+            if o.kind != kind {
+                continue;
+            }
+            if value_micros <= o.threshold_micros {
+                c.add(now, width, count, 0);
+            } else {
+                c.add(now, width, 0, count);
+            }
+            c.prune(now, width, keep);
+        }
+    }
+
+    /// Feed pre-classified good/bad counts to every ratio objective of
+    /// `kind`.
+    pub fn observe_counts(&self, kind: SloKind, now: u64, good: u64, bad: u64) {
+        if !self.enabled() || good + bad == 0 {
+            return;
+        }
+        let inner = &mut *self.inner.lock();
+        let width = inner.policy.bucket_micros;
+        let keep = inner.policy.longest_window() + width;
+        for (o, c) in inner.policy.objectives.iter().zip(inner.counters.iter_mut()) {
+            if o.kind != kind {
+                continue;
+            }
+            c.add(now, width, good, bad);
+            c.prune(now, width, keep);
+        }
+    }
+
+    /// Feed one boolean outcome (e.g. a cache hit/miss).
+    pub fn observe_bool(&self, kind: SloKind, now: u64, good: bool) {
+        self.observe_counts(kind, now, u64::from(good), u64::from(!good));
+    }
+
+    /// Evaluate every (objective, pair) combination at logical time `now`,
+    /// appending firing/resolved transitions to the alert log.
+    pub fn evaluate(&self, now: u64) -> EvalOutcome {
+        let mut out = EvalOutcome::default();
+        if !self.enabled() {
+            return out;
+        }
+        let mut inner = self.inner.lock();
+        inner.last_eval_ts = now;
+        let width = inner.policy.bucket_micros;
+        let mut transitions: Vec<AlertEvent> = Vec::new();
+        for oi in 0..inner.policy.objectives.len() {
+            for pi in 0..inner.policy.pairs.len() {
+                let (o, p) = (&inner.policy.objectives[oi], &inner.policy.pairs[pi]);
+                let burn_short = burn(&inner.counters[oi], now, width, p.short_micros, o);
+                let burn_long = burn(&inner.counters[oi], now, width, p.long_micros, o);
+                let firing = burn_short >= p.threshold && burn_long >= p.threshold;
+                let was = inner.firing[oi][pi];
+                if firing {
+                    if p.fast {
+                        out.fast_firing += 1;
+                    } else {
+                        out.slow_firing += 1;
+                    }
+                }
+                if firing != was {
+                    transitions.push(AlertEvent {
+                        seq: 0, // assigned on push below
+                        ts: now,
+                        objective: o.id,
+                        pair: p.name,
+                        severity: p.severity,
+                        state: if firing { "firing" } else { "resolved" },
+                        burn_short,
+                        burn_long,
+                        deterministic: o.deterministic,
+                    });
+                }
+                inner.firing[oi][pi] = firing;
+            }
+        }
+        for mut ev in transitions {
+            ev.seq = inner.alert_seq;
+            inner.alert_seq += 1;
+            if ev.state == "firing" {
+                out.newly_fired.push(ev.clone());
+            } else {
+                out.newly_resolved.push(ev.clone());
+            }
+            inner.push_alert(ev);
+        }
+        out
+    }
+
+    /// Currently-firing (fast, slow) combination counts without
+    /// re-evaluating.
+    pub fn firing_counts(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        let mut fast = 0;
+        let mut slow = 0;
+        for row in &inner.firing {
+            for (pi, &f) in row.iter().enumerate() {
+                if f {
+                    if inner.policy.pairs[pi].fast {
+                        fast += 1;
+                    } else {
+                        slow += 1;
+                    }
+                }
+            }
+        }
+        (fast, slow)
+    }
+
+    /// Logical timestamp of the most recent [`SloEngine::evaluate`] pass.
+    pub fn last_eval_ts(&self) -> u64 {
+        self.inner.lock().last_eval_ts
+    }
+
+    /// Total alert transitions ever recorded.
+    pub fn alerts_recorded(&self) -> u64 {
+        self.inner.lock().alert_seq
+    }
+
+    /// Transitions evicted from the bounded log.
+    pub fn alerts_dropped(&self) -> u64 {
+        self.inner.lock().alerts_dropped
+    }
+
+    /// Alert transitions with `seq >= since`, oldest first (exporter
+    /// cursor access, mirroring `ProvenanceLog::since`).
+    pub fn alerts_since(&self, since: u64) -> Vec<AlertEvent> {
+        let inner = self.inner.lock();
+        inner.alerts.iter().filter(|a| a.seq >= since).cloned().collect()
+    }
+
+    /// The newest `n` transitions, oldest first.
+    pub fn alerts_recent(&self, n: usize) -> Vec<AlertEvent> {
+        let inner = self.inner.lock();
+        let skip = inner.alerts.len().saturating_sub(n);
+        inner.alerts.iter().skip(skip).cloned().collect()
+    }
+
+    /// The `/slo` document. `stable=1` drops wall-fed objectives and their
+    /// alerts so the rendering is byte-identical across replays of the
+    /// same deterministic script.
+    pub fn to_json(&self, now: u64, stable: bool) -> Value {
+        let inner = self.inner.lock();
+        let width = inner.policy.bucket_micros;
+        let longest = inner.policy.longest_window();
+        let pairs: Vec<Value> = inner
+            .policy
+            .pairs
+            .iter()
+            .map(|p| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::String(p.name.to_string())),
+                    ("severity".to_string(), Value::String(p.severity.to_string())),
+                    ("short_micros".to_string(), Value::UInt(p.short_micros)),
+                    ("long_micros".to_string(), Value::UInt(p.long_micros)),
+                    ("burn_threshold".to_string(), Value::Float(p.threshold)),
+                ])
+            })
+            .collect();
+        let mut fast = 0u64;
+        let mut slow = 0u64;
+        let mut objectives = Vec::new();
+        for (oi, o) in inner.policy.objectives.iter().enumerate() {
+            let mut any = false;
+            let mut burns = Vec::new();
+            for (pi, p) in inner.policy.pairs.iter().enumerate() {
+                let firing = inner.firing[oi][pi];
+                if firing {
+                    any = true;
+                    if p.fast {
+                        fast += 1;
+                    } else {
+                        slow += 1;
+                    }
+                }
+                burns.push(Value::Object(vec![
+                    ("pair".to_string(), Value::String(p.name.to_string())),
+                    (
+                        "short".to_string(),
+                        Value::Float(burn(&inner.counters[oi], now, width, p.short_micros, o)),
+                    ),
+                    (
+                        "long".to_string(),
+                        Value::Float(burn(&inner.counters[oi], now, width, p.long_micros, o)),
+                    ),
+                    ("firing".to_string(), Value::Bool(firing)),
+                ]));
+            }
+            if stable && !o.deterministic {
+                continue;
+            }
+            let (good, bad) = inner.counters[oi].totals(now, width, longest);
+            objectives.push(Value::Object(vec![
+                ("id".to_string(), Value::String(o.id.to_string())),
+                ("kind".to_string(), Value::String(o.kind.as_str().to_string())),
+                ("goal".to_string(), Value::Float(o.goal)),
+                ("threshold_micros".to_string(), Value::UInt(o.threshold_micros)),
+                ("deterministic".to_string(), Value::Bool(o.deterministic)),
+                ("good".to_string(), Value::UInt(good)),
+                ("bad".to_string(), Value::UInt(bad)),
+                ("burn".to_string(), Value::Array(burns)),
+                ("firing".to_string(), Value::Bool(any)),
+            ]));
+        }
+        let recent: Vec<Value> = inner
+            .alerts
+            .iter()
+            .filter(|a| !stable || a.deterministic)
+            .map(|a| a.to_json())
+            .collect();
+        Value::Object(vec![
+            ("schema".to_string(), Value::String("cacheportal.slo.v1".to_string())),
+            ("enabled".to_string(), Value::Bool(self.enabled())),
+            ("stable".to_string(), Value::Bool(stable)),
+            ("now".to_string(), Value::UInt(now)),
+            ("pairs".to_string(), Value::Array(pairs)),
+            ("objectives".to_string(), Value::Array(objectives)),
+            (
+                "alerts".to_string(),
+                Value::Object(vec![
+                    ("recorded".to_string(), Value::UInt(inner.alert_seq)),
+                    ("dropped".to_string(), Value::UInt(inner.alerts_dropped)),
+                    ("recent".to_string(), Value::Array(recent)),
+                ]),
+            ),
+            (
+                "firing".to_string(),
+                Value::Object(vec![
+                    ("fast".to_string(), Value::UInt(fast)),
+                    ("slow".to_string(), Value::UInt(slow)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Burn rate of one objective over one window at logical time `now`.
+fn burn(c: &WindowedCounter, now: u64, width: u64, window: u64, o: &Objective) -> f64 {
+    let (good, bad) = c.totals(now, width, window);
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    (bad as f64 / total as f64) / o.budget()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight_policy() -> SloPolicy {
+        SloPolicy {
+            objectives: vec![Objective::new(SloKind::StalenessP99, 100, 0.99, true)],
+            pairs: SloPolicy::default_pairs(),
+            bucket_micros: MINUTE,
+            alert_log_cap: 4,
+        }
+    }
+
+    #[test]
+    fn burn_rate_fires_and_resolves() {
+        let e = SloEngine::new(tight_policy());
+        // All good: nothing fires.
+        e.observe_latency(SloKind::StalenessP99, 1_000, 50, 10);
+        let out = e.evaluate(1_000);
+        assert!(out.newly_fired.is_empty());
+        assert_eq!(e.firing_counts(), (0, 0));
+        // A burst of bad windows: bad fraction 0.5 ≫ 14.4 × 0.01 budget.
+        e.observe_latency(SloKind::StalenessP99, 2_000, 5_000, 10);
+        let out = e.evaluate(2_000);
+        assert_eq!(out.newly_fired.len(), 2, "fast and slow pairs both fire");
+        assert_eq!(out.fast_firing, 1);
+        assert_eq!(out.slow_firing, 1);
+        assert_eq!(e.firing_counts(), (1, 1));
+        // Steady state: still firing, but no new transitions.
+        let out = e.evaluate(3_000);
+        assert!(out.newly_fired.is_empty() && out.newly_resolved.is_empty());
+        assert_eq!(out.fast_firing, 1);
+        // Advance past the longest window: the bad events age out.
+        let later = 3_000 + 7 * HOUR;
+        let out = e.evaluate(later);
+        assert_eq!(out.newly_resolved.len(), 2);
+        assert_eq!(e.firing_counts(), (0, 0));
+        // Transition log: firing, firing, resolved, resolved.
+        let alerts = e.alerts_since(0);
+        assert_eq!(alerts.len(), 4);
+        assert!(alerts[0].state == "firing" && alerts[3].state == "resolved");
+        assert_eq!(alerts[0].objective, "staleness-p99");
+    }
+
+    #[test]
+    fn short_window_recovers_before_long() {
+        // After a breach, fresh good traffic clears the short window while
+        // the long window still remembers the bad burst — the AND of the
+        // two windows is what resolves the alert quickly.
+        let e = SloEngine::new(tight_policy());
+        e.observe_latency(SloKind::StalenessP99, 1_000, 5_000, 100);
+        assert_eq!(e.evaluate(1_000).newly_fired.len(), 2);
+        // 10 minutes later (outside 5m, inside 1h), all-good traffic.
+        let later = 1_000 + 10 * MINUTE;
+        e.observe_latency(SloKind::StalenessP99, later, 10, 100);
+        let out = e.evaluate(later);
+        // Fast pair resolves: its 5m short window holds only the clean
+        // traffic. The slow pair's 30m short window still spans the burst
+        // (bad fraction 0.5 ≫ 6 × 0.01 budget), so it keeps firing.
+        assert!(out.newly_resolved.iter().any(|a| a.pair == "fast"));
+        assert!(e.firing_counts().1 >= 1, "slow pair still firing");
+    }
+
+    #[test]
+    fn ratio_objective_counts_outcomes() {
+        let pol = SloPolicy {
+            objectives: vec![Objective::new(SloKind::PollErrors, 0, 0.99, true)],
+            pairs: SloPolicy::default_pairs(),
+            bucket_micros: MINUTE,
+            alert_log_cap: 8,
+        };
+        let e = SloEngine::new(pol);
+        e.observe_counts(SloKind::PollErrors, 500, 6, 6);
+        let out = e.evaluate(500);
+        assert_eq!(out.fast_firing, 1);
+        let doc = e.to_json(500, false);
+        assert_eq!(doc["objectives"][0]["bad"].as_u64(), Some(6));
+        assert_eq!(doc["firing"]["fast"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn alert_log_is_bounded_with_dropped_counter() {
+        let e = SloEngine::new(tight_policy());
+        // Flap the objective: bad burst → fire, age out → resolve, repeat.
+        let mut now = 1_000;
+        for _ in 0..3 {
+            e.observe_latency(SloKind::StalenessP99, now, 5_000, 10);
+            e.evaluate(now);
+            now += 7 * HOUR;
+            e.evaluate(now);
+            now += MINUTE;
+        }
+        // 3 flaps × 2 pairs × 2 transitions = 12 recorded, cap 4.
+        assert_eq!(e.alerts_recorded(), 12);
+        assert_eq!(e.alerts_dropped(), 8);
+        assert_eq!(e.alerts_since(0).len(), 4);
+        // The cursor view only sees what survived the ring.
+        let first_kept = e.alerts_since(0)[0].seq;
+        assert_eq!(first_kept, 8);
+    }
+
+    #[test]
+    fn disabled_engine_observes_nothing() {
+        let e = SloEngine::default();
+        e.set_enabled(false);
+        e.observe_latency(SloKind::StalenessP99, 1_000, u64::MAX, 100);
+        let out = e.evaluate(1_000);
+        assert_eq!(out.fast_firing + out.slow_firing, 0);
+        e.set_enabled(true);
+        let doc = e.to_json(1_000, false);
+        assert_eq!(doc["objectives"][0]["bad"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn stable_rendering_skips_wall_fed_objectives() {
+        let e = SloEngine::default();
+        e.observe_latency(SloKind::SyncLatency, 1_000, u64::MAX, 50);
+        e.evaluate(1_000);
+        let full = serde_json::to_string_pretty(&e.to_json(1_000, false)).unwrap();
+        let stable = serde_json::to_string_pretty(&e.to_json(1_000, true)).unwrap();
+        assert!(full.contains("sync-latency-p95"));
+        assert!(!stable.contains("sync-latency-p95"));
+        assert!(stable.contains("\"stable\": true"));
+    }
+
+    #[test]
+    fn configure_resets_state() {
+        let e = SloEngine::new(tight_policy());
+        e.observe_latency(SloKind::StalenessP99, 1_000, 5_000, 10);
+        e.evaluate(1_000);
+        assert_ne!(e.firing_counts(), (0, 0));
+        e.configure(tight_policy());
+        assert_eq!(e.firing_counts(), (0, 0));
+        assert_eq!(e.alerts_recorded(), 0);
+    }
+}

@@ -303,6 +303,14 @@ impl Tracer {
     /// Causal ids are emitted only when present, so legacy uncorrelated
     /// events keep their original shape.
     pub fn to_json(&self, recent_limit: usize) -> serde_json::Value {
+        self.to_json_opts(recent_limit, false)
+    }
+
+    /// [`Tracer::to_json`] with a `stable` mode for deterministic
+    /// renderings (flight-record bundles): span durations are wall-clock
+    /// measurements, so stable mode zeroes them while keeping the causal
+    /// structure (ids, parents, logical timestamps) intact.
+    pub fn to_json_opts(&self, recent_limit: usize, stable: bool) -> serde_json::Value {
         use serde_json::Value;
         let events = self
             .recent(recent_limit)
@@ -316,6 +324,7 @@ impl Tracer {
                     ("detail".to_string(), Value::String(e.detail)),
                 ];
                 if let Some(d) = e.duration_micros {
+                    let d = if stable { 0 } else { d };
                     fields.push(("duration_micros".to_string(), Value::UInt(d)));
                 }
                 if e.trace_id != 0 {

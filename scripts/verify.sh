@@ -50,13 +50,38 @@ echo "== tracing-overhead smoke test (trace_overhead --smoke) =="
 grep -q '"history"' BENCH_trace_overhead.json \
   || { echo "BENCH_trace_overhead.json is not a history trajectory"; exit 1; }
 
+echo "== SLO-engine overhead smoke test (slo_overhead --smoke) =="
+# A/B replay with the freshness SLO engine armed vs disabled; appends to
+# the BENCH_slo_overhead.json history. The <=5% target is enforced only on
+# full (non-smoke) runs.
+./target/release/slo_overhead --smoke
+grep -q '"history"' BENCH_slo_overhead.json \
+  || { echo "BENCH_slo_overhead.json is not a history trajectory"; exit 1; }
+
+echo "== SLO breach drill (harness slo-breach) =="
+# Deliberately violate a tight freshness objective and prove the whole
+# pipeline: burn-rate alert fires, /healthz degrades, the flight recorder
+# auto-captures a self-resolving black box, the stable rendering is
+# byte-identical across runs, and the alert resolves once windows age out.
+./target/release/harness slo-breach
+
 echo "== admin endpoint smoke test (obsctl demo) =="
-# Start the demo workload with a live admin server on an ephemeral port,
-# writing the JSONL provenance export CI uploads as an artifact.
+# Start the demo workload with a live admin server, writing the JSONL
+# provenance export CI uploads as an artifact. ADMIN_PORT pins the port
+# (default: kernel-assigned ephemeral); a pinned port that is already
+# bound fails fast here rather than as a confusing bind error mid-demo.
+ADMIN_PORT="${ADMIN_PORT:-0}"
+if [ "$ADMIN_PORT" != "0" ]; then
+  if (exec 3<>"/dev/tcp/127.0.0.1/$ADMIN_PORT") 2>/dev/null; then
+    exec 3>&- 3<&-
+    echo "admin port $ADMIN_PORT is already bound; pick another ADMIN_PORT"
+    exit 1
+  fi
+fi
 DEMO_LOG=target/obsctl-demo.log
 EXPORT=target/obs-export.jsonl
 rm -f "$DEMO_LOG" "$EXPORT"
-./target/release/obsctl demo --serve 127.0.0.1:0 --hold-secs 60 \
+./target/release/obsctl demo --serve "127.0.0.1:$ADMIN_PORT" --hold-secs 60 \
   --export "$EXPORT" >"$DEMO_LOG" 2>&1 &
 DEMO_PID=$!
 trap 'kill "$DEMO_PID" 2>/dev/null || true' EXIT
@@ -65,6 +90,8 @@ ADDR=""
 for _ in $(seq 1 50); do
   ADDR=$(sed -n 's/^admin listening on //p' "$DEMO_LOG" | head -n1)
   [ -n "$ADDR" ] && break
+  kill -0 "$DEMO_PID" 2>/dev/null \
+    || { echo "demo exited before serving"; cat "$DEMO_LOG"; exit 1; }
   sleep 0.1
 done
 [ -n "$ADDR" ] || { echo "admin server never came up"; cat "$DEMO_LOG"; exit 1; }
@@ -112,6 +139,28 @@ echo "$SCORECARD_OUT" | grep -q "hit_rate" \
 SCORECARD_JSON=$(./target/release/obsctl scorecard --addr "$ADDR" --json)
 echo "$SCORECARD_JSON" | grep -q '"render_cost_units"' \
   || { echo "/scorecards missing cost fields"; exit 1; }
+
+# Freshness SLO surfaces: /slo renders the default objectives with burn
+# rates (obsctl exits 0 only while nothing fires — the healthy demo must
+# pass the gate), and the stable rendering is marked as such.
+SLO_OUT=$(./target/release/obsctl slo --addr "$ADDR") \
+  || { echo "obsctl slo reported a firing alert on a healthy demo"; exit 1; }
+echo "$SLO_OUT" | grep -q "staleness-p99" \
+  || { echo "/slo missing the staleness-p99 objective"; exit 1; }
+SLO_STABLE=$(./target/release/obsctl slo --addr "$ADDR" --stable --json)
+echo "$SLO_STABLE" | grep -q '"stable": true' \
+  || { echo "/slo?stable=1 not marked stable"; exit 1; }
+
+# Black-box flight recorder: an on-demand stable dump is a versioned,
+# self-contained bundle (uploaded as a CI artifact).
+FLIGHT=target/flightrecord-smoke.json
+rm -f "$FLIGHT"
+./target/release/obsctl blackbox --addr "$ADDR" --out "$FLIGHT" --stable
+grep -q '"cacheportal.flightrecord.v1"' "$FLIGHT" \
+  || { echo "flight record missing the versioned schema marker"; exit 1; }
+FLIGHT_INDEX=$(./target/release/obsctl blackbox --addr "$ADDR" --index)
+echo "$FLIGHT_INDEX" | grep -q "cacheportal.flightrecord.v1.index" \
+  || { echo "/flightrecord index missing"; exit 1; }
 
 kill "$DEMO_PID" 2>/dev/null || true
 wait "$DEMO_PID" 2>/dev/null || true
