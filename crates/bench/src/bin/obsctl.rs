@@ -444,6 +444,8 @@ fn cmd_scorecard(args: &[String]) -> i32 {
         "polls".to_string(),
         "poll_us".to_string(),
         "stale_us".to_string(),
+        "idx_hit".to_string(),
+        "residual".to_string(),
     ]];
     for c in cards {
         rows.push(vec![
@@ -457,6 +459,8 @@ fn cmd_scorecard(args: &[String]) -> i32 {
             c["polls"].as_u64().unwrap_or(0).to_string(),
             c["poll_spend_micros"].as_u64().unwrap_or(0).to_string(),
             c["staleness_micros"].as_u64().unwrap_or(0).to_string(),
+            format!("{:.3}", c["index_hit_rate"].as_f64().unwrap_or(0.0)),
+            format!("{:.3}", c["residual_fraction"].as_f64().unwrap_or(0.0)),
         ]);
     }
     print!("{}", cacheportal_bench::render_table(&rows));

@@ -299,6 +299,10 @@ impl Scenario {
         let mut cfg = InvalidatorConfig::default();
         cfg.policy.default_policy = policy_of(self.policy);
         cfg.workers = self.workers;
+        // Every harness run doubles as an index-vs-scan differential test:
+        // the invalidator re-analyzes each sync with the predicate index
+        // disabled and the runner flags any affected-set divergence.
+        cfg.index_differential = true;
         builder = builder.invalidator_config(cfg).fault_plan(plan);
         for t in &self.tables {
             if t.maintained_index {

@@ -217,6 +217,20 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
                 detail: format!("stale after sync under {:?}: {urls:?}", policy_of(sc.policy)),
             });
         }
+        // Index soundness: the scenario runs with index-vs-scan
+        // differential mode on, so any sync where the predicate index and
+        // the full scan disagree on the affected (type, params) set is a
+        // correctness bug in the index, caught at the sync that diverged.
+        if report.invalidation.index_divergences > 0 {
+            return Some(Violation {
+                action_index: idx,
+                kind: "index-divergent".into(),
+                detail: format!(
+                    "predicate index and scan disagreed on {} affected instance(s)",
+                    report.invalidation.index_divergences
+                ),
+            });
+        }
         // Conservative degradation only: an inert plan must show zero fault
         // effects anywhere on the sync report.
         if !fault_active

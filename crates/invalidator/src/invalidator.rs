@@ -9,12 +9,13 @@ use crate::breaker::{BreakerConfig, BreakerDecision, CircuitBreaker, TypeObserva
 use crate::delta::{DeltaGroupStat, DeltaSet};
 use crate::policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
 use crate::polling::{InfoManager, PollAnswer, PollRunner, PollStats};
+use crate::predicate_index::Probe;
 use crate::query_type::{QueryTypeId, Registry};
 use cacheportal_db::sql::rewrite::substitute_params;
 use cacheportal_db::{Database, DbResult, Lsn, Value};
 use cacheportal_sniffer::QiUrlMap;
 use cacheportal_web::PageKey;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// How an instance was judged affected (the provenance verdict).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +186,31 @@ pub struct InvalidationReport {
     /// counts (except `analysis_micros`, which is wall-clock); feeds the
     /// portal's cost/benefit scorecards.
     pub per_type: Vec<TypeSyncStat>,
+    /// Candidate instances the predicate index handed to the analysis loop
+    /// (instances that still ran the full local-check/poll decision).
+    pub index_candidates: u64,
+    /// Registered instances the predicate index proved unaffected and
+    /// skipped without analysis — the sublinear win.
+    pub index_skipped: u64,
+    /// Instances scanned through the residual fallback (type unclassifiable
+    /// or a residual occurrence touched): the index could not narrow them.
+    pub index_residual_scanned: u64,
+    /// Candidate types narrowed by an index probe this sync point.
+    pub index_probed_types: u64,
+    /// Candidate types that fell back to the full scan this sync point.
+    pub index_residual_types: u64,
+    /// Wall-clock microseconds spent probing the predicate index.
+    pub index_probe_micros: u64,
+    /// Live instances interned in the predicate index after this sync.
+    pub index_size: u64,
+    /// Cumulative index maintenance time (registration inserts + eviction
+    /// removals), microseconds.
+    pub index_maintenance_micros: u64,
+    /// Differential-mode divergences: `(type, params)` pairs judged
+    /// affected by exactly one of {indexed run, scan re-run}. Always 0 for
+    /// a sound index; only populated when
+    /// [`InvalidatorConfig::index_differential`] is set.
+    pub index_divergences: u64,
 }
 
 /// One query type's share of a sync point (see
@@ -200,6 +226,13 @@ pub struct TypeSyncStat {
     pub poll_faults: u64,
     /// Wall-clock analysis time, microseconds (nondeterministic).
     pub analysis_micros: u64,
+    /// Instances the predicate index handed to the analysis loop for this
+    /// type (candidates that still ran the full decision).
+    pub index_candidates: u64,
+    /// Instances the predicate index skipped for this type.
+    pub index_skipped: u64,
+    /// Instances scanned via the residual fallback for this type.
+    pub index_residual: u64,
 }
 
 /// Invalidator configuration.
@@ -234,6 +267,19 @@ pub struct InvalidatorConfig {
     pub poll_retry_budget_per_type: u64,
     /// Circuit-breaker configuration for adaptive poll degradation.
     pub breaker: BreakerConfig,
+    /// Probe the predicate index before scanning a type's instances (on by
+    /// default). The index only ever *skips* instances whose indexed
+    /// conjunct is provably false for every delta tuple — verdicts are
+    /// identical with it off, just slower at high instance counts.
+    pub predicate_index: bool,
+    /// Index-vs-scan differential mode (harness/CI): after the indexed
+    /// analysis, re-run the whole batch sequentially with the index
+    /// disabled and count `(type, params)` affected-set divergences into
+    /// [`InvalidationReport::index_divergences`]. The comparison is exact
+    /// for the default unbudgeted config (a per-sync poll budget is spent
+    /// in scheduling order, which a sequential re-run cannot reproduce).
+    /// Expensive — every sync point analyzes twice.
+    pub index_differential: bool,
 }
 
 impl Default for InvalidatorConfig {
@@ -247,6 +293,8 @@ impl Default for InvalidatorConfig {
             poll_backoff_base_micros: 0,
             poll_retry_budget_per_type: 32,
             breaker: BreakerConfig::default(),
+            predicate_index: true,
+            index_differential: false,
         }
     }
 }
@@ -263,6 +311,12 @@ struct ShardCounters {
     poll_faults: u64,
     polls_attempted: u64,
     breaker_degraded: u64,
+    index_candidates: u64,
+    index_skipped: u64,
+    index_residual_scanned: u64,
+    index_probed_types: u64,
+    index_residual_types: u64,
+    index_probe_micros: u64,
 }
 
 /// One analyzed query type's results, tagged with its position in the
@@ -279,6 +333,12 @@ struct TypeOutcome {
     poll_faults: u64,
     /// Poll decisions that reached the DBMS fault site for this type.
     polls_attempted: u64,
+    /// Instances the predicate index handed to the decision loop.
+    index_candidates: u64,
+    /// Instances the predicate index skipped.
+    index_skipped: u64,
+    /// Instances scanned via the residual fallback.
+    index_residual: u64,
 }
 
 /// Per-call retry settings handed to the shard workers.
@@ -460,6 +520,9 @@ impl Invalidator {
             report.delta_micros = delta_started.elapsed().as_micros() as u64;
             report.breaker_open_types = self.breaker.open_count();
             report.breaker_half_open_types = self.breaker.half_open_count();
+            let istats = self.registry.index_stats();
+            report.index_size = istats.entries;
+            report.index_maintenance_micros = istats.maintenance_micros;
             report.elapsed = started.elapsed();
             return Ok(report);
         }
@@ -563,6 +626,9 @@ impl Invalidator {
         }
 
         report.collect_micros = collect_started.elapsed().as_micros() as u64;
+        let istats = self.registry.index_stats();
+        report.index_size = istats.entries;
+        report.index_maintenance_micros = istats.maintenance_micros;
         report.elapsed = started.elapsed();
         Ok(report)
     }
@@ -635,6 +701,7 @@ impl Invalidator {
         let info = &self.info;
         let runner_ref = &runner;
         let decisions_ref = &decisions;
+        let use_index = self.config.predicate_index;
 
         let shard_results: Vec<DbResult<ShardOutcome>> = if workers == 1 {
             vec![Self::analyze_types_shard(
@@ -648,6 +715,7 @@ impl Invalidator {
                 decisions_ref,
                 retry,
                 &shards[0],
+                use_index,
             )]
         } else {
             crossbeam::scope(|s| {
@@ -666,6 +734,7 @@ impl Invalidator {
                                 decisions_ref,
                                 retry,
                                 types,
+                                use_index,
                             )
                         })
                     })
@@ -692,6 +761,12 @@ impl Invalidator {
             report.bind_failures += outcome.counters.bind_failures;
             report.poll_faults += outcome.counters.poll_faults;
             report.breaker_degraded += outcome.counters.breaker_degraded;
+            report.index_candidates += outcome.counters.index_candidates;
+            report.index_skipped += outcome.counters.index_skipped;
+            report.index_residual_scanned += outcome.counters.index_residual_scanned;
+            report.index_probed_types += outcome.counters.index_probed_types;
+            report.index_residual_types += outcome.counters.index_residual_types;
+            report.index_probe_micros += outcome.counters.index_probe_micros;
             type_outcomes.extend(outcome.types);
         }
         type_outcomes.sort_unstable_by_key(|t| t.order);
@@ -707,6 +782,9 @@ impl Invalidator {
             stat.id = outcome.ty_id;
             stat.polls_attempted += outcome.polls_attempted;
             stat.poll_faults += outcome.poll_faults;
+            stat.index_candidates += outcome.index_candidates;
+            stat.index_skipped += outcome.index_skipped;
+            stat.index_residual += outcome.index_residual;
             affected.extend(outcome.affected);
             if let Some(micros) = outcome.record_micros {
                 stat.analysis_micros += micros;
@@ -726,6 +804,51 @@ impl Invalidator {
         report.breaker_closed = events.closed;
         report.breaker_open_types = self.breaker.open_count();
         report.breaker_half_open_types = self.breaker.half_open_count();
+
+        // Index-vs-scan differential mode: re-run the whole batch
+        // sequentially with the index disabled against a fresh runner
+        // (zero RTT, same fault plan — `poll_fault(key, attempt)` is a
+        // pure function, and index-skipped instances never poll, so both
+        // passes see identical poll outcomes) and count affected-set
+        // divergences. The shadow pass reuses the up-front breaker
+        // decisions and touches no registry/breaker state, so enabling
+        // the mode never changes what the sync point ejects.
+        if self.config.index_differential && self.config.predicate_index {
+            let shadow_runner = PollRunner::with_rtt(
+                &self.info,
+                deltas,
+                std::time::Duration::ZERO,
+            )
+            .with_fault_plan(self.config.fault.clone())
+            .with_retry(self.config.poll_max_retries, std::time::Duration::ZERO);
+            let all_types: Vec<(usize, QueryTypeId)> =
+                candidate_types.iter().copied().enumerate().collect();
+            let shadow = Self::analyze_types_shard(
+                &self.registry,
+                &self.policies,
+                &self.config.policy,
+                &self.info,
+                &shadow_runner,
+                db,
+                deltas,
+                &decisions,
+                retry,
+                &all_types,
+                false,
+            )?;
+            let scan_set: BTreeSet<(QueryTypeId, Vec<Value>)> = shadow
+                .types
+                .iter()
+                .flat_map(|t| t.affected.iter().map(|(id, p, _)| (*id, p.clone())))
+                .collect();
+            let index_set: BTreeSet<(QueryTypeId, Vec<Value>)> = affected
+                .iter()
+                .map(|(id, p, _)| (*id, p.clone()))
+                .collect();
+            report.index_divergences =
+                scan_set.symmetric_difference(&index_set).count() as u64;
+        }
+
         // Deliberately broken invalidation for harness acceptance: drop
         // every other affected instance so some stale pages survive sync
         // points. MUST never be enabled in a real build — the feature
@@ -759,6 +882,7 @@ impl Invalidator {
         decisions: &HashMap<QueryTypeId, BreakerDecision>,
         retry: RetrySettings,
         types: &[(usize, QueryTypeId)],
+        use_index: bool,
     ) -> DbResult<ShardOutcome> {
         let shard_started = std::time::Instant::now();
         let mut counters = ShardCounters::default();
@@ -779,16 +903,61 @@ impl Invalidator {
             let attempts_before = counters.polls_attempted;
             let ty = registry.get(ty_id);
             let ty_select = ty.select.clone();
-            let mut instances: Vec<Vec<Value>> = registry
-                .instances_of(ty_id)
-                .map(|(params, _)| params.clone())
-                .collect();
-            if instances.is_empty() {
+            // Predicate-index probe: map the delta tuples directly to the
+            // instances they can affect. `Probe::Scan` (residual occurrence
+            // touched, schema drift, missing FROM table) and table-level
+            // types fall back to the full instance list — the index may
+            // only skip work, never change verdicts.
+            let mut ty_index_candidates = 0u64;
+            let mut ty_index_skipped = 0u64;
+            let mut ty_index_residual = 0u64;
+            let probe_allowed = use_index && policy != InvalidationPolicy::TableLevel;
+            let mut instances: Vec<Vec<Value>> = if probe_allowed {
+                let probe = if registry.index_fully_residual(ty_id) {
+                    Probe::Scan
+                } else {
+                    let probe_started = std::time::Instant::now();
+                    let p = registry.probe_index(ty_id, deltas, db);
+                    counters.index_probe_micros +=
+                        probe_started.elapsed().as_micros() as u64;
+                    p
+                };
+                match probe {
+                    Probe::Candidates(cands) => {
+                        counters.index_probed_types += 1;
+                        let total = registry.instance_count(ty_id) as u64;
+                        ty_index_candidates = cands.len() as u64;
+                        ty_index_skipped = total.saturating_sub(ty_index_candidates);
+                        counters.index_candidates += ty_index_candidates;
+                        counters.index_skipped += ty_index_skipped;
+                        cands
+                    }
+                    Probe::Scan => {
+                        counters.index_residual_types += 1;
+                        ty_index_residual = registry.instance_count(ty_id) as u64;
+                        counters.index_residual_scanned += ty_index_residual;
+                        registry
+                            .instances_of(ty_id)
+                            .map(|(params, _)| params.clone())
+                            .collect()
+                    }
+                }
+            } else {
+                registry
+                    .instances_of(ty_id)
+                    .map(|(params, _)| params.clone())
+                    .collect()
+            };
+            // Empty-type fast path, preserved from the scan-only days. When
+            // the index skipped live instances the outcome is still pushed
+            // so the per-type skip tallies reach the scorecards.
+            if instances.is_empty() && ty_index_skipped == 0 {
                 continue;
             }
-            // The registry's instance map iterates in hash order; sort so
-            // the affected list (and poll-source attribution within a type)
-            // is deterministic run to run and across worker counts.
+            // The registry's instance map iterates in hash order (and probe
+            // results come back in slot order); sort so the affected list
+            // (and poll-source attribution within a type) is deterministic
+            // run to run and across worker counts.
             instances.sort_unstable();
 
             let mut affected: Vec<(QueryTypeId, Vec<Value>, VerdictCause)> = Vec::new();
@@ -825,6 +994,9 @@ impl Invalidator {
                     record_micros: None,
                     poll_faults: 0,
                     polls_attempted: 0,
+                    index_candidates: 0,
+                    index_skipped: 0,
+                    index_residual: 0,
                 });
                 continue;
             }
@@ -914,6 +1086,9 @@ impl Invalidator {
                 record_micros: Some(type_started.elapsed().as_micros() as u64),
                 poll_faults: counters.poll_faults - faults_before,
                 polls_attempted: counters.polls_attempted - attempts_before,
+                index_candidates: ty_index_candidates,
+                index_skipped: ty_index_skipped,
+                index_residual: ty_index_residual,
             });
         }
         Ok(ShardOutcome {
@@ -1628,5 +1803,95 @@ mod tests {
             })
             .collect();
         assert_eq!(runs[0], runs[1]);
+    }
+
+    /// A single-table equality type: the index skips every instance whose
+    /// bound parameter the delta tuple cannot satisfy, and the verdict set
+    /// is identical with the index off.
+    #[test]
+    fn predicate_index_skips_unaffected_equality_instances() {
+        let run = |use_index: bool| {
+            let mut db = Database::new();
+            db.execute("CREATE TABLE T (k INT, v INT)").unwrap();
+            let map = QiUrlMap::new();
+            for i in 0..50 {
+                map.insert(
+                    format!("SELECT v FROM T WHERE T.k = {i}"),
+                    PageKey::raw(&format!("p{i}")),
+                    "s".to_string(),
+                );
+            }
+            let mut inv = Invalidator::new(InvalidatorConfig {
+                predicate_index: use_index,
+                ..InvalidatorConfig::default()
+            });
+            inv.run_sync_point(&db, &map).unwrap();
+            db.execute("INSERT INTO T VALUES (7, 1)").unwrap();
+            let r = inv.run_sync_point(&db, &map).unwrap();
+            let mut pages: Vec<PageKey> = r.pages.iter().cloned().collect();
+            pages.sort_unstable();
+            (pages, r.checked_instances, r.index_skipped)
+        };
+        let (pages_on, checked_on, skipped_on) = run(true);
+        let (pages_off, checked_off, skipped_off) = run(false);
+        assert_eq!(pages_on, vec![PageKey::raw("p7")]);
+        assert_eq!(pages_on, pages_off, "index must not change verdicts");
+        assert_eq!(skipped_off, 0);
+        assert_eq!(skipped_on, 49, "49 of 50 instances provably unaffected");
+        assert_eq!(checked_on, 1, "only the candidate runs the decision");
+        assert_eq!(checked_off, 50, "the scan walks everything");
+    }
+
+    /// Differential mode re-runs the scan and reports zero divergences on
+    /// a mixed equality/range/join workload (including polls).
+    #[test]
+    fn differential_mode_reports_zero_divergences() {
+        let (mut db, map, mut inv) = setup();
+        inv.config.index_differential = true;
+        map.insert(
+            "SELECT model FROM Car WHERE Car.price < 19000".to_string(),
+            PageKey::raw("URL2"),
+            "cheap".to_string(),
+        );
+        map.insert(
+            "SELECT model FROM Car WHERE Car.maker = 'Toyota'".to_string(),
+            PageKey::raw("URL3"),
+            "maker".to_string(),
+        );
+        for sql in [
+            "INSERT INTO Car VALUES ('Toyota','Avalon',15000)",
+            "INSERT INTO Car VALUES ('Dodge','Viper',99000)",
+            "DELETE FROM Car WHERE model = 'Avalon'",
+        ] {
+            db.execute(sql).unwrap();
+            let r = inv.run_sync_point(&db, &map).unwrap();
+            assert_eq!(r.index_divergences, 0, "after {sql}: {r:?}");
+        }
+    }
+
+    /// The index must stand aside for table-level types (the policy marks
+    /// every instance) and for types under differential scrutiny when a
+    /// FROM table is dropped (BindFailure parity) — both covered by the
+    /// existing policy/drop tests running with the index on; here we pin
+    /// the report-level accounting.
+    #[test]
+    fn report_carries_index_accounting() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE T (k INT, v INT)").unwrap();
+        let map = QiUrlMap::new();
+        map.insert(
+            "SELECT v FROM T WHERE T.k = 3".to_string(),
+            PageKey::raw("p"),
+            "s".to_string(),
+        );
+        let mut inv = Invalidator::new(InvalidatorConfig::default());
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert_eq!(r.index_size, 1, "registered instance interned");
+        db.execute("INSERT INTO T VALUES (3, 1)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert_eq!(r.index_probed_types, 1);
+        assert_eq!(r.index_candidates, 1);
+        assert_eq!(r.index_residual_types, 0);
+        assert!(r.pages.contains(&PageKey::raw("p")));
     }
 }

@@ -16,6 +16,9 @@
 //!   budget, and policy discovery (§4.1.3–§4.1.4).
 //! * [`breaker`] — per-query-type circuit breaker that degrades flaky
 //!   polling paths to the conservative no-polling policy.
+//! * [`predicate_index`] — equality/range/residual predicate index mapping
+//!   an updated tuple directly to candidate query instances, so analysis
+//!   cost scales with *affected* instances rather than *registered* ones.
 //! * [`invalidator`] — the orchestrator: one `run_sync_point` per
 //!   synchronization interval, producing the pages to eject.
 
@@ -25,6 +28,7 @@ pub mod delta;
 pub mod invalidator;
 pub mod policy;
 pub mod polling;
+pub mod predicate_index;
 pub mod query_type;
 
 pub use analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, PollingQuery, SchemaProvider, TupleImpact};
@@ -36,4 +40,5 @@ pub use invalidator::{
 };
 pub use policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
 pub use polling::{InfoManager, MaintainedIndex, PollAnswer, PollRunner, PollStats};
-pub use query_type::{QueryType, QueryTypeId, Registry, TypeStats};
+pub use predicate_index::{Probe, TypeIndex};
+pub use query_type::{IndexStats, QueryType, QueryTypeId, Registry, TypeStats};

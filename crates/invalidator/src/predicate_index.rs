@@ -1,0 +1,572 @@
+//! Predicate index over registered query instances — sublinear
+//! invalidation (ROADMAP open item #1).
+//!
+//! The analysis stage decides affectedness per (delta tuple × bound query
+//! instance). Without help that is a scan over **every** registered
+//! instance of each candidate type, so sync latency grows O(cached QIs)
+//! even when an update touches a handful of pages. This module maps an
+//! updated tuple *directly* to the instances it can possibly affect:
+//!
+//! * **Equality tier** — a `col = $k` conjunct hashes instances by their
+//!   bound parameter (`HashMap<Value, postings>`); a delta tuple probes
+//!   with its column value.
+//! * **Range tier** — `col < $k` / `<=` / `>` / `>=` and the
+//!   param-bounded side of `col BETWEEN $i AND $j` keep instances in a
+//!   `BTreeMap<Value, postings>` ordered by the bound parameter; a delta
+//!   tuple probes the half-open interval of parameters its value can
+//!   satisfy.
+//! * **Residual tier** — everything the classifier cannot prove
+//!   (column-to-column joins on that occurrence, disjunctions,
+//!   arithmetic, `NOT`/`IN`/`LIKE`, unqualified columns in multi-table
+//!   queries) falls back to today's full scan. The index may only *skip*
+//!   work, never change verdicts.
+//!
+//! # Soundness
+//!
+//! An instance may be skipped for a sync point only when its indexed
+//! conjunct is **false under SQL semantics** for every delta tuple of
+//! every touched occurrence. A false conjunct is fully bound after
+//! occurrence substitution, so `tuple_residual` would return `NoImpact`
+//! for that tuple — the scan would not have polled, marked, or ejected
+//! anything for it. Probes are deliberately *supersets* wherever `Value`'s
+//! total order and SQL comparison could disagree:
+//!
+//! * `Value`'s `Ord`/`Eq`/`Hash` agree with [`sql_cmp`] on every pair SQL
+//!   can satisfy (numbers compare as `f64` by `total_cmp` in both, strings
+//!   compare as strings in both). Pairs SQL can *never* satisfy (NULLs,
+//!   string-vs-number) are allowed to over-match — over-inclusion is
+//!   sound, the scan re-checks every candidate.
+//! * A NULL tuple value satisfies no comparison, so it probes nothing.
+//! * Types under the `TableLevel` policy never consult the index (the
+//!   policy invalidates every instance regardless of predicates), and a
+//!   type whose FROM tables no longer resolve falls back to the scan so
+//!   its `BindFailure` fail-safe verdicts are emitted identically.
+//!
+//! [`sql_cmp`]: cacheportal_db::Value::sql_cmp
+
+use cacheportal_db::sql::ast::{CmpOp, ColumnRef, Expr, Select, TableRef};
+use cacheportal_db::{Database, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound::{Excluded, Unbounded};
+
+use crate::delta::DeltaSet;
+
+/// Comparison shape of one indexable conjunct, normalized so the column
+/// is on the left (`$k op col` is stored flipped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexOp {
+    /// `col = $k`
+    Eq,
+    /// `col < $k`
+    Lt,
+    /// `col <= $k`
+    Le,
+    /// `col > $k`
+    Gt,
+    /// `col >= $k`
+    Ge,
+}
+
+/// One classified conjunct: which column of the occurrence, which
+/// comparison, and which parameter slot it binds.
+#[derive(Debug, Clone)]
+struct OccPlan {
+    /// Column name (matched case-insensitively against the live schema at
+    /// probe time, exactly as the analysis binder would).
+    column: String,
+    /// Normalized comparison.
+    op: IndexOp,
+    /// 0-based index into the instance's parameter vector.
+    param: usize,
+}
+
+/// Per-FROM-occurrence index structure.
+#[derive(Debug)]
+enum OccIndex {
+    /// No provably-safe `col op $k` conjunct on this occurrence: deltas
+    /// touching it scan every instance (the residual tier).
+    Residual,
+    /// Equality postings keyed by the bound parameter.
+    Eq {
+        plan: OccPlan,
+        map: HashMap<Value, Vec<u32>>,
+    },
+    /// Range postings ordered by the bound parameter.
+    Range {
+        plan: OccPlan,
+        map: BTreeMap<Value, Vec<u32>>,
+    },
+}
+
+impl OccIndex {
+    fn plan(&self) -> Option<&OccPlan> {
+        match self {
+            OccIndex::Residual => None,
+            OccIndex::Eq { plan, .. } | OccIndex::Range { plan, .. } => Some(plan),
+        }
+    }
+}
+
+/// What a probe yields for one (type, delta batch) pair.
+#[derive(Debug)]
+pub enum Probe {
+    /// The index cannot narrow this type for this batch (residual
+    /// occurrence touched, schema drift, defensive fallback): scan all
+    /// registered instances, exactly as before.
+    Scan,
+    /// Sound superset of the instances any delta tuple can affect, as
+    /// bound parameter vectors (unsorted; the caller sorts with the same
+    /// comparator the scan uses).
+    Candidates(Vec<Vec<Value>>),
+}
+
+/// The per-type predicate index: occurrence structures plus a slot arena
+/// interning the live instances' parameter vectors.
+#[derive(Debug)]
+pub struct TypeIndex {
+    occs: Vec<OccIndex>,
+    /// Slot → parameter vector (`None` = freed).
+    params_of: Vec<Option<Vec<Value>>>,
+    free: Vec<u32>,
+    /// Defensive bucket: instances whose parameters could not be placed
+    /// in an occurrence structure. Always included in candidates.
+    unclassified: BTreeSet<u32>,
+    live: usize,
+}
+
+impl TypeIndex {
+    /// Classify one parameterized SELECT at type-intern time.
+    pub fn plan(select: &Select) -> TypeIndex {
+        let mut occs: Vec<OccIndex> = (0..select.from.len()).map(|_| OccIndex::Residual).collect();
+        if let Some(w) = &select.where_clause {
+            for conjunct in w.conjuncts() {
+                let Some((occ, plan)) = classify_conjunct(conjunct, &select.from) else {
+                    continue;
+                };
+                // Prefer an equality conjunct over a range conjunct for
+                // the same occurrence (point probes beat interval probes);
+                // first winner per shape is kept for determinism.
+                let replace = match &occs[occ] {
+                    OccIndex::Residual => true,
+                    OccIndex::Range { .. } => plan.op == IndexOp::Eq,
+                    OccIndex::Eq { .. } => false,
+                };
+                if replace {
+                    occs[occ] = match plan.op {
+                        IndexOp::Eq => OccIndex::Eq { plan, map: HashMap::new() },
+                        _ => OccIndex::Range { plan, map: BTreeMap::new() },
+                    };
+                }
+            }
+        }
+        TypeIndex {
+            occs,
+            params_of: Vec::new(),
+            free: Vec::new(),
+            unclassified: BTreeSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Live instances interned in this type's index.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Whether every occurrence is residual (the index can never narrow
+    /// this type).
+    pub fn is_fully_residual(&self) -> bool {
+        self.occs.iter().all(|o| o.plan().is_none())
+    }
+
+    /// Intern one newly-registered instance; returns its slot.
+    pub fn insert(&mut self, params: &[Value]) -> u32 {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.params_of[s as usize] = Some(params.to_vec());
+                s
+            }
+            None => {
+                self.params_of.push(Some(params.to_vec()));
+                (self.params_of.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        // A plan's parameter slot always exists for instances registered
+        // through the owning type's template; anything else is defensively
+        // routed to the always-scanned bucket.
+        let placeable = self
+            .occs
+            .iter()
+            .filter_map(OccIndex::plan)
+            .all(|p| p.param < params.len());
+        if !placeable {
+            self.unclassified.insert(slot);
+            return slot;
+        }
+        for occ in &mut self.occs {
+            match occ {
+                OccIndex::Residual => {}
+                OccIndex::Eq { plan, map } => {
+                    map.entry(params[plan.param].clone()).or_default().push(slot);
+                }
+                OccIndex::Range { plan, map } => {
+                    map.entry(params[plan.param].clone()).or_default().push(slot);
+                }
+            }
+        }
+        slot
+    }
+
+    /// Drop one instance (eviction via `remove_pages`).
+    pub fn remove(&mut self, slot: u32, params: &[Value]) {
+        if self
+            .params_of
+            .get(slot as usize)
+            .map(Option::is_none)
+            .unwrap_or(true)
+        {
+            return; // already freed (defensive)
+        }
+        self.params_of[slot as usize] = None;
+        self.free.push(slot);
+        self.live -= 1;
+        if self.unclassified.remove(&slot) {
+            return;
+        }
+        for occ in &mut self.occs {
+            match occ {
+                OccIndex::Residual => {}
+                OccIndex::Eq { plan, map } => {
+                    if let Some(postings) = map.get_mut(&params[plan.param]) {
+                        postings.retain(|s| *s != slot);
+                        if postings.is_empty() {
+                            map.remove(&params[plan.param]);
+                        }
+                    }
+                }
+                OccIndex::Range { plan, map } => {
+                    if let Some(postings) = map.get_mut(&params[plan.param]) {
+                        postings.retain(|s| *s != slot);
+                        if postings.is_empty() {
+                            map.remove(&params[plan.param]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Map one delta batch to candidate instances. `from` is the type's
+    /// FROM list; `db` provides the live schema for column positions.
+    pub fn probe(&self, from: &[TableRef], deltas: &DeltaSet, db: &Database) -> Probe {
+        // BindFailure parity: if any FROM table is gone, the scan path
+        // marks every instance affected (fail safe). The index must not
+        // skip those instances, so it stands aside entirely.
+        for tref in from {
+            if db.catalog().get(&tref.table).is_none() {
+                return Probe::Scan;
+            }
+        }
+        let mut slots: BTreeSet<u32> = self.unclassified.clone();
+        for (occ, tref) in from.iter().enumerate() {
+            let Some(delta) = deltas.for_table(&tref.table) else {
+                continue;
+            };
+            let Some(plan) = self.occs[occ].plan() else {
+                return Probe::Scan; // residual occurrence touched
+            };
+            // Resolve the column against the live schema, exactly as the
+            // binder would; drift (column dropped/renamed) falls back to
+            // the scan so error/verdict behavior matches it.
+            let table = db.catalog().get(&tref.table).expect("checked above");
+            let Ok(col) = table.schema().require(&plan.column) else {
+                return Probe::Scan;
+            };
+            let occ_index = &self.occs[occ];
+            for row in delta.inserted.iter().chain(delta.deleted.iter()) {
+                let Some(v) = row.get(col) else {
+                    // Row narrower than the live schema (schema drift
+                    // mid-batch): let the scan decide.
+                    return Probe::Scan;
+                };
+                if matches!(v, Value::Null) {
+                    continue; // NULL satisfies no comparison
+                }
+                match occ_index {
+                    OccIndex::Residual => unreachable!("plan() was Some"),
+                    OccIndex::Eq { map, .. } => {
+                        if let Some(postings) = map.get(v) {
+                            slots.extend(postings.iter().copied());
+                        }
+                    }
+                    OccIndex::Range { plan, map } => {
+                        // Parameters p whose conjunct `v op p` can hold:
+                        //   col <  $k  →  p > v
+                        //   col <= $k  →  p >= v
+                        //   col >  $k  →  p < v
+                        //   col >= $k  →  p <= v
+                        // `Value`'s total order matches SQL on every
+                        // satisfiable pair, so these ranges are supersets.
+                        let matched = match plan.op {
+                            IndexOp::Lt => map.range((Excluded(v), Unbounded)),
+                            IndexOp::Le => map.range::<Value, _>((
+                                std::ops::Bound::Included(v),
+                                Unbounded,
+                            )),
+                            IndexOp::Gt => map.range::<Value, _>((
+                                Unbounded,
+                                std::ops::Bound::Excluded(v),
+                            )),
+                            IndexOp::Ge => map.range::<Value, _>((
+                                Unbounded,
+                                std::ops::Bound::Included(v),
+                            )),
+                            IndexOp::Eq => unreachable!("Eq stored in Eq map"),
+                        };
+                        for (_, postings) in matched {
+                            slots.extend(postings.iter().copied());
+                        }
+                    }
+                }
+            }
+        }
+        let candidates: Vec<Vec<Value>> = slots
+            .iter()
+            .filter_map(|s| self.params_of[*s as usize].clone())
+            .collect();
+        Probe::Candidates(candidates)
+    }
+}
+
+/// Classify one WHERE conjunct as `(occurrence, plan)` if it has the
+/// provably-safe shape `col op $k` / `$k op col` / `col BETWEEN $i AND $j`
+/// (param-bounded side) where `col` resolves to exactly the occurrence the
+/// engine's binder would pick.
+fn classify_conjunct(e: &Expr, from: &[TableRef]) -> Option<(usize, OccPlan)> {
+    let (col, op, param) = match e {
+        Expr::Cmp { left, op, right } => match (&**left, &**right) {
+            (Expr::Column(c), Expr::Param(k)) => (c, *op, *k),
+            (Expr::Param(k), Expr::Column(c)) => (c, op.flip(), *k),
+            _ => return None,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let Expr::Column(c) = &**expr else {
+                return None;
+            };
+            // BETWEEN is `col >= low AND col <= high`; either
+            // param-bounded side alone is a sound one-sided filter.
+            if let Expr::Param(k) = &**low {
+                return occ_of(c, from).map(|occ| {
+                    (occ, OccPlan { column: c.column.clone(), op: IndexOp::Ge, param: *k - 1 })
+                });
+            }
+            if let Expr::Param(k) = &**high {
+                return occ_of(c, from).map(|occ| {
+                    (occ, OccPlan { column: c.column.clone(), op: IndexOp::Le, param: *k - 1 })
+                });
+            }
+            return None;
+        }
+        _ => return None,
+    };
+    let iop = match op {
+        CmpOp::Eq => IndexOp::Eq,
+        CmpOp::Lt => IndexOp::Lt,
+        CmpOp::LtEq => IndexOp::Le,
+        CmpOp::Gt => IndexOp::Gt,
+        CmpOp::GtEq => IndexOp::Ge,
+        CmpOp::NotEq => return None,
+    };
+    let occ = occ_of(col, from)?;
+    Some((occ, OccPlan { column: col.column.clone(), op: iop, param: param - 1 }))
+}
+
+/// Resolve a column reference to its FROM occurrence the same way the
+/// engine's binder does: a qualified name takes the *first* binding that
+/// matches case-insensitively; an unqualified name is only unambiguous
+/// (without a schema) when the FROM list has a single occurrence.
+fn occ_of(c: &ColumnRef, from: &[TableRef]) -> Option<usize> {
+    match &c.table {
+        Some(q) => from.iter().position(|t| t.binding().eq_ignore_ascii_case(q)),
+        None => {
+            if from.len() == 1 {
+                Some(0)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cacheportal_db::sql::parser::parse_select;
+    use cacheportal_db::sql::rewrite::parameterize;
+    use cacheportal_db::{LogOp, LogRecord};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE item (id INT, k INT, v INT)").unwrap();
+        db.execute("CREATE TABLE other (k INT, w INT)").unwrap();
+        db
+    }
+
+    fn type_of(sql: &str) -> (Select, TypeIndex) {
+        let sel = parse_select(sql).unwrap();
+        let (template, _) = parameterize(&sel);
+        let tix = TypeIndex::plan(&template);
+        (template, tix)
+    }
+
+    fn deltas_for(table: &str, rows: Vec<Vec<Value>>) -> DeltaSet {
+        let records: Vec<LogRecord> = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| LogRecord {
+                lsn: i as u64 + 1,
+                table: table.to_string(),
+                op: LogOp::Insert(row),
+            })
+            .collect();
+        DeltaSet::from_records(&records)
+    }
+
+    fn candidates(p: Probe) -> Vec<Vec<Value>> {
+        match p {
+            Probe::Candidates(mut c) => {
+                c.sort_unstable();
+                c
+            }
+            Probe::Scan => panic!("expected candidates, got scan fallback"),
+        }
+    }
+
+    #[test]
+    fn equality_tier_probes_point_values() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k = 7");
+        for k in 0..100 {
+            tix.insert(&[Value::Int(k)]);
+        }
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(42), Value::Int(0)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(42)]]);
+    }
+
+    #[test]
+    fn range_tier_probes_intervals() {
+        let db = db();
+        // `v < $1` — instances with parameter p are affected when tuple
+        // value t satisfies t < p, i.e. p in (t, ∞).
+        let (template, mut tix) = type_of("SELECT id FROM item WHERE item.v < 50");
+        for p in [10, 20, 30] {
+            tix.insert(&[Value::Int(p)]);
+        }
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(0), Value::Int(15)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(20)], vec![Value::Int(30)]]);
+
+        // Boundary: t == p must be excluded for strict <.
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(0), Value::Int(20)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(30)]]);
+    }
+
+    #[test]
+    fn between_indexes_the_param_bounded_low_side() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT id FROM item WHERE item.v BETWEEN 10 AND 20");
+        // col >= $low: tuple t probes p <= t.
+        tix.insert(&[Value::Int(10), Value::Int(20)]);
+        tix.insert(&[Value::Int(100), Value::Int(200)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(0), Value::Int(15)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(10), Value::Int(20)]]);
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_matches() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k = 7");
+        tix.insert(&[Value::Float(42.0)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(42), Value::Int(0)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Float(42.0)]], "Int(42) must find Float(42.0)");
+    }
+
+    #[test]
+    fn null_tuple_value_probes_nothing() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k = 7");
+        tix.insert(&[Value::Int(1)]);
+        tix.insert(&[Value::Null]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Null, Value::Int(0)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert!(got.is_empty(), "NULL satisfies no comparison: {got:?}");
+    }
+
+    #[test]
+    fn join_occurrence_without_conjunct_is_residual() {
+        let db = db();
+        let (template, tix) =
+            type_of("SELECT item.v FROM item, other WHERE item.k = other.k AND item.v < 5");
+        // Deltas on `other` touch a residual occurrence → scan.
+        let d = deltas_for("other", vec![vec![Value::Int(1), Value::Int(2)]]);
+        assert!(matches!(tix.probe(&template.from, &d, &db), Probe::Scan));
+        // Deltas on `item` touch the range-indexed occurrence → narrowed.
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(0), Value::Int(9)]]);
+        assert!(matches!(tix.probe(&template.from, &d, &db), Probe::Candidates(_)));
+    }
+
+    #[test]
+    fn unqualified_column_in_join_is_residual() {
+        let (_, tix) = type_of("SELECT item.v FROM item, other WHERE v < 5");
+        assert!(tix.is_fully_residual());
+    }
+
+    #[test]
+    fn dropped_table_falls_back_to_scan_for_bindfailure_parity() {
+        let mut db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k = 7");
+        tix.insert(&[Value::Int(1)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(1), Value::Int(0)]]);
+        assert!(matches!(tix.probe(&template.from, &d, &db), Probe::Candidates(_)));
+        db.execute("DROP TABLE item").unwrap();
+        assert!(matches!(tix.probe(&template.from, &d, &db), Probe::Scan));
+    }
+
+    #[test]
+    fn remove_frees_slot_and_postings() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k = 7");
+        let s1 = tix.insert(&[Value::Int(1)]);
+        let s2 = tix.insert(&[Value::Int(2)]);
+        assert_ne!(s1, s2);
+        tix.remove(s1, &[Value::Int(1)]);
+        assert_eq!(tix.live(), 1);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(1), Value::Int(0)]]);
+        assert!(candidates(tix.probe(&template.from, &d, &db)).is_empty());
+        // The freed slot is recycled.
+        let s3 = tix.insert(&[Value::Int(3)]);
+        assert_eq!(s3, s1);
+    }
+
+    #[test]
+    fn flipped_param_side_classifies() {
+        let db = db();
+        // `$1 > col` ≡ `col < $1` — the flip path.
+        let (template, mut tix) = type_of("SELECT id FROM item WHERE 50 > item.v");
+        tix.insert(&[Value::Int(30)]);
+        tix.insert(&[Value::Int(5)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(0), Value::Int(10)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(30)]]);
+    }
+}

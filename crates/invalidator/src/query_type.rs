@@ -10,9 +10,14 @@
 use cacheportal_db::sql::ast::{Select, Statement, TableRef};
 use cacheportal_db::sql::parser::parse;
 use cacheportal_db::sql::rewrite::parameterize;
-use cacheportal_db::{DbResult, Value};
+use cacheportal_db::{Database, DbResult, Value};
 use cacheportal_web::PageKey;
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use crate::delta::DeltaSet;
+use crate::predicate_index::{Probe, TypeIndex};
 
 /// Identifier of a registered query type.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -97,6 +102,18 @@ impl QueryType {
 pub struct InstanceData {
     /// Pages whose content depends on this instance.
     pub pages: HashSet<PageKey>,
+    /// Slot of this instance in its type's predicate index.
+    pub(crate) slot: u32,
+}
+
+/// O(1) snapshot of the predicate-index bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexStats {
+    /// Live instances interned across all per-type indexes.
+    pub entries: u64,
+    /// Cumulative wall-clock microseconds spent maintaining the indexes
+    /// (insert on registration, remove on eviction).
+    pub maintenance_micros: u64,
 }
 
 /// The registry of types and instances.
@@ -108,6 +125,14 @@ pub struct Registry {
     instances: HashMap<QueryTypeId, HashMap<Vec<Value>, InstanceData>>,
     /// Which types read a given (lower-cased) table.
     types_by_table: HashMap<String, Vec<QueryTypeId>>,
+    /// Per-type predicate index, parallel to `types`.
+    indexes: Vec<TypeIndex>,
+    /// Cached Σ instance_count — kept in sync on register/remove so
+    /// metrics snapshots stay O(1) at 1M QIs.
+    live_instances: usize,
+    /// Index maintenance time, accumulated in nanoseconds (per-insert
+    /// costs are sub-microsecond; accumulating micros would truncate to 0).
+    index_maintenance_nanos: u64,
 }
 
 impl Registry {
@@ -154,6 +179,7 @@ impl Registry {
             self.types_by_table.entry(t.clone()).or_default().push(id);
         }
         self.by_sql.insert(sql.clone(), id);
+        self.indexes.push(TypeIndex::plan(&select));
         self.types.push(QueryType {
             id,
             select,
@@ -185,12 +211,23 @@ impl Registry {
         let id = self.intern_type(template);
         let ty = &mut self.types[id.0 as usize];
         ty.stats.registrations += 1;
+        let tix = &mut self.indexes[id.0 as usize];
         let by_params = self.instances.entry(id).or_default();
-        let data = by_params.entry(params.clone()).or_insert_with(|| {
-            ty.stats.instances += 1;
-            InstanceData::default()
-        });
-        data.pages.insert(page);
+        match by_params.entry(params.clone()) {
+            Entry::Occupied(mut e) => {
+                e.get_mut().pages.insert(page);
+            }
+            Entry::Vacant(e) => {
+                ty.stats.instances += 1;
+                self.live_instances += 1;
+                let t0 = Instant::now();
+                let slot = tix.insert(&params);
+                self.index_maintenance_nanos += t0.elapsed().as_nanos() as u64;
+                let mut pages = HashSet::new();
+                pages.insert(page);
+                e.insert(InstanceData { pages, slot });
+            }
+        }
         Ok((id, params))
     }
 
@@ -230,9 +267,38 @@ impl Registry {
         self.instances.get(&id).map(HashMap::len).unwrap_or(0)
     }
 
-    /// Instances across all types.
+    /// Instances across all types. O(1): returns the cached counter
+    /// maintained on register/remove (debug builds cross-check it against
+    /// the recomputed sum).
     pub fn total_instances(&self) -> usize {
-        self.instances.values().map(HashMap::len).sum()
+        debug_assert_eq!(
+            self.live_instances,
+            self.instances.values().map(HashMap::len).sum::<usize>(),
+            "cached live-instance counter diverged from the registry"
+        );
+        self.live_instances
+    }
+
+    /// Probe one type's predicate index: map this sync interval's delta
+    /// tuples to the instances they can possibly affect, or `Probe::Scan`
+    /// when the index cannot narrow the type (residual occurrence touched,
+    /// schema drift, missing FROM table).
+    pub fn probe_index(&self, id: QueryTypeId, deltas: &DeltaSet, db: &Database) -> Probe {
+        let ty = &self.types[id.0 as usize];
+        self.indexes[id.0 as usize].probe(&ty.select.from, deltas, db)
+    }
+
+    /// Whether a type's index is all-residual (probing it always scans).
+    pub fn index_fully_residual(&self, id: QueryTypeId) -> bool {
+        self.indexes[id.0 as usize].is_fully_residual()
+    }
+
+    /// O(1) predicate-index bookkeeping snapshot.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            entries: self.live_instances as u64,
+            maintenance_micros: self.index_maintenance_nanos / 1_000,
+        }
     }
 
     /// Pages depending on a specific instance.
@@ -260,10 +326,15 @@ impl Registry {
     /// instances left with no pages are dropped. Returns dropped instances.
     pub fn remove_pages(&mut self, pages: &HashSet<PageKey>) -> usize {
         let mut dropped = 0;
-        for by_params in self.instances.values_mut() {
-            by_params.retain(|_, data| {
+        let mut index_nanos = 0u64;
+        for (id, by_params) in self.instances.iter_mut() {
+            let tix = &mut self.indexes[id.0 as usize];
+            by_params.retain(|params, data| {
                 data.pages.retain(|p| !pages.contains(p));
                 if data.pages.is_empty() {
+                    let t0 = Instant::now();
+                    tix.remove(data.slot, params);
+                    index_nanos += t0.elapsed().as_nanos() as u64;
                     dropped += 1;
                     false
                 } else {
@@ -271,6 +342,8 @@ impl Registry {
                 }
             });
         }
+        self.live_instances -= dropped;
+        self.index_maintenance_nanos += index_nanos;
         dropped
     }
 }

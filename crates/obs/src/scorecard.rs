@@ -67,6 +67,12 @@ pub struct TypeSyncOutcome {
     pub staleness_micros: u64,
     /// Staleness observations behind `staleness_micros`.
     pub staleness_events: u64,
+    /// Instances the predicate index handed to the decision loop.
+    pub index_candidates: u64,
+    /// Instances the predicate index proved unaffected and skipped.
+    pub index_skipped: u64,
+    /// Instances scanned via the residual (unindexable) fallback.
+    pub index_residual: u64,
 }
 
 /// Cumulative cost/benefit score for one query type.
@@ -92,6 +98,12 @@ pub struct TypeScore {
     pub staleness_micros: u64,
     /// Observations behind `staleness_micros`.
     pub staleness_events: u64,
+    /// Instances the predicate index handed to the decision loop.
+    pub index_candidates: u64,
+    /// Instances the predicate index proved unaffected and skipped.
+    pub index_skipped: u64,
+    /// Instances scanned via the residual (unindexable) fallback.
+    pub index_residual: u64,
 }
 
 impl TypeScore {
@@ -120,6 +132,28 @@ impl TypeScore {
             0.0
         } else {
             self.staleness_micros as f64 / self.staleness_events as f64
+        }
+    }
+
+    /// Fraction of registered-instance visits the predicate index skipped
+    /// (0.0 when no instances were considered — e.g. index disabled).
+    pub fn index_hit_rate(&self) -> f64 {
+        let total = self.index_candidates + self.index_skipped + self.index_residual;
+        if total == 0 {
+            0.0
+        } else {
+            self.index_skipped as f64 / total as f64
+        }
+    }
+
+    /// Fraction of instance visits that went through the residual full
+    /// scan (the index could not classify or narrow them).
+    pub fn residual_fraction(&self) -> f64 {
+        let total = self.index_candidates + self.index_skipped + self.index_residual;
+        if total == 0 {
+            0.0
+        } else {
+            self.index_residual as f64 / total as f64
         }
     }
 }
@@ -240,6 +274,9 @@ impl ScorecardBoard {
             row.poll_spend_micros += o.poll_spend_micros;
             row.staleness_micros += o.staleness_micros;
             row.staleness_events += o.staleness_events;
+            row.index_candidates += o.index_candidates;
+            row.index_skipped += o.index_skipped;
+            row.index_residual += o.index_residual;
         }
         self.version.fetch_add(1, Ordering::Relaxed);
     }
@@ -294,6 +331,17 @@ impl ScorecardBoard {
             (
                 "avg_staleness_micros".to_string(),
                 Value::Float(row.avg_staleness_micros()),
+            ),
+            (
+                "index_candidates".to_string(),
+                Value::UInt(row.index_candidates),
+            ),
+            ("index_skipped".to_string(), Value::UInt(row.index_skipped)),
+            ("index_residual".to_string(), Value::UInt(row.index_residual)),
+            ("index_hit_rate".to_string(), Value::Float(row.index_hit_rate())),
+            (
+                "residual_fraction".to_string(),
+                Value::Float(row.residual_fraction()),
             ),
         ])
     }
@@ -395,6 +443,9 @@ mod tests {
             poll_spend_micros: 400,
             staleness_micros: 90,
             staleness_events: 2,
+            index_candidates: 0,
+            index_skipped: 0,
+            index_residual: 0,
         }]);
         assert_eq!(board.version(), 1);
         board.note_sync(&[TypeSyncOutcome {

@@ -42,6 +42,15 @@ echo "== sync-point scaling smoke test (sync_scale --smoke) =="
 grep -q '"history"' BENCH_sync_scale.json \
   || { echo "BENCH_sync_scale.json is not a history trajectory"; exit 1; }
 
+echo "== registered-QI sweep smoke test (sync_scale --qi-sweep --smoke) =="
+# Small-tier predicate-index sweep: each tier runs the identical workload
+# with the index on and off and asserts bit-identical verdict/page
+# fingerprints (the index may only skip work, never change outcomes). The
+# 1M-instance tier with the p95-flatness gate runs nightly.
+./target/release/sync_scale --qi-sweep --smoke
+grep -q '"qi_sweep"' BENCH_sync_scale.json \
+  || { echo "BENCH_sync_scale.json carries no qi_sweep record"; exit 1; }
+
 echo "== tracing-overhead smoke test (trace_overhead --smoke) =="
 # Exercises the portal-level tracing A/B path and appends to the
 # BENCH_trace_overhead.json history; the <=5% overhead target is enforced
@@ -136,9 +145,13 @@ grep -q '"traceEvents"' "$CHROME" || { echo "chrome trace has no traceEvents"; e
 SCORECARD_OUT=$(./target/release/obsctl scorecard --addr "$ADDR")
 echo "$SCORECARD_OUT" | grep -q "hit_rate" \
   || { echo "scorecard table missing"; exit 1; }
+echo "$SCORECARD_OUT" | grep -q "idx_hit" \
+  || { echo "scorecard table missing predicate-index columns"; exit 1; }
 SCORECARD_JSON=$(./target/release/obsctl scorecard --addr "$ADDR" --json)
 echo "$SCORECARD_JSON" | grep -q '"render_cost_units"' \
   || { echo "/scorecards missing cost fields"; exit 1; }
+echo "$SCORECARD_JSON" | grep -q '"index_hit_rate"' \
+  || { echo "/scorecards missing index_hit_rate"; exit 1; }
 
 # Freshness SLO surfaces: /slo renders the default objectives with burn
 # rates (obsctl exits 0 only while nothing fires — the healthy demo must
