@@ -602,11 +602,392 @@ fn run_qi_sweep(smoke: bool) {
     println!("artifact: {path} ({runs} runs in history)");
 }
 
+// ---------------------------------------------------------------------------
+// Shape-mix precision benchmark (`--shape-mix`)
+// ---------------------------------------------------------------------------
+//
+// Measures what the shape-aware decision rules buy: the same deterministic
+// workload — below-boundary inserts, value-preserving touches, and the
+// occasional genuinely-invalidating high insert — replayed through two
+// invalidators, shape rules on and off. Per shape (conjunctive / top-k /
+// aggregate / LIKE / IN) the run records how many page ejects each arm
+// produced and asserts the precision contract: the on-arm ejects a strict
+// subset overall, with a strict reduction on top-k and aggregate pages and
+// byte-identical ejects on conjunctive/LIKE/IN pages (index tiers may only
+// skip work, never change verdicts).
+
+/// Shape of one `--shape-mix` run.
+struct MixShape {
+    /// Groups `0..groups`; the lower half takes inserts, the upper half
+    /// takes touches only, so upper-group aggregate pages are provably
+    /// value-preserved every sync.
+    groups: i64,
+    syncs: usize,
+    /// Below-boundary inserts per lower group per sync (`v < 100`, far
+    /// under the seeded top-3 boundary of 900+).
+    low_inserts: usize,
+    /// Delete-then-reinsert of an existing low-value upper-group row per
+    /// sync: net-zero for every aggregate, outside every top-k.
+    touches: usize,
+}
+
+const MIX_FULL: MixShape = MixShape {
+    groups: 8,
+    syncs: 12,
+    low_inserts: 6,
+    touches: 10,
+};
+
+const MIX_SMOKE: MixShape = MixShape {
+    groups: 4,
+    syncs: 3,
+    low_inserts: 2,
+    touches: 3,
+};
+
+/// Per-group seed: three high rows (v in 900..1000) to pin the top-3
+/// boundary plus low filler rows the touches can pick from.
+const MIX_HIGH_SEED: usize = 3;
+const MIX_LOW_SEED: usize = 6;
+
+/// Eject counts bucketed by query shape (via page-key prefix).
+#[derive(Debug, Default, Serialize, PartialEq, Eq)]
+struct ShapeEjects {
+    conjunctive: u64,
+    topk: u64,
+    aggregate: u64,
+    like: u64,
+    inlist: u64,
+}
+
+impl ShapeEjects {
+    fn count(&mut self, page: &str) {
+        match page.split(':').next().unwrap_or("") {
+            "conj" => self.conjunctive += 1,
+            "topk" => self.topk += 1,
+            "agg" => self.aggregate += 1,
+            "like" => self.like += 1,
+            "in" => self.inlist += 1,
+            _ => {}
+        }
+    }
+}
+
+/// What one (shape-rules on/off) arm produced.
+#[derive(Debug, Serialize)]
+struct MixArm {
+    shape_rules: bool,
+    sync_p50_micros: u64,
+    sync_p95_micros: u64,
+    pages_ejected: u64,
+    ejects: ShapeEjects,
+    shape_topk_skipped: u64,
+    shape_agg_skipped: u64,
+    shape_boundary_polls: u64,
+}
+
+/// Per-shape precision comparison row.
+#[derive(Serialize)]
+struct ShapeRecord {
+    shape: &'static str,
+    ejects_on: u64,
+    ejects_off: u64,
+    /// 1 - on/off: the fraction of conservative ejects the shape rules
+    /// proved unnecessary (0 for shapes without a decision rule).
+    over_invalidation_reduction: f64,
+}
+
+#[derive(Serialize)]
+struct MixArtifact {
+    mode: &'static str,
+    smoke: bool,
+    sync_points: usize,
+    groups: i64,
+    on: MixArm,
+    off: MixArm,
+    shapes: Vec<ShapeRecord>,
+}
+
+fn mix_db(shape: &MixShape, rows: &mut Vec<(i64, i64, i64)>) -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE mix_item (id INT, g INT, v INT, s TEXT, INDEX(g))")
+        .unwrap();
+    let mut rng = Rng(0x5eed_cafe);
+    let mut id = 0i64;
+    for g in 0..shape.groups {
+        for i in 0..(MIX_HIGH_SEED + MIX_LOW_SEED) {
+            let v = if i < MIX_HIGH_SEED {
+                900 + rng.below(100) as i64
+            } else {
+                rng.below(300) as i64
+            };
+            db.execute(&format!("INSERT INTO mix_item VALUES ({id}, {g}, {v}, 's{v}')"))
+                .unwrap();
+            rows.push((id, g, v));
+            id += 1;
+        }
+    }
+    db
+}
+
+/// One registered instance per shape per group (plus one LIKE instance per
+/// leading digit). Page keys are prefixed with the shape so ejects can be
+/// bucketed.
+fn mix_map(shape: &MixShape) -> QiUrlMap {
+    let map = QiUrlMap::new();
+    for g in 0..shape.groups {
+        map.insert(
+            format!("SELECT v FROM mix_item WHERE mix_item.g = {g}"),
+            PageKey::raw(format!("conj:{g}")),
+            "mixConj".to_string(),
+        );
+        map.insert(
+            format!("SELECT id, v FROM mix_item WHERE g = {g} ORDER BY v DESC LIMIT 3"),
+            PageKey::raw(format!("topk:{g}")),
+            "mixTopK".to_string(),
+        );
+        map.insert(
+            format!("SELECT COUNT(*), SUM(v) FROM mix_item WHERE g = {g}"),
+            PageKey::raw(format!("agg:{g}")),
+            "mixAgg".to_string(),
+        );
+        map.insert(
+            format!(
+                "SELECT id FROM mix_item WHERE g IN ({g}, {}, 99) ORDER BY id",
+                (g + 1) % shape.groups
+            ),
+            PageKey::raw(format!("in:{g}")),
+            "mixIn".to_string(),
+        );
+    }
+    for d in 0..10 {
+        map.insert(
+            format!("SELECT id FROM mix_item WHERE s LIKE 's{d}%' ORDER BY id"),
+            PageKey::raw(format!("like:{d}")),
+            "mixLike".to_string(),
+        );
+    }
+    map
+}
+
+/// Replay the mix workload once with shape rules on or off. Returns the
+/// arm summary plus the sorted ejected-page list of every sync, so the
+/// caller can check on ⊆ off sync-by-sync.
+fn run_shape_mix_arm(shape: &MixShape, shape_rules: bool) -> (MixArm, Vec<Vec<String>>) {
+    let mut rows: Vec<(i64, i64, i64)> = Vec::new();
+    let mut db = mix_db(shape, &mut rows);
+    let map = mix_map(shape);
+    let mut inv = Invalidator::new(InvalidatorConfig {
+        shape_rules,
+        ..InvalidatorConfig::default()
+    });
+    inv.start_from(db.high_water());
+    inv.run_sync_point(&db, &map).unwrap();
+
+    let mut rng = Rng(0xbeef_f00d);
+    let mut next_id = rows.len() as i64;
+    let half = shape.groups / 2;
+    let mut sync_micros: Vec<u64> = Vec::with_capacity(shape.syncs);
+    let mut arm = MixArm {
+        shape_rules,
+        sync_p50_micros: 0,
+        sync_p95_micros: 0,
+        pages_ejected: 0,
+        ejects: ShapeEjects::default(),
+        shape_topk_skipped: 0,
+        shape_agg_skipped: 0,
+        shape_boundary_polls: 0,
+    };
+    let mut per_sync: Vec<Vec<String>> = Vec::with_capacity(shape.syncs);
+
+    for sync in 0..shape.syncs {
+        // Below-boundary inserts into the lower groups.
+        for g in 0..half {
+            for _ in 0..shape.low_inserts {
+                let v = rng.below(100) as i64;
+                db.execute(&format!(
+                    "INSERT INTO mix_item VALUES ({next_id}, {g}, {v}, 's{v}')"
+                ))
+                .unwrap();
+                rows.push((next_id, g, v));
+                next_id += 1;
+            }
+        }
+        // Value-preserving touches of low upper-group rows.
+        let candidates: Vec<(i64, i64, i64)> = rows
+            .iter()
+            .filter(|(_, g, v)| *g >= half && *v < 300)
+            .cloned()
+            .collect();
+        for _ in 0..shape.touches {
+            let (id, g, v) = candidates[rng.below(candidates.len() as u64) as usize];
+            db.execute(&format!("DELETE FROM mix_item WHERE id = {id}"))
+                .unwrap();
+            db.execute(&format!("INSERT INTO mix_item VALUES ({id}, {g}, {v}, 's{v}')"))
+                .unwrap();
+        }
+        // One genuinely-invalidating high insert, rotating over the lower
+        // groups: enters the top-3 and moves the aggregates, so both arms
+        // must eject — keeps the safety side of the comparison honest.
+        let g = (sync as i64) % half.max(1);
+        let v = 1500 + rng.below(100) as i64;
+        db.execute(&format!(
+            "INSERT INTO mix_item VALUES ({next_id}, {g}, {v}, 's{v}')"
+        ))
+        .unwrap();
+        rows.push((next_id, g, v));
+        next_id += 1;
+
+        let t0 = Instant::now();
+        let report = inv.run_sync_point(&db, &map).unwrap();
+        sync_micros.push(t0.elapsed().as_micros() as u64);
+        db.update_log_mut().truncate(inv.consumed_lsn());
+
+        let mut pages: Vec<String> = report.pages.iter().map(|p| p.as_str().to_string()).collect();
+        pages.sort_unstable();
+        for p in &pages {
+            arm.ejects.count(p);
+        }
+        arm.pages_ejected += pages.len() as u64;
+        per_sync.push(pages);
+        arm.shape_topk_skipped += report.shape_topk_skipped;
+        arm.shape_agg_skipped += report.shape_agg_skipped;
+        arm.shape_boundary_polls += report.shape_boundary_polls;
+    }
+
+    sync_micros.sort_unstable();
+    arm.sync_p50_micros = percentile(&sync_micros, 0.50);
+    arm.sync_p95_micros = percentile(&sync_micros, 0.95);
+    (arm, per_sync)
+}
+
+fn reduction(on: u64, off: u64) -> f64 {
+    if off == 0 {
+        0.0
+    } else {
+        1.0 - on as f64 / off as f64
+    }
+}
+
+/// Run both arms, enforce the precision contract, and append the per-shape
+/// comparison to the artifact history.
+fn run_shape_mix_arms(shape: &MixShape, smoke: bool) -> MixArtifact {
+    let (on, on_pages) = run_shape_mix_arm(shape, true);
+    let (off, off_pages) = run_shape_mix_arm(shape, false);
+
+    // on ⊆ off at every sync point: shape rules may only keep pages cached.
+    for (i, (a, b)) in on_pages.iter().zip(&off_pages).enumerate() {
+        for p in a {
+            assert!(
+                b.contains(p),
+                "precision violated at sync {i}: shape-on ejected {p} but shape-off kept it"
+            );
+        }
+    }
+    // Strict improvement on the shapes with decision rules...
+    assert!(
+        on.ejects.topk < off.ejects.topk,
+        "no top-k precision win: on {} vs off {}",
+        on.ejects.topk,
+        off.ejects.topk
+    );
+    assert!(
+        on.ejects.aggregate < off.ejects.aggregate,
+        "no aggregate precision win: on {} vs off {}",
+        on.ejects.aggregate,
+        off.ejects.aggregate
+    );
+    // ...and byte-identical verdicts everywhere else: LIKE/IN are index
+    // tiers (skip work, never change outcomes), conjunctive is untouched.
+    assert_eq!(
+        (on.ejects.conjunctive, on.ejects.like, on.ejects.inlist),
+        (off.ejects.conjunctive, off.ejects.like, off.ejects.inlist),
+        "shapes without decision rules must eject identically"
+    );
+    assert!(on.shape_topk_skipped > 0 && on.shape_agg_skipped > 0);
+    assert_eq!(off.shape_topk_skipped + off.shape_agg_skipped, 0);
+
+    let shapes = vec![
+        ShapeRecord {
+            shape: "conjunctive",
+            ejects_on: on.ejects.conjunctive,
+            ejects_off: off.ejects.conjunctive,
+            over_invalidation_reduction: reduction(on.ejects.conjunctive, off.ejects.conjunctive),
+        },
+        ShapeRecord {
+            shape: "topk",
+            ejects_on: on.ejects.topk,
+            ejects_off: off.ejects.topk,
+            over_invalidation_reduction: reduction(on.ejects.topk, off.ejects.topk),
+        },
+        ShapeRecord {
+            shape: "aggregate",
+            ejects_on: on.ejects.aggregate,
+            ejects_off: off.ejects.aggregate,
+            over_invalidation_reduction: reduction(on.ejects.aggregate, off.ejects.aggregate),
+        },
+        ShapeRecord {
+            shape: "like",
+            ejects_on: on.ejects.like,
+            ejects_off: off.ejects.like,
+            over_invalidation_reduction: reduction(on.ejects.like, off.ejects.like),
+        },
+        ShapeRecord {
+            shape: "inlist",
+            ejects_on: on.ejects.inlist,
+            ejects_off: off.ejects.inlist,
+            over_invalidation_reduction: reduction(on.ejects.inlist, off.ejects.inlist),
+        },
+    ];
+    MixArtifact {
+        mode: "shape_mix",
+        smoke,
+        sync_points: shape.syncs,
+        groups: shape.groups,
+        on,
+        off,
+        shapes,
+    }
+}
+
+fn run_shape_mix(smoke: bool) {
+    let shape: &MixShape = if smoke { &MIX_SMOKE } else { &MIX_FULL };
+    println!(
+        "sync_scale shape-mix{}: {} groups, {} sync points",
+        if smoke { " (smoke)" } else { "" },
+        shape.groups,
+        shape.syncs
+    );
+    let artifact = run_shape_mix_arms(shape, smoke);
+    for r in &artifact.shapes {
+        println!(
+            "  {:>11}: on={:>4} off={:>4}  over-invalidation cut {:>5.1}%",
+            r.shape,
+            r.ejects_on,
+            r.ejects_off,
+            r.over_invalidation_reduction * 100.0
+        );
+    }
+    println!(
+        "  shape-on skips: topk={} agg={} (boundary polls {})",
+        artifact.on.shape_topk_skipped,
+        artifact.on.shape_agg_skipped,
+        artifact.on.shape_boundary_polls
+    );
+    let path = "BENCH_sync_scale.json";
+    let runs = cacheportal_bench::append_history(path, &artifact).expect("write artifact");
+    println!("artifact: {path} ({runs} runs in history)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     if args.iter().any(|a| a == "--qi-sweep") {
         run_qi_sweep(smoke);
+        return;
+    }
+    if args.iter().any(|a| a == "--shape-mix") {
+        run_shape_mix(smoke);
         return;
     }
     let w: &Workload = if smoke { &SMOKE } else { &FULL };
@@ -702,6 +1083,16 @@ mod tests {
             result.polls_issued,
             result.polls_from_index
         );
+    }
+
+    /// The smoke shape-mix run must uphold the full precision contract:
+    /// on ⊆ off per sync, strict wins on top-k and aggregate, identical
+    /// ejects elsewhere (all asserted inside `run_shape_mix_arms`).
+    #[test]
+    fn shape_mix_smoke_shows_strict_precision_win() {
+        let artifact = run_shape_mix_arms(&MIX_SMOKE, true);
+        assert!(artifact.on.pages_ejected < artifact.off.pages_ejected);
+        assert!(artifact.on.shape_boundary_polls > 0);
     }
 
     /// A tiny qi-sweep tier: the two arms must agree bit-for-bit on

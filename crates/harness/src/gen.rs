@@ -3,8 +3,9 @@
 //! A [`Scenario`] is everything about a fuzz run except the action stream:
 //! 1–5 tables with mixed column types and optional maintained indexes,
 //! 1–4 servlets whose queries range over single-table selects, projections,
-//! joins, multi-conjunct predicates and aggregates, an initial invalidation
-//! policy, an invalidator worker count, and a fault plan. Scenarios are
+//! joins, multi-conjunct predicates, aggregates, top-k (ORDER BY + LIMIT),
+//! grouped aggregates, LIKE-prefix and IN-list shapes, an initial
+//! invalidation policy, an invalidator worker count, and a fault plan. Scenarios are
 //! fully serializable so a reproducer file is self-contained — replay never
 //! depends on the generator staying bit-identical across versions.
 
@@ -127,6 +128,20 @@ pub enum ServletKind {
     JoinFiltered(usize, usize, i64),
     /// `COUNT(*), SUM(k)` over one table's group.
     Agg(usize),
+    /// Top-k page: `ORDER BY v DESC LIMIT n` over one table's group —
+    /// exercises the invalidator's boundary rule (ties included: `v`
+    /// literals repeat, and ties must stay conservative).
+    TopK(usize, usize),
+    /// Grouped aggregate page: `g, COUNT(*), SUM(k) … GROUP BY g ORDER BY
+    /// g` below a group threshold — exercises the value-preserving rule.
+    AggGroup(usize),
+    /// LIKE-prefix page over a TEXT `v` column: the request's `g` value is
+    /// spliced into the pattern `s{g}%` — exercises the LikePrefix index
+    /// tier (v literals are `s0`…`s49`, so `s1%` matches `s1`,`s10`…).
+    Like(usize),
+    /// IN-list page: `g IN ($1, c1, c2)` with two scenario-fixed extra
+    /// groups — exercises the InSet index tier.
+    InList(usize, i64, i64),
 }
 
 /// One generated servlet: a name and the query shape it serves.
@@ -173,18 +188,42 @@ impl ServletGen {
                 let t = &tables[*i].name;
                 format!("SELECT COUNT(*), SUM(k) FROM {t} WHERE g = $1")
             }
+            ServletKind::TopK(i, n) => {
+                let t = &tables[*i].name;
+                format!("SELECT k, g, v FROM {t} WHERE g = $1 ORDER BY v DESC LIMIT {n}")
+            }
+            ServletKind::AggGroup(i) => {
+                let t = &tables[*i].name;
+                format!(
+                    "SELECT g, COUNT(*), SUM(k) FROM {t} WHERE g < $1 \
+                     GROUP BY g ORDER BY g"
+                )
+            }
+            ServletKind::Like(i) => {
+                let t = &tables[*i].name;
+                format!("SELECT k, g, v FROM {t} WHERE v LIKE $1 ORDER BY k, g, v")
+            }
+            ServletKind::InList(i, c1, c2) => {
+                let t = &tables[*i].name;
+                format!("SELECT k, v FROM {t} WHERE g IN ($1, {c1}, {c2}) ORDER BY k, v")
+            }
         }
     }
 
     /// Instantiate the servlet for registration on a portal or cluster.
     pub fn build(&self, tables: &[TableGen]) -> Arc<dyn Servlet> {
+        let params = match &self.kind {
+            // The LIKE pattern carries the group ordinal as its literal
+            // prefix; everything else binds `g` directly.
+            ServletKind::Like(_) => {
+                vec![ParamSource::GetPattern("g".into(), "s{}%".into())]
+            }
+            _ => vec![ParamSource::Get("g".into(), ColType::Int)],
+        };
         Arc::new(SqlServlet::new(
             ServletSpec::new(&self.name).with_key_get_params(&["g"]),
             &format!("Fuzz page {}", self.name),
-            vec![QueryTemplate::new(
-                &self.sql(tables),
-                vec![ParamSource::Get("g".into(), ColType::Int)],
-            )],
+            vec![QueryTemplate::new(&self.sql(tables), params)],
         ))
     }
 }
@@ -385,7 +424,8 @@ impl Scenario {
 fn gen_kind(rng: &mut StdRng, tables: &[TableGen]) -> ServletKind {
     let i = rng.gen_range(0..tables.len());
     let int_v = tables[i].v_type % 3 == COL_INT;
-    let roll = rng.gen_range(0..6u8);
+    let str_v = tables[i].v_type % 3 == COL_STR;
+    let roll = rng.gen_range(0..10u8);
     match roll {
         0 => ServletKind::Select(i),
         1 => ServletKind::Project(i),
@@ -401,6 +441,11 @@ fn gen_kind(rng: &mut StdRng, tables: &[TableGen]) -> ServletKind {
                 ServletKind::Join(i, j)
             }
         }
+        5 => ServletKind::Agg(i),
+        6 => ServletKind::TopK(i, rng.gen_range(1..4usize)),
+        7 => ServletKind::AggGroup(i),
+        8 if str_v => ServletKind::Like(i),
+        9 => ServletKind::InList(i, rng.gen_range(0..GROUPS), rng.gen_range(0..GROUPS)),
         _ => ServletKind::Agg(i),
     }
 }

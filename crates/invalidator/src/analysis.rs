@@ -325,7 +325,284 @@ fn tuple_residual(
     Ok(Some(residual))
 }
 
+/// Pre-resolved TopK shape information for one bound instance: which
+/// column bounds the result, in which direction, and the *boundary poll*
+/// that re-derives the k-th row's key.
+///
+/// Unlike the residual `COUNT(*)` polls built by [`build_poll`] below —
+/// which correctly drop `ORDER BY`/`LIMIT` because a count's cardinality
+/// does not depend on them — the boundary poll **carries the instance's
+/// original `ORDER BY … LIMIT k` clause verbatim**: it must return exactly
+/// the bounded, ordered result prefix so the k-th row is the real
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopKSpec {
+    /// Schema position of the first ORDER BY key column.
+    pub order_col: usize,
+    /// Sort direction of the first key (`false` = DESC).
+    pub ascending: bool,
+    /// `LIMIT k`.
+    pub k: usize,
+    /// `SELECT <first-order-key> FROM … WHERE … ORDER BY … LIMIT k`.
+    pub poll_sql: String,
+}
+
+/// Resolve the TopK shape of a bound instance, or `None` when the boundary
+/// rule does not apply (joins, DISTINCT, aggregates, expression order
+/// keys): those instances take the conjunctive decision path unchanged.
+pub fn topk_spec(bound: &Select, schemas: &dyn SchemaProvider) -> Option<TopKSpec> {
+    if bound.from.len() != 1
+        || bound.distinct
+        || !bound.group_by.is_empty()
+        || bound.having.is_some()
+        || bound.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+            _ => false,
+        })
+    {
+        return None;
+    }
+    let k = match bound.limit {
+        Some(k) if k > 0 => k as usize,
+        _ => return None,
+    };
+    let first = bound.order_by.first()?;
+    let Expr::Column(c) = &first.expr else {
+        return None;
+    };
+    // The key must resolve on the single FROM table (qualifier, if any,
+    // must name its binding) — mirroring the engine's binder.
+    if let Some(q) = &c.table {
+        if !bound.from[0].binding().eq_ignore_ascii_case(q) {
+            return None;
+        }
+    }
+    let schema = schemas.schema_of(&bound.from[0].table)?;
+    let order_col = schema.require(&c.column).ok()?;
+    let poll = Select {
+        distinct: false,
+        items: vec![SelectItem::Expr {
+            expr: Expr::Column(c.clone()),
+            alias: None,
+        }],
+        from: bound.from.clone(),
+        where_clause: bound.where_clause.clone(),
+        group_by: vec![],
+        having: None,
+        order_by: bound.order_by.clone(),
+        limit: bound.limit,
+    };
+    Some(TopKSpec {
+        order_col,
+        ascending: first.ascending,
+        k,
+        poll_sql: Statement::Select(poll).to_sql(),
+    })
+}
+
+/// Which value-preserving accumulator tracks one aggregate select item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `COUNT(*)` — group row count.
+    CountStar,
+    /// `COUNT(col)` — non-NULL count of the column at this schema position.
+    CountCol(usize),
+    /// `SUM(col)` — non-NULL count *and* exact integer sum.
+    SumCol(usize),
+    /// `AVG(col)` — same tracked state as SUM (avg = sum / count).
+    AvgCol(usize),
+}
+
+/// Pre-resolved aggregate shape of one bound instance: enough to recompute
+/// the delta's net effect on every projected aggregate without touching
+/// the DBMS (the "value-preserving poll" of ROADMAP item 3, evaluated over
+/// the delta only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggSpec {
+    /// Schema positions of the GROUP BY columns (empty = one global group).
+    pub group_cols: Vec<usize>,
+    /// One tracked accumulator per aggregate select item.
+    pub aggs: Vec<AggKind>,
+}
+
+/// Resolve the aggregate shape of a bound instance, or `None` when the
+/// value-preserving rule cannot apply. Eligibility is deliberately narrow —
+/// anything outside it takes the conjunctive (conservative) path:
+///
+/// * single-table FROM, no DISTINCT, no HAVING (a HAVING clause may
+///   reference aggregates we do not track, flipping group membership);
+/// * every item is a grouped plain column or a non-DISTINCT
+///   `COUNT(*)`/`COUNT(col)`/`SUM(col)`/`AVG(col)` (MIN/MAX need the full
+///   group's value multiset, which a delta cannot preserve-check);
+/// * every GROUP BY column appears among the ORDER BY keys (or there is no
+///   GROUP BY): the engine emits groups in first-seen storage order, so an
+///   unordered grouped result can change row *order* even when every group's
+///   values are unchanged.
+pub fn agg_spec(bound: &Select, schemas: &dyn SchemaProvider) -> Option<AggSpec> {
+    if bound.from.len() != 1 || bound.distinct || bound.having.is_some() {
+        return None;
+    }
+    let schema = schemas.schema_of(&bound.from[0].table)?;
+    let col_of = |c: &cacheportal_db::sql::ast::ColumnRef| -> Option<usize> {
+        if let Some(q) = &c.table {
+            if !bound.from[0].binding().eq_ignore_ascii_case(q) {
+                return None;
+            }
+        }
+        schema.require(&c.column).ok()
+    };
+    let mut group_cols = Vec::with_capacity(bound.group_by.len());
+    for g in &bound.group_by {
+        group_cols.push(col_of(g)?);
+    }
+    if !bound.group_by.is_empty() {
+        // Deterministic output order: every group column must be an ORDER BY
+        // key (distinct groups then always differ on some key, so the sort
+        // is total over groups and storage order cannot leak through).
+        for g in &bound.group_by {
+            let ordered = bound.order_by.iter().any(|k| match &k.expr {
+                Expr::Column(c) => c.column.eq_ignore_ascii_case(&g.column),
+                _ => false,
+            });
+            if !ordered {
+                return None;
+            }
+        }
+    }
+    let mut aggs = Vec::new();
+    for item in &bound.items {
+        let SelectItem::Expr { expr, .. } = item else {
+            return None; // SELECT * in an aggregate is rejected anyway
+        };
+        match expr {
+            Expr::Column(c) => {
+                let col = col_of(c)?;
+                if !group_cols.contains(&col) {
+                    return None;
+                }
+            }
+            Expr::Agg {
+                func,
+                arg,
+                distinct: false,
+            } => {
+                let arg_col = match arg {
+                    None => None,
+                    Some(a) => match &**a {
+                        Expr::Column(c) => Some(col_of(c)?),
+                        _ => return None,
+                    },
+                };
+                let kind = match (func, arg_col) {
+                    (cacheportal_db::sql::ast::AggFunc::Count, None) => AggKind::CountStar,
+                    (cacheportal_db::sql::ast::AggFunc::Count, Some(c)) => AggKind::CountCol(c),
+                    (cacheportal_db::sql::ast::AggFunc::Sum, Some(c)) => AggKind::SumCol(c),
+                    (cacheportal_db::sql::ast::AggFunc::Avg, Some(c)) => AggKind::AvgCol(c),
+                    _ => return None, // MIN/MAX, SUM(*) etc.
+                };
+                aggs.push(kind);
+            }
+            _ => return None,
+        }
+    }
+    Some(AggSpec { group_cols, aggs })
+}
+
+/// Verdict of the delta-only aggregate recomputation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggJudgement {
+    /// Every touched group's row count and every tracked aggregate are
+    /// provably unchanged: the cached page stays valid.
+    Unchanged,
+    /// Some group's aggregate value changes (net row/count/sum ≠ 0).
+    Changed(String),
+    /// The delta carries values the exactness argument cannot cover
+    /// (non-integers or magnitudes near 2^53 where f64 summation rounds):
+    /// treat as affected, never as unchanged.
+    Unprovable(String),
+}
+
+/// Integer magnitude bound under which f64 summation of the engine's
+/// `AggState` is exact for any realistic group size (2^40 leaves 2^13 of
+/// headroom below f64's 2^53 integer range).
+const AGG_EXACT_BOUND: i64 = 1 << 40;
+
+/// Recompute the net effect of the matching delta tuples on every tracked
+/// group/aggregate. `matching` holds rows that already passed the
+/// instance's WHERE clause, tagged with `true` for Δ⁺ inserts.
+pub fn judge_aggregate_delta(spec: &AggSpec, matching: &[(&Row, bool)]) -> AggJudgement {
+    use std::collections::HashMap;
+    // Per group: (net rows, per tracked agg: (net non-NULL count, net sum)).
+    type GroupNet = (i64, Vec<(i64, i128)>);
+    let mut groups: HashMap<Vec<cacheportal_db::Value>, GroupNet> = HashMap::new();
+    for (row, is_insert) in matching {
+        let mut key = Vec::with_capacity(spec.group_cols.len());
+        for c in &spec.group_cols {
+            match row.get(*c) {
+                Some(v) => key.push(v.clone()),
+                None => return AggJudgement::Unprovable("delta row narrower than schema".into()),
+            }
+        }
+        let sign: i64 = if *is_insert { 1 } else { -1 };
+        let entry = groups
+            .entry(key)
+            .or_insert_with(|| (0, vec![(0, 0); spec.aggs.len()]));
+        entry.0 += sign;
+        for (slot, kind) in spec.aggs.iter().enumerate() {
+            let col = match kind {
+                AggKind::CountStar => continue,
+                AggKind::CountCol(c) | AggKind::SumCol(c) | AggKind::AvgCol(c) => *c,
+            };
+            let Some(v) = row.get(col) else {
+                return AggJudgement::Unprovable("delta row narrower than schema".into());
+            };
+            match v {
+                cacheportal_db::Value::Null => {}
+                cacheportal_db::Value::Int(n) => {
+                    if matches!(kind, AggKind::SumCol(_) | AggKind::AvgCol(_))
+                        && n.unsigned_abs() > AGG_EXACT_BOUND as u64
+                    {
+                        return AggJudgement::Unprovable(format!(
+                            "summed value {n} exceeds the exact-arithmetic bound"
+                        ));
+                    }
+                    entry.1[slot].0 += sign;
+                    entry.1[slot].1 += i128::from(*n) * i128::from(sign);
+                }
+                other => {
+                    if matches!(kind, AggKind::SumCol(_) | AggKind::AvgCol(_)) {
+                        return AggJudgement::Unprovable(format!(
+                            "non-integer summed value {other:?}"
+                        ));
+                    }
+                    entry.1[slot].0 += sign;
+                }
+            }
+        }
+    }
+    for (key, (net_rows, per_agg)) in &groups {
+        if *net_rows != 0 {
+            return AggJudgement::Changed(format!(
+                "group {key:?} row count changes by {net_rows:+}"
+            ));
+        }
+        for (slot, (net_count, net_sum)) in per_agg.iter().enumerate() {
+            if *net_count != 0 || *net_sum != 0 {
+                return AggJudgement::Changed(format!(
+                    "group {key:?} aggregate #{slot} net count {net_count:+}, net sum {net_sum:+}"
+                ));
+            }
+        }
+    }
+    AggJudgement::Unchanged
+}
+
 /// Build `SELECT COUNT(*) FROM <others> WHERE <residual>`.
+///
+/// `ORDER BY`/`LIMIT` from the instance are intentionally absent: this
+/// poll only asks whether matching rows *exist*, and its cardinality is
+/// clause-independent. TopK instances additionally get a boundary poll
+/// ([`topk_spec`]) that does carry the original clause.
 fn build_poll(inst: &BoundInstance, occurrence: usize, residual: Option<Expr>) -> PollingQuery {
     let others: Vec<&TableRef> = inst
         .select
@@ -592,6 +869,143 @@ mod tests {
         let miss =
             analyze_tuple(&inst, 0, &vec!["honda".into(), "m".into(), Value::Int(1)]).unwrap();
         assert_eq!(miss, TupleImpact::NoImpact);
+    }
+
+    #[test]
+    fn boundary_poll_carries_order_by_and_limit() {
+        // Regression for the former clause drop when building polls: a TopK
+        // instance's boundary poll must keep ORDER BY … LIMIT verbatim.
+        let mut db = example_db();
+        for (m, p) in [("a", 10), ("b", 30), ("c", 20), ("d", 40), ("e", 5)] {
+            db.execute(&format!("INSERT INTO Car VALUES ('T','{m}',{p})"))
+                .unwrap();
+        }
+        let sel = parse_select(
+            "SELECT model FROM Car WHERE maker = 'T' ORDER BY price DESC LIMIT 3",
+        )
+        .unwrap();
+        let spec = topk_spec(&sel, &db).unwrap();
+        assert_eq!(spec.k, 3);
+        assert!(!spec.ascending);
+        assert_eq!(spec.order_col, 2, "price is the third Car column");
+        assert_eq!(
+            spec.poll_sql,
+            "SELECT price FROM Car WHERE maker = 'T' ORDER BY price DESC LIMIT 3"
+        );
+        // Executing the poll returns exactly the bounded, ordered set — not
+        // the full matching set the old clause-stripping would have given.
+        let res = db.query(&spec.poll_sql).unwrap();
+        let got: Vec<Value> = res.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            got,
+            vec![Value::Int(40), Value::Int(30), Value::Int(20)],
+            "bounded set only; boundary (k-th key) is 20"
+        );
+    }
+
+    #[test]
+    fn topk_spec_rejects_ineligible_shapes() {
+        let db = example_db();
+        let ineligible = [
+            // Join: the boundary rule needs the order key on the touched table.
+            "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model \
+             ORDER BY Car.price LIMIT 2",
+            // No ORDER BY.
+            "SELECT model FROM Car LIMIT 2",
+            // No LIMIT.
+            "SELECT model FROM Car ORDER BY price",
+            // DISTINCT changes the row-multiset argument.
+            "SELECT DISTINCT model FROM Car ORDER BY model LIMIT 2",
+            // Expression order key.
+            "SELECT model FROM Car ORDER BY price + 1 LIMIT 2",
+        ];
+        for sql in ineligible {
+            let sel = parse_select(sql).unwrap();
+            assert!(topk_spec(&sel, &db).is_none(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn agg_spec_eligibility_is_narrow() {
+        let db = example_db();
+        let ok = [
+            "SELECT maker, COUNT(*) FROM Car GROUP BY maker ORDER BY maker",
+            "SELECT COUNT(*) FROM Car WHERE price < 100",
+            "SELECT maker, SUM(price), AVG(price), COUNT(price) FROM Car \
+             GROUP BY maker ORDER BY maker",
+        ];
+        for sql in ok {
+            let sel = parse_select(sql).unwrap();
+            assert!(agg_spec(&sel, &db).is_some(), "{sql}");
+        }
+        let ineligible = [
+            // Unordered groups: output order depends on storage order.
+            "SELECT maker, COUNT(*) FROM Car GROUP BY maker",
+            // MIN needs the full value multiset.
+            "SELECT maker, MIN(price) FROM Car GROUP BY maker ORDER BY maker",
+            // HAVING may reference untracked aggregates.
+            "SELECT maker, COUNT(*) FROM Car GROUP BY maker \
+             HAVING COUNT(*) > 1 ORDER BY maker",
+            // DISTINCT aggregation.
+            "SELECT maker, COUNT(DISTINCT model) FROM Car GROUP BY maker ORDER BY maker",
+        ];
+        for sql in ineligible {
+            let sel = parse_select(sql).unwrap();
+            assert!(agg_spec(&sel, &db).is_none(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn aggregate_delta_judgement_nets_to_zero_or_changed() {
+        let db = example_db();
+        let sel = parse_select(
+            "SELECT maker, COUNT(*), SUM(price) FROM Car GROUP BY maker ORDER BY maker",
+        )
+        .unwrap();
+        let spec = agg_spec(&sel, &db).unwrap();
+        let t = |maker: &str, price: i64| -> Row {
+            vec![maker.into(), "m".into(), Value::Int(price)]
+        };
+        // Value-preserving update: delete (T, 10), insert (T, 10).
+        let del = t("T", 10);
+        let ins = t("T", 10);
+        let matching: Vec<(&Row, bool)> = vec![(&del, false), (&ins, true)];
+        assert_eq!(judge_aggregate_delta(&spec, &matching), AggJudgement::Unchanged);
+        // Same count, different sum → changed.
+        let ins2 = t("T", 11);
+        let matching: Vec<(&Row, bool)> = vec![(&del, false), (&ins2, true)];
+        assert!(matches!(
+            judge_aggregate_delta(&spec, &matching),
+            AggJudgement::Changed(_)
+        ));
+        // Pure insert → group count changes.
+        let matching: Vec<(&Row, bool)> = vec![(&ins, true)];
+        assert!(matches!(
+            judge_aggregate_delta(&spec, &matching),
+            AggJudgement::Changed(_)
+        ));
+        // NULL in the summed column still counts as a row (COUNT(*)), and a
+        // delete+insert of NULL rows nets out.
+        let null_row: Row = vec!["T".into(), "m".into(), Value::Null];
+        let null_row2 = null_row.clone();
+        let matching: Vec<(&Row, bool)> = vec![(&null_row, false), (&null_row2, true)];
+        assert_eq!(judge_aggregate_delta(&spec, &matching), AggJudgement::Unchanged);
+        // NULL↔0 transition is *not* value-preserving for SUM: the non-NULL
+        // count guard catches it.
+        let zero = t("T", 0);
+        let matching: Vec<(&Row, bool)> = vec![(&null_row, false), (&zero, true)];
+        assert!(matches!(
+            judge_aggregate_delta(&spec, &matching),
+            AggJudgement::Changed(_)
+        ));
+        // Huge values bail out of the exactness argument.
+        let big_del = t("T", (1 << 41) + 1);
+        let big_ins = t("T", (1 << 41) + 1);
+        let matching: Vec<(&Row, bool)> = vec![(&big_del, false), (&big_ins, true)];
+        assert!(matches!(
+            judge_aggregate_delta(&spec, &matching),
+            AggJudgement::Unprovable(_)
+        ));
     }
 
     #[test]

@@ -4,13 +4,16 @@
 //! locally where possible, by polling queries where not — and (4) emits the
 //! set of page keys to eject from the caches.
 
-use crate::analysis::{analyze_tuple, analyze_tuple_batch, BatchImpact, BoundInstance, TupleImpact};
+use crate::analysis::{
+    agg_spec, analyze_tuple, analyze_tuple_batch, judge_aggregate_delta, topk_spec, AggJudgement,
+    AggSpec, BatchImpact, BoundInstance, TopKSpec, TupleImpact,
+};
 use crate::breaker::{BreakerConfig, BreakerDecision, CircuitBreaker, TypeObservation};
 use crate::delta::{DeltaGroupStat, DeltaSet};
 use crate::policy::{InvalidationPolicy, PolicyConfig, PolicyStore};
 use crate::polling::{InfoManager, PollAnswer, PollRunner, PollStats};
 use crate::predicate_index::Probe;
-use crate::query_type::{QueryTypeId, Registry};
+use crate::query_type::{QueryShape, QueryTypeId, Registry};
 use cacheportal_db::sql::rewrite::substitute_params;
 use cacheportal_db::{Database, DbResult, Lsn, Value};
 use cacheportal_sniffer::QiUrlMap;
@@ -50,6 +53,13 @@ pub enum VerdictKind {
     /// gap between the last durable checkpoint and the crash, so its
     /// dependencies cannot be proven — eject rather than risk staleness.
     RecoveryGap,
+    /// A TopK (ORDER BY + LIMIT) instance: a delta tuple lands at or inside
+    /// the registered top-k boundary value, so it can enter or displace the
+    /// bounded result.
+    TopKBoundary,
+    /// An Aggregate instance: matching delta tuples change (or cannot be
+    /// proven not to change) the aggregate values the page displays.
+    AggregateDelta,
 }
 
 impl VerdictKind {
@@ -68,6 +78,8 @@ impl VerdictKind {
             VerdictKind::PollFault => "poll-fault",
             VerdictKind::BreakerDegraded => "breaker-degraded",
             VerdictKind::RecoveryGap => "recovery-gap",
+            VerdictKind::TopKBoundary => "topk-boundary",
+            VerdictKind::AggregateDelta => "aggregate-delta",
         }
     }
 }
@@ -211,6 +223,16 @@ pub struct InvalidationReport {
     /// a sound index; only populated when
     /// [`InvalidatorConfig::index_differential`] is set.
     pub index_divergences: u64,
+    /// TopK instances the boundary rule kept cached: every matching delta
+    /// tuple was provably beyond the registered top-k boundary, where the
+    /// conventional local check would have ejected.
+    pub shape_topk_skipped: u64,
+    /// Aggregate instances the value-preserving rule kept cached: matching
+    /// tuples netted to zero on every group and tracked aggregate.
+    pub shape_agg_skipped: u64,
+    /// Boundary polls issued by the shape pre-pass (one bounded ORDER
+    /// BY/LIMIT query per live TopK instance of a candidate type).
+    pub shape_boundary_polls: u64,
 }
 
 /// One query type's share of a sync point (see
@@ -233,6 +255,11 @@ pub struct TypeSyncStat {
     pub index_skipped: u64,
     /// Instances scanned via the residual fallback for this type.
     pub index_residual: u64,
+    /// The type's query shape (classifier verdict, fixed at registration).
+    pub shape: QueryShape,
+    /// Instances a shape rule (top-k boundary / aggregate delta) kept
+    /// cached this sync point where the conventional path would eject.
+    pub shape_skipped: u64,
 }
 
 /// Invalidator configuration.
@@ -280,6 +307,13 @@ pub struct InvalidatorConfig {
     /// in scheduling order, which a sequential re-run cannot reproduce).
     /// Expensive — every sync point analyzes twice.
     pub index_differential: bool,
+    /// Per-shape decision rules (on by default): TopK instances compare
+    /// delta tuples against the registered top-k boundary, Aggregate
+    /// instances run the value-preserving delta judgement. Both may only
+    /// *keep pages cached* that the conventional path would eject (or
+    /// relabel a verdict's provenance) — never invalidate more; turning
+    /// the flag off restores the conservative pre-shape behavior exactly.
+    pub shape_rules: bool,
 }
 
 impl Default for InvalidatorConfig {
@@ -295,6 +329,7 @@ impl Default for InvalidatorConfig {
             breaker: BreakerConfig::default(),
             predicate_index: true,
             index_differential: false,
+            shape_rules: true,
         }
     }
 }
@@ -317,6 +352,8 @@ struct ShardCounters {
     index_probed_types: u64,
     index_residual_types: u64,
     index_probe_micros: u64,
+    shape_topk_skipped: u64,
+    shape_agg_skipped: u64,
 }
 
 /// One analyzed query type's results, tagged with its position in the
@@ -339,6 +376,8 @@ struct TypeOutcome {
     index_skipped: u64,
     /// Instances scanned via the residual fallback.
     index_residual: u64,
+    /// Instances a shape rule kept cached for this type.
+    shape_skipped: u64,
 }
 
 /// Per-call retry settings handed to the shard workers.
@@ -353,6 +392,19 @@ struct ShardOutcome {
     types: Vec<TypeOutcome>,
     counters: ShardCounters,
     elapsed_micros: u64,
+}
+
+/// What a per-shape decision rule concluded for one instance.
+enum ShapeDecision {
+    /// The rule does not apply (no boundary, ineligible shape details, or a
+    /// tuple needed a poll); run the conventional per-occurrence loop.
+    Fallback,
+    /// Provably unaffected. `shape_skip` is true when the proof *needed*
+    /// the shape rule (a boundary comparison or delta judgement) — i.e. the
+    /// conventional path would have ejected the instance.
+    NoImpact { shape_skip: bool },
+    /// Affected, with shape-specific provenance.
+    Affected(VerdictCause),
 }
 
 /// The CachePortal invalidator.
@@ -565,6 +617,56 @@ impl Invalidator {
         }
         report.delta_micros = delta_started.elapsed().as_micros() as u64;
 
+        // Shape pre-pass: refresh per-instance top-k boundaries before the
+        // sharded analysis reads them. The database is already at the
+        // post-batch state here, so the stored boundary is the k-th row's
+        // first ORDER BY key *after* the update — which is what the
+        // boundary rule's proof compares delta tuples against. Sequential
+        // (needs `&mut registry`) and bounded: one `ORDER BY … LIMIT k`
+        // poll per live TopK instance whose read table was touched.
+        if self.config.shape_rules {
+            let mut topk_types: Vec<QueryTypeId> = deltas
+                .touched_tables()
+                .flat_map(|t| self.registry.types_reading(t).iter().copied())
+                .filter(|&id| self.registry.get(id).shape == QueryShape::TopK)
+                .collect();
+            topk_types.sort_unstable();
+            topk_types.dedup();
+            for ty_id in topk_types {
+                if self.policies.policy_for(ty_id, &self.config.policy)
+                    != InvalidationPolicy::Exact
+                {
+                    continue;
+                }
+                let ty_select = self.registry.get(ty_id).select.clone();
+                let instances: Vec<Vec<Value>> = self
+                    .registry
+                    .instances_of(ty_id)
+                    .map(|(params, _)| params.clone())
+                    .collect();
+                for params in instances {
+                    let boundary = substitute_params(&ty_select, &params)
+                        .ok()
+                        .and_then(|bound| topk_spec(&bound, db))
+                        .and_then(|spec| {
+                            report.shape_boundary_polls += 1;
+                            match db.query(&spec.poll_sql) {
+                                // Only a *full* result has a meaningful
+                                // boundary; short results (or a failed
+                                // poll) disable the rule for the instance.
+                                Ok(res) if res.rows.len() == spec.k => res
+                                    .rows
+                                    .last()
+                                    .and_then(|r| r.first())
+                                    .cloned(),
+                                _ => None,
+                            }
+                        });
+                    self.registry.set_boundary(ty_id, &params, boundary);
+                }
+            }
+        }
+
         // (3) Decide affected instances.
         let analysis_started = std::time::Instant::now();
         let mut affected = self.analyze_batch(db, &deltas, &mut report)?;
@@ -702,6 +804,7 @@ impl Invalidator {
         let runner_ref = &runner;
         let decisions_ref = &decisions;
         let use_index = self.config.predicate_index;
+        let shape_rules = self.config.shape_rules;
 
         let shard_results: Vec<DbResult<ShardOutcome>> = if workers == 1 {
             vec![Self::analyze_types_shard(
@@ -716,6 +819,7 @@ impl Invalidator {
                 retry,
                 &shards[0],
                 use_index,
+                shape_rules,
             )]
         } else {
             crossbeam::scope(|s| {
@@ -735,6 +839,7 @@ impl Invalidator {
                                 retry,
                                 types,
                                 use_index,
+                                shape_rules,
                             )
                         })
                     })
@@ -767,6 +872,8 @@ impl Invalidator {
             report.index_probed_types += outcome.counters.index_probed_types;
             report.index_residual_types += outcome.counters.index_residual_types;
             report.index_probe_micros += outcome.counters.index_probe_micros;
+            report.shape_topk_skipped += outcome.counters.shape_topk_skipped;
+            report.shape_agg_skipped += outcome.counters.shape_agg_skipped;
             type_outcomes.extend(outcome.types);
         }
         type_outcomes.sort_unstable_by_key(|t| t.order);
@@ -785,6 +892,8 @@ impl Invalidator {
             stat.index_candidates += outcome.index_candidates;
             stat.index_skipped += outcome.index_skipped;
             stat.index_residual += outcome.index_residual;
+            stat.shape = self.registry.get(outcome.ty_id).shape;
+            stat.shape_skipped += outcome.shape_skipped;
             affected.extend(outcome.affected);
             if let Some(micros) = outcome.record_micros {
                 stat.analysis_micros += micros;
@@ -835,6 +944,7 @@ impl Invalidator {
                 retry,
                 &all_types,
                 false,
+                shape_rules,
             )?;
             let scan_set: BTreeSet<(QueryTypeId, Vec<Value>)> = shadow
                 .types
@@ -883,6 +993,7 @@ impl Invalidator {
         retry: RetrySettings,
         types: &[(usize, QueryTypeId)],
         use_index: bool,
+        shape_rules: bool,
     ) -> DbResult<ShardOutcome> {
         let shard_started = std::time::Instant::now();
         let mut counters = ShardCounters::default();
@@ -903,6 +1014,8 @@ impl Invalidator {
             let attempts_before = counters.polls_attempted;
             let ty = registry.get(ty_id);
             let ty_select = ty.select.clone();
+            let ty_shape = ty.shape;
+            let mut ty_shape_skipped = 0u64;
             // Predicate-index probe: map the delta tuples directly to the
             // instances they can affect. `Probe::Scan` (residual occurrence
             // touched, schema drift, missing FROM table) and table-level
@@ -997,6 +1110,7 @@ impl Invalidator {
                     index_candidates: 0,
                     index_skipped: 0,
                     index_residual: 0,
+                    shape_skipped: 0,
                 });
                 continue;
             }
@@ -1037,6 +1151,60 @@ impl Invalidator {
                         }
                     }
                 };
+
+                // Per-shape decision rules (TopK boundary, aggregate delta).
+                // Only under the Exact policy with a healthy poll path —
+                // Conservative/TableLevel and an open breaker keep the
+                // paper's behavior untouched. A shape rule may resolve the
+                // instance (skip it or eject with a shape verdict) or fall
+                // back to the conventional per-occurrence loop below; it
+                // never ejects an instance the conventional path would keep.
+                if shape_rules
+                    && policy == InvalidationPolicy::Exact
+                    && !breaker_degraded
+                    && matches!(ty_shape, QueryShape::TopK | QueryShape::Aggregate)
+                {
+                    let decision = match ty_shape {
+                        QueryShape::TopK => {
+                            let boundary = registry
+                                .pages_of(ty_id, &params)
+                                .and_then(|data| data.boundary.clone());
+                            match (boundary, topk_spec(&inst.select, db)) {
+                                (Some(boundary), Some(spec)) => {
+                                    Self::decide_topk(inst, &spec, &boundary, deltas, &mut counters)?
+                                }
+                                _ => ShapeDecision::Fallback,
+                            }
+                        }
+                        QueryShape::Aggregate => match agg_spec(&inst.select, db) {
+                            Some(spec) => {
+                                Self::decide_aggregate(inst, &spec, deltas, &mut counters)?
+                            }
+                            None => ShapeDecision::Fallback,
+                        },
+                        _ => unreachable!("guarded by the matches! above"),
+                    };
+                    match decision {
+                        ShapeDecision::Fallback => {}
+                        ShapeDecision::NoImpact { shape_skip } => {
+                            if shape_skip {
+                                ty_shape_skipped += 1;
+                                match ty_shape {
+                                    QueryShape::TopK => counters.shape_topk_skipped += 1,
+                                    QueryShape::Aggregate => counters.shape_agg_skipped += 1,
+                                    _ => {}
+                                }
+                            }
+                            continue 'instances;
+                        }
+                        ShapeDecision::Affected(cause) => {
+                            affected_set.insert(params.clone());
+                            affected.push((ty_id, params, cause));
+                            continue 'instances;
+                        }
+                    }
+                }
+
                 for (occ, tref) in inst.select.from.iter().enumerate() {
                     let Some(delta) = deltas.for_table(&tref.table) else {
                         continue;
@@ -1089,6 +1257,7 @@ impl Invalidator {
                 index_candidates: ty_index_candidates,
                 index_skipped: ty_index_skipped,
                 index_residual: ty_index_residual,
+                shape_skipped: ty_shape_skipped,
             });
         }
         Ok(ShardOutcome {
@@ -1096,6 +1265,121 @@ impl Invalidator {
             counters,
             elapsed_micros: shard_started.elapsed().as_micros() as u64,
         })
+    }
+
+    /// TopK boundary rule. `boundary` is the first ORDER BY key of the k-th
+    /// row of the *post-batch* result (refreshed by the shape pre-pass; only
+    /// stored when the result was full). A delta tuple whose key sorts
+    /// strictly beyond the boundary can neither enter the top-k (it sorts
+    /// after k surviving rows) nor displace it (the post-state top-k rows
+    /// all pre-existed the batch, and the engine's stable sort over
+    /// order-preserving storage keeps their relative order) — whether or not
+    /// the tuple matches the WHERE clause. Ties and missing keys stay
+    /// conservative; a tuple that lands at or inside the boundary and
+    /// matches locally ejects with [`VerdictKind::TopKBoundary`].
+    fn decide_topk(
+        inst: &BoundInstance,
+        spec: &TopKSpec,
+        boundary: &Value,
+        deltas: &DeltaSet,
+        counters: &mut ShardCounters,
+    ) -> DbResult<ShapeDecision> {
+        use std::cmp::Ordering;
+        let table = &inst.select.from[0].table;
+        let Some(delta) = deltas.for_table(table) else {
+            return Ok(ShapeDecision::Fallback);
+        };
+        let mut used_boundary = false;
+        for (tuple, is_insert) in delta.tuples() {
+            counters.tuples_analyzed += 1;
+            let impact = analyze_tuple(inst, 0, tuple)?;
+            if matches!(impact, TupleImpact::NoImpact) {
+                counters.local_decisions += 1;
+                continue;
+            }
+            // Strictly beyond the boundary in sort direction, under the
+            // engine's own comparator (`Value::cmp`, same as its ORDER BY).
+            let beyond = tuple
+                .get(spec.order_col)
+                .map(|key| {
+                    let ord = key.cmp(boundary);
+                    if spec.ascending {
+                        ord == Ordering::Greater
+                    } else {
+                        ord == Ordering::Less
+                    }
+                })
+                .unwrap_or(false);
+            if beyond {
+                used_boundary = true;
+                counters.local_decisions += 1;
+                continue;
+            }
+            match impact {
+                TupleImpact::Affected => {
+                    counters.local_decisions += 1;
+                    return Ok(ShapeDecision::Affected(VerdictCause {
+                        kind: VerdictKind::TopKBoundary,
+                        detail: format!(
+                            "{} tuple in `{table}` lands at or inside the top-{} boundary ({})",
+                            if is_insert { "Δ⁺ inserted" } else { "Δ⁻ deleted" },
+                            spec.k,
+                            boundary,
+                        ),
+                    }));
+                }
+                // A matching tuple we can neither decide locally nor prune
+                // by the boundary: hand the whole instance back to the
+                // conventional polling path.
+                TupleImpact::NeedsPoll(_) => return Ok(ShapeDecision::Fallback),
+                TupleImpact::NoImpact => unreachable!("handled above"),
+            }
+        }
+        Ok(ShapeDecision::NoImpact {
+            shape_skip: used_boundary,
+        })
+    }
+
+    /// Aggregate value-preserving rule: collect the delta tuples that match
+    /// the instance's predicates and judge whether they leave every group's
+    /// row count and every tracked aggregate provably unchanged. Unchanged
+    /// keeps the page cached; anything else ejects with
+    /// [`VerdictKind::AggregateDelta`] (including judgements the exactness
+    /// argument cannot cover — those never convert to NoImpact).
+    fn decide_aggregate(
+        inst: &BoundInstance,
+        spec: &AggSpec,
+        deltas: &DeltaSet,
+        counters: &mut ShardCounters,
+    ) -> DbResult<ShapeDecision> {
+        let table = &inst.select.from[0].table;
+        let Some(delta) = deltas.for_table(table) else {
+            return Ok(ShapeDecision::Fallback);
+        };
+        let mut matching: Vec<(&cacheportal_db::table::Row, bool)> = Vec::new();
+        for (tuple, is_insert) in delta.tuples() {
+            counters.tuples_analyzed += 1;
+            match analyze_tuple(inst, 0, tuple)? {
+                TupleImpact::NoImpact => counters.local_decisions += 1,
+                TupleImpact::Affected => matching.push((tuple, is_insert)),
+                TupleImpact::NeedsPoll(_) => return Ok(ShapeDecision::Fallback),
+            }
+        }
+        if matching.is_empty() {
+            return Ok(ShapeDecision::NoImpact { shape_skip: false });
+        }
+        counters.local_decisions += 1;
+        match judge_aggregate_delta(spec, &matching) {
+            AggJudgement::Unchanged => Ok(ShapeDecision::NoImpact { shape_skip: true }),
+            AggJudgement::Changed(detail) => Ok(ShapeDecision::Affected(VerdictCause {
+                kind: VerdictKind::AggregateDelta,
+                detail: format!("matching delta changes the aggregate: {detail}"),
+            })),
+            AggJudgement::Unprovable(detail) => Ok(ShapeDecision::Affected(VerdictCause {
+                kind: VerdictKind::AggregateDelta,
+                detail: format!("aggregate delta not provably unchanged: {detail}"),
+            })),
+        }
     }
 
     /// Per-tuple decision loop (grouping disabled): one poll per surviving
@@ -1893,5 +2177,167 @@ mod tests {
         assert_eq!(r.index_candidates, 1);
         assert_eq!(r.index_residual_types, 0);
         assert!(r.pages.contains(&PageKey::raw("p")));
+    }
+
+    /// A registered top-2 page over Car prices 40, 30 (maker 'T').
+    fn topk_setup() -> (Database, QiUrlMap, Invalidator) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)")
+            .unwrap();
+        db.execute("INSERT INTO Car VALUES ('T','a',40), ('T','b',30)")
+            .unwrap();
+        let map = QiUrlMap::new();
+        map.insert(
+            "SELECT model FROM Car WHERE maker = 'T' ORDER BY price DESC LIMIT 2".to_string(),
+            PageKey::raw("TOP"),
+            "top".to_string(),
+        );
+        let mut inv = Invalidator::new(InvalidatorConfig::default());
+        inv.run_sync_point(&db, &map).unwrap();
+        (db, map, inv)
+    }
+
+    #[test]
+    fn topk_boundary_rule_skips_provably_outside_inserts() {
+        let (mut db, map, mut inv) = topk_setup();
+        // Post-state boundary is 30 (2nd key of {40,30,10} DESC); the new
+        // row's key 10 sorts strictly beyond it, so it can neither enter
+        // nor displace the top-2 — the page stays cached.
+        db.execute("INSERT INTO Car VALUES ('T','c',10)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.is_empty(), "below-boundary insert stays cached");
+        assert_eq!(r.shape_topk_skipped, 1);
+        assert!(r.shape_boundary_polls >= 1);
+        assert_eq!(r.per_type[0].shape, QueryShape::TopK);
+        assert_eq!(r.per_type[0].shape_skipped, 1);
+
+        // A tie with the post-state boundary (insert 30 → boundary stays
+        // 30) is conservative: ejected, with shape provenance.
+        db.execute("INSERT INTO Car VALUES ('T','d',30)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("TOP")));
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::TopKBoundary);
+
+        // Strictly inside: enters the top-2.
+        db.execute("INSERT INTO Car VALUES ('T','e',50)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("TOP")));
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::TopKBoundary);
+        assert_eq!(r.shape_topk_skipped, 0);
+    }
+
+    #[test]
+    fn topk_boundary_rule_applies_to_deletes() {
+        let (mut db, map, mut inv) = topk_setup();
+        db.execute("INSERT INTO Car VALUES ('T','c',10)").unwrap();
+        inv.run_sync_point(&db, &map).unwrap();
+
+        // Deleting the row far below the boundary leaves the top-2 as-is.
+        db.execute("DELETE FROM Car WHERE model = 'c'").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.is_empty(), "below-boundary delete stays cached");
+        assert_eq!(r.shape_topk_skipped, 1);
+
+        // Deleting a top-2 member shrinks the result below k: the boundary
+        // disappears and the conventional path ejects.
+        db.execute("DELETE FROM Car WHERE model = 'a'").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("TOP")));
+        assert_eq!(r.shape_topk_skipped, 0);
+    }
+
+    #[test]
+    fn shape_rules_off_restores_conventional_ejects() {
+        let (mut db, map, mut inv) = topk_setup();
+        inv.config_mut().shape_rules = false;
+        db.execute("INSERT INTO Car VALUES ('T','c',10)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(
+            r.pages.contains(&PageKey::raw("TOP")),
+            "conventional path ejects on any matching tuple"
+        );
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::LocalPredicate);
+        assert_eq!(r.shape_boundary_polls, 0);
+        assert_eq!(r.shape_topk_skipped, 0);
+    }
+
+    /// A registered per-maker COUNT/SUM page.
+    fn agg_setup() -> (Database, QiUrlMap, Invalidator) {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE Car (maker TEXT, model TEXT, price INT)")
+            .unwrap();
+        db.execute("INSERT INTO Car VALUES ('Honda','Civic',18000), ('Honda','Fit',15000)")
+            .unwrap();
+        let map = QiUrlMap::new();
+        map.insert(
+            "SELECT maker, COUNT(*), SUM(price) FROM Car GROUP BY maker ORDER BY maker"
+                .to_string(),
+            PageKey::raw("AGG"),
+            "agg".to_string(),
+        );
+        let mut inv = Invalidator::new(InvalidatorConfig::default());
+        inv.run_sync_point(&db, &map).unwrap();
+        (db, map, inv)
+    }
+
+    #[test]
+    fn aggregate_rule_keeps_value_preserving_updates_cached() {
+        let (mut db, map, mut inv) = agg_setup();
+        // Swap one Honda for another at the same price within one batch:
+        // every group's row count and sum net to zero, so the page provably
+        // renders identically — it stays cached.
+        db.execute("DELETE FROM Car WHERE model = 'Fit'").unwrap();
+        db.execute("INSERT INTO Car VALUES ('Honda','Jazz',15000)")
+            .unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.is_empty(), "value-preserving batch stays cached");
+        assert_eq!(r.shape_agg_skipped, 1);
+        assert_eq!(r.per_type[0].shape, QueryShape::Aggregate);
+        assert_eq!(r.per_type[0].shape_skipped, 1);
+
+        // A new maker adds a group → ejected with aggregate provenance.
+        db.execute("INSERT INTO Car VALUES ('Kia','Rio',12000)").unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("AGG")));
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::AggregateDelta);
+
+        // A price move inside a group changes SUM → ejected.
+        db.execute("DELETE FROM Car WHERE model = 'Civic'").unwrap();
+        db.execute("INSERT INTO Car VALUES ('Honda','Civic',17000)")
+            .unwrap();
+        let r = inv.run_sync_point(&db, &map).unwrap();
+        assert!(r.pages.contains(&PageKey::raw("AGG")));
+        assert_eq!(r.verdicts[0].cause.kind, VerdictKind::AggregateDelta);
+        assert_eq!(r.shape_agg_skipped, 0);
+    }
+
+    #[test]
+    fn shape_rules_never_eject_more_than_conventional() {
+        // The on-arm affected set must be a subset of the off-arm set for
+        // the same update batch (here: equal workloads replayed on two
+        // invalidators, one per arm).
+        let updates = [
+            "INSERT INTO Car VALUES ('T','x',5)",
+            "INSERT INTO Car VALUES ('T','y',45)",
+            "DELETE FROM Car WHERE model = 'x'",
+            "INSERT INTO Car VALUES ('U','z',99)",
+        ];
+        let mut arms: Vec<Vec<usize>> = Vec::new();
+        for shape_rules in [true, false] {
+            let (mut db, map, mut inv) = topk_setup();
+            inv.config_mut().shape_rules = shape_rules;
+            let mut ejects = Vec::new();
+            for (i, sql) in updates.iter().enumerate() {
+                db.execute(sql).unwrap();
+                let r = inv.run_sync_point(&db, &map).unwrap();
+                if !r.pages.is_empty() {
+                    ejects.push(i);
+                }
+            }
+            arms.push(ejects);
+        }
+        let (on, off) = (&arms[0], &arms[1]);
+        assert!(on.iter().all(|i| off.contains(i)), "on ⊆ off: {arms:?}");
+        assert!(on.len() < off.len(), "strict improvement: {arms:?}");
     }
 }

@@ -15,9 +15,19 @@
 //!   `BTreeMap<Value, postings>` ordered by the bound parameter; a delta
 //!   tuple probes the half-open interval of parameters its value can
 //!   satisfy.
+//! * **IN-set tier** — a `col IN ($i, $j, …)` conjunct (all list elements
+//!   parameters) hashes each instance under *every* list value; a delta
+//!   tuple probes with its column value, exactly like the equality tier.
+//! * **LIKE-prefix tier** — a `col LIKE $k` conjunct whose bound pattern
+//!   has a non-empty literal prefix (the characters before the first
+//!   `%`/`_`) hashes the instance under that prefix; a delta tuple probes
+//!   every prefix of its string value. A pattern can only match a string
+//!   that starts with the pattern's literal prefix, so the probe is a
+//!   sound superset; patterns with an empty literal prefix (or non-string
+//!   bound patterns) fall into the always-scanned bucket.
 //! * **Residual tier** — everything the classifier cannot prove
 //!   (column-to-column joins on that occurrence, disjunctions,
-//!   arithmetic, `NOT`/`IN`/`LIKE`, unqualified columns in multi-table
+//!   arithmetic, `NOT` forms, unqualified columns in multi-table
 //!   queries) falls back to today's full scan. The index may only *skip*
 //!   work, never change verdicts.
 //!
@@ -83,7 +93,7 @@ struct OccPlan {
 /// Per-FROM-occurrence index structure.
 #[derive(Debug)]
 enum OccIndex {
-    /// No provably-safe `col op $k` conjunct on this occurrence: deltas
+    /// No provably-safe indexable conjunct on this occurrence: deltas
     /// touching it scan every instance (the residual tier).
     Residual,
     /// Equality postings keyed by the bound parameter.
@@ -96,14 +106,50 @@ enum OccIndex {
         plan: OccPlan,
         map: BTreeMap<Value, Vec<u32>>,
     },
+    /// IN-list postings: each instance keyed under every bound list value.
+    InSet {
+        column: String,
+        /// 0-based parameter slots of the list elements.
+        params: Vec<usize>,
+        map: HashMap<Value, Vec<u32>>,
+    },
+    /// LIKE postings keyed by the bound pattern's literal prefix.
+    LikePrefix {
+        column: String,
+        /// 0-based parameter slot of the pattern.
+        param: usize,
+        map: HashMap<String, Vec<u32>>,
+    },
 }
 
 impl OccIndex {
-    fn plan(&self) -> Option<&OccPlan> {
+    /// Indexed column name, `None` for the residual tier.
+    fn column(&self) -> Option<&str> {
         match self {
             OccIndex::Residual => None,
-            OccIndex::Eq { plan, .. } | OccIndex::Range { plan, .. } => Some(plan),
+            OccIndex::Eq { plan, .. } | OccIndex::Range { plan, .. } => Some(&plan.column),
+            OccIndex::InSet { column, .. } | OccIndex::LikePrefix { column, .. } => Some(column),
         }
+    }
+
+    /// Parameter slots this occurrence structure reads at insert time.
+    fn param_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            OccIndex::Residual => {}
+            OccIndex::Eq { plan, .. } | OccIndex::Range { plan, .. } => out.push(plan.param),
+            OccIndex::InSet { params, .. } => out.extend_from_slice(params),
+            OccIndex::LikePrefix { param, .. } => out.push(*param),
+        }
+    }
+}
+
+/// Literal prefix of a LIKE pattern: the characters before the first
+/// wildcard (`%` or `_`). A pattern can only match strings starting with
+/// this prefix, because the leading literal characters must match exactly.
+fn like_literal_prefix(pattern: &str) -> &str {
+    match pattern.find(['%', '_']) {
+        Some(i) => &pattern[..i],
+        None => pattern,
     }
 }
 
@@ -140,22 +186,23 @@ impl TypeIndex {
         let mut occs: Vec<OccIndex> = (0..select.from.len()).map(|_| OccIndex::Residual).collect();
         if let Some(w) = &select.where_clause {
             for conjunct in w.conjuncts() {
-                let Some((occ, plan)) = classify_conjunct(conjunct, &select.from) else {
+                let Some((occ, classified)) = classify_conjunct(conjunct, &select.from) else {
                     continue;
                 };
-                // Prefer an equality conjunct over a range conjunct for
-                // the same occurrence (point probes beat interval probes);
-                // first winner per shape is kept for determinism.
-                let replace = match &occs[occ] {
-                    OccIndex::Residual => true,
-                    OccIndex::Range { .. } => plan.op == IndexOp::Eq,
-                    OccIndex::Eq { .. } => false,
+                // Tier preference per occurrence: point probes beat set
+                // probes beat interval probes beat prefix probes
+                // (Eq > InSet > Range > LikePrefix); first winner per tier
+                // is kept for determinism.
+                let rank = |o: &OccIndex| match o {
+                    OccIndex::Residual => 0u8,
+                    OccIndex::LikePrefix { .. } => 1,
+                    OccIndex::Range { .. } => 2,
+                    OccIndex::InSet { .. } => 3,
+                    OccIndex::Eq { .. } => 4,
                 };
-                if replace {
-                    occs[occ] = match plan.op {
-                        IndexOp::Eq => OccIndex::Eq { plan, map: HashMap::new() },
-                        _ => OccIndex::Range { plan, map: BTreeMap::new() },
-                    };
+                let candidate = classified.into_occ();
+                if rank(&candidate) > rank(&occs[occ]) {
+                    occs[occ] = candidate;
                 }
             }
         }
@@ -176,7 +223,7 @@ impl TypeIndex {
     /// Whether every occurrence is residual (the index can never narrow
     /// this type).
     pub fn is_fully_residual(&self) -> bool {
-        self.occs.iter().all(|o| o.plan().is_none())
+        self.occs.iter().all(|o| o.column().is_none())
     }
 
     /// Intern one newly-registered instance; returns its slot.
@@ -192,14 +239,25 @@ impl TypeIndex {
             }
         };
         self.live += 1;
-        // A plan's parameter slot always exists for instances registered
-        // through the owning type's template; anything else is defensively
+        // A plan's parameter slots always exist for instances registered
+        // through the owning type's template; anything else — including a
+        // LIKE pattern with no usable literal prefix — is defensively
         // routed to the always-scanned bucket.
-        let placeable = self
-            .occs
-            .iter()
-            .filter_map(OccIndex::plan)
-            .all(|p| p.param < params.len());
+        let mut slots_needed = Vec::new();
+        for occ in &self.occs {
+            occ.param_slots(&mut slots_needed);
+        }
+        let mut placeable = slots_needed.iter().all(|p| *p < params.len());
+        if placeable {
+            for occ in &self.occs {
+                if let OccIndex::LikePrefix { param, .. } = occ {
+                    match &params[*param] {
+                        Value::Str(s) if !like_literal_prefix(s).is_empty() => {}
+                        _ => placeable = false,
+                    }
+                }
+            }
+        }
         if !placeable {
             self.unclassified.insert(slot);
             return slot;
@@ -212,6 +270,19 @@ impl TypeIndex {
                 }
                 OccIndex::Range { plan, map } => {
                     map.entry(params[plan.param].clone()).or_default().push(slot);
+                }
+                OccIndex::InSet { params: slots, map, .. } => {
+                    for v in distinct_values(slots, params) {
+                        map.entry(v.clone()).or_default().push(slot);
+                    }
+                }
+                OccIndex::LikePrefix { param, map, .. } => {
+                    let Value::Str(s) = &params[*param] else {
+                        unreachable!("checked placeable above");
+                    };
+                    map.entry(like_literal_prefix(s).to_string())
+                        .or_default()
+                        .push(slot);
                 }
             }
         }
@@ -234,10 +305,23 @@ impl TypeIndex {
         if self.unclassified.remove(&slot) {
             return;
         }
+        fn unpost<K: std::hash::Hash + Eq + Clone, S: std::hash::BuildHasher>(
+            map: &mut HashMap<K, Vec<u32>, S>,
+            key: &K,
+            slot: u32,
+        ) {
+            if let Some(postings) = map.get_mut(key) {
+                postings.retain(|s| *s != slot);
+                if postings.is_empty() {
+                    map.remove(key);
+                }
+            }
+        }
         for occ in &mut self.occs {
             match occ {
                 OccIndex::Residual => {}
-                OccIndex::Eq { plan, map } => {
+                OccIndex::Eq { plan, map } => unpost(map, &params[plan.param], slot),
+                OccIndex::Range { plan, map } => {
                     if let Some(postings) = map.get_mut(&params[plan.param]) {
                         postings.retain(|s| *s != slot);
                         if postings.is_empty() {
@@ -245,12 +329,14 @@ impl TypeIndex {
                         }
                     }
                 }
-                OccIndex::Range { plan, map } => {
-                    if let Some(postings) = map.get_mut(&params[plan.param]) {
-                        postings.retain(|s| *s != slot);
-                        if postings.is_empty() {
-                            map.remove(&params[plan.param]);
-                        }
+                OccIndex::InSet { params: slots, map, .. } => {
+                    for v in distinct_values(slots, params) {
+                        unpost(map, v, slot);
+                    }
+                }
+                OccIndex::LikePrefix { param, map, .. } => {
+                    if let Value::Str(s) = &params[*param] {
+                        unpost(map, &like_literal_prefix(s).to_string(), slot);
                     }
                 }
             }
@@ -273,14 +359,14 @@ impl TypeIndex {
             let Some(delta) = deltas.for_table(&tref.table) else {
                 continue;
             };
-            let Some(plan) = self.occs[occ].plan() else {
+            let Some(col_name) = self.occs[occ].column() else {
                 return Probe::Scan; // residual occurrence touched
             };
             // Resolve the column against the live schema, exactly as the
             // binder would; drift (column dropped/renamed) falls back to
             // the scan so error/verdict behavior matches it.
             let table = db.catalog().get(&tref.table).expect("checked above");
-            let Ok(col) = table.schema().require(&plan.column) else {
+            let Ok(col) = table.schema().require(col_name) else {
                 return Probe::Scan;
             };
             let occ_index = &self.occs[occ];
@@ -291,13 +377,32 @@ impl TypeIndex {
                     return Probe::Scan;
                 };
                 if matches!(v, Value::Null) {
-                    continue; // NULL satisfies no comparison
+                    continue; // NULL satisfies no comparison, IN, or LIKE
                 }
                 match occ_index {
-                    OccIndex::Residual => unreachable!("plan() was Some"),
-                    OccIndex::Eq { map, .. } => {
+                    OccIndex::Residual => unreachable!("column() was Some"),
+                    OccIndex::Eq { map, .. } | OccIndex::InSet { map, .. } => {
                         if let Some(postings) = map.get(v) {
                             slots.extend(postings.iter().copied());
+                        }
+                    }
+                    OccIndex::LikePrefix { map, .. } => {
+                        // A pattern matches `s` only if its literal prefix
+                        // is a prefix of `s`; probe every char-boundary
+                        // prefix (non-empty; empty-prefix patterns live in
+                        // the unclassified bucket). Non-string values never
+                        // satisfy LIKE, so they probe nothing.
+                        if let Value::Str(s) = v {
+                            for (i, _) in s.char_indices().skip(1) {
+                                if let Some(postings) = map.get(&s[..i]) {
+                                    slots.extend(postings.iter().copied());
+                                }
+                            }
+                            if !s.is_empty() {
+                                if let Some(postings) = map.get(s.as_str()) {
+                                    slots.extend(postings.iter().copied());
+                                }
+                            }
                         }
                     }
                     OccIndex::Range { plan, map } => {
@@ -339,11 +444,52 @@ impl TypeIndex {
     }
 }
 
-/// Classify one WHERE conjunct as `(occurrence, plan)` if it has the
-/// provably-safe shape `col op $k` / `$k op col` / `col BETWEEN $i AND $j`
-/// (param-bounded side) where `col` resolves to exactly the occurrence the
-/// engine's binder would pick.
-fn classify_conjunct(e: &Expr, from: &[TableRef]) -> Option<(usize, OccPlan)> {
+/// Distinct bound values among the given parameter slots (IN-lists may
+/// repeat a value; postings must carry each slot once per key).
+fn distinct_values<'a>(slots: &[usize], params: &'a [Value]) -> Vec<&'a Value> {
+    let mut out: Vec<&Value> = Vec::with_capacity(slots.len());
+    for s in slots {
+        let v = &params[*s];
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Classification outcome of one WHERE conjunct before its empty
+/// occurrence structure is built.
+enum Classified {
+    /// `col op $k` / `$k op col` / param-bounded BETWEEN side.
+    Cmp(OccPlan),
+    /// `col IN ($i, $j, …)` with every element a parameter.
+    InSet { column: String, params: Vec<usize> },
+    /// `col LIKE $k` (pattern is per-instance; prefix extracted at insert).
+    Like { column: String, param: usize },
+}
+
+impl Classified {
+    fn into_occ(self) -> OccIndex {
+        match self {
+            Classified::Cmp(plan) if plan.op == IndexOp::Eq => {
+                OccIndex::Eq { plan, map: HashMap::new() }
+            }
+            Classified::Cmp(plan) => OccIndex::Range { plan, map: BTreeMap::new() },
+            Classified::InSet { column, params } => {
+                OccIndex::InSet { column, params, map: HashMap::new() }
+            }
+            Classified::Like { column, param } => {
+                OccIndex::LikePrefix { column, param, map: HashMap::new() }
+            }
+        }
+    }
+}
+
+/// Classify one WHERE conjunct if it has a provably-safe indexable shape:
+/// `col op $k` / `$k op col` / `col BETWEEN $i AND $j` (param-bounded
+/// side) / `col IN ($i, …)` / `col LIKE $k`, where `col` resolves to
+/// exactly the occurrence the engine's binder would pick.
+fn classify_conjunct(e: &Expr, from: &[TableRef]) -> Option<(usize, Classified)> {
     let (col, op, param) = match e {
         Expr::Cmp { left, op, right } => match (&**left, &**right) {
             (Expr::Column(c), Expr::Param(k)) => (c, *op, *k),
@@ -363,15 +509,58 @@ fn classify_conjunct(e: &Expr, from: &[TableRef]) -> Option<(usize, OccPlan)> {
             // param-bounded side alone is a sound one-sided filter.
             if let Expr::Param(k) = &**low {
                 return occ_of(c, from).map(|occ| {
-                    (occ, OccPlan { column: c.column.clone(), op: IndexOp::Ge, param: *k - 1 })
+                    (occ, Classified::Cmp(OccPlan {
+                        column: c.column.clone(),
+                        op: IndexOp::Ge,
+                        param: *k - 1,
+                    }))
                 });
             }
             if let Expr::Param(k) = &**high {
                 return occ_of(c, from).map(|occ| {
-                    (occ, OccPlan { column: c.column.clone(), op: IndexOp::Le, param: *k - 1 })
+                    (occ, Classified::Cmp(OccPlan {
+                        column: c.column.clone(),
+                        op: IndexOp::Le,
+                        param: *k - 1,
+                    }))
                 });
             }
             return None;
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let Expr::Column(c) = &**expr else {
+                return None;
+            };
+            if list.is_empty() {
+                return None;
+            }
+            let mut params = Vec::with_capacity(list.len());
+            for item in list {
+                let Expr::Param(k) = item else {
+                    return None;
+                };
+                params.push(*k - 1);
+            }
+            let occ = occ_of(c, from)?;
+            return Some((occ, Classified::InSet { column: c.column.clone(), params }));
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated: false,
+        } => {
+            let Expr::Column(c) = &**expr else {
+                return None;
+            };
+            let Expr::Param(k) = &**pattern else {
+                return None;
+            };
+            let occ = occ_of(c, from)?;
+            return Some((occ, Classified::Like { column: c.column.clone(), param: *k - 1 }));
         }
         _ => return None,
     };
@@ -384,7 +573,7 @@ fn classify_conjunct(e: &Expr, from: &[TableRef]) -> Option<(usize, OccPlan)> {
         CmpOp::NotEq => return None,
     };
     let occ = occ_of(col, from)?;
-    Some((occ, OccPlan { column: col.column.clone(), op: iop, param: param - 1 }))
+    Some((occ, Classified::Cmp(OccPlan { column: col.column.clone(), op: iop, param: param - 1 })))
 }
 
 /// Resolve a column reference to its FROM occurrence the same way the
@@ -556,6 +745,105 @@ mod tests {
         // The freed slot is recycled.
         let s3 = tix.insert(&[Value::Int(3)]);
         assert_eq!(s3, s1);
+    }
+
+    fn str_db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE item (id INT, name TEXT)").unwrap();
+        db
+    }
+
+    #[test]
+    fn in_list_tier_probes_each_value() {
+        let db = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k IN (1, 2)");
+        assert!(!tix.is_fully_residual());
+        tix.insert(&[Value::Int(10), Value::Int(20)]);
+        tix.insert(&[Value::Int(30), Value::Int(40)]);
+        // Duplicate list values must not duplicate postings.
+        tix.insert(&[Value::Int(10), Value::Int(10)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(20), Value::Int(0)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Int(10), Value::Int(20)]]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(10), Value::Int(0)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Int(10), Value::Int(10)],
+                vec![Value::Int(10), Value::Int(20)]
+            ]
+        );
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(99), Value::Int(0)]]);
+        assert!(candidates(tix.probe(&template.from, &d, &db)).is_empty());
+    }
+
+    #[test]
+    fn like_prefix_tier_probes_string_prefixes() {
+        let db = str_db();
+        let (template, mut tix) = type_of("SELECT id FROM item WHERE item.name LIKE 'ab%'");
+        assert!(!tix.is_fully_residual());
+        tix.insert(&[Value::Str("ab%".into())]);
+        tix.insert(&[Value::Str("abc%".into())]);
+        tix.insert(&[Value::Str("x_y".into())]);
+        // Pattern with no literal prefix: always-scanned bucket.
+        tix.insert(&[Value::Str("%z".into())]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Str("abcd".into())]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        // 'ab%' (prefix "ab") and 'abc%' (prefix "abc") both prefix "abcd";
+        // '%z' rides along from the unclassified bucket; 'x_y' is excluded.
+        assert_eq!(
+            got,
+            vec![
+                vec![Value::Str("%z".into())],
+                vec![Value::Str("ab%".into())],
+                vec![Value::Str("abc%".into())]
+            ]
+        );
+        // Non-string tuple values never satisfy LIKE: only the bucket rides.
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(7)]]);
+        let got = candidates(tix.probe(&template.from, &d, &db));
+        assert_eq!(got, vec![vec![Value::Str("%z".into())]]);
+    }
+
+    #[test]
+    fn like_and_in_removal_maintains_postings() {
+        let sdb = str_db();
+        let (template, mut tix) = type_of("SELECT id FROM item WHERE item.name LIKE 'ab%'");
+        let s1 = tix.insert(&[Value::Str("ab%".into())]);
+        tix.remove(s1, &[Value::Str("ab%".into())]);
+        assert_eq!(tix.live(), 0);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Str("abcd".into())]]);
+        assert!(candidates(tix.probe(&template.from, &d, &sdb)).is_empty());
+
+        let idb = db();
+        let (template, mut tix) = type_of("SELECT v FROM item WHERE item.k IN (1, 2)");
+        let s1 = tix.insert(&[Value::Int(5), Value::Int(6)]);
+        tix.remove(s1, &[Value::Int(5), Value::Int(6)]);
+        let d = deltas_for("item", vec![vec![Value::Int(1), Value::Int(5), Value::Int(0)]]);
+        assert!(candidates(tix.probe(&template.from, &d, &idb)).is_empty());
+    }
+
+    #[test]
+    fn eq_preferred_over_in_over_range_over_like() {
+        // Same occurrence with IN and range: IN wins.
+        let (_, tix) = type_of("SELECT v FROM item WHERE item.k IN (1,2) AND item.k < 9");
+        assert!(matches!(tix.occs[0], OccIndex::InSet { .. }));
+        // Eq beats IN.
+        let (_, tix) = type_of("SELECT v FROM item WHERE item.k IN (1,2) AND item.k = 3");
+        assert!(matches!(tix.occs[0], OccIndex::Eq { .. }));
+        // Range beats LikePrefix.
+        let (_, tix) =
+            type_of("SELECT id FROM item WHERE item.name LIKE 'a%' AND item.name < 'zz'");
+        assert!(matches!(tix.occs[0], OccIndex::Range { .. }));
+    }
+
+    #[test]
+    fn negated_like_and_in_stay_residual() {
+        let (_, tix) = type_of("SELECT id FROM item WHERE item.name NOT LIKE 'ab%'");
+        assert!(tix.is_fully_residual());
+        let (_, tix) = type_of("SELECT v FROM item WHERE item.k NOT IN (1, 2)");
+        assert!(tix.is_fully_residual());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! invalidator-side view of the QI/URL map, grouped so that updates are
 //! processed per *type* rather than per instance (§4.1.2's grouping).
 
-use cacheportal_db::sql::ast::{Select, Statement, TableRef};
+use cacheportal_db::sql::ast::{Expr, Select, Statement, TableRef};
 use cacheportal_db::sql::parser::parse;
 use cacheportal_db::sql::rewrite::parameterize;
 use cacheportal_db::{Database, DbResult, Value};
@@ -70,6 +70,76 @@ impl TypeStats {
     }
 }
 
+/// Structural shape of a query type — which invalidation rule family
+/// applies (ROADMAP open item 3). Classified once at type-intern time from
+/// the parameterized template, so every instance of a type shares its
+/// shape. Precedence: Aggregate > TopK > LikeSeek > InList > Conjunctive
+/// (a GROUP BY with ORDER BY + LIMIT is judged by the aggregate rule,
+/// whose "whole result unchanged" argument subsumes the ordered prefix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryShape {
+    /// Plain select-project-join — the paper's original rule family.
+    #[default]
+    Conjunctive,
+    /// `ORDER BY … LIMIT k`: affected only if an update can enter or
+    /// displace the top-k (judged against the tracked boundary value).
+    TopK,
+    /// GROUP BY / aggregate projection: affected only if the delta
+    /// changes some group's aggregate values.
+    Aggregate,
+    /// WHERE contains a `LIKE` conjunct: conjunctive verdicts, but the
+    /// predicate index can seek on the pattern's literal prefix.
+    LikeSeek,
+    /// WHERE contains an `IN`-list conjunct: conjunctive verdicts, but
+    /// the predicate index expands the list into equality probes.
+    InList,
+}
+
+impl QueryShape {
+    /// Stable kebab-ish name used in metrics, scorecards, and bench
+    /// records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryShape::Conjunctive => "conjunctive",
+            QueryShape::TopK => "topk",
+            QueryShape::Aggregate => "aggregate",
+            QueryShape::LikeSeek => "like",
+            QueryShape::InList => "in",
+        }
+    }
+
+    /// Classify a parameterized template.
+    pub fn classify(select: &Select) -> QueryShape {
+        let is_aggregate = !select.group_by.is_empty()
+            || select.items.iter().any(|i| match i {
+                cacheportal_db::sql::ast::SelectItem::Expr { expr, .. } => expr.has_aggregate(),
+                _ => false,
+            });
+        if is_aggregate {
+            return QueryShape::Aggregate;
+        }
+        if select.limit.is_some() && !select.order_by.is_empty() {
+            return QueryShape::TopK;
+        }
+        let mut has_like = false;
+        let mut has_in = false;
+        if let Some(w) = &select.where_clause {
+            w.visit(&mut |e| match e {
+                Expr::Like { .. } => has_like = true,
+                Expr::InList { .. } => has_in = true,
+                _ => {}
+            });
+        }
+        if has_like {
+            QueryShape::LikeSeek
+        } else if has_in {
+            QueryShape::InList
+        } else {
+            QueryShape::Conjunctive
+        }
+    }
+}
+
 /// A registered query type.
 #[derive(Debug, Clone)]
 pub struct QueryType {
@@ -88,6 +158,8 @@ pub struct QueryType {
     /// When false, pages depending on this type must not be cached
     /// (policy-discovery outcome, §4.1.4).
     pub cacheable: bool,
+    /// Structural shape (decides which verdict rule family applies).
+    pub shape: QueryShape,
 }
 
 impl QueryType {
@@ -104,6 +176,12 @@ pub struct InstanceData {
     pub pages: HashSet<PageKey>,
     /// Slot of this instance in its type's predicate index.
     pub(crate) slot: u32,
+    /// TopK instances only: first-order-key value of the k-th result row
+    /// as of the last boundary poll (`None` = unknown or result not full —
+    /// the shape rule then falls back to the conjunctive decision).
+    /// Initialized unknown at registration, refreshed by the sync-point
+    /// boundary pre-pass whenever the type's tables are touched.
+    pub boundary: Option<Value>,
 }
 
 /// O(1) snapshot of the predicate-index bookkeeping.
@@ -180,6 +258,7 @@ impl Registry {
         }
         self.by_sql.insert(sql.clone(), id);
         self.indexes.push(TypeIndex::plan(&select));
+        let shape = QueryShape::classify(&select);
         self.types.push(QueryType {
             id,
             select,
@@ -188,6 +267,7 @@ impl Registry {
             tables,
             stats: TypeStats::default(),
             cacheable: true,
+            shape,
         });
         self.instances.entry(id).or_default();
         id
@@ -225,7 +305,7 @@ impl Registry {
                 self.index_maintenance_nanos += t0.elapsed().as_nanos() as u64;
                 let mut pages = HashSet::new();
                 pages.insert(page);
-                e.insert(InstanceData { pages, slot });
+                e.insert(InstanceData { pages, slot, boundary: None });
             }
         }
         Ok((id, params))
@@ -304,6 +384,15 @@ impl Registry {
     /// Pages depending on a specific instance.
     pub fn pages_of(&self, id: QueryTypeId, params: &[Value]) -> Option<&InstanceData> {
         self.instances.get(&id).and_then(|m| m.get(params))
+    }
+
+    /// Store a TopK instance's refreshed boundary value (`None` = the
+    /// boundary poll failed or the result is not full; the shape rule then
+    /// degrades to the conjunctive decision for this instance).
+    pub fn set_boundary(&mut self, id: QueryTypeId, params: &[Value], boundary: Option<Value>) {
+        if let Some(data) = self.instances.get_mut(&id).and_then(|m| m.get_mut(params)) {
+            data.boundary = boundary;
+        }
     }
 
     /// Query types with at least one instance feeding `page`, sorted by id
@@ -448,6 +537,60 @@ mod tests {
         reg.remove_pages(&gone);
         assert!(reg.types_of_page(&PageKey::raw("p1")).is_empty());
         assert_eq!(reg.types_of_page(&PageKey::raw("p2")), vec![t_car]);
+    }
+
+    #[test]
+    fn shapes_classify_by_template_structure() {
+        let mut reg = Registry::new();
+        let cases = [
+            ("SELECT * FROM Car WHERE price < 20000", QueryShape::Conjunctive),
+            (
+                "SELECT model FROM Car WHERE maker = 'T' ORDER BY price DESC LIMIT 3",
+                QueryShape::TopK,
+            ),
+            (
+                "SELECT maker, COUNT(*) FROM Car GROUP BY maker ORDER BY maker",
+                QueryShape::Aggregate,
+            ),
+            // Aggregate wins over TopK when both apply.
+            (
+                "SELECT maker, COUNT(*) FROM Car GROUP BY maker ORDER BY maker LIMIT 2",
+                QueryShape::Aggregate,
+            ),
+            ("SELECT * FROM Car WHERE model LIKE 'Civ%'", QueryShape::LikeSeek),
+            ("SELECT * FROM Car WHERE maker IN ('T', 'H')", QueryShape::InList),
+            // LIKE wins over IN.
+            (
+                "SELECT * FROM Car WHERE model LIKE 'C%' AND maker IN ('T')",
+                QueryShape::LikeSeek,
+            ),
+            // LIMIT without ORDER BY stays conjunctive (no boundary rule).
+            ("SELECT * FROM Car LIMIT 5", QueryShape::Conjunctive),
+        ];
+        for (sql, want) in cases {
+            let (id, _) = reg.register_instance(sql, PageKey::raw("p")).unwrap();
+            assert_eq!(reg.get(id).shape, want, "shape of {sql}");
+        }
+    }
+
+    #[test]
+    fn boundary_is_stored_per_instance() {
+        let mut reg = Registry::new();
+        let (id, params) = reg
+            .register_instance(
+                "SELECT model FROM Car WHERE maker = 'T' ORDER BY price DESC LIMIT 3",
+                PageKey::raw("p"),
+            )
+            .unwrap();
+        assert_eq!(reg.pages_of(id, &params).unwrap().boundary, None);
+        reg.set_boundary(id, &params, Some(Value::Int(42)));
+        assert_eq!(
+            reg.pages_of(id, &params).unwrap().boundary,
+            Some(Value::Int(42))
+        );
+        // Unknown instance: silently ignored (instance may have been evicted
+        // between the candidate walk and the refresh).
+        reg.set_boundary(id, &[Value::Int(999)], Some(Value::Int(1)));
     }
 
     #[test]

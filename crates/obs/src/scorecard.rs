@@ -73,6 +73,12 @@ pub struct TypeSyncOutcome {
     pub index_skipped: u64,
     /// Instances scanned via the residual (unindexable) fallback.
     pub index_residual: u64,
+    /// Query-shape classifier verdict for this type ("conjunctive",
+    /// "topk", "aggregate", "like", "in"); empty when unreported.
+    pub shape: String,
+    /// Instances a shape rule (top-k boundary / aggregate delta) kept
+    /// cached where the conventional path would have ejected.
+    pub shape_skipped: u64,
 }
 
 /// Cumulative cost/benefit score for one query type.
@@ -104,6 +110,10 @@ pub struct TypeScore {
     pub index_skipped: u64,
     /// Instances scanned via the residual (unindexable) fallback.
     pub index_residual: u64,
+    /// Query-shape classifier verdict (kept current on the score row).
+    pub shape: String,
+    /// Cumulative instances the shape rules kept cached.
+    pub shape_skipped: u64,
 }
 
 impl TypeScore {
@@ -277,6 +287,10 @@ impl ScorecardBoard {
             row.index_candidates += o.index_candidates;
             row.index_skipped += o.index_skipped;
             row.index_residual += o.index_residual;
+            if !o.shape.is_empty() {
+                row.shape = o.shape.clone();
+            }
+            row.shape_skipped += o.shape_skipped;
         }
         self.version.fetch_add(1, Ordering::Relaxed);
     }
@@ -343,6 +357,8 @@ impl ScorecardBoard {
                 "residual_fraction".to_string(),
                 Value::Float(row.residual_fraction()),
             ),
+            ("shape".to_string(), Value::String(row.shape.clone())),
+            ("shape_skipped".to_string(), Value::UInt(row.shape_skipped)),
         ])
     }
 
@@ -446,6 +462,8 @@ mod tests {
             index_candidates: 0,
             index_skipped: 0,
             index_residual: 0,
+            shape: "topk".to_string(),
+            shape_skipped: 1,
         }]);
         assert_eq!(board.version(), 1);
         board.note_sync(&[TypeSyncOutcome {

@@ -98,12 +98,23 @@ pub enum ParamSource {
     Cookie(String, ColType),
     /// Fixed value.
     Const(Value),
+    /// GET parameter spliced into a string template: every `{}` in the
+    /// template is replaced by the raw parameter text and the result is a
+    /// `Value::Str`. Built for LIKE patterns ("s{}%") where the query
+    /// parameter is a fragment of the pattern, not the whole value.
+    GetPattern(String, String),
 }
 
 impl ParamSource {
     fn resolve(&self, req: &HttpRequest) -> DbResult<Value> {
         let (raw, ty, name) = match self {
             ParamSource::Const(v) => return Ok(v.clone()),
+            ParamSource::GetPattern(n, template) => {
+                let raw = req.get_param(n).ok_or_else(|| {
+                    DbError::Unsupported(format!("missing request parameter '{n}'"))
+                })?;
+                return Ok(Value::Str(template.replace("{}", raw)));
+            }
             ParamSource::Get(n, t) => (req.get_param(n), *t, n),
             ParamSource::Post(n, t) => (req.post_param(n), *t, n),
             ParamSource::Cookie(n, t) => (req.cookie(n), *t, n),

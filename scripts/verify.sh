@@ -51,6 +51,16 @@ echo "== registered-QI sweep smoke test (sync_scale --qi-sweep --smoke) =="
 grep -q '"qi_sweep"' BENCH_sync_scale.json \
   || { echo "BENCH_sync_scale.json carries no qi_sweep record"; exit 1; }
 
+echo "== shape-mix precision smoke test (sync_scale --shape-mix --smoke) =="
+# Shape-aware vs conservative invalidation over the identical workload: the
+# binary asserts on ⊆ off at every sync point, a strict eject reduction on
+# top-k and aggregate pages, and byte-identical ejects on conjunctive /
+# LIKE / IN pages (index tiers may only skip work). The full mix runs
+# nightly and feeds the EXPERIMENTS.md precision table.
+./target/release/sync_scale --shape-mix --smoke
+grep -q '"shape_mix"' BENCH_sync_scale.json \
+  || { echo "BENCH_sync_scale.json carries no shape_mix record"; exit 1; }
+
 echo "== tracing-overhead smoke test (trace_overhead --smoke) =="
 # Exercises the portal-level tracing A/B path and appends to the
 # BENCH_trace_overhead.json history; the <=5% overhead target is enforced
