@@ -39,6 +39,7 @@
 //!   write a JSONL export, print one explain chain, and hold the server open
 //!   (CI smoke-tests `/metrics` and `/healthz` against it).
 
+use cacheportal::cache::{PageCache, PageCacheConfig};
 use cacheportal::db::schema::ColType;
 use cacheportal::db::Database;
 use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
@@ -57,12 +58,13 @@ fn main() {
         Some("timeline") => cmd_timeline(&args[1..]),
         Some("scorecard") => cmd_scorecard(&args[1..]),
         Some("slo") => cmd_slo(&args[1..]),
+        Some("bus") => cmd_bus(&args[1..]),
         Some("blackbox") => cmd_blackbox(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("demo") => cmd_demo(&args[1..]),
         _ => {
             eprintln!(
-                "usage: obsctl <metrics|health|explain|trace|timeline|scorecard|slo|blackbox|\
+                "usage: obsctl <metrics|health|explain|trace|timeline|scorecard|slo|bus|blackbox|\
                  diff|demo> [options]"
             );
             eprintln!("  metrics   --addr HOST:PORT");
@@ -72,6 +74,7 @@ fn main() {
             eprintln!("  timeline  --addr HOST:PORT [--stable] [--json] [--chrome FILE]");
             eprintln!("  scorecard --addr HOST:PORT [--json]");
             eprintln!("  slo       --addr HOST:PORT [--stable] [--json]");
+            eprintln!("  bus       --addr HOST:PORT [--json]");
             eprintln!("  blackbox  --addr HOST:PORT --out FILE [--stable] | --index");
             eprintln!("  diff BEFORE.json AFTER.json");
             eprintln!("  demo --serve HOST:PORT [--hold-secs N] [--export FILE]");
@@ -552,6 +555,89 @@ fn cmd_slo(args: &[String]) -> i32 {
     i32::from(fast + slow > 0)
 }
 
+/// Per-edge invalidation-bus health: acked watermark, lag behind the
+/// latest published batch, retry/failure spend, and partition state.
+/// Exits 1 when any edge is partitioned or degraded so scripts can gate
+/// on bus health the same way `slo` gates on burn alerts.
+fn cmd_bus(args: &[String]) -> i32 {
+    let Some(doc) = fetch_json(args, "bus", "/bus") else {
+        return if flag(args, "--addr").is_none() { 2 } else { 1 };
+    };
+    if doc.as_object().map(|o| o.is_empty()).unwrap_or(true) && doc["edges"].as_array().is_none() {
+        eprintln!("no bus attached (portal is running without edges)");
+        return 1;
+    }
+    let empty = Vec::new();
+    let edges = doc["edges"].as_array().unwrap_or(&empty);
+    let unhealthy = edges
+        .iter()
+        .filter(|e| {
+            e["partitioned"].as_bool() == Some(true) || e["degraded"].as_bool() == Some(true)
+        })
+        .count();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&doc).expect("render"));
+        return i32::from(unhealthy > 0);
+    }
+    let mut rows = vec![vec![
+        "edge".to_string(),
+        "link".to_string(),
+        "acked".to_string(),
+        "lag".to_string(),
+        "state".to_string(),
+        "fail-rounds".to_string(),
+        "retries".to_string(),
+        "failures".to_string(),
+        "applied".to_string(),
+        "dupes".to_string(),
+        "gaps".to_string(),
+        "ejected".to_string(),
+        "flushed".to_string(),
+    ]];
+    for e in edges {
+        let state = if e["partitioned"].as_bool() == Some(true) {
+            "PARTITIONED"
+        } else if e["degraded"].as_bool() == Some(true) {
+            "DEGRADED"
+        } else {
+            "ok"
+        };
+        let n = |k: &str| e[k].as_u64().unwrap_or(0).to_string();
+        rows.push(vec![
+            e["name"].as_str().unwrap_or("?").to_string(),
+            if e["connected"].as_bool() == Some(true) {
+                "local".to_string()
+            } else {
+                "remote".to_string()
+            },
+            n("acked"),
+            n("lag"),
+            state.to_string(),
+            n("consec_failed_rounds"),
+            n("retries"),
+            n("failures"),
+            n("applied_batches"),
+            n("duplicates_absorbed"),
+            n("gaps_buffered"),
+            n("ejected_pages"),
+            n("flushed_pages"),
+        ]);
+    }
+    print!("{}", cacheportal_bench::render_table(&rows));
+    println!(
+        "latest_seq={} published={} rounds={} retained={} catch_up={} reboots={} \
+         partitioned_edges={}",
+        doc["latest_seq"].as_u64().unwrap_or(0),
+        doc["published"].as_u64().unwrap_or(0),
+        doc["rounds"].as_u64().unwrap_or(0),
+        doc["retained"].as_u64().unwrap_or(0),
+        doc["catch_up_batches"].as_u64().unwrap_or(0),
+        doc["reboots"].as_u64().unwrap_or(0),
+        doc["partitioned_edges"].as_u64().unwrap_or(0),
+    );
+    i32::from(unhealthy > 0)
+}
+
 /// `obsctl blackbox`: pull a flight-record dump off a live portal for an
 /// offline post-mortem, or list the recorder's capture index.
 fn cmd_blackbox(args: &[String]) -> i32 {
@@ -644,6 +730,11 @@ fn cmd_demo(args: &[String]) -> i32 {
     let hold_secs: u64 = flag(args, "--hold-secs").and_then(|s| s.parse().ok()).unwrap_or(30);
 
     let portal = demo_portal();
+    // Two edge caches behind the bus so `/bus` (and `obsctl bus`) shows a
+    // live watermark table instead of the no-edges placeholder.
+    for _ in 0..2 {
+        portal.register_edge_cache(Arc::new(PageCache::new(PageCacheConfig::default())));
+    }
     let req = |maxprice: i64| {
         HttpRequest::get("shop.example.com", "/carSearch", &[("maxprice", &maxprice.to_string())])
     };

@@ -1,0 +1,191 @@
+//! Scripted partition drill against a live portal: partition one edge's
+//! bus link, watch `/healthz` report it, verify the edge degrades to the
+//! conservative empty state (TTL/Vcache-style — never stale), heal the
+//! link, and confirm watermark catch-up leaves the drilled edge holding a
+//! byte-identical page set to the untouched control edge.
+//!
+//! Prints greppable `partition-drill:` markers and exits 0 only if every
+//! stage holds, so `verify.sh` can gate on it.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::cache::{PageCache, PageCacheConfig};
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::CachePortal;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const CONTROL: usize = 0;
+const DRILLED: usize = 1;
+const GROUPS: i64 = 4;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("PARTITION-DRILL FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn check(cond: bool, msg: &str) {
+    if !cond {
+        fail(msg);
+    }
+}
+
+fn portal() -> CachePortal {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE Items (g INT, v INT, INDEX(g))").expect("schema");
+    for g in 0..GROUPS {
+        db.execute(&format!("INSERT INTO Items VALUES ({g}, {})", 10 + g)).expect("seed");
+    }
+    let p = CachePortal::builder(db).build().expect("portal");
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("items").with_key_get_params(&["g"]),
+        "Items by group",
+        vec![QueryTemplate::new(
+            "SELECT v FROM Items WHERE g = $1 ORDER BY v",
+            vec![ParamSource::Get("g".into(), ColType::Int)],
+        )],
+    )));
+    p
+}
+
+fn req(g: i64) -> HttpRequest {
+    HttpRequest::get("shop", "/items", &[("g", &g.to_string())])
+}
+
+/// Read every group so regenerated pages are admitted (and mirrored to
+/// every healthy edge).
+fn read_all(p: &CachePortal) {
+    for g in 0..GROUPS {
+        p.request(&req(g));
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let run = || -> std::io::Result<(u16, String)> {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw)?;
+        let code = raw.split_whitespace().nth(1).and_then(|c| c.parse().ok()).unwrap_or(0);
+        let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        Ok((code, body))
+    };
+    run().unwrap_or_else(|e| fail(&format!("GET {path}: {e}")))
+}
+
+/// The edge's full page set, sorted for a deterministic byte compare.
+fn page_set(cache: &PageCache) -> Vec<(String, String)> {
+    let mut pages: Vec<(String, String)> = cache
+        .keys()
+        .into_iter()
+        .map(|k| {
+            let body = cache.get(&k, 0).unwrap_or_default();
+            (format!("{k:?}"), body)
+        })
+        .collect();
+    pages.sort();
+    pages
+}
+
+fn main() {
+    let p = portal();
+    let edges: Vec<Arc<PageCache>> = (0..2)
+        .map(|_| Arc::new(PageCache::new(PageCacheConfig::default())))
+        .collect();
+    for e in &edges {
+        p.register_edge_cache(e.clone());
+    }
+    let admin = p.serve_admin("127.0.0.1:0").expect("bind admin");
+    let addr = admin.addr().to_string();
+
+    // Stage 1: warm both edges through the normal admission mirror.
+    read_all(&p);
+    p.sync_point().expect("sync");
+    check(edges[CONTROL].len() == GROUPS as usize, "control edge must be warm");
+    check(
+        page_set(&edges[DRILLED]) == page_set(&edges[CONTROL]),
+        "edges must start identical",
+    );
+    let (code, body) = http_get(&addr, "/healthz");
+    check(code == 200 && !body.contains("edge-partitioned"), "healthz must start clean");
+    println!("partition-drill: warm ({} pages on each edge)", edges[CONTROL].len());
+
+    // Stage 2: cut the drilled edge's link, then push invalidations
+    // through. The first missed round degrades the edge (lease_rounds=0
+    // default: conservative self-ejection, never staleness); the second
+    // consecutive failure marks it partitioned.
+    p.partition_edge(DRILLED, true);
+    for round in 0..2 {
+        p.advance_clock(1_000);
+        p.update(&format!("UPDATE Items SET v = {} WHERE g = 0", 100 + round))
+            .expect("update");
+        p.sync_point().expect("sync");
+        read_all(&p);
+    }
+    check(
+        edges[DRILLED].is_empty(),
+        "partitioned edge must self-eject to empty (degraded) — stale pages are not an option",
+    );
+    check(edges[CONTROL].len() == GROUPS as usize, "control edge must stay warm");
+    let rows = p.bus().edge_rows();
+    check(rows[DRILLED].partitioned, "bus must mark the drilled edge partitioned");
+    check(rows[DRILLED].lag > 0, "drilled edge must lag the published watermark");
+    check(rows[CONTROL].lag == 0, "control edge must be caught up");
+    let (code, body) = http_get(&addr, "/healthz");
+    check(
+        code == 200,
+        "a partitioned edge degrades the portal, it does not make it unhealthy",
+    );
+    check(
+        body.contains("edge-partitioned"),
+        "healthz must report the partitioned edge",
+    );
+    println!(
+        "partition-drill: degraded (edge-{DRILLED} partitioned, lag {}, self-ejected to empty; healthz says edge-partitioned)",
+        rows[DRILLED].lag
+    );
+
+    // Stage 3: heal the link; the next sync's delivery round replays every
+    // batch past the acked watermark and the edge rejoins admission.
+    p.partition_edge(DRILLED, false);
+    p.advance_clock(1_000);
+    p.update("UPDATE Items SET v = 200 WHERE g = 1").expect("update");
+    p.sync_point().expect("sync");
+    let rows = p.bus().edge_rows();
+    check(!rows[DRILLED].partitioned, "healed edge must clear the partition mark");
+    check(rows[DRILLED].lag == 0, "healed edge must catch up to the watermark");
+    check(!rows[DRILLED].degraded, "healed edge must leave degraded mode");
+    let (_, body) = http_get(&addr, "/healthz");
+    check(!body.contains("edge-partitioned"), "healthz must clear after the heal");
+    println!(
+        "partition-drill: healed (edge-{DRILLED} acked seq {} / latest {})",
+        rows[DRILLED].acked,
+        p.bus().latest_seq()
+    );
+
+    // Stage 4: touch every group (admission mirrors only on generation,
+    // not on portal cache hits) and replay the read workload; the drilled
+    // edge must end byte-identical to the control.
+    p.advance_clock(1_000);
+    for g in 0..GROUPS {
+        p.update(&format!("UPDATE Items SET v = {} WHERE g = {g}", 300 + g)).expect("update");
+    }
+    p.sync_point().expect("sync");
+    read_all(&p);
+    let control = page_set(&edges[CONTROL]);
+    let drilled = page_set(&edges[DRILLED]);
+    check(control.len() == GROUPS as usize, "control edge must hold every page");
+    check(
+        drilled == control,
+        "drilled edge must converge to a byte-identical page set",
+    );
+    check(p.stale_pages().is_empty(), "no cached page may differ from regeneration");
+    println!(
+        "partition-drill: converged ({} pages byte-identical on both edges)",
+        control.len()
+    );
+
+    admin.shutdown();
+    println!("PARTITION-DRILL PASS");
+}

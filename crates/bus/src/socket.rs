@@ -1,0 +1,249 @@
+//! Real-socket bus transport over `std::net::TcpStream`, mirroring the
+//! dependency-free style of the `crates/obs` admin server: one accept
+//! thread per edge, line-delimited JSON, connection per delivery.
+//!
+//! Wire protocol (deliberately trivial — the reliability contract lives in
+//! the bus, not the wire): the sender connects, writes one
+//! `serde_json`-encoded [`EjectBatch`] terminated by `\n`, and reads back
+//! one encoded [`Ack`] line. Any connect/read/parse failure surfaces as
+//! [`TransportError::Unreachable`], which the bus treats exactly like a
+//! dropped delivery — retry, then partition bookkeeping.
+//!
+//! This transport exists for CI smoke coverage of the serialization and
+//! socket path; the deterministic harness uses [`crate::MemoryTransport`].
+
+use crate::{Ack, BusTransport, EdgeEndpoint, EjectBatch, TransportError};
+use parking_lot::Mutex;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Client side: delivers batches to remote [`EdgeServer`]s by address.
+/// Edge index = position in the address list (matching the bus's
+/// registration order of `register_remote_edge`).
+pub struct SocketTransport {
+    addrs: Mutex<Vec<SocketAddr>>,
+    timeout: Duration,
+}
+
+impl SocketTransport {
+    /// A transport over `addrs` (index-aligned with edge registration).
+    pub fn new(addrs: Vec<SocketAddr>) -> SocketTransport {
+        SocketTransport {
+            addrs: Mutex::new(addrs),
+            timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Append an edge address; returns its index.
+    pub fn add_edge(&self, addr: SocketAddr) -> usize {
+        let mut addrs = self.addrs.lock();
+        addrs.push(addr);
+        addrs.len() - 1
+    }
+}
+
+impl BusTransport for SocketTransport {
+    fn deliver(&self, edge: usize, batch: &EjectBatch, _attempt: u32) -> Result<Ack, TransportError> {
+        let addr = self
+            .addrs
+            .lock()
+            .get(edge)
+            .copied()
+            .ok_or(TransportError::Unreachable("unknown-edge"))?;
+        let stream =
+            TcpStream::connect(addr).map_err(|_| TransportError::Unreachable("connect"))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|_| TransportError::Unreachable("socket"))?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(|_| TransportError::Unreachable("socket"))?;
+        let line = serde_json::to_string(batch).map_err(|_| TransportError::Unreachable("encode"))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|_| TransportError::Unreachable("socket"))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .map_err(|_| TransportError::Unreachable("write"))?;
+        let mut reply = String::new();
+        BufReader::new(stream)
+            .read_line(&mut reply)
+            .map_err(|_| TransportError::Unreachable("read"))?;
+        serde_json::from_str::<Ack>(reply.trim())
+            .map_err(|_| TransportError::Unreachable("decode"))
+    }
+}
+
+/// Server side: one edge endpoint listening for batch deliveries.
+/// Dropping (or [`EdgeServer::shutdown`]) stops the accept loop and joins
+/// the thread, like the obs admin server.
+pub struct EdgeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl EdgeServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and apply incoming batches to
+    /// `endpoint` on a background thread.
+    pub fn serve(addr: &str, endpoint: Arc<EdgeEndpoint>) -> std::io::Result<EdgeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("cacheportal-bus-edge".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = handle_delivery(&mut stream, endpoint.as_ref());
+                    }
+                }
+            })?;
+        Ok(EdgeServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EdgeServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn handle_delivery(stream: &mut TcpStream, endpoint: &EdgeEndpoint) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut line = String::new();
+    let mut reader = BufReader::new(stream.try_clone().map_err(std::io::Error::other)?);
+    reader.read_line(&mut line)?;
+    let Ok(batch) = serde_json::from_str::<EjectBatch>(line.trim()) else {
+        // Malformed delivery (or the shutdown throwaway connect): no ack.
+        return Ok(());
+    };
+    let ack = endpoint.apply(&batch);
+    let reply = serde_json::to_string(&ack).map_err(std::io::Error::other)?;
+    stream.write_all(reply.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BusConfig, InvalidationBus};
+    use cacheportal_cache::{PageCache, PageCacheConfig};
+    use cacheportal_db::FaultPlan;
+    use cacheportal_web::PageKey;
+
+    fn key(s: &str) -> PageKey {
+        PageKey::raw(s)
+    }
+
+    #[test]
+    fn batch_and_ack_round_trip_the_wire() {
+        let cache = Arc::new(PageCache::new(PageCacheConfig::default()));
+        cache.put(key("a"), "1".into(), 1);
+        cache.put(key("b"), "2".into(), 2);
+        let endpoint = Arc::new(EdgeEndpoint::new("edge-sock", cache.clone(), 0));
+        let server = EdgeServer::serve("127.0.0.1:0", endpoint.clone()).unwrap();
+        let transport = SocketTransport::new(vec![server.addr()]);
+
+        let batch = EjectBatch {
+            seq: 1,
+            sync_seq: 7,
+            ts: 100,
+            pages: vec![key("a")],
+        };
+        let ack = transport.deliver(0, &batch, 0).unwrap();
+        assert_eq!(ack, Ack { applied_seq: 1 });
+        assert!(!cache.contains(&key("a")));
+        assert!(cache.contains(&key("b")));
+
+        // Redelivery over the wire is absorbed idempotently.
+        let ack = transport.deliver(0, &batch, 1).unwrap();
+        assert_eq!(ack, Ack { applied_seq: 1 });
+        assert_eq!(endpoint.counters().absorbed_duplicates, 1);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn dead_edge_is_unreachable_and_bus_marks_it_partitioned() {
+        let cache = Arc::new(PageCache::new(PageCacheConfig::default()));
+        let endpoint = Arc::new(EdgeEndpoint::new("edge-sock", cache, 0));
+        let server = EdgeServer::serve("127.0.0.1:0", endpoint).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+
+        let transport = Arc::new(SocketTransport::new(vec![addr]));
+        let bus = InvalidationBus::new(
+            BusConfig {
+                max_attempts: 1,
+                partition_after: 2,
+                ..BusConfig::default()
+            },
+            transport,
+            FaultPlan::none(),
+        );
+        bus.register_remote_edge("edge-sock", 0);
+        bus.publish(1, 1, vec![key("a")]);
+        bus.deliver_all(1);
+        let report = bus.deliver_all(2);
+        assert_eq!(report.newly_partitioned, vec!["edge-sock".to_string()]);
+        assert_eq!(bus.partitioned_count(), 1);
+    }
+
+    #[test]
+    fn bus_drives_a_remote_edge_through_the_socket() {
+        let cache = Arc::new(PageCache::new(PageCacheConfig::default()));
+        cache.put(key("x"), "1".into(), 1);
+        let endpoint = Arc::new(EdgeEndpoint::new("edge-sock", cache.clone(), 0));
+        let server = EdgeServer::serve("127.0.0.1:0", endpoint).unwrap();
+        let transport = Arc::new(SocketTransport::new(vec![server.addr()]));
+        let bus = InvalidationBus::new(BusConfig::default(), transport, FaultPlan::none());
+        bus.register_remote_edge("edge-sock", 0);
+
+        bus.publish(1, 10, vec![key("x")]);
+        let report = bus.deliver_all(10);
+        assert_eq!(report.deliveries_ok, 1);
+        assert!(!cache.contains(&key("x")));
+        assert_eq!(bus.edge_rows()[0].acked, 1);
+        assert_eq!(bus.edge_rows()[0].lag, 0);
+
+        server.shutdown();
+    }
+}

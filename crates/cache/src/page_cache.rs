@@ -257,9 +257,40 @@ impl PageCache {
         n
     }
 
+    /// Conservatively drop every page admitted at or after `cutoff_micros`.
+    /// A rebooted edge calls this with its last acked bus watermark's
+    /// timestamp: any page admitted past that point may have missed an
+    /// eject while the edge was down, so it is flushed (over-invalidation,
+    /// never staleness). Returns how many pages were dropped.
+    pub fn evict_admitted_since(&self, cutoff_micros: Micros) -> usize {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<PageKey> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.inserted_at >= cutoff_micros)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            inner.map.remove(k);
+        }
+        inner.stats.invalidations += doomed.len() as u64;
+        inner.publish();
+        doomed.len()
+    }
+
     /// Is the page currently cached (no stats side effects, no TTL check)?
     pub fn contains(&self, key: &PageKey) -> bool {
         self.inner.lock().map.contains_key(key)
+    }
+
+    /// When the cached page was admitted (no stats side effects, no TTL
+    /// check); `None` when the page is not cached. The invalidator's
+    /// value-preserving shortcuts consult this to tell pages generated
+    /// before the sync interval (safe to keep) from pages generated
+    /// mid-interval (which may reflect a transient state the interval's
+    /// endpoint comparison cannot see).
+    pub fn admitted_at(&self, key: &PageKey) -> Option<Micros> {
+        self.inner.lock().map.get(key).map(|e| e.inserted_at)
     }
 
     /// Number of cached pages.
@@ -431,6 +462,19 @@ mod tests {
         c.put(key("b"), "2".into(), 0);
         assert_eq!(c.clear(), 2);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn evict_admitted_since_flushes_only_newer_pages() {
+        let c = cache(8, EvictionPolicy::Lru);
+        c.put(key("old"), "1".into(), 10);
+        c.put(key("boundary"), "2".into(), 20);
+        c.put(key("new"), "3".into(), 30);
+        assert_eq!(c.evict_admitted_since(20), 2, "boundary is inclusive");
+        assert!(c.contains(&key("old")));
+        assert!(!c.contains(&key("boundary")));
+        assert!(!c.contains(&key("new")));
+        assert_eq!(c.stats().invalidations, 2);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! its own request log, query log, and mapper; all mappers feed one shared
 //! QI/URL map, which one invalidator consumes.
 
+use cacheportal_bus::{BusConfig, InvalidationBus, MemoryTransport};
 use cacheportal_cache::{PageCache, PageCacheConfig};
-use cacheportal_db::{Database, DbResult};
+use cacheportal_db::{Database, DbResult, FaultPlan};
 use cacheportal_invalidator::{Invalidator, InvalidatorConfig};
 use cacheportal_sniffer::{LoggedConnection, Mapper, QiUrlMap, QueryLog, RequestLog};
 use cacheportal_web::{
@@ -19,7 +20,7 @@ use cacheportal_web::{
 use crate::system::{RequestOutcome, Served, SyncReport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One web/application server node with its sniffer instruments.
@@ -38,6 +39,14 @@ pub struct CachePortalCluster {
     nodes: Vec<Node>,
     rr: AtomicUsize,
     origins: Mutex<HashMap<PageKey, HttpRequest>>,
+    /// Pages admitted since the previous sync point — the mid-window
+    /// netting guard's input (see `CachePortal::sync_point`).
+    admitted_since_sync: Mutex<Vec<PageKey>>,
+    /// Invalidation bus fanning ejects out to registered edge caches —
+    /// same contract as the single-node system (see `cacheportal-bus`).
+    bus: Arc<InvalidationBus>,
+    /// Sync-point ordinal (stamped onto published bus batches).
+    sync_seq: AtomicU64,
 }
 
 impl CachePortalCluster {
@@ -96,6 +105,13 @@ impl CachePortalCluster {
             nodes: built,
             rr: AtomicUsize::new(0),
             origins: Mutex::new(HashMap::new()),
+            admitted_since_sync: Mutex::new(Vec::new()),
+            bus: Arc::new(InvalidationBus::new(
+                BusConfig::default(),
+                Arc::new(MemoryTransport::new(FaultPlan::none())),
+                FaultPlan::none(),
+            )),
+            sync_seq: AtomicU64::new(0),
         })
     }
 
@@ -129,6 +145,18 @@ impl CachePortalCluster {
         for node in &self.nodes {
             node.app.register(servlet.clone());
         }
+    }
+
+    /// Register an edge cache to receive the cluster's eject messages over
+    /// the invalidation bus. Returns the edge's registration index.
+    pub fn register_edge_cache(&self, cache: Arc<PageCache>) -> usize {
+        let name = format!("edge-{}", self.bus.edge_count());
+        self.bus.register_edge(&name, cache, self.clock.now_micros())
+    }
+
+    /// The cluster's invalidation bus (watermarks, delivery stats).
+    pub fn bus(&self) -> &Arc<InvalidationBus> {
+        &self.bus
     }
 
     /// Serve one request: front cache first, then round-robin to a node.
@@ -166,6 +194,7 @@ impl CachePortalCluster {
                     self.page_cache
                         .put(key.clone(), response.body.clone(), now);
                     self.origins.lock().insert(key.clone(), req.clone());
+                    self.admitted_since_sync.lock().push(key.clone());
                 }
             }
         }
@@ -197,15 +226,39 @@ impl CachePortalCluster {
             mapper_report.non_select += r.non_select;
             mapper_report.unparseable += r.unparseable;
         }
-        let invalidation = {
+        let admitted = std::mem::take(&mut *self.admitted_since_sync.lock());
+        let mut invalidation = {
             let mut db = self.db.write();
             let report = invalidator.run_sync_point(&db, &self.map)?;
             let consumed = invalidator.consumed_lsn();
             db.update_log_mut().truncate(consumed);
             report
         };
-        drop(invalidator);
+        // Mid-window netting guard — same soundness argument as the
+        // single-node portal: a netted page admitted inside the window may
+        // embed an intermediate state, so it is ejected conservatively.
+        let netting_guard_ejected = if !invalidation.netted_pages.is_empty() {
+            let admitted_set: std::collections::HashSet<&PageKey> = admitted.iter().collect();
+            let mut added = 0usize;
+            for key in &invalidation.netted_pages {
+                if admitted_set.contains(key) && invalidation.pages.insert(key.clone()) {
+                    added += 1;
+                }
+            }
+            added
+        } else {
+            0
+        };
         let ejected = self.page_cache.invalidate(invalidation.pages.iter());
+        // Fan the ejects out over the bus inside the critical section, same
+        // ordering contract as the single-node system: edges renew before
+        // any admission can interleave.
+        let sync_seq = self.sync_seq.fetch_add(1, Ordering::Relaxed);
+        let mut bus_pages: Vec<PageKey> = invalidation.pages.iter().cloned().collect();
+        bus_pages.sort();
+        self.bus.publish(sync_seq, self.clock.now_micros(), bus_pages);
+        self.bus.deliver_all(self.clock.now_micros());
+        drop(invalidator);
         if !invalidation.pages.is_empty() {
             let mut origins = self.origins.lock();
             for p in &invalidation.pages {
@@ -217,31 +270,48 @@ impl CachePortalCluster {
             invalidation,
             ejected,
             fault_ejected: 0,
+            netting_guard_ejected,
         })
     }
 
-    /// Freshness oracle — identical contract to the single-node system.
+    /// Freshness oracle — identical contract to the single-node system,
+    /// covering the front cache and every edge cache on the bus.
     pub fn stale_pages(&self) -> Vec<PageKey> {
         let origins = self.origins.lock();
+        let mut caches: Vec<Arc<PageCache>> = vec![self.page_cache.clone()];
+        caches.extend(self.bus.edge_caches());
         let mut stale = Vec::new();
-        for key in self.page_cache.keys() {
-            let Some(req) = origins.get(&key) else {
-                stale.push(key);
-                continue;
-            };
-            let Some(servlet) = self.nodes[0].app.servlet_for(&req.path) else {
-                stale.push(key);
-                continue;
-            };
-            let mut conn = DbConnection::new(self.db.clone());
-            match servlet.handle(req, &mut conn) {
-                Ok(fresh) => {
-                    let cached = self.page_cache.get(&key, self.clock.now_micros());
-                    if cached.as_deref() != Some(fresh.as_str()) {
+        let mut seen: std::collections::HashSet<PageKey> = std::collections::HashSet::new();
+        for cache in &caches {
+            for key in cache.keys() {
+                let Some(req) = origins.get(&key) else {
+                    if seen.insert(key.clone()) {
                         stale.push(key);
                     }
+                    continue;
+                };
+                let Some(servlet) = self.nodes[0].app.servlet_for(&req.path) else {
+                    if seen.insert(key.clone()) {
+                        stale.push(key);
+                    }
+                    continue;
+                };
+                let mut conn = DbConnection::new(self.db.clone());
+                match servlet.handle(req, &mut conn) {
+                    Ok(fresh) => {
+                        let cached = cache.get(&key, self.clock.now_micros());
+                        if cached.as_deref() != Some(fresh.as_str())
+                            && seen.insert(key.clone())
+                        {
+                            stale.push(key);
+                        }
+                    }
+                    Err(_) => {
+                        if seen.insert(key.clone()) {
+                            stale.push(key);
+                        }
+                    }
                 }
-                Err(_) => stale.push(key),
             }
         }
         stale
@@ -342,6 +412,25 @@ mod tests {
                 "query mapped to the wrong page: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn cluster_edge_caches_receive_ejects_over_the_bus() {
+        let c = cluster(2);
+        let edge = Arc::new(PageCache::new(PageCacheConfig::default()));
+        c.register_edge_cache(edge.clone());
+
+        let out = c.request(&req(1));
+        let key = out.key.clone().unwrap();
+        edge.put(key.clone(), out.response.body.clone(), 0);
+        c.sync_point().unwrap();
+        assert!(edge.contains(&key), "heartbeat round leaves the page alone");
+
+        c.update("INSERT INTO items VALUES (1, 999)").unwrap();
+        c.sync_point().unwrap();
+        assert!(!edge.contains(&key), "eject fanned out over the bus");
+        assert_eq!(c.bus().edge_rows()[0].lag, 0);
+        assert!(c.stale_pages().is_empty());
     }
 
     #[test]

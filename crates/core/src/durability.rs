@@ -51,6 +51,14 @@ pub struct CursorRecord {
     /// Per-relation high-water marks: the largest LSN consumed for each
     /// table, from the last sync point's delta groups.
     pub watermarks: Vec<(String, u64)>,
+    /// Invalidation-bus sequence frontier: the next eject-batch seq the
+    /// recovered bus will assign (monotone across restarts).
+    pub bus_seq: u64,
+    /// Per-edge bus delivery watermarks: `(edge, acked batch seq, acked
+    /// timestamp)`. A recovered invalidator restores these so a rejoining
+    /// edge flushes exactly the pages admitted past its last acked mark —
+    /// never re-opening a staleness window.
+    pub edge_marks: Vec<(String, u64, u64)>,
 }
 
 /// One WAL frame's payload.
@@ -331,6 +339,8 @@ mod tests {
                 consumed: 7,
                 sync_seq: 3,
                 watermarks: vec![("car".into(), 6)],
+                bus_seq: 5,
+                edge_marks: vec![("edge-0".into(), 4, 99)],
             },
         );
         assert_eq!(out.errors, 0);
@@ -344,6 +354,8 @@ mod tests {
         assert_eq!(state.cursor.consumed, 7);
         assert_eq!(state.cursor.sync_seq, 3);
         assert_eq!(state.cursor.watermarks, vec![("car".to_string(), 6)]);
+        assert_eq!(state.cursor.bus_seq, 5);
+        assert_eq!(state.cursor.edge_marks, vec![("edge-0".to_string(), 4, 99)]);
         assert_eq!(state.torn_bytes, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -365,6 +377,7 @@ mod tests {
                     consumed: sync + 1,
                     sync_seq: sync,
                     watermarks: vec![],
+                    ..CursorRecord::default()
                 },
             );
             assert_eq!(out.errors, 0);
@@ -404,7 +417,7 @@ mod tests {
             &map,
             &[],
             &origins_full,
-            CursorRecord { consumed: 1, sync_seq: 0, watermarks: vec![] },
+            CursorRecord { consumed: 1, sync_seq: 0, ..CursorRecord::default() },
         );
         drop(d);
         // A second incarnation appends to the same WAL.
@@ -414,7 +427,7 @@ mod tests {
             &map,
             &[],
             &origins_full,
-            CursorRecord { consumed: 9, sync_seq: 1, watermarks: vec![] },
+            CursorRecord { consumed: 9, sync_seq: 1, ..CursorRecord::default() },
         );
         drop(d);
         let state = Durability::load(&dir).unwrap();

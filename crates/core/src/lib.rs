@@ -70,3 +70,5 @@ pub use cacheportal_sniffer as sniffer;
 pub use cacheportal_invalidator as invalidator;
 /// Re-export: the observability layer (metrics, tracing, staleness probe).
 pub use cacheportal_obs as obs;
+/// Re-export: the networked invalidation bus (edge delivery, watermarks).
+pub use cacheportal_bus as bus;

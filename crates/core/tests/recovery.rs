@@ -202,6 +202,157 @@ fn checkpoint_interval_is_configurable() {
     assert_eq!(run(100, 4), 0, "interval above the sync count never snapshots");
 }
 
+/// Crash the invalidator *between* an edge's ack and the journal persist:
+/// the edge has already applied an eject batch the durable marks know
+/// nothing about. Recovery must replay that delivery (at-least-once), and
+/// the edge must absorb the replay idempotently — no staleness, and the
+/// durability-gap admission carries recovery-gap provenance.
+#[test]
+fn edge_ack_ahead_of_journal_is_replayed_and_absorbed() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let p = CachePortal::builder_shared(db.clone())
+        .durable(&dir)
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    let edge = Arc::new(cacheportal::cache::PageCache::new(
+        cacheportal::cache::PageCacheConfig::default(),
+    ));
+    p.register_edge_cache(edge.clone());
+
+    let key_a = p.request(&req(20000)).key.unwrap();
+    // B's predicate (price < 15000) matches neither the old nor the new
+    // Civic price, so the update below leaves it fresh.
+    let key_b = p.request(&req(15000)).key.unwrap();
+    p.sync_point().unwrap(); // marks durable: edge acked batch 1 (heartbeat)
+    assert!(edge.contains(&key_a) && edge.contains(&key_b), "admissions mirrored");
+
+    // An update makes page A stale; page C lands in the durability gap.
+    p.update("UPDATE Car SET price = 17000 WHERE model = 'Civic'").unwrap();
+    let key_c = p.request(&req(40000)).key.unwrap();
+    // Hand-run the *delivery* half of the next sync: publish the eject of A
+    // as batch 2 and deliver it, exactly what sync 2 would do before its
+    // persist step. The edge ejects A and acks seq 2 — and then the
+    // invalidator dies before the journal learns any of it.
+    p.bus().publish(2, 1_000_000, vec![key_a.clone()]);
+    p.bus().deliver_all(1_000_000);
+    assert!(!edge.contains(&key_a), "edge applied the eject pre-crash");
+    assert_eq!(p.bus().edge_rows()[0].acked, 2, "ack outran the journal");
+    let cache = p.page_cache().clone();
+    drop(p); // crash between edge-ack and journal persist
+
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .surviving_cache(cache)
+        .recover()
+        .unwrap();
+    p2.register_servlet(search_servlet());
+    p2.register_edge_cache(edge.clone());
+    // The durable mark (acked 1) is current w.r.t. the persisted frontier,
+    // so the edge keeps pre-mark pages and flushes the gap admission.
+    assert!(edge.contains(&key_b), "pre-mark page survives the rejoin");
+    assert!(!edge.contains(&key_c), "gap admission flushed at rejoin");
+    assert!(
+        serde_json::to_string(&p2.explain_invalidation(key_c.as_str()))
+            .unwrap()
+            .contains("recovery-gap"),
+        "gap eject must carry recovery-gap provenance"
+    );
+
+    // The un-truncated window replays: the eject of A is republished under
+    // the restored frontier and redelivered to the edge, whose cache
+    // already did the work — the replay must be absorbed, not double-done.
+    let report = p2.sync_point().unwrap();
+    assert!(report.ejected >= 1, "replayed window re-ejects the stale page");
+    let ep = &p2.bus().endpoints()[0];
+    assert_eq!(ep.counters().applied_batches, 1, "replayed batch re-applied");
+    assert_eq!(
+        ep.counters().ejected_pages,
+        0,
+        "the edge already ejected A pre-crash; the replay is a no-op"
+    );
+    let row = &p2.bus().edge_rows()[0];
+    assert_eq!(row.lag, 0, "edge caught back up to the watermark");
+
+    // At-least-once also means raw wire duplicates: re-applying the same
+    // batch seq is absorbed without touching the cache.
+    let before = edge.len();
+    let ack = ep.apply(&cacheportal::bus::EjectBatch {
+        seq: row.acked,
+        sync_seq: 2,
+        ts: 1_000_001,
+        pages: vec![key_a.clone()],
+    });
+    assert_eq!(ack.applied_seq, row.acked, "duplicate re-acks the watermark");
+    assert_eq!(ep.counters().absorbed_duplicates, 1);
+    assert_eq!(edge.len(), before, "duplicate leaves the cache untouched");
+
+    assert!(p2.stale_pages().is_empty(), "no staleness anywhere after replay");
+    assert!(p2.request(&req(20000)).response.body.contains("17000"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// An edge partitioned across the crash: its durable mark is older than the
+/// persisted frontier, and the batches in between died with the
+/// invalidator's retained buffer. The rejoin must rebase the edge — full
+/// conservative flush, watermark jumped to the frontier — never replaying
+/// a gap it cannot fill.
+#[test]
+fn partitioned_edge_across_a_crash_rejoins_by_rebase() {
+    let dir = temp_dir();
+    let db = shared(example_db());
+    let p = CachePortal::builder_shared(db.clone())
+        .durable(&dir)
+        .build()
+        .unwrap();
+    p.register_servlet(search_servlet());
+    let edge = Arc::new(cacheportal::cache::PageCache::new(
+        cacheportal::cache::PageCacheConfig::default(),
+    ));
+    p.register_edge_cache(edge.clone());
+    p.request(&req(20000));
+    p.request(&req(30000));
+    p.sync_point().unwrap(); // edge acked batch 1
+
+    // Partition the edge, then push two synced updates past it. Each sync
+    // persists marks: acked stays 1 while the frontier advances.
+    p.partition_edge(0, true);
+    for (i, price) in [23000i64, 24000].iter().enumerate() {
+        p.update(&format!("UPDATE Car SET price = {price} WHERE model = 'Avalon'"))
+            .unwrap();
+        p.sync_point().unwrap();
+        assert!(edge.is_empty(), "missed round {i}: edge self-ejected to empty");
+    }
+    let frontier = p.bus().latest_seq();
+    assert!(frontier > 1, "syncs advanced the frontier past the edge's mark");
+    let cache = p.page_cache().clone();
+    drop(p); // crash: the retained batches (2..=frontier) die here
+
+    let p2 = CachePortal::builder_shared(db)
+        .durable(&dir)
+        .surviving_cache(cache)
+        .recover()
+        .unwrap();
+    p2.register_servlet(search_servlet());
+    p2.register_edge_cache(edge.clone());
+    let row = &p2.bus().edge_rows()[0];
+    assert_eq!(
+        row.acked, frontier,
+        "mark older than the frontier: edge rebased, not left waiting for dead batches"
+    );
+    assert_eq!(row.lag, 0);
+    assert!(edge.is_empty(), "rebase is a full conservative flush");
+    assert!(!row.partitioned, "rejoin clears the partition mark");
+
+    // The rebased edge participates normally again.
+    p2.sync_point().unwrap();
+    let key = p2.request(&req(30000)).key.unwrap();
+    assert!(edge.contains(&key), "admissions mirror to the rebased edge");
+    assert!(p2.stale_pages().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn recovery_survives_repeated_crashes() {
     let dir = temp_dir();

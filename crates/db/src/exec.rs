@@ -252,7 +252,8 @@ pub fn execute_select(
                         return ord;
                     }
                 }
-                std::cmp::Ordering::Equal
+                // Storage-independent tie-break (see project_plain).
+                a.cmp(b)
             });
         } else {
             // Recompute sort keys from output rows is wrong in general (keys
@@ -698,7 +699,13 @@ fn project_plain(
                     return ord;
                 }
             }
-            std::cmp::Ordering::Equal
+            // Tie-break on the full source-row content so an ordered result
+            // is a pure function of the row multiset: physical slot order —
+            // which shifts when a rollback re-appends deleted rows — must
+            // never decide which of two key-tied rows a LIMIT keeps.
+            a.iter()
+                .flat_map(|r| r.iter())
+                .cmp(b.iter().flat_map(|r| r.iter()))
         });
     }
 

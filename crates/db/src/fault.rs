@@ -18,7 +18,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Fault-site probabilities and modes. All probabilities are in `[0, 1]`.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Serialization is hand-written (not derived) so reproducer JSON stays
+/// compatible across releases: fields missing from an old document take
+/// their defaults, and unknown fields from a newer one are ignored.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultSpec {
     /// Seed for the per-decision hash (independent of workload seeds).
     pub seed: u64,
@@ -43,6 +47,29 @@ pub struct FaultSpec {
     /// Leading sync points of each cycle during which *every* poll faults
     /// with an error — the bursty outage that should trip the breaker.
     pub poll_flap_burst: u64,
+    /// Probability one bus delivery attempt (edge, batch, attempt) is
+    /// dropped in flight — the edge never sees the batch, the bus never
+    /// sees an ack, and the at-least-once retry loop must re-send.
+    pub bus_drop: f64,
+    /// Probability a bus delivery is duplicated in flight (the edge
+    /// applies the same sequenced batch twice; idempotent apply absorbs
+    /// the second copy).
+    pub bus_dup: f64,
+    /// Deterministically reverse the bus send order whenever an edge has a
+    /// multi-batch backlog, forcing the edge's gap buffer to engage.
+    pub bus_reorder: bool,
+    /// Probability an edge is unreachable for a whole partition burst
+    /// window (see the two period/burst fields below).
+    pub edge_partition: f64,
+    /// Edge-partition cycle length in sync points (`0` disables).
+    pub edge_partition_period: u64,
+    /// Leading sync points of each cycle during which partitioned edges
+    /// (rolled per window × edge) are unreachable.
+    pub edge_partition_burst: u64,
+    /// Probability an edge cache "crashes" before an action (the harness
+    /// reboots the edge, which must conservatively flush pages admitted
+    /// past its last acked watermark before rejoining).
+    pub edge_crash: f64,
 }
 
 impl FaultSpec {
@@ -56,6 +83,98 @@ impl FaultSpec {
             && self.txn_abort == 0.0
             && self.crash_restart == 0.0
             && (self.poll_flap_period == 0 || self.poll_flap_burst == 0)
+            && self.bus_drop == 0.0
+            && self.bus_dup == 0.0
+            && !self.bus_reorder
+            && (self.edge_partition == 0.0
+                || self.edge_partition_period == 0
+                || self.edge_partition_burst == 0)
+            && self.edge_crash == 0.0
+    }
+
+    /// True when any bus/edge fault site can fire (the harness attaches
+    /// bus edges to the portal only for these specs, keeping every
+    /// pre-existing fault class bit-identical).
+    pub fn has_bus_faults(&self) -> bool {
+        self.bus_drop > 0.0
+            || self.bus_dup > 0.0
+            || self.bus_reorder
+            || (self.edge_partition > 0.0
+                && self.edge_partition_period > 0
+                && self.edge_partition_burst > 0)
+            || self.edge_crash > 0.0
+    }
+}
+
+impl serde::Serialize for FaultSpec {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("seed".to_string(), self.seed.serialize_value()),
+            ("sniffer_drop".to_string(), self.sniffer_drop.serialize_value()),
+            ("sniffer_dup".to_string(), self.sniffer_dup.serialize_value()),
+            ("sniffer_reorder".to_string(), self.sniffer_reorder.serialize_value()),
+            ("poll_error".to_string(), self.poll_error.serialize_value()),
+            ("poll_timeout".to_string(), self.poll_timeout.serialize_value()),
+            ("txn_abort".to_string(), self.txn_abort.serialize_value()),
+            ("crash_restart".to_string(), self.crash_restart.serialize_value()),
+            ("poll_flap_period".to_string(), self.poll_flap_period.serialize_value()),
+            ("poll_flap_burst".to_string(), self.poll_flap_burst.serialize_value()),
+            ("bus_drop".to_string(), self.bus_drop.serialize_value()),
+            ("bus_dup".to_string(), self.bus_dup.serialize_value()),
+            ("bus_reorder".to_string(), self.bus_reorder.serialize_value()),
+            ("edge_partition".to_string(), self.edge_partition.serialize_value()),
+            ("edge_partition_period".to_string(), self.edge_partition_period.serialize_value()),
+            ("edge_partition_burst".to_string(), self.edge_partition_burst.serialize_value()),
+            ("edge_crash".to_string(), self.edge_crash.serialize_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FaultSpec {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for FaultSpec"))?;
+        let mut spec = FaultSpec::default();
+        for (key, val) in obj {
+            let err = |e: serde::Error| serde::Error::custom(format!("FaultSpec.{key}: {e}"));
+            match key.as_str() {
+                "seed" => spec.seed = u64::deserialize_value(val).map_err(err)?,
+                "sniffer_drop" => spec.sniffer_drop = f64::deserialize_value(val).map_err(err)?,
+                "sniffer_dup" => spec.sniffer_dup = f64::deserialize_value(val).map_err(err)?,
+                "sniffer_reorder" => {
+                    spec.sniffer_reorder = bool::deserialize_value(val).map_err(err)?
+                }
+                "poll_error" => spec.poll_error = f64::deserialize_value(val).map_err(err)?,
+                "poll_timeout" => spec.poll_timeout = f64::deserialize_value(val).map_err(err)?,
+                "txn_abort" => spec.txn_abort = f64::deserialize_value(val).map_err(err)?,
+                "crash_restart" => {
+                    spec.crash_restart = f64::deserialize_value(val).map_err(err)?
+                }
+                "poll_flap_period" => {
+                    spec.poll_flap_period = u64::deserialize_value(val).map_err(err)?
+                }
+                "poll_flap_burst" => {
+                    spec.poll_flap_burst = u64::deserialize_value(val).map_err(err)?
+                }
+                "bus_drop" => spec.bus_drop = f64::deserialize_value(val).map_err(err)?,
+                "bus_dup" => spec.bus_dup = f64::deserialize_value(val).map_err(err)?,
+                "bus_reorder" => spec.bus_reorder = bool::deserialize_value(val).map_err(err)?,
+                "edge_partition" => {
+                    spec.edge_partition = f64::deserialize_value(val).map_err(err)?
+                }
+                "edge_partition_period" => {
+                    spec.edge_partition_period = u64::deserialize_value(val).map_err(err)?
+                }
+                "edge_partition_burst" => {
+                    spec.edge_partition_burst = u64::deserialize_value(val).map_err(err)?
+                }
+                "edge_crash" => spec.edge_crash = f64::deserialize_value(val).map_err(err)?,
+                // Unknown fields (from a newer writer) are ignored.
+                _ => {}
+            }
+        }
+        Ok(spec)
     }
 }
 
@@ -83,6 +202,14 @@ pub struct FaultCounts {
     pub txn_aborts: u64,
     /// Portal crash/restarts injected.
     pub crashes: u64,
+    /// Bus delivery attempts dropped in flight.
+    pub bus_dropped: u64,
+    /// Bus deliveries duplicated in flight.
+    pub bus_duplicated: u64,
+    /// Edge-unreachable probes answered "partitioned".
+    pub edge_partitions: u64,
+    /// Edge cache crash/reboots injected.
+    pub edge_crashes: u64,
 }
 
 #[derive(Debug, Default)]
@@ -94,6 +221,10 @@ struct FaultState {
     poll_timeouts: AtomicU64,
     txn_aborts: AtomicU64,
     crashes: AtomicU64,
+    bus_dropped: AtomicU64,
+    bus_duplicated: AtomicU64,
+    edge_partitions: AtomicU64,
+    edge_crashes: AtomicU64,
     /// Keys transaction-abort decisions (one per statement executed).
     txn_stmt_seq: AtomicU64,
     /// Current sync-point ordinal; phases the poll-flap burst windows.
@@ -164,6 +295,10 @@ impl FaultPlan {
                 poll_timeouts: s.poll_timeouts.load(Ordering::Relaxed),
                 txn_aborts: s.txn_aborts.load(Ordering::Relaxed),
                 crashes: s.crashes.load(Ordering::Relaxed),
+                bus_dropped: s.bus_dropped.load(Ordering::Relaxed),
+                bus_duplicated: s.bus_duplicated.load(Ordering::Relaxed),
+                edge_partitions: s.edge_partitions.load(Ordering::Relaxed),
+                edge_crashes: s.edge_crashes.load(Ordering::Relaxed),
             },
         }
     }
@@ -258,6 +393,84 @@ impl FaultPlan {
         let hit = Self::roll(s, 5, seq, s.spec.txn_abort);
         if hit {
             s.txn_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Mix an `(edge, batch seq, attempt)` delivery coordinate into one
+    /// decision key. Attempt is included so a dropped send can succeed on
+    /// a later retry — the transience the at-least-once loop exploits.
+    fn bus_key(edge: u64, seq: u64, attempt: u32) -> u64 {
+        mix(edge.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ seq)
+            .wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Bus site: is this delivery attempt dropped in flight?
+    pub fn bus_drop_delivery(&self, edge: u64, seq: u64, attempt: u32) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(s, 7, Self::bus_key(edge, seq, attempt), s.spec.bus_drop);
+        if hit {
+            s.bus_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Bus site: is this delivery duplicated in flight? Keyed without the
+    /// attempt so a duplicated batch stays duplicated on replay.
+    pub fn bus_duplicate_delivery(&self, edge: u64, seq: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(s, 8, Self::bus_key(edge, seq, 0), s.spec.bus_dup);
+        if hit {
+            s.bus_duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Bus site: reverse the send order of a multi-batch backlog?
+    pub fn bus_reorder_sends(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.spec.bus_reorder)
+    }
+
+    /// Bus site: is this edge unreachable right now? Partition windows are
+    /// phased by the same durable sync-point epoch as poll flapping, and
+    /// within each burst window the decision is rolled once per
+    /// (window, edge) — so an edge stays down for the whole window (the
+    /// sustained outage that must trip the partition budget) while other
+    /// edges may stay up.
+    pub fn edge_partitioned(&self, edge: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        if s.spec.edge_partition_period == 0 || s.spec.edge_partition_burst == 0 {
+            return false;
+        }
+        let epoch = s.poll_epoch.load(Ordering::Relaxed);
+        if epoch % s.spec.edge_partition_period >= s.spec.edge_partition_burst {
+            return false;
+        }
+        let window = epoch / s.spec.edge_partition_period;
+        let hit = Self::roll(
+            s,
+            9,
+            window.wrapping_mul(0xc2b2_ae3d_27d4_eb4f) ^ edge,
+            s.spec.edge_partition,
+        );
+        if hit {
+            s.edge_partitions.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Harness site: should this edge cache crash (reboot) before this
+    /// action? Keyed on (action index, edge) for replayable reboots.
+    pub fn edge_crash_before_action(&self, action_index: u64, edge: u64) -> bool {
+        let Some(s) = &self.state else { return false };
+        let hit = Self::roll(
+            s,
+            10,
+            mix(edge.wrapping_mul(0xff51_afd7_ed55_8ccd)) ^ action_index,
+            s.spec.edge_crash,
+        );
+        if hit {
+            s.edge_crashes.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
@@ -368,6 +581,90 @@ mod tests {
         assert!(p.txn_abort());
         assert!(p.txn_abort());
         assert_eq!(p.counts().txn_aborts, 2);
+    }
+
+    #[test]
+    fn bus_spec_is_not_inert_and_decisions_are_deterministic() {
+        let spec = FaultSpec {
+            seed: 11,
+            bus_drop: 0.5,
+            bus_dup: 0.3,
+            ..FaultSpec::default()
+        };
+        assert!(!spec.is_inert());
+        assert!(spec.has_bus_faults());
+        let a = FaultPlan::new(spec.clone());
+        let b = FaultPlan::new(spec);
+        for seq in 0..200u64 {
+            for edge in 0..2u64 {
+                assert_eq!(
+                    a.bus_drop_delivery(edge, seq, 0),
+                    b.bus_drop_delivery(edge, seq, 0)
+                );
+                assert_eq!(
+                    a.bus_duplicate_delivery(edge, seq),
+                    b.bus_duplicate_delivery(edge, seq)
+                );
+            }
+        }
+        assert_eq!(a.counts(), b.counts());
+        assert!(a.counts().bus_dropped > 0);
+        assert!(a.counts().bus_duplicated > 0);
+    }
+
+    #[test]
+    fn dropped_delivery_can_succeed_on_retry() {
+        let p = FaultPlan::new(FaultSpec {
+            seed: 5,
+            bus_drop: 0.5,
+            ..FaultSpec::default()
+        });
+        let cleared = (0..200u64)
+            .any(|seq| p.bus_drop_delivery(0, seq, 0) && !p.bus_drop_delivery(0, seq, 1));
+        assert!(cleared, "no dropped delivery cleared on retry");
+    }
+
+    #[test]
+    fn edge_partition_holds_for_whole_burst_window_per_edge() {
+        let p = FaultPlan::new(FaultSpec {
+            seed: 21,
+            edge_partition: 0.7,
+            edge_partition_period: 4,
+            edge_partition_burst: 2,
+            ..FaultSpec::default()
+        });
+        assert!(p.is_active());
+        let mut any_partition = false;
+        for window in 0..16u64 {
+            for edge in 0..3u64 {
+                // Both epochs inside the burst agree; outside never fires.
+                p.set_poll_epoch(window * 4);
+                let during = p.edge_partitioned(edge);
+                p.set_poll_epoch(window * 4 + 1);
+                assert_eq!(p.edge_partitioned(edge), during, "stable within window");
+                p.set_poll_epoch(window * 4 + 2);
+                assert!(!p.edge_partitioned(edge), "outside burst");
+                any_partition |= during;
+            }
+        }
+        assert!(any_partition, "p=0.7 over 48 window×edge cells fires");
+    }
+
+    #[test]
+    fn edge_crash_decisions_are_per_edge_and_counted() {
+        let p = FaultPlan::new(FaultSpec {
+            seed: 9,
+            edge_crash: 0.3,
+            ..FaultSpec::default()
+        });
+        let hits_e0: Vec<u64> = (0..100).filter(|&i| p.edge_crash_before_action(i, 0)).collect();
+        let hits_e1: Vec<u64> = (0..100).filter(|&i| p.edge_crash_before_action(i, 1)).collect();
+        assert!(!hits_e0.is_empty());
+        assert_ne!(hits_e0, hits_e1, "edges crash independently");
+        assert_eq!(
+            p.counts().edge_crashes,
+            (hits_e0.len() + hits_e1.len()) as u64
+        );
     }
 
     #[test]

@@ -30,10 +30,22 @@ pub enum FaultClass {
     /// the per-query-type circuit breaker, then the window closes and the
     /// breaker re-probes its way shut.
     PollFlap,
+    /// The invalidation bus drops eject deliveries to edge caches; bounded
+    /// retries within the round must keep every edge renewed or degraded.
+    BusDrop,
+    /// The bus duplicates and reorders deliveries; idempotent apply and the
+    /// gap buffer must absorb both.
+    BusReorder,
+    /// Bursty edge partitions: whole windows where an edge is unreachable —
+    /// the edge must self-eject (Vcache-style) and catch up on heal.
+    EdgePartition,
+    /// Edge caches crash and rejoin from the bus's acked watermark, flushing
+    /// pages admitted past the mark.
+    EdgeCrashRejoin,
 }
 
 /// Every class, in sweep order.
-pub const ALL_CLASSES: [FaultClass; 10] = [
+pub const ALL_CLASSES: [FaultClass; 14] = [
     FaultClass::None,
     FaultClass::SnifferDrop,
     FaultClass::SnifferDup,
@@ -44,6 +56,10 @@ pub const ALL_CLASSES: [FaultClass; 10] = [
     FaultClass::Mixed,
     FaultClass::CrashRestart,
     FaultClass::PollFlap,
+    FaultClass::BusDrop,
+    FaultClass::BusReorder,
+    FaultClass::EdgePartition,
+    FaultClass::EdgeCrashRejoin,
 ];
 
 impl FaultClass {
@@ -60,6 +76,10 @@ impl FaultClass {
             FaultClass::Mixed => "mixed",
             FaultClass::CrashRestart => "crash-restart",
             FaultClass::PollFlap => "poll-flap",
+            FaultClass::BusDrop => "bus-drop",
+            FaultClass::BusReorder => "bus-reorder",
+            FaultClass::EdgePartition => "edge-partition",
+            FaultClass::EdgeCrashRejoin => "edge-crash-rejoin",
         }
     }
 
@@ -97,6 +117,18 @@ impl FaultClass {
                 spec.poll_flap_period = 4;
                 spec.poll_flap_burst = 2;
             }
+            FaultClass::BusDrop => spec.bus_drop = 0.3,
+            FaultClass::BusReorder => {
+                spec.bus_reorder = true;
+                spec.bus_drop = 0.15;
+                spec.bus_dup = 0.2;
+            }
+            FaultClass::EdgePartition => {
+                spec.edge_partition = 0.7;
+                spec.edge_partition_period = 4;
+                spec.edge_partition_burst = 2;
+            }
+            FaultClass::EdgeCrashRejoin => spec.edge_crash = 0.15,
         }
         spec
     }

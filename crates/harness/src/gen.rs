@@ -9,7 +9,7 @@
 //! fully serializable so a reproducer file is self-contained — replay never
 //! depends on the generator staying bit-identical across versions.
 
-use cacheportal::cache::PageCache;
+use cacheportal::cache::{PageCache, PageCacheConfig};
 use cacheportal::db::schema::ColType;
 use cacheportal::db::{Database, FaultPlan, FaultSpec};
 use cacheportal::invalidator::{InvalidationPolicy, InvalidatorConfig};
@@ -261,6 +261,8 @@ pub fn policy_of(code: u8) -> InvalidationPolicy {
 pub const GROUPS: i64 = 6;
 /// Number of distinct `k` join keys.
 pub const KEYS: i64 = 8;
+/// Edge caches attached behind the bus when the plan has bus fault sites.
+pub const BUS_EDGES: usize = 2;
 
 impl Scenario {
     /// Generate the scenario for `seed` (inert fault plan).
@@ -355,6 +357,21 @@ impl Scenario {
     fn register(&self, portal: &CachePortal) {
         for s in &self.servlets {
             portal.register_servlet(s.build(&self.tables));
+        }
+        self.attach_edges(portal);
+    }
+
+    /// Attach [`BUS_EDGES`] edge caches behind the invalidation bus — but
+    /// only when the plan actually exercises bus fault sites, so every
+    /// pre-existing fault class replays bit-identically without edges.
+    /// Registration order is deterministic (`edge-0`, `edge-1`), which is
+    /// what lets a recovered portal re-register edges under the same names
+    /// the journaled watermarks were persisted against.
+    fn attach_edges(&self, portal: &CachePortal) {
+        if self.fault.has_bus_faults() {
+            for _ in 0..BUS_EDGES {
+                portal.register_edge_cache(Arc::new(PageCache::new(PageCacheConfig::default())));
+            }
         }
     }
 

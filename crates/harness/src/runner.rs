@@ -68,6 +68,16 @@ pub struct RunStats {
     /// Pages conservatively ejected at recovery because they were admitted
     /// in the durability gap.
     pub gap_ejected: u64,
+    /// Bus deliveries dropped by the fault plan.
+    pub bus_drops: u64,
+    /// Bus deliveries duplicated by the fault plan.
+    pub bus_dups: u64,
+    /// Edge partition probes fired by the fault plan.
+    pub edge_partitions: u64,
+    /// Edge crash-and-rejoin events driven by the runner.
+    pub edge_reboots: u64,
+    /// Edge self-ejections under degraded mode (Vcache-style fallback).
+    pub edge_self_ejections: u64,
 }
 
 /// Outcome of one run: accounting plus the first violated invariant.
@@ -217,6 +227,28 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
                 detail: format!("stale after sync under {:?}: {urls:?}", policy_of(sc.policy)),
             });
         }
+        // Partition-tolerant degradation contract: after the sync's bus
+        // delivery round every attached edge is either fully caught up or
+        // empty (degraded edges self-ejected Vcache-style and decline
+        // admission). An edge holding pages while behind the latest batch
+        // is an open staleness window even if the oracle above happened to
+        // find every body still fresh.
+        let latest = portal.bus().latest_seq();
+        for ep in portal.bus().endpoints() {
+            if ep.applied_seq() < latest && !ep.cache().is_empty() {
+                return Some(Violation {
+                    action_index: idx,
+                    kind: "bus-degradation".into(),
+                    detail: format!(
+                        "edge {} applied seq {} < latest {} but still holds {} page(s)",
+                        ep.name(),
+                        ep.applied_seq(),
+                        latest,
+                        ep.cache().len()
+                    ),
+                });
+            }
+        }
         // Index soundness: the scenario runs with index-vs-scan
         // differential mode on, so any sync where the predicate index and
         // the full scan disagree on the affected (type, params) set is a
@@ -262,6 +294,17 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
                 drop(portal);
                 portal = sc.recover_portal(c.db.clone(), cache, &c.dir, c.plan.clone());
                 portal.set_invalidation_audit(true);
+            }
+        }
+        // Edge crash-rejoin: an edge cache dies and rejoins from the bus's
+        // acked watermark — the endpoint conservatively flushes everything
+        // admitted past the mark before serving again.
+        if sc.fault.edge_crash > 0.0 {
+            for e in 0..portal.bus().edge_count() {
+                if portal.fault_plan().edge_crash_before_action(idx as u64, e as u64) {
+                    stats.edge_reboots += 1;
+                    portal.reboot_bus_edge(e);
+                }
             }
         }
         match action {
@@ -348,6 +391,10 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
     stats.records_lost = counts.sniffer_dropped;
     stats.records_duplicated = counts.sniffer_duplicated;
     stats.txn_aborts = counts.txn_aborts;
+    stats.bus_drops = counts.bus_dropped;
+    stats.bus_dups = counts.bus_duplicated;
+    stats.edge_partitions = counts.edge_partitions;
+    stats.edge_self_ejections = portal.bus().stats().self_ejections;
 
     let mut incoherent = Vec::new();
     if bases.sync_points != stats.syncs {
@@ -394,6 +441,27 @@ pub fn run_scenario(sc: &Scenario, actions: &[Action]) -> RunOutcome {
         incoherent.push(format!(
             "{} recovery-gap ejects without a crash-restart plan",
             stats.gap_ejected
+        ));
+    }
+    if (stats.bus_drops > 0 || stats.bus_dups > 0)
+        && sc.fault.bus_drop == 0.0
+        && sc.fault.bus_dup == 0.0
+    {
+        incoherent.push(format!(
+            "bus dropped {} / duplicated {} deliveries under a plan with no bus faults",
+            stats.bus_drops, stats.bus_dups
+        ));
+    }
+    if stats.edge_partitions > 0 && sc.fault.edge_partition == 0.0 {
+        incoherent.push(format!(
+            "{} edge partition probes fired under a plan with no partition faults",
+            stats.edge_partitions
+        ));
+    }
+    if stats.edge_reboots != counts.edge_crashes {
+        incoherent.push(format!(
+            "runner drove {} edge reboots but the plan counted {}",
+            stats.edge_reboots, counts.edge_crashes
         ));
     }
     if !incoherent.is_empty() {

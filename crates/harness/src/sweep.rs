@@ -59,6 +59,11 @@ impl CellAgg {
         self.stats.txn_aborts += s.txn_aborts;
         self.stats.crashes += s.crashes;
         self.stats.gap_ejected += s.gap_ejected;
+        self.stats.bus_drops += s.bus_drops;
+        self.stats.bus_dups += s.bus_dups;
+        self.stats.edge_partitions += s.edge_partitions;
+        self.stats.edge_reboots += s.edge_reboots;
+        self.stats.edge_self_ejections += s.edge_self_ejections;
     }
 }
 
@@ -120,8 +125,9 @@ pub fn sweep(cfg: &SweepConfig, mut progress: Option<&mut dyn FnMut(u64)>) -> Sw
 pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
     let mut out = String::from(
         "| policy | fault class | runs | actions | syncs | ejected | over-inv | over-inv % | \
-         fault-ejected | polls faulted | records lost | txn aborts | crashes | gap-ejected |\n\
-         |---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+         fault-ejected | polls faulted | records lost | txn aborts | crashes | gap-ejected | \
+         bus-drops | edge-partitions | edge-reboots | self-ejections |\n\
+         |---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
     );
     for ((policy, class), agg) in cells {
         let s = &agg.stats;
@@ -131,7 +137,7 @@ pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
             "–".to_string()
         };
         out.push_str(&format!(
-            "| {policy} | {class} | {} | {} | {} | {} | {} | {pct} | {} | {} | {} | {} | {} | {} |\n",
+            "| {policy} | {class} | {} | {} | {} | {} | {} | {pct} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             agg.runs,
             agg.actions,
             s.syncs,
@@ -143,6 +149,10 @@ pub fn markdown_table(cells: &BTreeMap<(String, String), CellAgg>) -> String {
             s.txn_aborts,
             s.crashes,
             s.gap_ejected,
+            s.bus_drops,
+            s.edge_partitions,
+            s.edge_reboots,
+            s.edge_self_ejections,
         ));
     }
     out

@@ -58,6 +58,10 @@ fn every_fault_class_fires_and_stays_fresh() {
         let mut aborts = 0u64;
         let mut crashes = 0u64;
         let mut gaps = 0u64;
+        let mut bus_drops = 0u64;
+        let mut bus_dups = 0u64;
+        let mut partitions = 0u64;
+        let mut reboots = 0u64;
         for seed in 0..10u64 {
             let sc = Scenario::generate(seed)
                 .with_policy_workers(0, if seed % 2 == 0 { 1 } else { 4 })
@@ -76,6 +80,10 @@ fn every_fault_class_fires_and_stays_fresh() {
             aborts += outcome.stats.txn_aborts;
             crashes += outcome.stats.crashes;
             gaps += outcome.stats.gap_ejected;
+            bus_drops += outcome.stats.bus_drops;
+            bus_dups += outcome.stats.bus_dups;
+            partitions += outcome.stats.edge_partitions;
+            reboots += outcome.stats.edge_reboots;
         }
         match class {
             FaultClass::None => {
@@ -101,6 +109,19 @@ fn every_fault_class_fires_and_stays_fresh() {
             FaultClass::PollFlap => assert!(
                 faulted > 0,
                 "flap class never faulted a poll in a burst window"
+            ),
+            FaultClass::BusDrop => assert!(bus_drops > 0, "bus-drop class never dropped a delivery"),
+            FaultClass::BusReorder => assert!(
+                bus_drops > 0 && bus_dups > 0,
+                "bus-reorder class must drop and duplicate (drops={bus_drops} dups={bus_dups})"
+            ),
+            FaultClass::EdgePartition => assert!(
+                partitions > 0,
+                "edge-partition class never partitioned an edge"
+            ),
+            FaultClass::EdgeCrashRejoin => assert!(
+                reboots > 0,
+                "edge-crash-rejoin class never rebooted an edge"
             ),
         }
     }

@@ -233,6 +233,14 @@ pub struct InvalidationReport {
     /// Boundary polls issued by the shape pre-pass (one bounded ORDER
     /// BY/LIMIT query per live TopK instance of a candidate type).
     pub shape_boundary_polls: u64,
+    /// Pages the aggregate value-preserving rule kept cached this sync
+    /// point (sorted, deduplicated, minus pages ejected anyway). The
+    /// netting proof compares the interval's *endpoint* states, so it only
+    /// covers pages generated before the interval — the orchestrator must
+    /// eject any of these that were admitted mid-interval, where a
+    /// cancelled insert/delete pair can leave a transient state baked into
+    /// the page.
+    pub netted_pages: Vec<PageKey>,
 }
 
 /// One query type's share of a sync point (see
@@ -392,6 +400,9 @@ struct ShardOutcome {
     types: Vec<TypeOutcome>,
     counters: ShardCounters,
     elapsed_micros: u64,
+    /// Pages of aggregate instances the value-preserving netting kept
+    /// cached (see [`InvalidationReport::netted_pages`]).
+    netted_pages: Vec<PageKey>,
 }
 
 /// What a per-shape decision rule concluded for one instance.
@@ -692,6 +703,16 @@ impl Invalidator {
         }
         report.invalidated_instances = report.verdicts.len() as u64;
 
+        // Normalize the netting escape-hatch list: dedup, and drop any page
+        // the batch already ejects through a verdict — the guard only cares
+        // about pages the shortcut would otherwise *keep*.
+        report.netted_pages.sort_unstable();
+        report.netted_pages.dedup();
+        {
+            let ejected: HashSet<&PageKey> = report.pages.iter().collect();
+            report.netted_pages.retain(|k| !ejected.contains(k));
+        }
+
         // Bookkeeping + policy discovery (§4.1.4).
         let mut invalidated_per_type: HashMap<QueryTypeId, u64> = HashMap::new();
         for v in &report.verdicts {
@@ -874,6 +895,7 @@ impl Invalidator {
             report.index_probe_micros += outcome.counters.index_probe_micros;
             report.shape_topk_skipped += outcome.counters.shape_topk_skipped;
             report.shape_agg_skipped += outcome.counters.shape_agg_skipped;
+            report.netted_pages.extend(outcome.netted_pages);
             type_outcomes.extend(outcome.types);
         }
         type_outcomes.sort_unstable_by_key(|t| t.order);
@@ -998,6 +1020,9 @@ impl Invalidator {
         let shard_started = std::time::Instant::now();
         let mut counters = ShardCounters::default();
         let mut out_types: Vec<TypeOutcome> = Vec::with_capacity(types.len());
+        // Pages kept only by the aggregate netting shortcut; the orchestrator
+        // guard-ejects the ones admitted mid-window (see InvalidationReport).
+        let mut netted_pages: Vec<PageKey> = Vec::new();
         // Bound instances are compiled once per (type, params) and reused
         // across every delta tuple the shard analyzes.
         let mut bound_cache: HashMap<(QueryTypeId, Vec<Value>), BoundInstance> = HashMap::new();
@@ -1191,7 +1216,16 @@ impl Invalidator {
                                 ty_shape_skipped += 1;
                                 match ty_shape {
                                     QueryShape::TopK => counters.shape_topk_skipped += 1,
-                                    QueryShape::Aggregate => counters.shape_agg_skipped += 1,
+                                    QueryShape::Aggregate => {
+                                        counters.shape_agg_skipped += 1;
+                                        // The netting proof only holds for pages
+                                        // that existed at the interval endpoints;
+                                        // report these so the orchestrator can
+                                        // guard-eject any admitted mid-window.
+                                        if let Some(data) = registry.pages_of(ty_id, &params) {
+                                            netted_pages.extend(data.pages.iter().cloned());
+                                        }
+                                    }
                                     _ => {}
                                 }
                             }
@@ -1264,6 +1298,7 @@ impl Invalidator {
             types: out_types,
             counters,
             elapsed_micros: shard_started.elapsed().as_micros() as u64,
+            netted_pages,
         })
     }
 
@@ -1272,11 +1307,12 @@ impl Invalidator {
     /// stored when the result was full). A delta tuple whose key sorts
     /// strictly beyond the boundary can neither enter the top-k (it sorts
     /// after k surviving rows) nor displace it (the post-state top-k rows
-    /// all pre-existed the batch, and the engine's stable sort over
-    /// order-preserving storage keeps their relative order) — whether or not
-    /// the tuple matches the WHERE clause. Ties and missing keys stay
-    /// conservative; a tuple that lands at or inside the boundary and
-    /// matches locally ejects with [`VerdictKind::TopKBoundary`].
+    /// all pre-existed the batch, and the engine's ORDER BY breaks key ties
+    /// by full row content, so their relative order is a pure function of
+    /// the row set) — whether or not the tuple matches the WHERE clause.
+    /// Ties and missing keys stay conservative; a tuple that lands at or
+    /// inside the boundary and matches locally ejects with
+    /// [`VerdictKind::TopKBoundary`].
     fn decide_topk(
         inst: &BoundInstance,
         spec: &TopKSpec,

@@ -264,3 +264,42 @@ fn precision_regression_per_shape() {
         }
     }
 }
+
+/// A value-preserving aggregate batch is skipped, but the skipped pages are
+/// reported in `netted_pages` so the orchestrator can guard-eject any of
+/// them admitted mid-window (the endpoint-states proof does not cover pages
+/// generated between the mutations that cancel out). With shape rules off
+/// there is no netting shortcut and nothing to report.
+#[test]
+fn netted_aggregate_batches_are_reported_for_the_guard() {
+    let mut db = build_db(&[(0, 5)]);
+    let map = QiUrlMap::new();
+    let sql = "SELECT COUNT(*), SUM(v) FROM R WHERE g = 0";
+    let page = PageKey::raw("agg");
+    map.insert(sql.into(), page.clone(), "s".into());
+    let mut inv_on = new_invalidator(&db, &map, true);
+    let mut inv_off = new_invalidator(&db, &map, false);
+
+    // Insert + delete of the same row inside one window: net zero per
+    // group, so the aggregate rule keeps the page.
+    db.execute("INSERT INTO R VALUES (0, 7, 's7')").unwrap();
+    db.execute("DELETE FROM R WHERE g = 0 AND v = 7").unwrap();
+
+    let on = inv_on.run_sync_point(&db, &map).unwrap();
+    assert!(on.pages.is_empty(), "netted batch must not eject");
+    assert_eq!(on.shape_agg_skipped, 1);
+    assert!(
+        on.netted_pages.contains(&page),
+        "the kept page must be reported for the mid-window guard: {:?}",
+        on.netted_pages
+    );
+
+    let off = inv_off.run_sync_point(&db, &map).unwrap();
+    assert!(off.netted_pages.is_empty(), "no shortcut, nothing to guard");
+
+    // A batch the rule must eject reports the page as ejected, not netted.
+    db.execute("INSERT INTO R VALUES (0, 9, 's9')").unwrap();
+    let on = inv_on.run_sync_point(&db, &map).unwrap();
+    assert!(on.pages.contains(&page));
+    assert!(on.netted_pages.is_empty(), "ejected pages are filtered out");
+}

@@ -16,6 +16,8 @@
 //! * `GET /slo[?stable=1]` — sliding-window SLO evaluation with burn
 //!   rates and the alert log; `stable=1` drops wall-fed objectives for
 //!   byte-stable output.
+//! * `GET /bus` — per-edge invalidation-bus delivery state (watermarks,
+//!   lag, retries, partition state) as JSON.
 //! * `GET /flightrecord` — flight-recorder dump index;
 //!   `?dump=1[&stable=1]` captures and returns an on-demand bundle,
 //!   `?seq=N` fetches a retained bundle.
@@ -70,6 +72,11 @@ pub trait AdminSource: Send + Sync {
     /// document is byte-stable for a fixed seed. Default: no SLO engine
     /// wired.
     fn slo(&self, _stable: bool) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+    /// Body for `GET /bus` — per-edge invalidation-bus delivery state
+    /// (watermarks, lag, retries, partition state). Default: no bus wired.
+    fn bus(&self) -> serde_json::Value {
         serde_json::Value::Null
     }
     /// Body for `GET /flightrecord` — the flight-recorder dump index.
@@ -222,6 +229,11 @@ fn handle_conn(stream: &mut TcpStream, source: &dyn AdminSource) -> std::io::Res
         "/slo" => {
             let stable = query_param(query, "stable").as_deref() == Some("1");
             let body = serde_json::to_string_pretty(&source.slo(stable))
+                .unwrap_or_else(|_| "{}".to_string());
+            respond(stream, 200, "application/json", &body)
+        }
+        "/bus" => {
+            let body = serde_json::to_string_pretty(&source.bus())
                 .unwrap_or_else(|_| "{}".to_string());
             respond(stream, 200, "application/json", &body)
         }
@@ -406,7 +418,7 @@ mod tests {
 
         // New endpoints fall back to the default (null) trait impls, so
         // sources written before tracing existed keep working.
-        for path in ["/trace", "/timeline", "/scorecards", "/slo", "/flightrecord"] {
+        for path in ["/trace", "/timeline", "/scorecards", "/slo", "/bus", "/flightrecord"] {
             let (status, body) = http_get(addr, path);
             assert_eq!(status, 200, "{path}");
             assert_eq!(body.trim(), "null", "{path}");

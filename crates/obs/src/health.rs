@@ -38,17 +38,21 @@ pub enum Reason {
     SloFastBurn,
     /// A slow-burn (ticket severity) SLO alert is firing.
     SloSlowBurn,
+    /// One or more bus edges unreachable; they self-eject conservatively
+    /// (TTL/Vcache-style degradation) until the partition heals.
+    EdgePartitioned,
 }
 
 impl Reason {
     /// Every reason, in rendering order.
-    pub const ALL: [Reason; 6] = [
+    pub const ALL: [Reason; 7] = [
         Reason::BreakerOpen,
         Reason::CrashRecovery,
         Reason::WalError,
         Reason::SloFastBurn,
         Reason::BreakerHalfOpen,
         Reason::SloSlowBurn,
+        Reason::EdgePartitioned,
     ];
 
     /// The canonical kebab-case code.
@@ -60,13 +64,19 @@ impl Reason {
             Reason::WalError => "wal-error",
             Reason::SloFastBurn => "slo-fast-burn",
             Reason::SloSlowBurn => "slo-slow-burn",
+            Reason::EdgePartitioned => "edge-partitioned",
         }
     }
 
     /// Whether this reason alone makes the portal unhealthy (`503`) or
-    /// merely degraded (`200` + JSON).
+    /// merely degraded (`200` + JSON). A partitioned edge is degraded,
+    /// not unhealthy: the edge serves conservatively (self-ejected) and
+    /// the origin portal is still correct.
     pub fn unhealthy(self) -> bool {
-        !matches!(self, Reason::BreakerHalfOpen | Reason::SloSlowBurn)
+        !matches!(
+            self,
+            Reason::BreakerHalfOpen | Reason::SloSlowBurn | Reason::EdgePartitioned
+        )
     }
 }
 
@@ -82,6 +92,7 @@ pub struct HealthState {
     recoveries: AtomicU64,
     slo_fast_firing: AtomicU64,
     slo_slow_firing: AtomicU64,
+    edges_partitioned: AtomicU64,
 }
 
 impl HealthState {
@@ -100,6 +111,11 @@ impl HealthState {
     pub fn set_slo(&self, fast_firing: u64, slow_firing: u64) {
         self.slo_fast_firing.store(fast_firing, Ordering::Relaxed);
         self.slo_slow_firing.store(slow_firing, Ordering::Relaxed);
+    }
+
+    /// Publish how many bus edges are currently marked partitioned.
+    pub fn set_edges_partitioned(&self, n: u64) {
+        self.edges_partitioned.store(n, Ordering::Relaxed);
     }
 
     /// Mark crash recovery as started (`true`) or finished (`false`).
@@ -133,6 +149,7 @@ impl HealthState {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             slo_fast_firing: self.slo_fast_firing.load(Ordering::Relaxed),
             slo_slow_firing: self.slo_slow_firing.load(Ordering::Relaxed),
+            edges_partitioned: self.edges_partitioned.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +173,8 @@ pub struct HealthSnapshot {
     pub slo_fast_firing: u64,
     /// (objective, pair) combinations firing on a slow-burn pair.
     pub slo_slow_firing: u64,
+    /// Bus edges currently marked partitioned (self-ejecting).
+    pub edges_partitioned: u64,
 }
 
 /// Overall status bucket a snapshot maps to.
@@ -217,6 +236,7 @@ impl HealthSnapshot {
             Reason::WalError => self.wal_errors,
             Reason::SloFastBurn => self.slo_fast_firing,
             Reason::SloSlowBurn => self.slo_slow_firing,
+            Reason::EdgePartitioned => self.edges_partitioned,
         }
     }
 
@@ -246,6 +266,9 @@ impl HealthSnapshot {
                     Reason::SloSlowBurn => {
                         format!("{n} slow-burn SLO alert(s) firing")
                     }
+                    Reason::EdgePartitioned => format!(
+                        "{n} bus edge(s) partitioned (self-ejecting until catch-up)"
+                    ),
                 };
                 Some((r, n, detail))
             })
@@ -305,6 +328,10 @@ impl HealthSnapshot {
             (
                 "slo_slow_firing".to_string(),
                 Value::UInt(self.slo_slow_firing),
+            ),
+            (
+                "edges_partitioned".to_string(),
+                Value::UInt(self.edges_partitioned),
             ),
         ])
     }
@@ -391,6 +418,20 @@ mod tests {
         assert!(resp.body.contains("slo-fast-burn"));
 
         h.set_slo(0, 0);
+        assert_eq!(h.snapshot().to_response().body, "ok\n");
+    }
+
+    #[test]
+    fn partitioned_edges_degrade_without_paging() {
+        let h = HealthState::new();
+        h.set_edges_partitioned(1);
+        let resp = h.snapshot().to_response();
+        assert_eq!(resp.status, 200, "partitioned edge degrades, serves safely");
+        assert!(resp.body.contains("edge-partitioned"));
+        assert_eq!(h.snapshot().status(), HealthStatus::Degraded);
+        assert_eq!(h.snapshot().reason_count(Reason::EdgePartitioned), 1);
+
+        h.set_edges_partitioned(0);
         assert_eq!(h.snapshot().to_response().body, "ok\n");
     }
 

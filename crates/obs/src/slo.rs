@@ -47,6 +47,9 @@ pub enum SloKind {
     SyncLatency,
     /// Poll success rate (faulted polls are the bad events).
     PollErrors,
+    /// Bus delivery success rate (failed/dropped delivery attempts are the
+    /// bad events; acked deliveries are good).
+    BusDelivery,
 }
 
 impl SloKind {
@@ -59,6 +62,7 @@ impl SloKind {
             SloKind::HitRate => "hit-rate",
             SloKind::SyncLatency => "sync-latency-p95",
             SloKind::PollErrors => "poll-error-rate",
+            SloKind::BusDelivery => "bus-delivery-rate",
         }
     }
 }
@@ -126,7 +130,7 @@ pub struct SloPolicy {
 }
 
 impl Default for SloPolicy {
-    /// The shipped policy: the five objectives from the freshness contract
+    /// The shipped policy: the six objectives from the freshness contract
     /// and the standard fast(5m/1h@14.4×)/slow(30m/6h@6×) pairs.
     fn default() -> SloPolicy {
         SloPolicy {
@@ -136,6 +140,7 @@ impl Default for SloPolicy {
                 Objective::new(SloKind::HitRate, 0, 0.50, true),
                 Objective::new(SloKind::SyncLatency, 250_000, 0.95, false),
                 Objective::new(SloKind::PollErrors, 0, 0.99, true),
+                Objective::new(SloKind::BusDelivery, 0, 0.95, true),
             ],
             pairs: SloPolicy::default_pairs(),
             bucket_micros: MINUTE,

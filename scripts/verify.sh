@@ -29,6 +29,25 @@ echo "== crash-recovery smoke (durable journal, gap ejection, provenance) =="
 # and the freshness oracle finds zero stale pages afterwards.
 ./target/release/recovery_smoke
 
+echo "== bus socket smoke (real TCP transport end-to-end on localhost) =="
+# Two edge caches behind EdgeServer TCP listeners, driven over
+# SocketTransport: delivery + ack, wire-duplicate absorption, partition
+# detection against a dead listener, and watermark catch-up after the
+# listener rebinds. The binary asserts every stage and prints greppable
+# markers.
+BUS_SMOKE_OUT=$(./target/release/bus_smoke)
+echo "$BUS_SMOKE_OUT" | grep -q "BUS-SMOKE PASS" \
+  || { echo "bus socket smoke failed"; echo "$BUS_SMOKE_OUT"; exit 1; }
+
+echo "== scripted partition drill (partition -> degrade -> heal -> converge) =="
+# Portal-level drill: cut one edge's bus link, watch /healthz report
+# edge-partitioned while the edge self-ejects to empty (never stale), heal,
+# and assert watermark catch-up leaves the drilled edge byte-identical to
+# an untouched control edge.
+DRILL_OUT=$(./target/release/partition_drill)
+echo "$DRILL_OUT" | grep -q "PARTITION-DRILL PASS" \
+  || { echo "partition drill failed"; echo "$DRILL_OUT"; exit 1; }
+
 echo "== fuzz harness canary (a broken invalidator must be caught) =="
 # Compile the deliberately-unsound invalidator (feature `canary`) and prove
 # the harness detects it and emits a replayable shrunk reproducer.
@@ -173,6 +192,19 @@ echo "$SLO_OUT" | grep -q "staleness-p99" \
 SLO_STABLE=$(./target/release/obsctl slo --addr "$ADDR" --stable --json)
 echo "$SLO_STABLE" | grep -q '"stable": true' \
   || { echo "/slo?stable=1 not marked stable"; exit 1; }
+
+# Invalidation bus: the demo attaches two edge caches, so /bus must show
+# a healthy per-edge watermark table (obsctl bus exits non-zero while any
+# edge is partitioned or degraded — the healthy demo must pass the gate).
+BUS_OUT=$(./target/release/obsctl bus --addr "$ADDR") \
+  || { echo "obsctl bus reported an unhealthy edge on a healthy demo"; exit 1; }
+echo "$BUS_OUT" | grep -q "edge-0" \
+  || { echo "obsctl bus table missing edge rows"; exit 1; }
+echo "$BUS_OUT" | grep -q "latest_seq=" \
+  || { echo "obsctl bus missing the bus summary line"; exit 1; }
+BUS_JSON=$(./target/release/obsctl bus --addr "$ADDR" --json)
+echo "$BUS_JSON" | grep -q '"cacheportal.bus.v1"' \
+  || { echo "/bus missing the versioned schema marker"; exit 1; }
 
 # Black-box flight recorder: an on-demand stable dump is a versioned,
 # self-contained bundle (uploaded as a CI artifact).

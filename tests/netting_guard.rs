@@ -1,0 +1,84 @@
+//! Regression for the mid-window netting hazard: the aggregate
+//! value-preserving rule proves a page fresh from the window's *endpoint*
+//! states (net-zero deltas per group ⇒ post-state equals pre-state), but a
+//! page generated *inside* the window — after an insert, before the delete
+//! that nets it out — embeds an intermediate state neither endpoint ever
+//! shows. The portal must guard-eject exactly those pages (found by the
+//! CI fuzz matrix as a real staleness, shrunk to this trace) while still
+//! keeping pages that existed across the whole window.
+
+use cacheportal::db::schema::ColType;
+use cacheportal::db::Database;
+use cacheportal::web::{HttpRequest, ParamSource, QueryTemplate, ServletSpec, SqlServlet};
+use cacheportal::{CachePortal, Served};
+use std::sync::Arc;
+
+fn agg_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE T (g INT, v INT, INDEX(g))").unwrap();
+    db.execute("INSERT INTO T VALUES (0, 5)").unwrap();
+    db
+}
+
+fn portal() -> CachePortal {
+    let p = CachePortal::builder(agg_db()).build().unwrap();
+    p.register_servlet(Arc::new(SqlServlet::new(
+        ServletSpec::new("groupStats").with_key_get_params(&["maxg"]),
+        "Group stats",
+        vec![QueryTemplate::new(
+            "SELECT g, COUNT(*), SUM(v) FROM T WHERE g < $1 GROUP BY g ORDER BY g",
+            vec![ParamSource::Get("maxg".into(), ColType::Int)],
+        )],
+    )));
+    p
+}
+
+fn stats(maxg: i64) -> HttpRequest {
+    HttpRequest::get("shop", "/groupStats", &[("maxg", &maxg.to_string())])
+}
+
+/// The shrunk fuzz trace: page generated between an insert and the delete
+/// that cancels it. The netting shortcut keeps it; the guard must not.
+#[test]
+fn page_generated_mid_window_is_guard_ejected() {
+    let p = portal();
+    p.update("INSERT INTO T VALUES (0, 7)").unwrap();
+    // Page built at the intermediate state: COUNT=2, SUM=12.
+    let first = p.request(&stats(1));
+    assert_eq!(first.served, Served::Generated);
+    assert!(first.response.body.contains("12"));
+    // Cancel the insert: both window endpoints show COUNT=1, SUM=5, so the
+    // per-group deltas net to zero and the aggregate rule keeps the page.
+    p.update("DELETE FROM T WHERE g = 0 AND v = 7").unwrap();
+
+    let r = p.sync_point().unwrap();
+    assert!(
+        r.netting_guard_ejected >= 1,
+        "mid-window page must be guard-ejected (netted={:?})",
+        r.invalidation.netted_pages
+    );
+    assert!(p.stale_pages().is_empty(), "guard must close the staleness");
+    let regenerated = p.request(&stats(1));
+    assert_eq!(regenerated.served, Served::Generated);
+    assert!(regenerated.response.body.contains('5'));
+    assert!(!regenerated.response.body.contains("12"));
+}
+
+/// Precision control: a page admitted in a *previous* window existed at
+/// both endpoints, the endpoint proof applies, and the guard must leave it
+/// cached through a value-preserving batch.
+#[test]
+fn page_admitted_before_the_window_survives_a_netted_batch() {
+    let p = portal();
+    assert_eq!(p.request(&stats(1)).served, Served::Generated);
+    p.sync_point().unwrap();
+
+    p.update("INSERT INTO T VALUES (0, 7)").unwrap();
+    p.update("DELETE FROM T WHERE g = 0 AND v = 7").unwrap();
+    let r = p.sync_point().unwrap();
+    assert_eq!(r.ejected, 0, "netted batch must keep the pre-window page");
+    assert_eq!(r.netting_guard_ejected, 0);
+    assert_eq!(r.invalidation.shape_agg_skipped, 1);
+    assert!(p.stale_pages().is_empty());
+    assert_eq!(p.request(&stats(1)).served, Served::CacheHit);
+}
